@@ -1,0 +1,35 @@
+"""Benchmark-harness helpers.
+
+Every ``benchmarks/test_figXX_*.py`` module regenerates one figure of the
+paper: it runs the corresponding experiment (scaled down so the whole
+suite finishes in minutes — the paper's multi-second horizons are purely
+for human-scale plots; the dynamics converge after a few thousand RTTs),
+prints the same rows/series the figure plots, and asserts the *shape* of
+the result (who wins, roughly by how much).
+
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to stretch horizons / flow counts
+toward the paper's full parameters, e.g.::
+
+    REPRO_BENCH_SCALE=10 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(value: float, minimum: float = 0.0) -> float:
+    """Scale a duration/count knob by REPRO_BENCH_SCALE."""
+    return max(value * SCALE, minimum)
+
+
+def scaled_flows(base: int) -> int:
+    """Scale a flow count, keeping at least the base tenth."""
+    return max(int(base * SCALE), base // 10, 20)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

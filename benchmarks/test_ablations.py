@@ -1,0 +1,126 @@
+"""Ablations for DynaQ's design choices (DESIGN.md experiment index).
+
+1. **Satisfaction threshold** — the paper argues (§III-B2) that
+   ``S_i = WBDP_i`` is *not* enough: threshold fluctuation then robs
+   queues of their fair share, which is why Eq. 3 uses the larger
+   ``B * w_i / sum(w)``.  We run the convergence scenario with the WBDP
+   override and compare fairness.
+2. **Victim search** — linear argmax vs the loop-free tournament must be
+   behaviourally identical end-to-end (identical packet traces).
+3. **DT comparator** — the classic dynamic-threshold algorithm adapts to
+   active-queue count but cannot express *weights*; under 4:3:2:1 DRR
+   quanta its buffer split fights the scheduler.
+"""
+
+from repro.core.dynaq import DynaQBuffer
+from repro.core.thresholds import weighted_bdp
+from repro.experiments.testbed import (
+    DEFAULT_CONFIG,
+    run_convergence,
+    run_weighted_sharing,
+)
+from repro.sim.units import seconds
+
+from conftest import run_once, scaled
+
+DURATION_S = scaled(0.5)
+
+
+def wbdp_buffer_factory():
+    override = weighted_bdp(DEFAULT_CONFIG.rate_bps, DEFAULT_CONFIG.rtt_ns,
+                            [1.0] * 4)
+    return DynaQBuffer(satisfaction_override=override)
+
+
+def run_satisfaction_ablation():
+    import repro.experiments.runner as runner_module
+    # Temporarily register the ablated scheme.
+    from repro.experiments.runner import _SCHEMES, SchemeSpec
+    _SCHEMES["dynaq-wbdp"] = SchemeSpec(
+        "DynaQ(S=WBDP)", lambda *, rtt_ns: wbdp_buffer_factory(),
+        "tcp", False)
+    try:
+        default = run_convergence("dynaq", duration_s=DURATION_S,
+                                  sample_interval_s=DURATION_S / 10)
+        ablated = run_convergence("dynaq-wbdp", duration_s=DURATION_S,
+                                  sample_interval_s=DURATION_S / 10)
+    finally:
+        del _SCHEMES["dynaq-wbdp"]
+    return default, ablated
+
+
+def unfairness(result):
+    warmup = seconds(DURATION_S * 0.25)
+    q1 = result.mean_rate_bps(0, start_ns=warmup)
+    q2 = result.mean_rate_bps(1, start_ns=warmup)
+    return abs(q1 - q2) / max(q1 + q2, 1.0)
+
+
+def test_ablation_satisfaction_threshold(benchmark):
+    default, ablated = run_once(benchmark, run_satisfaction_ablation)
+    print()
+    print("Ablation: satisfaction threshold choice (2 vs 16 flows)")
+    print(f"  S_i = B*w/sum(w) (Eq.3): unfairness "
+          f"{unfairness(default):.3f}, agg "
+          f"{default.mean_aggregate_bps() / 1e9:.2f} Gbps")
+    print(f"  S_i = WBDP_i          : unfairness "
+          f"{unfairness(ablated):.3f}, agg "
+          f"{ablated.mean_aggregate_bps() / 1e9:.2f} Gbps")
+    # Eq.3 keeps the scheme fair.  The paper observed the WBDP variant
+    # breaking fair sharing on their testbed (threshold fluctuation with
+    # no headroom); in this smooth-transport model the 2-queue scenario
+    # is benign for both variants, so the comparison above is reported
+    # rather than asserted — the hard requirements are Eq.3's fairness
+    # and work conservation for both.
+    assert unfairness(default) < 0.15
+    assert default.mean_aggregate_bps() > 0.9e9
+    assert ablated.mean_aggregate_bps() > 0.9e9
+
+
+def run_victim_ablation():
+    linear = run_convergence("dynaq", duration_s=DURATION_S / 2,
+                             sample_interval_s=DURATION_S / 10)
+    tournament = run_convergence("dynaq-tournament",
+                                 duration_s=DURATION_S / 2,
+                                 sample_interval_s=DURATION_S / 10)
+    return linear, tournament
+
+
+def test_ablation_victim_search_equivalence(benchmark):
+    linear, tournament = run_once(benchmark, run_victim_ablation)
+    print()
+    print("Ablation: victim search implementation")
+    for result in (linear, tournament):
+        rates = [result.mean_rate_bps(q) / 1e9 for q in (0, 1)]
+        print(f"  {result.scheme:<20} q1={rates[0]:.4f} q2={rates[1]:.4f}")
+    # Same seed, same deterministic kernel, semantically equal search:
+    # the two runs must produce *identical* sample series.
+    assert [s.per_queue_bps for s in linear.samples] == [
+        s.per_queue_bps for s in tournament.samples]
+
+
+def run_dt_comparison():
+    dynaq = run_weighted_sharing("dynaq", duration_s=DURATION_S,
+                                 sample_interval_s=DURATION_S / 10)
+    dt = run_weighted_sharing("dt", duration_s=DURATION_S,
+                              sample_interval_s=DURATION_S / 10)
+    return dynaq, dt
+
+
+def test_ablation_dynamic_threshold_has_no_weights(benchmark):
+    dynaq, dt = run_once(benchmark, run_dt_comparison)
+    ideal = [0.4, 0.3, 0.2, 0.1]
+    warmup = seconds(DURATION_S * 0.2)
+    print()
+    print("Ablation: DynaQ vs Choudhury-Hahne DT, weights 4:3:2:1")
+    print(f"  ideal : {ideal}")
+    print(f"  DynaQ : "
+          f"{[round(s, 3) for s in dynaq.mean_shares(start_ns=warmup)]}")
+    print(f"  DT    : "
+          f"{[round(s, 3) for s in dt.mean_shares(start_ns=warmup)]}")
+    dynaq_err = sum(abs(m - i) for m, i in
+                    zip(dynaq.mean_shares(start_ns=warmup), ideal))
+    dt_err = sum(abs(m - i) for m, i in
+                 zip(dt.mean_shares(start_ns=warmup), ideal))
+    # DynaQ tracks the weighted shares at least as well as DT.
+    assert dynaq_err <= dt_err + 0.05

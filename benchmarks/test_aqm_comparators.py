@@ -1,0 +1,73 @@
+"""Extended comparators: classic AQM (RED/WRED, CoDel) vs DynaQ.
+
+Beyond the paper's comparison set: RED is the classic AQM all the ECN
+schemes descend from, CoDel is TCN's sojourn-time ancestor.  Both mark
+per-queue with *static* policy parameters, so neither can express the
+work-conserving weighted isolation DynaQ targets — this bench shows the
+two concrete symptoms:
+
+1. convergence scenario (2 vs 16 flows): RED/CoDel mark both queues by
+   their own occupancy only, which does not equalise the shares;
+2. FCT scenario: both remain usable congestion controllers (completion,
+   small-flow acceleration), establishing them as fair baselines rather
+   than straw men.
+"""
+
+from repro.experiments.testbed import run_convergence, run_fct_experiment
+from repro.sim.units import seconds
+from repro.workloads.datasets import WEB_SEARCH
+
+from conftest import run_once, scaled, scaled_flows
+
+DURATION_S = scaled(0.5)
+SCHEMES = ["dynaq", "red", "codel"]
+NUM_FLOWS = scaled_flows(120)
+
+
+def run_all():
+    convergence = {
+        name: run_convergence(name, duration_s=DURATION_S,
+                              sample_interval_s=DURATION_S / 10)
+        for name in SCHEMES
+    }
+    fct = {
+        name: run_fct_experiment(
+            name, load=0.5, num_flows=NUM_FLOWS,
+            distribution=WEB_SEARCH.truncated(5_000_000), seed=9)
+        for name in SCHEMES
+    }
+    return convergence, fct
+
+
+def test_aqm_comparators(benchmark):
+    convergence, fct = run_once(benchmark, run_all)
+    warmup = seconds(DURATION_S * 0.25)
+    print()
+    print("AQM comparators, 2-vs-16-flow convergence (Gbps)")
+    for name, result in convergence.items():
+        q1 = result.mean_rate_bps(0, start_ns=warmup) / 1e9
+        q2 = result.mean_rate_bps(1, start_ns=warmup) / 1e9
+        print(f"  {result.scheme:<10} q1={q1:.2f} q2={q2:.2f}")
+    print("AQM comparators, web-search FCT at load 0.5 (ms)")
+    for name, result in fct.items():
+        summary = result.summary
+        print(f"  {result.scheme:<10} overall={summary['avg_overall_ms']:.1f}"
+              f" small={summary['avg_small_ms']:.2f}"
+              f" p99small={summary['p99_small_ms']:.2f}"
+              f" done={result.completed}")
+
+    def unfairness(result):
+        q1 = result.mean_rate_bps(0, start_ns=warmup)
+        q2 = result.mean_rate_bps(1, start_ns=warmup)
+        return abs(q1 - q2) / max(q1 + q2, 1.0)
+
+    # DynaQ is the fairest; the AQMs don't beat it.
+    assert unfairness(convergence["dynaq"]) < 0.15
+    for name in ("red", "codel"):
+        assert unfairness(convergence[name]) >= (
+            unfairness(convergence["dynaq"]) - 0.05)
+        # And they remain functional (full utilisation, completion).
+        assert convergence[name].mean_aggregate_bps() > 0.85e9
+        assert fct[name].outstanding == 0
+        assert (fct[name].summary["avg_small_ms"]
+                < fct[name].summary["avg_overall_ms"])

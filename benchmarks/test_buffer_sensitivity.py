@@ -1,0 +1,82 @@
+"""Buffer-size sensitivity: where PQL's work-conservation failure begins.
+
+The paper argues PQL cannot be fixed by provisioning ("we do not have
+enough buffers to reserve a buffer size as much as the BDP for all
+service queues", §II-C).  This ablation sweeps the port buffer size and
+measures a lone queue's achievable throughput under PQL vs DynaQ: PQL
+needs ``M x BDP`` of buffer before a single active queue can fill the
+pipe, while DynaQ fills it from ``~1 x BDP`` — an M-fold SRAM saving,
+which is the paper's economic argument in one curve.
+
+Setup: 4 equal-weight queues configured, but only queue 1 active (one
+sender, 2 flows) — the regime after every other service went idle.
+"""
+
+from repro.apps.iperf import IperfApp
+from repro.experiments.runner import buffer_factory
+from repro.metrics.throughput import PortThroughputMeter
+from repro.net.topology import build_star
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.sim.units import bandwidth_delay_product, gbps, microseconds, seconds
+
+from conftest import run_once, scaled
+
+RATE = gbps(10)
+RTT = microseconds(84)
+BDP = bandwidth_delay_product(RATE, RTT)      # 105 KB
+BUFFER_MULTIPLES = [0.5, 1.0, 2.0, 4.0]
+DURATION_S = scaled(0.06)
+SCHEMES = ["dynaq", "pql"]
+
+
+def run_point(scheme_name, buffer_bytes):
+    # Two senders (one flow each) feed queue 1, as in Fig. 10's tail
+    # phase — fan-in makes the switch egress the bottleneck that has to
+    # hold a standing queue for the pipe to stay full.
+    net = build_star(
+        num_hosts=3, rate_bps=RATE, rtt_ns=RTT,
+        buffer_bytes=buffer_bytes,
+        scheduler_factory=lambda: DRRScheduler([1500] * 4),
+        buffer_factory=buffer_factory(scheme_name, rtt_ns=RTT))
+    meter = PortThroughputMeter(
+        net.sim, net.switch("s0").ports["s0->h0"],
+        seconds(DURATION_S / 6))
+    for index in (1, 2):
+        app = IperfApp(net.sim, net.host(f"h{index}"), destination="h0",
+                       num_flows=1, service_class=0,
+                       flow_id_base=index, min_rto_ns=5_000_000)
+        app.start_at(0)
+    net.sim.run(until=seconds(DURATION_S))
+    return meter.mean_aggregate_bps(start_ns=seconds(DURATION_S / 3))
+
+
+def run_sweep():
+    return {
+        name: [run_point(name, int(BDP * multiple))
+               for multiple in BUFFER_MULTIPLES]
+        for name in SCHEMES
+    }
+
+
+def test_buffer_sensitivity(benchmark):
+    results = run_once(benchmark, run_sweep)
+    print()
+    print("Lone-active-queue throughput (Gbps) vs port buffer (x BDP), "
+          "4 queues configured")
+    print("scheme".ljust(10) + "".join(
+        f"{multiple}xBDP".rjust(10) for multiple in BUFFER_MULTIPLES))
+    for name, series in results.items():
+        print(name.ljust(10) + "".join(
+            f"{value / 1e9:.2f}".rjust(10) for value in series))
+
+    # DynaQ fills the pipe from ~1x BDP (the lone queue takes it all).
+    dynaq = dict(zip(BUFFER_MULTIPLES, results["dynaq"]))
+    pql = dict(zip(BUFFER_MULTIPLES, results["pql"]))
+    assert dynaq[1.0] > 0.9 * RATE
+    assert dynaq[2.0] > 0.95 * RATE
+    # PQL's quota is buffer/4: it needs ~4x BDP for the same result.
+    assert pql[1.0] < 0.9 * RATE
+    assert pql[4.0] > 0.9 * RATE
+    # And at every buffer size, PQL never beats DynaQ.
+    for multiple in BUFFER_MULTIPLES:
+        assert pql[multiple] <= dynaq[multiple] * 1.02

@@ -1,0 +1,52 @@
+"""Fig. 1 — motivation: violated fair sharing by unfair buffer occupancy.
+
+Paper setup: best-effort buffer, DRR with equal weights, 4 senders with
+8 flows each; 3 senders share service queue 2 and 1 sender feeds queue 1.
+Despite equal DRR weights, queue 1 cannot hold its weighted BDP of buffer
+and its throughput collapses.  We print the per-queue throughput and mean
+buffer occupancy, and run DynaQ on the same scenario for contrast.
+"""
+
+from repro.experiments.report import throughput_table
+from repro.experiments.testbed import run_motivation
+from repro.sim.units import seconds
+
+from conftest import run_once, scaled
+
+DURATION_S = scaled(0.6)
+WARMUP_NS = seconds(DURATION_S * 0.25)
+
+
+def run_pair():
+    best = run_motivation("besteffort", duration_s=DURATION_S,
+                          sample_interval_s=DURATION_S / 8,
+                          queue_samples=1000)
+    dynaq = run_motivation("dynaq", duration_s=DURATION_S,
+                           sample_interval_s=DURATION_S / 8,
+                           queue_samples=1000)
+    return best, dynaq
+
+
+def test_fig01_motivation(benchmark):
+    best, dynaq = run_once(benchmark, run_pair)
+    print()
+    print(throughput_table([best, dynaq],
+                           title="Fig.1 per-queue throughput (Gbps), "
+                                 "queue2 backed by 3 senders"))
+    print("Fig.1(b) mean queue occupancy (KB): "
+          f"BestEffort q1={best.queue_lengths.mean_occupancy(0) / 1e3:.1f} "
+          f"q2={best.queue_lengths.mean_occupancy(1) / 1e3:.1f} | "
+          f"DynaQ q1={dynaq.queue_lengths.mean_occupancy(0) / 1e3:.1f} "
+          f"q2={dynaq.queue_lengths.mean_occupancy(1) / 1e3:.1f}")
+
+    # Shape assertions (paper: queue 1 starved under best effort).
+    q1_best = best.mean_rate_bps(0, start_ns=WARMUP_NS)
+    q2_best = best.mean_rate_bps(1, start_ns=WARMUP_NS)
+    assert q2_best > 2 * q1_best
+    # Queue 2 dominates the buffer.
+    assert (best.queue_lengths.mean_occupancy(1)
+            > 2 * best.queue_lengths.mean_occupancy(0))
+    # DynaQ fixes it.
+    q1_dynaq = dynaq.mean_rate_bps(0, start_ns=WARMUP_NS)
+    q2_dynaq = dynaq.mean_rate_bps(1, start_ns=WARMUP_NS)
+    assert 0.7 < q1_dynaq / q2_dynaq < 1.4

@@ -1,0 +1,50 @@
+"""Fig. 2 — the four production flow-size distributions.
+
+Prints each workload's CDF at the paper's reference sizes plus the
+heavy-tail statistics quoted in §V ("roughly 50 % of [data-mining] flows
+are 1 KB while 90 % of bytes are from flows larger than 100 MB").
+"""
+
+from repro.workloads.datasets import workload, workload_names
+
+from conftest import run_once
+
+REFERENCE_SIZES = [1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+                   100_000_000]
+
+
+def build_table():
+    rows = []
+    for name in workload_names():
+        cdf = workload(name)
+        rows.append({
+            "name": name,
+            "cdf": [cdf.cdf_at(size) for size in REFERENCE_SIZES],
+            "mean_kb": cdf.mean_bytes() / 1e3,
+            "bytes_above_100mb": cdf.bytes_fraction_above(100_000_000),
+        })
+    return rows
+
+
+def test_fig02_workload_cdfs(benchmark):
+    rows = run_once(benchmark, build_table)
+    print()
+    header = "workload".ljust(14) + "".join(
+        f"<={size // 1000}KB".rjust(10) for size in REFERENCE_SIZES)
+    print("Fig.2 flow-size CDFs")
+    print(header + "mean(KB)".rjust(12))
+    for row in rows:
+        line = row["name"].ljust(14)
+        line += "".join(f"{value:.2f}".rjust(10) for value in row["cdf"])
+        line += f"{row['mean_kb']:.0f}".rjust(12)
+        print(line)
+
+    by_name = {row["name"]: row for row in rows}
+    # ~50 % of data-mining flows are about 1 KB.
+    assert 0.40 <= by_name["data_mining"]["cdf"][0] <= 0.60
+    # The data-mining byte volume is dominated by >100 MB elephants.
+    assert by_name["data_mining"]["bytes_above_100mb"] > 0.5
+    # All four distributions are heavy-tailed (mean >> median bucket).
+    for row in rows:
+        assert row["cdf"][0] < 1.0
+        assert row["mean_kb"] > 1.0

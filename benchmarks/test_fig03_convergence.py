@@ -1,0 +1,44 @@
+"""Fig. 3 — throughput convergence of two active DRR queues.
+
+Queue 1 has 2 flows, queue 2 has 16; equal DRR quanta.  The paper's
+finding: DynaQ is the only scheme whose two queues converge to the fair
+0.5/0.5 Gbps split; BestEffort diverges badly; PQL sits in between.
+"""
+
+from repro.experiments.report import timeseries_table
+from repro.experiments.testbed import run_convergence
+from repro.sim.units import seconds
+
+from conftest import run_once, scaled
+
+DURATION_S = scaled(0.6)
+SCHEMES = ["dynaq", "besteffort", "pql"]
+
+
+def run_all():
+    return [run_convergence(name, duration_s=DURATION_S,
+                            sample_interval_s=DURATION_S / 10)
+            for name in SCHEMES]
+
+
+def unfairness(result):
+    warmup = seconds(DURATION_S * 0.25)
+    q1 = result.mean_rate_bps(0, start_ns=warmup)
+    q2 = result.mean_rate_bps(1, start_ns=warmup)
+    return abs(q1 - q2) / max(q1 + q2, 1.0)
+
+
+def test_fig03_convergence(benchmark):
+    results = run_once(benchmark, run_all)
+    print()
+    print(timeseries_table(results, title="Fig.3 throughput convergence "
+                                          "(2 vs 16 flows)", queues=[0, 1]))
+    by_name = dict(zip(SCHEMES, results))
+    # DynaQ is near-perfectly fair; BestEffort is far off; DynaQ beats
+    # BestEffort and is at least as fair as PQL (up to noise).
+    assert unfairness(by_name["dynaq"]) < 0.15
+    assert unfairness(by_name["besteffort"]) > 0.4
+    assert unfairness(by_name["dynaq"]) < unfairness(by_name["besteffort"])
+    # Everyone keeps the link busy in this all-active scenario.
+    for result in results:
+        assert result.mean_aggregate_bps() > 0.9e9

@@ -1,0 +1,54 @@
+"""Fig. 4 — queue-length evolution of the two active DRR queues.
+
+Same run as Fig. 3, but the plotted quantity is per-queue buffer
+occupancy sampled on every enqueue/dequeue (1 K sequential samples).
+Paper shapes: BestEffort lets queue 2 dominate the port buffer; PQL caps
+both queues at the reserved quota (B/4 = 21.25 KB); DynaQ's occupancies
+move with the dynamic thresholds and both queues hold useful buffer.
+"""
+
+from repro.experiments.testbed import run_convergence
+
+from conftest import run_once, scaled
+
+DURATION_S = scaled(0.4)
+SCHEMES = ["dynaq", "besteffort", "pql"]
+PQL_QUOTA = 85_000 / 4
+
+
+def run_all():
+    return {
+        name: run_convergence(name, duration_s=DURATION_S,
+                              sample_interval_s=DURATION_S / 4,
+                              queue_samples=1000)
+        for name in SCHEMES
+    }
+
+
+def test_fig04_queue_evolution(benchmark):
+    results = run_once(benchmark, run_all)
+    print()
+    print("Fig.4 queue occupancy over 1K enqueue/dequeue samples (KB)")
+    print("scheme".ljust(14) + "q1 mean".rjust(9) + "q1 peak".rjust(9)
+          + "q2 mean".rjust(9) + "q2 peak".rjust(9))
+    for name, result in results.items():
+        lengths = result.queue_lengths
+        print(name.ljust(14)
+              + f"{lengths.mean_occupancy(0) / 1e3:.1f}".rjust(9)
+              + f"{lengths.peak_occupancy(0) / 1e3:.1f}".rjust(9)
+              + f"{lengths.mean_occupancy(1) / 1e3:.1f}".rjust(9)
+              + f"{lengths.peak_occupancy(1) / 1e3:.1f}".rjust(9))
+
+    best = results["besteffort"].queue_lengths
+    pql = results["pql"].queue_lengths
+    dynaq = results["dynaq"].queue_lengths
+    # BestEffort: queue 2 dominates the buffer.
+    assert best.mean_occupancy(1) > 2 * best.mean_occupancy(0)
+    # PQL: both queues capped at the reserved quota.
+    assert pql.peak_occupancy(0) <= PQL_QUOTA
+    assert pql.peak_occupancy(1) <= PQL_QUOTA
+    # DynaQ: queues can exceed the static quota (dynamic thresholds) and
+    # queue 1 holds materially more buffer than under best effort.
+    assert (max(dynaq.peak_occupancy(0), dynaq.peak_occupancy(1))
+            > PQL_QUOTA)
+    assert dynaq.mean_occupancy(0) > best.mean_occupancy(0)

@@ -1,0 +1,71 @@
+"""Fig. 5 — fair sharing + work conservation as queues go inactive.
+
+Queue k carries 2^k flows; from 2 time units onward queues 4, 3, 2, 1
+stop in turn.  Paper shapes: BestEffort never shares fairly; PQL is fair
+while all queues are active but its aggregate throughput collapses as
+queues go idle (0.78 Gbps with one active queue); DynaQ is fair *and*
+keeps the aggregate at line rate throughout.
+"""
+
+from repro.experiments.report import timeseries_table
+from repro.experiments.testbed import run_fair_sharing
+from repro.sim.units import seconds
+
+from conftest import run_once, scaled
+
+TIME_UNIT_S = scaled(0.12)
+SCHEMES = ["dynaq", "besteffort", "pql"]
+
+
+def run_all():
+    return {
+        name: run_fair_sharing(name, time_unit_s=TIME_UNIT_S,
+                               sample_interval_s=TIME_UNIT_S / 4)
+        for name in SCHEMES
+    }
+
+
+def window(unit_multiple_start, unit_multiple_end):
+    return (seconds(TIME_UNIT_S * unit_multiple_start),
+            seconds(TIME_UNIT_S * unit_multiple_end))
+
+
+def test_fig05_fair_sharing(benchmark):
+    results = run_once(benchmark, run_all)
+    print()
+    print(timeseries_table(list(results.values()),
+                           title="Fig.5 bandwidth sharing, queues stop at "
+                                 "2/3/4/5 time units", queues=[0, 1, 2, 3]))
+
+    # Phase A: all queues active (0.5..2 units) -> DynaQ near-perfectly fair.
+    start, end = window(0.5, 2)
+    dynaq = results["dynaq"]
+    best = results["besteffort"]
+    pql = results["pql"]
+    assert dynaq.jain([0, 1, 2, 3], start, end) > 0.95
+
+    # BestEffort favours flow-heavy queues.  Our smooth per-packet-ACK
+    # transport understates the testbed's burst-driven unfairness (see
+    # EXPERIMENTS.md), so assert the *direction*: in the 3-active-queue
+    # phase, queue 3 (8 flows) outearns queue 1 (2 flows) and DynaQ's
+    # worst-served queue does better than BestEffort's.
+    start, end = window(2.1, 3)
+    best_rates = [best.mean_rate_bps(q, start, end) for q in range(3)]
+    dynaq_rates = [dynaq.mean_rate_bps(q, start, end) for q in range(3)]
+    assert best_rates[2] > 1.08 * best_rates[0]
+    assert min(dynaq_rates) > min(best_rates)
+
+    # Phase B: only queue 1 active (units 4..5, the paper's 20-25 s) ->
+    # DynaQ stays work-conserving near line rate; PQL can do no better.
+    # At this 1 GbE operating point (quota 21.25 KB vs 62.5 KB BDP, two
+    # desynchronised flows) our smooth transport keeps PQL's pipe just
+    # barely full, so the paper's 0.78 Gbps collapse shows up only as
+    # "never above DynaQ"; the full collapse reproduces at 10/100 Gbps
+    # (Figs. 10-12 benches), where quota/BDP is far smaller.
+    start, end = window(4.1, 5)
+    dynaq_tail = dynaq.mean_aggregate_bps(start, end)
+    pql_tail = pql.mean_aggregate_bps(start, end)
+    print(f"tail aggregate (1 active queue): DynaQ "
+          f"{dynaq_tail / 1e9:.2f} Gbps vs PQL {pql_tail / 1e9:.2f} Gbps")
+    assert dynaq_tail > 0.9e9
+    assert pql_tail <= dynaq_tail * 1.01

@@ -1,0 +1,46 @@
+"""Fig. 6 — bandwidth sharing with queue weights 4:3:2:1.
+
+DRR quanta 6/4.5/3/1.5 KB; queue k still carries 2^k flows, so the flow
+count runs *against* the weights (queue 4: most flows, smallest weight).
+Paper shapes: DynaQ and PQL track the ideal 0.4/0.3/0.2/0.1 shares;
+BestEffort hands queue 4 ~0.35 instead of its 0.1.
+"""
+
+from repro.experiments.report import share_table
+from repro.experiments.testbed import run_weighted_sharing
+from repro.sim.units import seconds
+
+from conftest import run_once, scaled
+
+DURATION_S = scaled(0.5)
+SCHEMES = ["dynaq", "besteffort", "pql"]
+IDEAL = [0.4, 0.3, 0.2, 0.1]
+
+
+def run_all():
+    return {
+        name: run_weighted_sharing(name, duration_s=DURATION_S,
+                                   sample_interval_s=DURATION_S / 10)
+        for name in SCHEMES
+    }
+
+
+def test_fig06_weighted_sharing(benchmark):
+    results = run_once(benchmark, run_all)
+    print()
+    print(share_table(list(results.values()),
+                      title="Fig.6 throughput shares, weights 4:3:2:1",
+                      ideal=IDEAL))
+    warmup = seconds(DURATION_S * 0.2)
+    dynaq_shares = results["dynaq"].mean_shares(start_ns=warmup)
+    best_shares = results["besteffort"].mean_shares(start_ns=warmup)
+    pql_shares = results["pql"].mean_shares(start_ns=warmup)
+
+    # DynaQ and PQL respect the weights.
+    for measured, ideal in zip(dynaq_shares, IDEAL):
+        assert abs(measured - ideal) < 0.07
+    for measured, ideal in zip(pql_shares, IDEAL):
+        assert abs(measured - ideal) < 0.07
+    # BestEffort lets the 16-flow queue take far more than its 0.1.
+    assert best_shares[3] > 0.17
+    assert best_shares[0] < 0.35

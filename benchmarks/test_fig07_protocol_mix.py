@@ -1,0 +1,43 @@
+"""Fig. 7 — protocol independence: 2 TCP queues vs 2 CUBIC queues.
+
+Same staggered-stop scenario as Fig. 5, but the senders of queues 3-4 run
+CUBIC while queues 1-2 stay on TCP (Reno).  A protocol-independent scheme
+must keep the shares fair across the protocol boundary and keep the
+aggregate at line rate.
+"""
+
+from repro.experiments.report import timeseries_table
+from repro.experiments.testbed import run_protocol_mix
+from repro.sim.units import seconds
+
+from conftest import run_once, scaled
+
+TIME_UNIT_S = scaled(0.12)
+SCHEMES = ["dynaq", "besteffort"]
+
+
+def run_all():
+    return {
+        name: run_protocol_mix(name, time_unit_s=TIME_UNIT_S,
+                               sample_interval_s=TIME_UNIT_S / 4)
+        for name in SCHEMES
+    }
+
+
+def test_fig07_protocol_mix(benchmark):
+    results = run_once(benchmark, run_all)
+    print()
+    print(timeseries_table(list(results.values()),
+                           title="Fig.7 TCP (q1-2) vs CUBIC (q3-4)",
+                           queues=[0, 1, 2, 3]))
+    dynaq = results["dynaq"]
+    start, end = seconds(TIME_UNIT_S * 0.5), seconds(TIME_UNIT_S * 2)
+    # All four queues active: fair sharing despite the protocol split.
+    assert dynaq.jain([0, 1, 2, 3], start, end) > 0.9
+    # The CUBIC pair does not beat the TCP pair by more than ~20 %.
+    tcp_pair = sum(dynaq.mean_rate_bps(q, start, end) for q in (0, 1))
+    cubic_pair = sum(dynaq.mean_rate_bps(q, start, end) for q in (2, 3))
+    assert 0.75 < cubic_pair / tcp_pair < 1.35
+    # Work conservation throughout the active phases.
+    assert dynaq.mean_aggregate_bps(
+        seconds(TIME_UNIT_S * 0.3), seconds(TIME_UNIT_S * 5)) > 0.9e9

@@ -1,0 +1,86 @@
+"""Fig. 8 — FCT vs non-ECN schemes (BestEffort, PQL) with SPQ/DRR + PIAS.
+
+Web-search flows at 30-80 % load; FCT broken down into overall, large,
+small-average, and small-99th-percentile, all normalised by DynaQ.
+
+Paper shapes: DynaQ beats PQL clearly for overall/large flows (PQL's
+per-queue quota throttles elephants, up to 1.95x); BestEffort is mixed
+for large flows (0.83-1.02x — elephants love an unfair buffer) but loses
+on small flows, badly so at the 99th percentile under high load.
+"""
+
+from repro.experiments.report import fct_absolute_table, fct_matrix
+from repro.experiments.testbed import fct_load_sweep
+from repro.workloads.datasets import WEB_SEARCH
+
+from conftest import run_once, scaled_flows
+
+SCHEMES = ["dynaq", "besteffort", "pql"]
+LOADS = [0.3, 0.5, 0.7]
+NUM_FLOWS = scaled_flows(220)
+# Clip the 30 MB tail so a bench run completes in minutes; 12 MB keeps
+# the >10 MB "large flow" class populated and the body of the
+# distribution (and thus the small/large flow mix) unchanged.
+DISTRIBUTION = WEB_SEARCH.truncated(12_000_000)
+
+
+def run_sweep():
+    return fct_load_sweep(
+        SCHEMES, LOADS, num_flows=NUM_FLOWS,
+        distribution=DISTRIBUTION, seed=42, drain_timeout_s=30.0)
+
+
+def test_fig08_fct_non_ecn(benchmark):
+    results = run_once(benchmark, run_sweep)
+    print()
+    for metric, label in [
+            ("avg_overall_ms", "avg FCT, overall flows"),
+            ("avg_large_ms", "avg FCT, large flows (>10MB)"),
+            ("avg_small_ms", "avg FCT, small flows (<=100KB)"),
+            ("p99_small_ms", "99th-pct FCT, small flows")]:
+        print(fct_matrix(results, metric=metric,
+                         title=f"Fig.8 {label} (normalised to DynaQ)"))
+        print()
+    print(fct_absolute_table(results, title="Fig.8 absolute FCTs (ms)"))
+
+    # Every flow completed under every scheme.
+    for scheme_results in results.values():
+        for result in scheme_results:
+            assert result.outstanding == 0
+
+    # Shape: PQL's overall FCT is worse than DynaQ's (the paper reports
+    # up to 1.80x).  We assert it at the low/mid loads where the run is
+    # statistically stable; at 0.7 the handful of elephants in a scaled
+    # run dominates the mean and either scheme can "win" by lottery.
+    for row, load in enumerate(LOADS):
+        if load > 0.5:
+            continue
+        ratio = (results["pql"][row].summary["avg_overall_ms"]
+                 / results["dynaq"][row].summary["avg_overall_ms"])
+        assert ratio > 1.0, f"PQL should trail DynaQ at load {load}"
+
+    # Shape: BestEffort's small-flow tail blows up under load (paper:
+    # 8.40x at 60 % load; we see the same multi-x blow-up at 0.5).
+    mid = LOADS.index(0.5)
+    tail_ratio = (results["besteffort"][mid].summary["p99_small_ms"]
+                  / results["dynaq"][mid].summary["p99_small_ms"])
+    assert tail_ratio > 1.5
+
+    # Shape: small flows ride the SPQ queue, so their average FCT is far
+    # below the overall average for every scheme.
+    for scheme_results in results.values():
+        for result in scheme_results:
+            assert (result.summary["avg_small_ms"]
+                    < result.summary["avg_overall_ms"])
+
+    # Note (EXPERIMENTS.md): the paper's small-flow ordering (DynaQ beats
+    # PQL by 1.08-1.14x) does not reproduce at this operating point —
+    # with our smooth transports the elephants keep the 85 KB port near
+    # full and DynaQ (which reserves no quota and never evicts) loses a
+    # few small bursts to full-buffer drops while PQL's static quota
+    # shields them.  We assert only that DynaQ's small flows stay within
+    # an RTO-scale factor of the best scheme.
+    for row in range(len(LOADS)):
+        small = {name: results[name][row].summary["avg_small_ms"]
+                 for name in SCHEMES}
+        assert small["dynaq"] < 10 * min(small.values())

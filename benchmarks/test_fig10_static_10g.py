@@ -1,0 +1,70 @@
+"""Fig. 10 — bandwidth sharing on 10 Gbps links (Trident+ rack).
+
+8 WRR queues with equal weights; queue k fed by 2k single-flow senders;
+queues 2..8 stop in order after the first stop time.  Plotted series:
+Jain's fairness index between active queues and aggregate throughput.
+
+Paper shapes: DynaQ and PQL hold a near-optimal fairness index while
+BestEffort fluctuates; only DynaQ keeps the aggregate at line rate once
+queues go idle — PQL collapses to ~8.5 Gbps when queue 1 is alone
+(its quota B/8 = 24 KB is far below the 105 KB BDP).
+"""
+
+from repro.experiments.report import fairness_table
+from repro.experiments.simulation import SIM_10G, run_static_sim
+
+from conftest import run_once, scaled
+
+SCHEMES = ["dynaq", "besteffort", "pql"]
+FIRST_STOP_MS = scaled(50.0)
+STOP_STEP_MS = scaled(12.0)
+DURATION_MS = FIRST_STOP_MS + 7 * STOP_STEP_MS + scaled(25.0)
+SAMPLE_MS = scaled(5.0)
+
+
+def run_all():
+    return {
+        name: run_static_sim(
+            name, config=SIM_10G, num_queues=8,
+            senders_for_queue=lambda k: 2 * k,
+            first_stop_ms=FIRST_STOP_MS, stop_step_ms=STOP_STEP_MS,
+            duration_ms=DURATION_MS, sample_interval_ms=SAMPLE_MS)
+        for name in SCHEMES
+    }
+
+
+def test_fig10_static_10g(benchmark):
+    results = run_once(benchmark, run_all)
+    print()
+    print(fairness_table(
+        {name: result.fairness_series() for name, result in results.items()},
+        title="Fig.10(a) Jain fairness between active queues (10G)"))
+    print()
+    print("Fig.10(b) aggregate throughput (Gbps)")
+    for name, result in results.items():
+        series = [f"{v / 1e9:.1f}" for v in result.aggregate_series()]
+        print(f"{name:<12}{' '.join(series)}")
+
+    warmup_ns = int(SAMPLE_MS * 2e6)
+    dynaq = results["dynaq"]
+    pql = results["pql"]
+    best = results["besteffort"]
+
+    # DynaQ: near-optimal fairness and full utilisation throughout.
+    assert dynaq.mean_fairness(start_ns=warmup_ns) > 0.95
+    assert dynaq.mean_aggregate_bps(start_ns=warmup_ns) > 9.2e9
+
+    # PQL: fair but not work-conserving — aggregate collapses once only
+    # queue 1 remains (paper: ~8.5 Gbps after the last stop).
+    tail_ns = int((FIRST_STOP_MS + 7 * STOP_STEP_MS + scaled(5.0)) * 1e6)
+    assert pql.mean_fairness(start_ns=warmup_ns) > 0.9
+    pql_tail = pql.mean_aggregate_bps(start_ns=tail_ns)
+    dynaq_tail = dynaq.mean_aggregate_bps(start_ns=tail_ns)
+    print(f"tail aggregate: DynaQ {dynaq_tail / 1e9:.2f} Gbps, "
+          f"PQL {pql_tail / 1e9:.2f} Gbps")
+    assert dynaq_tail > 9.2e9
+    assert pql_tail < 0.95 * dynaq_tail
+
+    # BestEffort: fairness dips below the isolating schemes at some point.
+    assert (min(best.fairness_series())
+            < min(dynaq.fairness_series()) - 0.005)

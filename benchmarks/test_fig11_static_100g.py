@@ -1,0 +1,59 @@
+"""Fig. 11 — bandwidth sharing on 100 Gbps links (Trident 3, jumbo frames).
+
+Same scenario as Fig. 10 at 100 Gbps with 9 KB jumbo frames and a 1 MB
+port buffer.  Paper shapes: identical tendency to 10 G — DynaQ preserves
+both weighted fair sharing and work conservation at high link speed,
+PQL loses significant throughput once queue 1 is alone.
+"""
+
+from repro.experiments.report import fairness_table
+from repro.experiments.simulation import SIM_100G, run_static_sim
+
+from conftest import run_once, scaled
+
+SCHEMES = ["dynaq", "besteffort", "pql"]
+FIRST_STOP_MS = scaled(30.0)
+STOP_STEP_MS = scaled(8.0)
+DURATION_MS = FIRST_STOP_MS + 7 * STOP_STEP_MS + scaled(15.0)
+SAMPLE_MS = scaled(3.0)
+
+
+def run_all():
+    return {
+        name: run_static_sim(
+            name, config=SIM_100G, num_queues=8,
+            senders_for_queue=lambda k: 2 * k,
+            first_stop_ms=FIRST_STOP_MS, stop_step_ms=STOP_STEP_MS,
+            duration_ms=DURATION_MS, sample_interval_ms=SAMPLE_MS)
+        for name in SCHEMES
+    }
+
+
+def test_fig11_static_100g(benchmark):
+    results = run_once(benchmark, run_all)
+    print()
+    print(fairness_table(
+        {name: result.fairness_series() for name, result in results.items()},
+        title="Fig.11(a) Jain fairness between active queues (100G)"))
+    print()
+    print("Fig.11(b) aggregate throughput (Gbps)")
+    for name, result in results.items():
+        series = [f"{value / 1e9:.0f}" for value in result.aggregate_series()]
+        print(f"{name:<12}{' '.join(series)}")
+
+    warmup_ns = int(SAMPLE_MS * 2e6)
+    dynaq = results["dynaq"]
+    pql = results["pql"]
+
+    assert dynaq.mean_fairness(start_ns=warmup_ns) > 0.95
+    assert dynaq.mean_aggregate_bps(start_ns=warmup_ns) > 90e9
+
+    tail_ns = int((FIRST_STOP_MS + 7 * STOP_STEP_MS + scaled(3.0)) * 1e6)
+    dynaq_tail = dynaq.mean_aggregate_bps(start_ns=tail_ns)
+    pql_tail = pql.mean_aggregate_bps(start_ns=tail_ns)
+    print(f"tail aggregate: DynaQ {dynaq_tail / 1e9:.1f} Gbps, "
+          f"PQL {pql_tail / 1e9:.1f} Gbps")
+    # Paper: PQL stays below 94.5 Gbps when few queues are active, DynaQ
+    # does not lose throughput at the transitions.
+    assert dynaq_tail > 90e9
+    assert pql_tail < 0.95 * dynaq_tail

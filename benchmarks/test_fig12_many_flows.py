@@ -1,0 +1,75 @@
+"""Fig. 12 — robustness to traffic dynamics: exponentially many flows.
+
+The paper's extreme case at 100 Gbps: queue k has 2^(3+k) single-flow
+senders (16..2048, 4080 flows total).  The bench scales the exponent down
+(2^(k+1): 4..512 senders, 1020 flows at REPRO_BENCH_SCALE>=4) while
+keeping the exponential fan-in shape that stresses buffer admission.
+
+Paper shapes: DynaQ stays robust (high fairness, full utilisation);
+BestEffort's fairness collapses while the flow-heavy queues dominate;
+PQL still fails work conservation at the tail.
+"""
+
+from repro.experiments.report import fairness_table
+from repro.experiments.simulation import SIM_100G, run_static_sim
+
+from conftest import SCALE, run_once, scaled
+
+SCHEMES = ["dynaq", "besteffort", "pql"]
+FIRST_STOP_MS = scaled(30.0)
+STOP_STEP_MS = scaled(8.0)
+DURATION_MS = FIRST_STOP_MS + 7 * STOP_STEP_MS + scaled(15.0)
+SAMPLE_MS = scaled(3.0)
+EXPONENT_BASE = 3 if SCALE >= 4 else 1   # paper: 2^(3+k)
+
+
+def senders_for_queue(k: int) -> int:
+    return 2 ** (EXPONENT_BASE + k)
+
+
+def run_all():
+    return {
+        name: run_static_sim(
+            name, config=SIM_100G, num_queues=8,
+            senders_for_queue=senders_for_queue,
+            first_stop_ms=FIRST_STOP_MS, stop_step_ms=STOP_STEP_MS,
+            duration_ms=DURATION_MS, sample_interval_ms=SAMPLE_MS)
+        for name in SCHEMES
+    }
+
+
+def test_fig12_many_flows(benchmark):
+    results = run_once(benchmark, run_all)
+    total_flows = sum(senders_for_queue(k) for k in range(1, 9))
+    print()
+    print(f"(total flows: {total_flows}, queue 8 alone: "
+          f"{senders_for_queue(8)})")
+    print(fairness_table(
+        {name: result.fairness_series() for name, result in results.items()},
+        title="Fig.12(a) Jain fairness under extreme flow counts (100G)"))
+    print()
+    print("Fig.12(b) aggregate throughput (Gbps)")
+    for name, result in results.items():
+        series = [f"{value / 1e9:.0f}" for value in result.aggregate_series()]
+        print(f"{name:<12}{' '.join(series)}")
+
+    warmup_ns = int(SAMPLE_MS * 2e6)
+    dynaq = results["dynaq"]
+    best = results["besteffort"]
+    pql = results["pql"]
+
+    # DynaQ is robust to the extreme scenario.
+    assert dynaq.mean_fairness(start_ns=warmup_ns) > 0.9
+    assert dynaq.mean_aggregate_bps(start_ns=warmup_ns) > 85e9
+
+    # BestEffort's fairness drops well below DynaQ's while all queues are
+    # active (paper: 0.24 for the first 200 ms).
+    active_end = int(FIRST_STOP_MS * 1e6)
+    assert (best.mean_fairness(start_ns=warmup_ns, end_ns=active_end)
+            < dynaq.mean_fairness(start_ns=warmup_ns,
+                                  end_ns=active_end) - 0.02)
+
+    # PQL still fails work conservation at the tail (paper: <94.5 Gbps).
+    tail_ns = int((FIRST_STOP_MS + 7 * STOP_STEP_MS + scaled(3.0)) * 1e6)
+    assert (pql.mean_aggregate_bps(start_ns=tail_ns)
+            < 0.95 * dynaq.mean_aggregate_bps(start_ns=tail_ns))

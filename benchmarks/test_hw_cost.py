@@ -1,0 +1,57 @@
+"""§IV-A — hardware cost of Algorithm 1 (the paper's in-text table).
+
+Recomputes the clock-cycle budget per line of Algorithm 1 and the
+relative overhead against the Broadcom Trident 3 per-packet budget, and
+micro-benchmarks the two victim-search implementations to confirm the
+tournament's O(log M) comparison count.
+"""
+
+import random
+
+from repro.core.hardware import algorithm1_cycles, cost_table, relative_overhead
+from repro.core.victim import linear_victim, tournament_victim
+
+from conftest import run_once
+
+
+def run_model():
+    return cost_table()
+
+
+def test_hw_cost_table(benchmark):
+    rows = run_once(benchmark, run_model)
+    print()
+    print("Sec.IV-A Algorithm 1 clock-cycle budget")
+    print("queues".rjust(7) + "line1".rjust(7) + "line2".rjust(7)
+          + "line3".rjust(7) + "l6-7".rjust(7) + "total".rjust(7)
+          + "T3 overhead".rjust(13))
+    for row in rows:
+        print(str(row["queues"]).rjust(7)
+              + str(row["line1_cycles"]).rjust(7)
+              + str(row["line2_cycles"]).rjust(7)
+              + str(row["line3_cycles"]).rjust(7)
+              + str(row["lines6_7_cycles"]).rjust(7)
+              + str(row["total_cycles"]).rjust(7)
+              + f"{row['trident3_overhead_pct']:.2f}%".rjust(13))
+
+    eight = [row for row in rows if row["queues"] == 8][0]
+    assert eight["total_cycles"] == 7                    # the paper's 7 cycles
+    assert round(eight["trident3_overhead_pct"], 2) == 0.88
+    assert algorithm1_cycles(4).victim_search == 2       # log2(4)
+    assert relative_overhead(4) < relative_overhead(8)
+
+
+def test_victim_search_microbench(benchmark):
+    rng = random.Random(1)
+    inputs = [[rng.randrange(-10 ** 6, 10 ** 6) for _ in range(8)]
+              for _ in range(2_000)]
+
+    def run_both():
+        mismatches = 0
+        for extra in inputs:
+            if linear_victim(extra, 0) != tournament_victim(extra, 0):
+                mismatches += 1
+        return mismatches
+
+    mismatches = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert mismatches == 0

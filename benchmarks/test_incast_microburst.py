@@ -1,0 +1,60 @@
+"""Incast microbursts — the BarberQ discussion of §II-C, quantified.
+
+16 workers answer an aggregation query simultaneously into one loaded
+1 GbE port (elephants occupy the DRR queues; responses ride the SPQ
+queue).  The metric that matters is *query completion time* (QCT): the
+slowest worker's FCT, i.e. how long the aggregator stalls.
+
+Expected shapes:
+* BestEffort — the loaded port has no room for the burst; many workers
+  pay RTOs and QCT explodes;
+* plain DynaQ — much better, but its threshold exchange cannot reclaim
+  buffer that elephants already occupy, so some burst packets still find
+  the port physically full (see EXPERIMENTS.md note 3);
+* PQL — the SPQ queue's reserved quota shields the burst;
+* DynaQ-Evict (our extension) — evicts the over-threshold elephants'
+  tails and matches or beats PQL while keeping DynaQ's work conservation.
+"""
+
+from repro.experiments.incast import incast_sweep
+
+from conftest import run_once, scaled
+
+SCHEMES = ["besteffort", "pql", "dynaq", "dynaq-evict"]
+WORKER_COUNTS = [8, 16]
+HORIZON_S = scaled(2.5, minimum=2.5)
+
+
+def run_all():
+    return incast_sweep(SCHEMES, WORKER_COUNTS, horizon_s=HORIZON_S)
+
+
+def test_incast_microburst(benchmark):
+    results = run_once(benchmark, run_all)
+    print()
+    print("Incast query-completion time (ms), loaded port")
+    print("scheme".ljust(14) + "".join(
+        f"{count} workers".rjust(13) for count in WORKER_COUNTS)
+        + "timeouts".rjust(10))
+    for name in SCHEMES:
+        row = results[name]
+        line = row[0].scheme.ljust(14)
+        for result in row:
+            value = (f"{result.query_completion_ms:.1f}"
+                     if result.query_completion_ms is not None else "-")
+            line += value.rjust(13)
+        line += str(sum(result.timeouts for result in row)).rjust(10)
+        print(line)
+
+    for name in SCHEMES:
+        for result in results[name]:
+            assert result.all_completed, f"{name} lost workers"
+
+    heavy = {name: results[name][-1] for name in SCHEMES}
+    # BestEffort QCT is the catastrophe case.
+    assert (heavy["besteffort"].query_completion_ms
+            > 2 * heavy["dynaq"].query_completion_ms)
+    # The eviction extension repairs DynaQ's full-port corner.
+    assert (heavy["dynaq-evict"].query_completion_ms
+            < heavy["dynaq"].query_completion_ms)
+    assert (heavy["dynaq-evict"].timeouts <= heavy["dynaq"].timeouts)

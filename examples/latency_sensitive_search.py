@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Web-search latency scenario: small-flow FCT under mixed traffic.
+
+The paper's motivating workload: a search tier issues many small
+(<=100 KB) request/response flows while bulk traffic (index updates, data
+backup) shares the same switch ports.  The switch runs SPQ over DRR with
+two-level PIAS so every flow's first 100 KB rides the high-priority
+queue.  We sweep the offered load and report the average and tail FCT of
+the small flows under each buffer-management scheme.
+
+Run:  python examples/latency_sensitive_search.py [num_flows]
+"""
+
+import sys
+
+from repro.experiments.testbed import run_fct_experiment
+from repro.workloads.datasets import WEB_SEARCH
+
+
+def main() -> None:
+    num_flows = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    distribution = WEB_SEARCH.truncated(5_000_000)
+    loads = [0.3, 0.6]
+    schemes = ["besteffort", "pql", "dynaq"]
+
+    print(f"web-search workload, {num_flows} flows, SPQ(1)/DRR(4) + PIAS\n")
+    header = (f"{'scheme':<13}{'load':>6}{'small avg':>11}"
+              f"{'small p99':>11}{'overall':>10}")
+    print(header)
+    for load in loads:
+        for scheme in schemes:
+            result = run_fct_experiment(
+                scheme, load=load, num_flows=num_flows,
+                distribution=distribution, seed=21)
+            summary = result.summary
+            print(f"{result.scheme:<13}{load:>6.1f}"
+                  f"{summary['avg_small_ms']:>9.2f}ms"
+                  f"{summary['p99_small_ms']:>9.2f}ms"
+                  f"{summary['avg_overall_ms']:>8.1f}ms")
+        print()
+    print("Small flows finish in ~1-2 ms thanks to the strict-priority "
+          "queue;\nthe buffer scheme decides how often bursts hit a full "
+          "port and pay an RTO.")
+
+
+if __name__ == "__main__":
+    main()

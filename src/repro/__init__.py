@@ -1,0 +1,47 @@
+"""DynaQ reproduction: protocol-independent service queue isolation.
+
+Reproduces Kim & Lee, "Protocol-Independent Service Queue Isolation for
+Multi-Queue Data Centers" (ICDCS 2020) as a pure-Python packet-level
+simulation stack:
+
+* :mod:`repro.core` — DynaQ itself (Algorithm 1, victim search, ECN mode,
+  hardware cost model);
+* :mod:`repro.sim` — deterministic discrete-event kernel;
+* :mod:`repro.net` — packets, multi-queue egress ports, switches, hosts,
+  star and leaf-spine topologies with ECMP;
+* :mod:`repro.queueing` — baseline and comparator buffer managers
+  (BestEffort, PQL, DT, TCN, MQ-ECN, PMSB, Per-Queue ECN) and the
+  DRR/WRR/SPQ schedulers;
+* :mod:`repro.transport` — TCP (NewReno), CUBIC, DCTCP, RFC 6298 RTO,
+  and PIAS tagging;
+* :mod:`repro.workloads` — the four production flow-size distributions
+  and the Poisson open-loop generator;
+* :mod:`repro.metrics` — throughput series, Jain fairness, FCT
+  breakdowns, queue-length traces;
+* :mod:`repro.experiments` — one runner per paper figure plus report
+  printers.
+
+Quickstart::
+
+    from repro.experiments.testbed import run_convergence
+    result = run_convergence("dynaq", duration_s=2.0)
+    print(result.mean_rate_bps(0), result.mean_rate_bps(1))
+"""
+
+__version__ = "1.0.0"
+
+from . import apps, core, experiments, extras, metrics, net, queueing, sim, transport, workloads
+
+__all__ = [
+    "apps",
+    "extras",
+    "core",
+    "experiments",
+    "metrics",
+    "net",
+    "queueing",
+    "sim",
+    "transport",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Traffic applications: iperf-style bulk senders and request/response."""
+
+from .client_server import (
+    RequestResponseApp,
+    random_many_to_one_placement,
+    random_pairs_placement,
+)
+from .iperf import BULK_FLOW_BYTES, IperfApp
+
+__all__ = [
+    "RequestResponseApp",
+    "random_many_to_one_placement",
+    "random_pairs_placement",
+    "BULK_FLOW_BYTES",
+    "IperfApp",
+]

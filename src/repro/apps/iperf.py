@@ -1,0 +1,62 @@
+"""iperf-style bulk senders for the static-flow experiments.
+
+The paper's static experiments start a fixed number of long-lived flows
+per sender host ("using iperf, each sender starts flows to the receiver
+for 10 seconds") and later stop them on a schedule.  :class:`IperfApp`
+models one sender host running N parallel bulk flows into one service
+class; flows carry an effectively unbounded byte count and are aborted at
+``stop()``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Type
+
+from ..net.host import Host
+from ..sim.engine import Simulator
+from ..sim.units import GIGABYTE
+from ..transport.base import Flow
+from ..transport.tcp import TCPSender
+
+# Large enough that no static experiment completes a flow "naturally".
+BULK_FLOW_BYTES = 100 * GIGABYTE
+
+
+class IperfApp:
+    """N parallel bulk flows from one host to one destination."""
+
+    def __init__(self, sim: Simulator, host: Host, *, destination: str,
+                 num_flows: int, service_class: int,
+                 sender_class: Type[TCPSender] = TCPSender,
+                 flow_id_base: int = 0, mtu_bytes: int = 1500,
+                 min_rto_ns: Optional[int] = None) -> None:
+        if num_flows <= 0:
+            raise ValueError("num_flows must be positive")
+        self.sim = sim
+        self.host = host
+        self.senders: List[TCPSender] = []
+        for index in range(num_flows):
+            flow = Flow(
+                flow_id=flow_id_base + index, src=host.name,
+                dst=destination, size=BULK_FLOW_BYTES,
+                service_class=service_class)
+            kwargs = {"mtu_bytes": mtu_bytes}
+            if min_rto_ns is not None:
+                kwargs["min_rto_ns"] = min_rto_ns
+            sender = sender_class(sim, host, flow, **kwargs)
+            host.register_sender(sender)
+            self.senders.append(sender)
+
+    def start_at(self, time_ns: int) -> None:
+        """Schedule all flows to start at the given simulated time."""
+        for sender in self.senders:
+            self.sim.at(time_ns, sender.start)
+
+    def stop_at(self, time_ns: int) -> None:
+        """Schedule all flows to be aborted at the given simulated time."""
+        for sender in self.senders:
+            self.sim.at(time_ns, sender.abort)
+
+    def total_acked_bytes(self) -> int:
+        """Bytes cumulatively acknowledged across all flows."""
+        return sum(sender.high_ack for sender in self.senders)

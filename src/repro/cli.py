@@ -1,0 +1,280 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Examples::
+
+    python -m repro list-schemes
+    python -m repro convergence --schemes dynaq,besteffort --duration 0.5
+    python -m repro weighted --schemes dynaq,pql --weights 4,3,2,1
+    python -m repro fct --schemes dynaq,pql --loads 0.3,0.5 --flows 120
+    python -m repro static-sim --schemes dynaq,pql --rate 100g
+    python -m repro hw-cost
+    python -m repro workloads
+
+Every subcommand prints the same tables the benchmark harness produces;
+``--csv PREFIX`` additionally dumps raw series to ``PREFIX.<scheme>.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .core.hardware import cost_table
+from .experiments import report
+from .experiments.simulation import SIM_10G, SIM_100G, run_static_sim
+from .experiments.testbed import (
+    fct_load_sweep,
+    run_convergence,
+    run_fair_sharing,
+    run_motivation,
+    run_protocol_mix,
+    run_weighted_sharing,
+)
+from .metrics.export import write_fct_csv, write_throughput_csv
+from .experiments.runner import scheme_names
+from .workloads.datasets import workload, workload_names
+
+
+def _split_schemes(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _split_floats(text: str) -> List[float]:
+    return [float(item) for item in text.split(",") if item.strip()]
+
+
+def _maybe_export(results, prefix: Optional[str]) -> None:
+    if not prefix:
+        return
+    for result in results:
+        name = result.scheme.lower().replace("(", "-").replace(")", "")
+        path = f"{prefix}.{name}.csv"
+        write_throughput_csv(path, result.samples)
+        print(f"wrote {path}")
+
+
+def _cmd_list_schemes(args) -> int:
+    for name in scheme_names():
+        print(name)
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    print("workload".ljust(14) + "mean(KB)".rjust(10)
+          + "median(B)".rjust(11) + "p99(MB)".rjust(9))
+    for name in workload_names():
+        cdf = workload(name)
+        print(name.ljust(14)
+              + f"{cdf.mean_bytes() / 1e3:.0f}".rjust(10)
+              + f"{cdf.inverse(0.5)}".rjust(11)
+              + f"{cdf.inverse(0.99) / 1e6:.1f}".rjust(9))
+    return 0
+
+
+def _cmd_hw_cost(args) -> int:
+    for row in cost_table():
+        print(f"{row['queues']} queues: {row['total_cycles']} cycles "
+              f"({row['trident3_overhead_pct']:.2f}% of a Trident 3 "
+              f"packet budget)")
+    return 0
+
+
+def _cmd_convergence(args) -> int:
+    results = [run_convergence(name, duration_s=args.duration,
+                               sample_interval_s=args.duration / 10)
+               for name in args.schemes]
+    print(report.timeseries_table(
+        results, title="Throughput convergence (2 vs 16 flows)",
+        queues=[0, 1]))
+    _maybe_export(results, args.csv)
+    return 0
+
+
+def _cmd_motivation(args) -> int:
+    results = [run_motivation(name, duration_s=args.duration,
+                              sample_interval_s=args.duration / 8)
+               for name in args.schemes]
+    print(report.throughput_table(
+        results, title="Motivation: 1-sender queue vs 3-sender queue"))
+    _maybe_export(results, args.csv)
+    return 0
+
+
+def _cmd_fair_sharing(args) -> int:
+    results = [run_fair_sharing(name, time_unit_s=args.time_unit,
+                                sample_interval_s=args.time_unit / 4)
+               for name in args.schemes]
+    print(report.timeseries_table(
+        results, title="Fair sharing with staggered queue stops",
+        queues=[0, 1, 2, 3]))
+    _maybe_export(results, args.csv)
+    return 0
+
+
+def _cmd_weighted(args) -> int:
+    weights = _split_floats(args.weights)
+    results = [run_weighted_sharing(name, weights=weights,
+                                    duration_s=args.duration,
+                                    sample_interval_s=args.duration / 10)
+               for name in args.schemes]
+    total = sum(weights)
+    print(report.share_table(
+        results, title=f"Throughput shares, weights {args.weights}",
+        ideal=[weight / total for weight in weights]))
+    _maybe_export(results, args.csv)
+    return 0
+
+
+def _cmd_protocol_mix(args) -> int:
+    results = [run_protocol_mix(name, time_unit_s=args.time_unit,
+                                sample_interval_s=args.time_unit / 4)
+               for name in args.schemes]
+    print(report.timeseries_table(
+        results, title="TCP (q1-2) vs CUBIC (q3-4)", queues=[0, 1, 2, 3]))
+    _maybe_export(results, args.csv)
+    return 0
+
+
+def _cmd_fct(args) -> int:
+    distribution = workload(args.workload)
+    if args.truncate_mb:
+        distribution = distribution.truncated(
+            int(args.truncate_mb * 1_000_000))
+    results = fct_load_sweep(
+        args.schemes, _split_floats(args.loads), num_flows=args.flows,
+        distribution=distribution, seed=args.seed)
+    for metric, label in [("avg_overall_ms", "overall"),
+                          ("avg_small_ms", "small"),
+                          ("p99_small_ms", "p99 small")]:
+        print(report.fct_matrix(
+            results, metric=metric, baseline_scheme=args.schemes[0],
+            title=f"avg FCT {label} (normalised to {args.schemes[0]})"))
+        print()
+    print(report.fct_absolute_table(results, title="absolute FCTs (ms)"))
+    if args.csv:
+        for name, scheme_results in results.items():
+            for result in scheme_results:
+                path = f"{args.csv}.{name}.{result.load:.2f}.csv"
+                write_fct_csv(path, result.collector.records)
+                print(f"wrote {path}")
+    return 0
+
+
+def _cmd_incast(args) -> int:
+    from .experiments.incast import run_incast
+    print(f"{args.workers}-worker incast into a loaded 1 GbE port")
+    print("scheme".ljust(14) + "QCT(ms)".rjust(9) + "mean(ms)".rjust(10)
+          + "timeouts".rjust(10))
+    for name in args.schemes:
+        result = run_incast(name, num_workers=args.workers,
+                            horizon_s=args.horizon)
+        qct = (f"{result.query_completion_ms:.1f}"
+               if result.query_completion_ms is not None else "-")
+        mean = (f"{result.mean_fct_ms:.1f}"
+                if result.mean_fct_ms is not None else "-")
+        print(result.scheme.ljust(14) + qct.rjust(9) + mean.rjust(10)
+              + str(result.timeouts).rjust(10))
+    return 0
+
+
+def _cmd_static_sim(args) -> int:
+    config = SIM_100G if args.rate == "100g" else SIM_10G
+    per_scheme = {}
+    for name in args.schemes:
+        result = run_static_sim(
+            name, config=config, num_queues=args.queues,
+            senders_for_queue=lambda k: 2 * k,
+            first_stop_ms=args.first_stop_ms,
+            stop_step_ms=args.stop_step_ms,
+            duration_ms=args.duration_ms,
+            sample_interval_ms=args.sample_ms)
+        per_scheme[result.scheme] = result
+    print(report.fairness_table(
+        {name: result.fairness_series()
+         for name, result in per_scheme.items()},
+        title=f"Jain fairness between active queues ({args.rate})"))
+    print()
+    print("aggregate throughput (Gbps):")
+    for name, result in per_scheme.items():
+        series = " ".join(f"{value / 1e9:.1f}"
+                          for value in result.aggregate_series())
+        print(f"{name:<14}{series}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DynaQ reproduction: run the paper's experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-schemes").set_defaults(func=_cmd_list_schemes)
+    sub.add_parser("workloads").set_defaults(func=_cmd_workloads)
+    sub.add_parser("hw-cost").set_defaults(func=_cmd_hw_cost)
+
+    def add_common(p, default_schemes="dynaq,besteffort,pql"):
+        p.add_argument("--schemes", type=_split_schemes,
+                       default=_split_schemes(default_schemes))
+        p.add_argument("--csv", default=None,
+                       help="export series to CSV files with this prefix")
+
+    p = sub.add_parser("convergence", help="Fig. 3 scenario")
+    add_common(p)
+    p.add_argument("--duration", type=float, default=0.5)
+    p.set_defaults(func=_cmd_convergence)
+
+    p = sub.add_parser("motivation", help="Fig. 1 scenario")
+    add_common(p, default_schemes="besteffort,dynaq")
+    p.add_argument("--duration", type=float, default=0.5)
+    p.set_defaults(func=_cmd_motivation)
+
+    p = sub.add_parser("fair-sharing", help="Fig. 5 scenario")
+    add_common(p)
+    p.add_argument("--time-unit", type=float, default=0.12)
+    p.set_defaults(func=_cmd_fair_sharing)
+
+    p = sub.add_parser("weighted", help="Fig. 6 scenario")
+    add_common(p)
+    p.add_argument("--weights", default="4,3,2,1")
+    p.add_argument("--duration", type=float, default=0.5)
+    p.set_defaults(func=_cmd_weighted)
+
+    p = sub.add_parser("protocol-mix", help="Fig. 7 scenario")
+    add_common(p, default_schemes="dynaq")
+    p.add_argument("--time-unit", type=float, default=0.12)
+    p.set_defaults(func=_cmd_protocol_mix)
+
+    p = sub.add_parser("fct", help="Figs. 8-9 scenario")
+    add_common(p, default_schemes="dynaq,besteffort,pql")
+    p.add_argument("--loads", default="0.3,0.5")
+    p.add_argument("--flows", type=int, default=120)
+    p.add_argument("--workload", default="web_search",
+                   choices=workload_names())
+    p.add_argument("--truncate-mb", type=float, default=12.0,
+                   help="clip the flow-size tail (0 = no clipping)")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_fct)
+
+    p = sub.add_parser("incast", help="microburst query-completion time")
+    add_common(p, default_schemes="besteffort,pql,dynaq,dynaq-evict")
+    p.add_argument("--workers", type=int, default=16)
+    p.add_argument("--horizon", type=float, default=2.5)
+    p.set_defaults(func=_cmd_incast)
+
+    p = sub.add_parser("static-sim", help="Figs. 10-12 scenario")
+    add_common(p, default_schemes="dynaq,pql")
+    p.add_argument("--rate", choices=["10g", "100g"], default="10g")
+    p.add_argument("--queues", type=int, default=8)
+    p.add_argument("--first-stop-ms", type=float, default=50.0)
+    p.add_argument("--stop-step-ms", type=float, default=12.0)
+    p.add_argument("--duration-ms", type=float, default=160.0)
+    p.add_argument("--sample-ms", type=float, default=5.0)
+    p.set_defaults(func=_cmd_static_sim)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

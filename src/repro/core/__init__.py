@@ -1,0 +1,33 @@
+"""DynaQ — the paper's contribution: dynamic drop-threshold queue isolation."""
+
+from .dynaq import DynaQBuffer
+from .ecn_mode import DynaQECNBuffer
+from .eviction import DynaQEvictBuffer
+from .hardware import CycleBudget, algorithm1_cycles, cost_table, relative_overhead
+from .thresholds import (
+    extra_buffer,
+    initial_thresholds,
+    normalized_weights,
+    satisfaction_thresholds,
+    weighted_bdp,
+)
+from .victim import linear_victim, max_idx, tournament_depth, tournament_victim
+
+__all__ = [
+    "DynaQBuffer",
+    "DynaQECNBuffer",
+    "DynaQEvictBuffer",
+    "CycleBudget",
+    "algorithm1_cycles",
+    "cost_table",
+    "relative_overhead",
+    "extra_buffer",
+    "initial_thresholds",
+    "normalized_weights",
+    "satisfaction_thresholds",
+    "weighted_bdp",
+    "linear_victim",
+    "max_idx",
+    "tournament_depth",
+    "tournament_victim",
+]

@@ -1,0 +1,153 @@
+"""DynaQ — dynamic packet-dropping thresholds (paper §III, Algorithm 1).
+
+Mechanism recap.  Every service queue *i* carries a dropping threshold
+``T_i``; the invariant ``sum(T) == B`` holds at all times.  When a packet
+*P* for queue *p* arrives and would push ``q_p`` above ``T_p``:
+
+1. find the **victim** ``v`` — the other queue with the largest extra
+   buffer ``T_i - S_i``;
+2. if ``T_v < size(P)`` (threshold would go negative) **or** the victim is
+   an *unsatisfied active queue* (``q_v > 0`` and ``T_v - size(P) < S_v``),
+   drop *P* — this protects queues that still need their satisfaction
+   threshold to reach their weighted fair share;
+3. otherwise move ``size(P)`` of threshold from ``v`` to ``p``.
+
+The final enqueue decision is then made on **port occupancy** (§III-B2,
+"After this, the switch performs packet enqueueing decisions based on the
+port buffer occupancy").  Inactive queues are deliberately *not* protected,
+which is what makes DynaQ work-conserving: a lone active queue can grow its
+threshold to the whole port buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..net.packet import Packet
+from ..queueing.base import BufferManager, Decision, PortView
+from ..sim.trace import TOPIC_THRESHOLD_CHANGE, TraceBus
+from .thresholds import initial_thresholds, satisfaction_thresholds
+from .victim import linear_victim, tournament_victim
+
+VictimSearch = Callable[[List[int], Optional[int]], Optional[int]]
+
+
+class DynaQBuffer(BufferManager):
+    """DynaQ admission control for one egress port.
+
+    Parameters
+    ----------
+    victim_search:
+        ``"linear"`` (reference argmax) or ``"tournament"`` (the loop-free
+        ``MaxIdx`` tree of the hardware design).  Both are semantically
+        identical; the option exists for the ablation benches.
+    satisfaction_override:
+        Per-queue ``S_i`` values replacing Eq. 3, used by the
+        ``S_i = WBDP_i`` ablation the paper discusses (threshold
+        fluctuation breaks fair sharing when the headroom is removed).
+    trace:
+        Optional :class:`TraceBus`; threshold exchanges are published to
+        ``dynaq.threshold`` for the queue-evolution figures.
+    """
+
+    name = "DynaQ"
+
+    def __init__(self, victim_search: str = "linear",
+                 satisfaction_override: Optional[List[int]] = None,
+                 trace: Optional[TraceBus] = None,
+                 port_name: str = "") -> None:
+        super().__init__()
+        searches: dict = {
+            "linear": linear_victim,
+            "tournament": tournament_victim,
+        }
+        if victim_search not in searches:
+            raise ValueError(
+                f"unknown victim search {victim_search!r}; "
+                f"expected one of {sorted(searches)}")
+        self._search: VictimSearch = searches[victim_search]
+        self._satisfaction_override = satisfaction_override
+        self._trace = trace
+        self._port_name = port_name
+        self.thresholds: List[int] = []
+        self.satisfaction: List[int] = []
+        self.threshold_moves = 0
+        self.protected_drops = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def attach(self, port: PortView) -> None:
+        super().attach(port)
+        self.reinitialize()
+
+    def reinitialize(self) -> None:
+        """(Re)compute Eq. 1/Eq. 3 state from the port's current B and w.
+
+        The paper's §III-B3 prescribes exactly this after an operator
+        resizes the port buffer, restoring ``sum(T) == B``.
+        """
+        weights = self.port.queue_weights()
+        self.thresholds = initial_thresholds(self.port.buffer_bytes, weights)
+        if self._satisfaction_override is not None:
+            if len(self._satisfaction_override) != len(self.thresholds):
+                raise ValueError(
+                    "satisfaction_override must have one entry per queue")
+            self.satisfaction = list(self._satisfaction_override)
+        else:
+            self.satisfaction = satisfaction_thresholds(
+                self.port.buffer_bytes, weights)
+
+    # -- Algorithm 1 ---------------------------------------------------------------
+
+    def admit(self, packet: Packet, queue_index: int) -> Decision:
+        size = packet.size
+        if (self.port.queue_bytes(queue_index) + size
+                > self.thresholds[queue_index]):
+            extra = [t - s for t, s in zip(self.thresholds,
+                                           self.satisfaction)]
+            victim = self._search(extra, queue_index)
+            if victim is None:
+                # Single-queue port: no one to steal from.
+                self.drops += 1
+                return Decision.dropped("threshold exceeded, no victim")
+            if self._victim_is_protected(victim, size):
+                self.drops += 1
+                self.protected_drops += 1
+                return Decision.dropped("victim unsatisfied")
+            self._move_threshold(victim, queue_index, size)
+        drop = self._port_tail_drop(packet)
+        if drop is not None:
+            return drop
+        return Decision.accepted()
+
+    def _victim_is_protected(self, victim: int, size: int) -> bool:
+        """Line 3 of Algorithm 1: drop instead of stealing when either
+        the victim's threshold cannot give up ``size`` bytes (T_v would go
+        negative) or the victim is an unsatisfied *active* queue."""
+        threshold = self.thresholds[victim]
+        if threshold < size:
+            return True
+        active = self.port.queue_bytes(victim) > 0
+        return active and threshold - size < self.satisfaction[victim]
+
+    def _move_threshold(self, victim: int, gainer: int, size: int) -> None:
+        # Decrease the victim before increasing the gainer, preserving
+        # sum(T) == B at every intermediate step (§III-B2).
+        self.thresholds[victim] -= size
+        self.thresholds[gainer] += size
+        self.threshold_moves += 1
+        if self._trace is not None:
+            self._trace.publish(
+                TOPIC_THRESHOLD_CHANGE, port=self._port_name,
+                time=self.port.now(), victim=victim, gainer=gainer,
+                size=size, thresholds=tuple(self.thresholds))
+
+    # -- introspection ---------------------------------------------------------------
+
+    def threshold_sum(self) -> int:
+        """``sum(T_i)`` — must equal the port buffer size (invariant)."""
+        return sum(self.thresholds)
+
+    def extra_buffer(self, index: int) -> int:
+        """Eq. 2 for one queue."""
+        return self.thresholds[index] - self.satisfaction[index]

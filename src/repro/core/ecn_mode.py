@@ -1,0 +1,28 @@
+"""DynaQ's ECN support mode (paper §III-B3, "ECN Support").
+
+ECN-based transports are generic transports too, so DynaQ must coexist
+with them.  Rather than invent a new marking rule, the paper adopts PMSB's
+double condition: when ECN is enabled on the switch, DynaQ *does not
+adjust dropping thresholds* and instead CE-marks a packet when the port
+occupancy exceeds ``K = C * RTT * lambda`` **and** the arriving packet's
+queue exceeds ``K_i = (w_i / sum(w)) * C * RTT * lambda``.
+
+:class:`DynaQECNBuffer` therefore composes the PMSB marking logic with
+DynaQ's identity; it reports drops/marks under the DynaQ name so the
+Fig. 9 harness can compare it against TCN/PMSB/Per-Queue ECN directly.
+"""
+
+from __future__ import annotations
+
+from ..queueing.perqueue_ecn import DEFAULT_LAMBDA
+from ..queueing.pmsb import PMSBBuffer
+
+
+class DynaQECNBuffer(PMSBBuffer):
+    """DynaQ with switch-side ECN enabled (PMSB-style marking)."""
+
+    name = "DynaQ-ECN"
+
+    def __init__(self, rtt_ns: int,
+                 coefficient: float = DEFAULT_LAMBDA) -> None:
+        super().__init__(rtt_ns=rtt_ns, coefficient=coefficient)

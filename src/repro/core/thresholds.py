@@ -1,0 +1,69 @@
+"""Threshold arithmetic for DynaQ (paper §III-B2, Eqs. 1-3).
+
+Three quantities per service queue *i*:
+
+* **initial dropping threshold** ``T_i_init = B * w_i / sum(w)``   (Eq. 1)
+* **satisfaction threshold**     ``S_i     = B * w_i / sum(w)``   (Eq. 3)
+* **extra buffer**               ``T_i_ex  = T_i - S_i``          (Eq. 2)
+
+The paper first derives that ``S_i`` must exceed the weighted BDP
+``WBDP_i = C * RTT * w_i / sum(w)`` to absorb threshold fluctuation, then
+picks the buffer-proportional value of Eq. 3 because modern line-rate
+switches provision ``B > BDP`` per port, which makes ``S_i > WBDP_i``
+automatic.  We keep ``weighted_bdp`` around for the ablation that compares
+the two choices (EXPERIMENTS.md, "S_i = WBDP_i" ablation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim.units import SECOND
+
+
+def normalized_weights(weights: Sequence[float]) -> List[float]:
+    """Return ``w_i / sum(w)`` for each queue."""
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError(f"weights must sum to a positive value: {weights}")
+    return [weight / total for weight in weights]
+
+
+def initial_thresholds(buffer_bytes: int,
+                       weights: Sequence[float]) -> List[int]:
+    """Eq. 1: split the port buffer across queues in proportion to weight.
+
+    Integer-valued; any rounding remainder is handed to the last queue so
+    the invariant ``sum(T) == B`` holds exactly from the start.
+    """
+    fractions = normalized_weights(weights)
+    thresholds = [int(buffer_bytes * fraction) for fraction in fractions]
+    thresholds[-1] += buffer_bytes - sum(thresholds)
+    return thresholds
+
+
+def satisfaction_thresholds(buffer_bytes: int,
+                            weights: Sequence[float]) -> List[int]:
+    """Eq. 3: ``S_i = B * w_i / sum(w)``."""
+    fractions = normalized_weights(weights)
+    return [int(buffer_bytes * fraction) for fraction in fractions]
+
+
+def weighted_bdp(link_rate_bps: int, rtt_ns: int,
+                 weights: Sequence[float]) -> List[int]:
+    """``WBDP_i = C * RTT * w_i / sum(w)`` in bytes (paper §II-A).
+
+    The minimum buffer queue *i* needs to saturate its weighted share of
+    the bottleneck.  Used by the satisfaction-threshold ablation.
+    """
+    bdp_bytes = link_rate_bps * rtt_ns // (8 * SECOND)
+    fractions = normalized_weights(weights)
+    return [int(bdp_bytes * fraction) for fraction in fractions]
+
+
+def extra_buffer(thresholds: Sequence[int],
+                 satisfaction: Sequence[int]) -> List[int]:
+    """Eq. 2: per-queue extra buffer ``T_i - S_i`` (may be negative)."""
+    if len(thresholds) != len(satisfaction):
+        raise ValueError("thresholds and satisfaction lengths differ")
+    return [t - s for t, s in zip(thresholds, satisfaction)]

@@ -1,0 +1,84 @@
+"""Victim-queue selection (paper §III-B2).
+
+The victim is the queue — other than the arriving packet's queue — with the
+largest *extra buffer* ``T_i - S_i``.  Two interchangeable implementations:
+
+* :func:`linear_victim` — straightforward argmax; the reference semantics.
+* :func:`tournament_victim` — the loop-free binary ``MaxIdx`` tournament the
+  paper describes for switching ASICs, where loop instructions are
+  forbidden and the comparison tree costs ``O(log M)`` pipeline stages
+  (3 cycles for the 8 queues of a commodity switch).
+
+Both resolve ties toward the lower queue index, and the test suite proves
+them equivalent by exhaustion and by property testing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def linear_victim(extra: Sequence[int],
+                  exclude: Optional[int] = None) -> Optional[int]:
+    """Index of the largest extra buffer, skipping ``exclude``.
+
+    Returns ``None`` when every queue is excluded (i.e. a single-queue
+    port, where DynaQ degenerates to tail drop).
+    """
+    best_index: Optional[int] = None
+    best_value = 0
+    for index, value in enumerate(extra):
+        if index == exclude:
+            continue
+        if best_index is None or value > best_value:
+            best_index = index
+            best_value = value
+    return best_index
+
+
+def max_idx(extra: Sequence[int], left: int, right: int) -> int:
+    """The paper's ``MaxIdx`` primitive: index of the larger of two queues.
+
+    Ties go to the left operand, which combined with the tournament order
+    below reproduces linear argmax's lowest-index tie-breaking.
+    """
+    return left if extra[left] >= extra[right] else right
+
+
+def tournament_victim(extra: Sequence[int],
+                      exclude: Optional[int] = None) -> Optional[int]:
+    """Loop-free victim search via a binary comparison tree.
+
+    Conceptually ``MaxIdx(MaxIdx(1,2), MaxIdx(3,4))`` for four queues.  The
+    excluded (arriving) queue simply never enters the bracket.  In hardware
+    the exclusion is one extra mux; here we filter the candidate list.
+    """
+    candidates = [i for i in range(len(extra)) if i != exclude]
+    if not candidates:
+        return None
+    while len(candidates) > 1:
+        next_round = []
+        for pair_start in range(0, len(candidates) - 1, 2):
+            winner = max_idx(extra, candidates[pair_start],
+                             candidates[pair_start + 1])
+            next_round.append(winner)
+        if len(candidates) % 2:
+            next_round.append(candidates[-1])
+        candidates = next_round
+    return candidates[0]
+
+
+def tournament_depth(num_queues: int) -> int:
+    """Comparison-tree depth = clock cycles of the victim search.
+
+    ``log2(8) = 3`` cycles on an 8-queue port — the figure the paper's
+    hardware-cost analysis (§IV-A) charges for Algorithm 1's line 2.
+    """
+    if num_queues < 2:
+        return 0
+    depth = 0
+    remaining = num_queues
+    while remaining > 1:
+        remaining = (remaining + 1) // 2
+        depth += 1
+    return depth

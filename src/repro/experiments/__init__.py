@@ -1,0 +1,17 @@
+"""Experiment harness: per-figure scenario runners and report printers."""
+
+from . import incast, report, runner, simulation, sweeps, testbed
+from .runner import buffer_factory, scheme, scheme_names, transport_for
+
+__all__ = [
+    "incast",
+    "report",
+    "runner",
+    "simulation",
+    "sweeps",
+    "testbed",
+    "buffer_factory",
+    "scheme",
+    "scheme_names",
+    "transport_for",
+]

@@ -1,0 +1,118 @@
+"""Incast / microburst experiment (related-work territory, §II-C).
+
+The paper's BarberQ discussion concerns latency-sensitive *microbursts*:
+N workers answer an aggregation query simultaneously, their synchronized
+responses slam into one egress port, and whichever scheme manages the
+buffer decides how many of them pay a retransmission timeout.  While the
+paper concludes dropping "is enough" for service-queue isolation, this
+experiment quantifies the trade-off and exercises the
+:class:`~repro.core.eviction.DynaQEvictBuffer` extension where it should
+matter most.
+
+Scenario: ``num_workers`` servers each send one ``response_bytes`` flow
+to the same client at t=0 through the client's downlink (classic incast);
+optionally, ``background_flows`` long-lived elephants keep the port's
+DRR queues loaded so the burst meets a busy buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from ..apps.iperf import IperfApp
+from ..metrics.fct import FCTCollector
+from ..net.topology import build_star
+from ..queueing.schedulers.spq import SPQDRRScheduler
+from ..sim.units import kilobytes, seconds
+from ..transport.base import Flow
+from ..transport.tcp import TCPSender
+from .runner import buffer_factory, scheme, transport_for
+from .testbed import DEFAULT_CONFIG, TestbedConfig
+
+
+class IncastResult(NamedTuple):
+    """Outcome of one incast run."""
+
+    scheme: str
+    num_workers: int
+    completed: int
+    query_completion_ms: Optional[float]   # FCT of the slowest worker
+    mean_fct_ms: Optional[float]
+    timeouts: int
+    drops_at_bottleneck: int
+
+    @property
+    def all_completed(self) -> bool:
+        return self.completed == self.num_workers
+
+
+def run_incast(scheme_name: str, *, num_workers: int = 16,
+               response_bytes: int = kilobytes(32),
+               background_flows: int = 4,
+               num_service_queues: int = 4,
+               config: TestbedConfig = DEFAULT_CONFIG,
+               horizon_s: float = 5.0) -> IncastResult:
+    """One synchronized fan-in burst into a loaded port.
+
+    Workers' responses ride the high-priority class 0 (as PIAS would
+    classify sub-100 KB responses); the background elephants occupy the
+    DRR service queues.
+    """
+    spec = scheme(scheme_name)
+    num_hosts = 1 + num_workers + (1 if background_flows else 0)
+    net = build_star(
+        num_hosts=num_hosts, rate_bps=config.rate_bps,
+        rtt_ns=config.rtt_ns, buffer_bytes=config.buffer_bytes,
+        scheduler_factory=lambda: SPQDRRScheduler(
+            1, [config.quantum_bytes] * num_service_queues),
+        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns))
+
+    if background_flows:
+        elephant_host = net.host(f"h{num_hosts - 1}")
+        for queue in range(min(background_flows, num_service_queues)):
+            app = IperfApp(
+                net.sim, elephant_host, destination="h0",
+                num_flows=max(background_flows // num_service_queues, 1),
+                service_class=1 + queue, flow_id_base=10_000 + queue * 100,
+                mtu_bytes=config.mtu_bytes, min_rto_ns=config.min_rto_ns)
+            app.start_at(0)
+
+    fct = FCTCollector()
+    sender_class = transport_for(scheme_name)
+    workers: List[TCPSender] = []
+    warmup = seconds(0.05)  # let the elephants establish their backlog
+    for worker in range(num_workers):
+        flow = Flow(flow_id=worker, src=f"h{worker + 1}", dst="h0",
+                    size=response_bytes, service_class=0,
+                    start_time=warmup)
+        sender = sender_class(
+            net.sim, net.host(f"h{worker + 1}"), flow,
+            mtu_bytes=config.mtu_bytes, min_rto_ns=config.min_rto_ns,
+            on_complete=fct.record_sender)
+        net.host(f"h{worker + 1}").register_sender(sender)
+        net.sim.at(warmup, sender.start)
+        workers.append(sender)
+
+    net.sim.run(until=seconds(horizon_s))
+    fcts = [record.fct_ns for record in fct.records]
+    bottleneck = net.switch("s0").ports["s0->h0"]
+    return IncastResult(
+        scheme=spec.name,
+        num_workers=num_workers,
+        completed=len(fcts),
+        query_completion_ms=max(fcts) / 1e6 if len(fcts) == num_workers
+        else None,
+        mean_fct_ms=sum(fcts) / len(fcts) / 1e6 if fcts else None,
+        timeouts=sum(worker.timeouts for worker in workers),
+        drops_at_bottleneck=bottleneck.dropped_packets,
+    )
+
+
+def incast_sweep(scheme_names, worker_counts, **kwargs
+                 ) -> Dict[str, List[IncastResult]]:
+    """Run :func:`run_incast` for every (scheme, fan-in) combination."""
+    results: Dict[str, List[IncastResult]] = {}
+    for name in scheme_names:
+        results[name] = [run_incast(name, num_workers=count, **kwargs)
+                         for count in worker_counts]
+    return results

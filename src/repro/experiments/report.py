@@ -1,0 +1,136 @@
+"""Plain-text reporting of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot: per-queue throughput over time, Jain index + aggregate throughput,
+normalised FCT matrices.  Everything returns the formatted string (and
+optionally prints it) so tests can assert on content.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.fct import normalize_to
+from ..sim.units import SECOND
+from .testbed import FCTResult, ThroughputResult
+
+GBPS = 1e9
+
+
+def _fmt(value: Optional[float], width: int = 8,
+         precision: int = 2) -> str:
+    if value is None:
+        return "-".rjust(width)
+    return f"{value:.{precision}f}".rjust(width)
+
+
+def throughput_table(results: Sequence[ThroughputResult], *,
+                     title: str) -> str:
+    """Per-queue mean throughput (Gbps) for several schemes side by side."""
+    lines = [title]
+    num_queues = results[0].num_queues
+    header = "scheme".ljust(22) + "".join(
+        f"q{q + 1}".rjust(8) for q in range(num_queues)) + "aggregate".rjust(11)
+    lines.append(header)
+    for result in results:
+        rates = [result.mean_rate_bps(q) / GBPS for q in range(num_queues)]
+        row = result.scheme.ljust(22)
+        row += "".join(_fmt(rate) for rate in rates)
+        row += _fmt(result.mean_aggregate_bps() / GBPS, width=11)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def share_table(results: Sequence[ThroughputResult], *,
+                title: str, ideal: Sequence[float]) -> str:
+    """Throughput shares vs the ideal weighted shares (paper Fig. 6)."""
+    lines = [title]
+    num_queues = results[0].num_queues
+    lines.append("scheme".ljust(22) + "".join(
+        f"q{q + 1}".rjust(8) for q in range(num_queues)))
+    lines.append("ideal".ljust(22) + "".join(_fmt(x) for x in ideal))
+    for result in results:
+        shares = result.mean_shares()
+        lines.append(result.scheme.ljust(22)
+                     + "".join(_fmt(share) for share in shares))
+    return "\n".join(lines)
+
+
+def timeseries_table(results: Sequence[ThroughputResult], *, title: str,
+                     queues: Sequence[int]) -> str:
+    """Throughput-vs-time series per scheme (Figs. 3, 5, 7)."""
+    lines = [title]
+    for result in results:
+        lines.append(f"-- {result.scheme}")
+        header = "t(s)".rjust(8) + "".join(
+            f"q{q + 1}(Gbps)".rjust(11) for q in queues) + "agg".rjust(11)
+        lines.append(header)
+        for sample in result.samples:
+            row = f"{sample.time_ns / SECOND:.2f}".rjust(8)
+            for queue in queues:
+                row += _fmt(sample.per_queue_bps[queue] / GBPS, width=11)
+            row += _fmt(sample.aggregate_bps / GBPS, width=11)
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def fct_matrix(results_by_scheme: Dict[str, List[FCTResult]], *,
+               metric: str, title: str,
+               baseline_scheme: str = "dynaq") -> str:
+    """Normalised-FCT matrix: rows = loads, columns = schemes.
+
+    ``metric`` is one of the :meth:`FCTCollector.summary` keys.  Values
+    are normalised by the baseline scheme's value at the same load — the
+    paper's presentation (DynaQ == 1.0 everywhere).
+    """
+    if baseline_scheme not in results_by_scheme:
+        raise KeyError(f"baseline {baseline_scheme!r} missing from results")
+    baseline = results_by_scheme[baseline_scheme]
+    schemes = list(results_by_scheme)
+    lines = [title, "load".rjust(6) + "".join(
+        results_by_scheme[name][0].scheme.rjust(14) for name in schemes)]
+    for row_index, base_result in enumerate(baseline):
+        base_value = base_result.summary[metric]
+        row = f"{base_result.load:.2f}".rjust(6)
+        for name in schemes:
+            value = results_by_scheme[name][row_index].summary[metric]
+            row += _fmt(normalize_to(base_value, value), width=14)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def fct_absolute_table(results_by_scheme: Dict[str, List[FCTResult]], *,
+                       title: str) -> str:
+    """Raw FCT summaries (ms) — the un-normalised companion table."""
+    lines = [title]
+    header = ("scheme".ljust(16) + "load".rjust(6)
+              + "overall".rjust(10) + "small".rjust(10)
+              + "large".rjust(10) + "p99small".rjust(10)
+              + "done".rjust(7) + "late".rjust(6))
+    lines.append(header)
+    for name, results in results_by_scheme.items():
+        for result in results:
+            summary = result.summary
+            lines.append(
+                result.scheme.ljust(16)
+                + f"{result.load:.2f}".rjust(6)
+                + _fmt(summary["avg_overall_ms"], 10)
+                + _fmt(summary["avg_small_ms"], 10)
+                + _fmt(summary["avg_large_ms"], 10)
+                + _fmt(summary["p99_small_ms"], 10)
+                + str(result.completed).rjust(7)
+                + str(result.outstanding).rjust(6))
+    return "\n".join(lines)
+
+
+def fairness_table(samples_by_scheme: Dict[str, Sequence[float]], *,
+                   title: str) -> str:
+    """Mean/min Jain fairness per scheme (Figs. 10-12 summary)."""
+    lines = [title, "scheme".ljust(22) + "mean J".rjust(9)
+             + "min J".rjust(9)]
+    for name, series in samples_by_scheme.items():
+        values = list(series)
+        mean = sum(values) / len(values) if values else 1.0
+        minimum = min(values) if values else 1.0
+        lines.append(name.ljust(22) + _fmt(mean, 9) + _fmt(minimum, 9))
+    return "\n".join(lines)

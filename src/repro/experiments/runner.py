@@ -1,0 +1,100 @@
+"""Scheme registry and shared experiment plumbing.
+
+An experiment names a *scheme* ("dynaq", "besteffort", "pql", "tcn", ...);
+this module turns the name into per-port buffer-manager factories plus the
+default end-host transport the paper pairs with it (TCP for drop-based
+schemes, DCTCP for ECN-based ones).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple
+
+from ..core.dynaq import DynaQBuffer
+from ..core.ecn_mode import DynaQECNBuffer
+from ..core.eviction import DynaQEvictBuffer
+from ..queueing.base import BufferManager
+from ..queueing.besteffort import BestEffortBuffer
+from ..queueing.codel import CoDelBuffer
+from ..queueing.dynamic_threshold import DynamicThresholdBuffer
+from ..queueing.mqecn import MQECNBuffer
+from ..queueing.perqueue_ecn import PerQueueECNBuffer
+from ..queueing.pmsb import PMSBBuffer
+from ..queueing.pql import PQLBuffer
+from ..queueing.red import REDBuffer
+from ..queueing.tcn import TCNBuffer
+from ..transport.registry import sender_class
+
+
+class SchemeSpec(NamedTuple):
+    """How to instantiate one buffer-management scheme."""
+
+    name: str
+    make: Callable[..., BufferManager]   # kwargs: rtt_ns
+    transport: str                       # default end-host protocol
+    ecn: bool                            # switch-side marking?
+
+
+_SCHEMES: Dict[str, SchemeSpec] = {
+    "dynaq": SchemeSpec(
+        "DynaQ", lambda *, rtt_ns: DynaQBuffer(), "tcp", False),
+    "dynaq-evict": SchemeSpec(
+        "DynaQ-Evict", lambda *, rtt_ns: DynaQEvictBuffer(), "tcp", False),
+    "dynaq-tournament": SchemeSpec(
+        "DynaQ(tournament)",
+        lambda *, rtt_ns: DynaQBuffer(victim_search="tournament"),
+        "tcp", False),
+    "besteffort": SchemeSpec(
+        "BestEffort", lambda *, rtt_ns: BestEffortBuffer(), "tcp", False),
+    "pql": SchemeSpec(
+        "PQL", lambda *, rtt_ns: PQLBuffer(), "tcp", False),
+    "red": SchemeSpec(
+        "RED", lambda *, rtt_ns: REDBuffer(), "dctcp", True),
+    "red-drop": SchemeSpec(
+        "RED-drop", lambda *, rtt_ns: REDBuffer(ecn=False), "tcp", False),
+    "codel": SchemeSpec(
+        "CoDel", lambda *, rtt_ns: CoDelBuffer(), "dctcp", True),
+    "dt": SchemeSpec(
+        "DT", lambda *, rtt_ns: DynamicThresholdBuffer(), "tcp", False),
+    "tcn": SchemeSpec(
+        "TCN", lambda *, rtt_ns: TCNBuffer(rtt_ns=rtt_ns), "dctcp", True),
+    "tcn-drop": SchemeSpec(
+        "TCN-drop",
+        lambda *, rtt_ns: TCNBuffer(rtt_ns=rtt_ns, drop_variant=True),
+        "tcp", False),
+    "mqecn": SchemeSpec(
+        "MQ-ECN", lambda *, rtt_ns: MQECNBuffer(rtt_ns=rtt_ns),
+        "dctcp", True),
+    "pmsb": SchemeSpec(
+        "PMSB", lambda *, rtt_ns: PMSBBuffer(rtt_ns=rtt_ns), "dctcp", True),
+    "perqueue-ecn": SchemeSpec(
+        "PerQueueECN", lambda *, rtt_ns: PerQueueECNBuffer(rtt_ns=rtt_ns),
+        "dctcp", True),
+    "dynaq-ecn": SchemeSpec(
+        "DynaQ-ECN", lambda *, rtt_ns: DynaQECNBuffer(rtt_ns=rtt_ns),
+        "dctcp", True),
+}
+
+
+def scheme(name: str) -> SchemeSpec:
+    """Look up a scheme spec by its registry key (case-insensitive)."""
+    key = name.lower()
+    if key not in _SCHEMES:
+        raise KeyError(f"unknown scheme {name!r}; known: {sorted(_SCHEMES)}")
+    return _SCHEMES[key]
+
+
+def scheme_names() -> List[str]:
+    """All registered scheme keys."""
+    return sorted(_SCHEMES)
+
+
+def buffer_factory(name: str, *, rtt_ns: int) -> Callable[[], BufferManager]:
+    """A zero-argument factory producing fresh managers for each port."""
+    spec = scheme(name)
+    return lambda: spec.make(rtt_ns=rtt_ns)
+
+
+def transport_for(name: str):
+    """The sender class the paper pairs with the scheme."""
+    return sender_class(scheme(name).transport)

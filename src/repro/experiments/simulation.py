@@ -1,0 +1,271 @@
+"""Large-scale simulations (paper §V-B, Figs. 10-13).
+
+Static-flow runs use a star "compute rack" with 8 WRR service queues on a
+10 or 100 Gbps bottleneck; dynamic-flow runs use a leaf-spine fabric with
+ECMP, SPQ(1)/DRR(7), PIAS, and the four production workloads.
+
+All scale knobs (sender counts, fabric size, flow counts, horizons) are
+parameters with paper defaults, so the bench harness can run reduced
+versions that preserve the experiments' shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
+
+from ..apps.client_server import RequestResponseApp
+from ..apps.iperf import IperfApp
+from ..metrics.fairness import jain_index
+from ..metrics.throughput import PortThroughputMeter, ThroughputSample
+from ..net.topology import Network, build_leaf_spine, build_star
+from ..queueing.schedulers.spq import SPQDRRScheduler
+from ..queueing.schedulers.wrr import WRRScheduler
+from ..sim.randomness import RandomStreams, stable_hash
+from ..sim.units import (
+    gbps,
+    kilobytes,
+    megabytes,
+    microseconds,
+    milliseconds,
+    seconds,
+)
+from ..transport.pias import PIASConfig
+from ..transport.registry import sender_class
+from ..workloads.datasets import workload, workload_names
+from ..workloads.distributions import EmpiricalCDF
+from ..workloads.flowgen import FlowSpec, generate_flows
+from .runner import buffer_factory, scheme, transport_for
+from .testbed import FCTResult
+
+
+class SimConfig(NamedTuple):
+    """Link-speed-dependent constants (§V-B, "Methodology")."""
+
+    rate_bps: int
+    buffer_bytes: int
+    rtt_ns: int
+    mtu_bytes: int
+    min_rto_ns: int = milliseconds(5)   # "lowest stable value in jiffy timer"
+
+
+# Broadcom Trident+ (10 G) and Trident 3 (100 G, jumbo frames) per-port
+# buffers, as chosen in the paper.
+SIM_10G = SimConfig(rate_bps=gbps(10), buffer_bytes=kilobytes(192),
+                    rtt_ns=microseconds(84), mtu_bytes=1500)
+SIM_100G = SimConfig(rate_bps=gbps(100), buffer_bytes=megabytes(1),
+                     rtt_ns=microseconds(40), mtu_bytes=9000)
+
+
+class StaticSimResult(NamedTuple):
+    """Fairness + aggregate-throughput series for Figs. 10-12."""
+
+    scheme: str
+    samples: List[ThroughputSample]
+    stop_times_ns: List[Optional[int]]
+    config: SimConfig
+    num_queues: int
+
+    def active_queues_at(self, time_ns: int) -> List[int]:
+        """Queues whose senders have not been stopped before ``time_ns``."""
+        return [q for q, stop in enumerate(self.stop_times_ns)
+                if stop is None or time_ns <= stop]
+
+    def fairness_series(self) -> List[float]:
+        """Jain index between active queues for every sample interval."""
+        series = []
+        for sample in self.samples:
+            active = self.active_queues_at(sample.time_ns
+                                           - 1)  # interval start side
+            rates = [sample.per_queue_bps[q] for q in active]
+            series.append(jain_index(rates))
+        return series
+
+    def aggregate_series(self) -> List[float]:
+        return [sample.aggregate_bps for sample in self.samples]
+
+    def mean_aggregate_bps(self, start_ns: int = 0,
+                           end_ns: Optional[int] = None) -> float:
+        window = [s.aggregate_bps for s in self.samples
+                  if s.time_ns > start_ns
+                  and (end_ns is None or s.time_ns <= end_ns)]
+        return sum(window) / len(window) if window else 0.0
+
+    def mean_fairness(self, start_ns: int = 0,
+                      end_ns: Optional[int] = None) -> float:
+        pairs = [(sample, fairness) for sample, fairness
+                 in zip(self.samples, self.fairness_series())
+                 if sample.time_ns > start_ns
+                 and (end_ns is None or sample.time_ns <= end_ns)]
+        if not pairs:
+            return 1.0
+        return sum(fairness for _, fairness in pairs) / len(pairs)
+
+
+def run_static_sim(scheme_name: str, *, config: SimConfig = SIM_10G,
+                   num_queues: int = 8,
+                   senders_for_queue: Callable[[int], int] = lambda k: 2 * k,
+                   first_stop_ms: float = 200.0,
+                   stop_step_ms: float = 50.0,
+                   duration_ms: float = 600.0,
+                   sample_interval_ms: float = 10.0) -> StaticSimResult:
+    """Figs. 10-12: staggered-stop bandwidth sharing on a fast rack.
+
+    Queue *k* (1-based) is fed by ``senders_for_queue(k)`` single-flow
+    senders (paper: ``2k`` for Figs. 10-11, ``2^(3+k)`` for Fig. 12).
+    All flows start at t=0; from ``first_stop_ms`` queues 2..N stop in
+    order every ``stop_step_ms``.  WRR with equal weights schedules the
+    bottleneck (the receiver h0's downlink).
+    """
+    sender_counts = [senders_for_queue(k) for k in range(1, num_queues + 1)]
+    net = build_star(
+        num_hosts=1 + sum(sender_counts), rate_bps=config.rate_bps,
+        rtt_ns=config.rtt_ns, buffer_bytes=config.buffer_bytes,
+        scheduler_factory=lambda: WRRScheduler([1.0] * num_queues),
+        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns))
+    bottleneck = net.switch("s0").ports["s0->h0"]
+    meter = PortThroughputMeter(
+        net.sim, bottleneck, milliseconds(sample_interval_ms))
+
+    stop_times: List[Optional[int]] = [None] * num_queues
+    for queue_number in range(2, num_queues + 1):
+        stop_ms = first_stop_ms + (queue_number - 2) * stop_step_ms
+        stop_times[queue_number - 1] = milliseconds(stop_ms)
+
+    flow_id = 0
+    host_index = 1
+    for queue_index, count in enumerate(sender_counts):
+        for _ in range(count):
+            app = IperfApp(
+                net.sim, net.host(f"h{host_index}"), destination="h0",
+                num_flows=1, service_class=queue_index,
+                sender_class=sender_class("tcp"), flow_id_base=flow_id,
+                mtu_bytes=config.mtu_bytes, min_rto_ns=config.min_rto_ns)
+            flow_id += 1
+            app.start_at(0)
+            if stop_times[queue_index] is not None:
+                app.stop_at(stop_times[queue_index])
+            host_index += 1
+    net.sim.run(until=milliseconds(duration_ms))
+    return StaticSimResult(scheme(scheme_name).name, meter.samples,
+                           stop_times, config, num_queues)
+
+
+def many_flows_senders(k: int) -> int:
+    """Fig. 12's extreme fan-in: queue k has ``2^(3+k)`` senders."""
+    return 2 ** (3 + k)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — leaf-spine dynamic flows
+# ---------------------------------------------------------------------------
+
+class LeafSpineConfig(NamedTuple):
+    """The paper's fabric: 12 leaves x 12 spines, 12 hosts per leaf."""
+
+    num_leaves: int = 12
+    num_spines: int = 12
+    hosts_per_leaf: int = 12
+    rate_bps: int = gbps(10)
+    buffer_bytes: int = kilobytes(192)
+    rtt_ns: int = microseconds(85.2)
+    mtu_bytes: int = 1500
+    min_rto_ns: int = milliseconds(5)
+
+
+DEFAULT_LEAF_SPINE = LeafSpineConfig()
+
+
+def run_leafspine_fct(scheme_name: str, *, load: float,
+                      num_flows: int = 10_000,
+                      num_service_queues: int = 7,
+                      config: LeafSpineConfig = DEFAULT_LEAF_SPINE,
+                      distributions: Optional[Sequence[EmpiricalCDF]] = None,
+                      seed: int = 1,
+                      pias_threshold: int = kilobytes(100),
+                      quantum_bytes: float = 1500.0,
+                      drain_timeout_s: float = 30.0) -> FCTResult:
+    """Fig. 13: FCT across a leaf-spine fabric with ECMP.
+
+    Communication pairs are classified into ``num_service_queues``
+    services by stable hash (the paper splits the 144 x 143 pairs evenly
+    into 7 services); each service uses one of the four production
+    workloads round-robin.  Every switch port runs SPQ(1)/DRR(N) with
+    PIAS demotion at 100 KB.
+    """
+    spec = scheme(scheme_name)
+    streams = RandomStreams(seed)
+    rng = streams.stream(f"leafspine:{scheme_name}:{load}")
+    if distributions is None:
+        distributions = [workload(name) for name in workload_names()]
+    net = build_leaf_spine(
+        num_leaves=config.num_leaves, num_spines=config.num_spines,
+        hosts_per_leaf=config.hosts_per_leaf, rate_bps=config.rate_bps,
+        rtt_ns=config.rtt_ns, buffer_bytes=config.buffer_bytes,
+        scheduler_factory=lambda: SPQDRRScheduler(
+            1, [quantum_bytes] * num_service_queues),
+        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns))
+    hosts = net.host_names()
+
+    # Every service draws its flow sizes from one of the four workloads.
+    per_service_dist = [
+        distributions[s % len(distributions)]
+        for s in range(num_service_queues)
+    ]
+
+    # Pre-assign each flow a (src, dst) pair and thus a service, then
+    # generate its arrival time from the service's workload-specific rate.
+    per_service_specs: Dict[int, List[FlowSpec]] = {
+        s: [] for s in range(num_service_queues)}
+    pair_choices = []
+    for _ in range(num_flows):
+        src = rng.choice(hosts)
+        dst = rng.choice(hosts)
+        while dst == src:
+            dst = rng.choice(hosts)
+        service = stable_hash(src, dst) % num_service_queues
+        pair_choices.append((src, dst, service))
+    service_counts = [0] * num_service_queues
+    for _, _, service in pair_choices:
+        service_counts[service] += 1
+    # The load is interpreted per downlink; distribute it over services by
+    # their flow share so the aggregate offered load matches the target.
+    for service in range(num_service_queues):
+        count = service_counts[service]
+        if count == 0:
+            continue
+        per_service_specs[service] = generate_flows(
+            distribution=per_service_dist[service],
+            load=load * count / num_flows,
+            link_rate_bps=config.rate_bps, num_flows=count,
+            rng=streams.stream(f"svc{service}:{scheme_name}:{load}"))
+
+    # Interleave: flow i takes the next spec of its service.
+    cursors = [0] * num_service_queues
+    assembled = []
+    for src, dst, service in pair_choices:
+        spec_item = per_service_specs[service][cursors[service]]
+        cursors[service] += 1
+        assembled.append((spec_item, src, dst, service))
+    assembled.sort(key=lambda item: item[0].arrival_ns)
+
+    flow_specs = [item[0] for item in assembled]
+    placements = [(item[1], item[2], 1 + item[3]) for item in assembled]
+
+    app = RequestResponseApp(
+        net, specs=flow_specs,
+        placement=lambda index: placements[index],
+        sender_class=transport_for(scheme_name),
+        pias=PIASConfig(demotion_threshold=pias_threshold),
+        mtu_bytes=config.mtu_bytes, min_rto_ns=config.min_rto_ns)
+    horizon = flow_specs[-1].arrival_ns + seconds(drain_timeout_s)
+    _drain(net, app, horizon)
+    return FCTResult(spec.name, load, app.fct.summary(),
+                     app.completed, app.outstanding, app.fct)
+
+
+def _drain(net: Network, app: RequestResponseApp, horizon_ns: int) -> None:
+    chunk = seconds(1.0)
+    while app.outstanding and net.sim.now < horizon_ns:
+        net.sim.run(until=min(net.sim.now + chunk, horizon_ns))
+        if net.sim.peek_time() is None:
+            break

@@ -1,0 +1,75 @@
+"""Generic parameter sweeps with multi-seed statistics.
+
+Glue between the per-figure runners and the stats module: declare a grid
+of parameter values, run an experiment callable at every grid point
+(optionally replicated over seeds), and get back a tidy list of records
+ready for printing or CSV export.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..metrics.stats import Summary, summarize
+
+
+def grid_points(grid: Dict[str, Sequence]) -> List[Dict]:
+    """Cartesian product of a parameter grid, as keyword dicts."""
+    if not grid:
+        return [{}]
+    names = sorted(grid)
+    points = []
+    for values in itertools.product(*(grid[name] for name in names)):
+        points.append(dict(zip(names, values)))
+    return points
+
+
+def run_sweep(experiment: Callable[..., Dict[str, Optional[float]]],
+              grid: Dict[str, Sequence], *,
+              seeds: Sequence[int] = (1,),
+              seed_param: str = "seed") -> List[Dict]:
+    """Run ``experiment(**point, seed=s)`` over the grid x seeds.
+
+    ``experiment`` returns a flat metric dict (``None`` values allowed).
+    The result is one record per grid point: the parameters plus a
+    :class:`~repro.metrics.stats.Summary` per metric (metrics missing
+    from every replication are omitted).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    records = []
+    for point in grid_points(grid):
+        collected: Dict[str, List[float]] = {}
+        for seed in seeds:
+            metrics = experiment(**point, **{seed_param: seed})
+            for name, value in metrics.items():
+                if value is not None:
+                    collected.setdefault(name, []).append(float(value))
+        record = dict(point)
+        record["metrics"] = {name: summarize(values)
+                             for name, values in collected.items()}
+        records.append(record)
+    return records
+
+
+def sweep_table(records: List[Dict], *, metric: str, title: str) -> str:
+    """Format one metric of a sweep as parameter columns + mean +/- CI."""
+    if not records:
+        return title
+    param_names = sorted(k for k in records[0] if k != "metrics")
+    lines = [title,
+             "".join(name.rjust(12) for name in param_names)
+             + "mean".rjust(12) + "+/-95%".rjust(10) + "n".rjust(4)]
+    for record in records:
+        row = "".join(str(record[name]).rjust(12)
+                      for name in param_names)
+        summary: Optional[Summary] = record["metrics"].get(metric)
+        if summary is None:
+            row += "-".rjust(12) + "-".rjust(10) + "-".rjust(4)
+        else:
+            row += (f"{summary.mean:.3f}".rjust(12)
+                    + f"{summary.ci95:.3f}".rjust(10)
+                    + str(summary.count).rjust(4))
+        lines.append(row)
+    return "\n".join(lines)

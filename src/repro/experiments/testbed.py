@@ -1,0 +1,374 @@
+"""Testbed experiments (paper §V-A, Figs. 1 and 3-9).
+
+Every function reproduces one figure's scenario on the star "rack" that
+stands in for the paper's 5-server / 1 GbE testbed.  All time-like
+parameters are exposed so the benchmark harness can run shortened versions
+(the dynamics converge within tens of milliseconds at 1 Gbps; the paper's
+multi-second horizons exist for human-scale plotting).
+
+Queue numbering follows the paper (queue 1..N); service-class/queue
+*indexes* are 0-based internally.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
+
+from ..apps.client_server import (
+    RequestResponseApp,
+    random_many_to_one_placement,
+)
+from ..apps.iperf import IperfApp
+from ..metrics.fairness import jain_index, throughput_shares
+from ..metrics.fct import FCTCollector
+from ..metrics.queuelen import QueueLengthSampler
+from ..metrics.throughput import PortThroughputMeter, ThroughputSample
+from ..net.topology import Network, build_star
+from ..queueing.schedulers.drr import DRRScheduler
+from ..queueing.schedulers.spq import SPQDRRScheduler
+from ..sim.randomness import RandomStreams
+from ..sim.units import (
+    SECOND,
+    gbps,
+    kilobytes,
+    microseconds,
+    milliseconds,
+    seconds,
+)
+from ..transport.pias import PIASConfig
+from ..transport.registry import sender_class
+from ..workloads.datasets import WEB_SEARCH
+from ..workloads.distributions import EmpiricalCDF
+from ..workloads.flowgen import generate_flows
+from .runner import buffer_factory, scheme, transport_for
+
+
+class TestbedConfig(NamedTuple):
+    """The paper's testbed constants (§V-A, "Testbed Setup")."""
+
+    rate_bps: int = gbps(1)
+    buffer_bytes: int = kilobytes(85)      # Broadcom 56538 emulation
+    rtt_ns: int = microseconds(500)        # base RTT
+    min_rto_ns: int = milliseconds(10)     # RTO_min, per DCTCP practice
+    mtu_bytes: int = 1500
+    quantum_bytes: float = 1500.0          # default DRR quantum (1 MTU)
+
+
+DEFAULT_CONFIG = TestbedConfig()
+
+
+class ThroughputResult(NamedTuple):
+    """Per-queue throughput series at the receiver's bottleneck port."""
+
+    scheme: str
+    samples: List[ThroughputSample]
+    queue_lengths: Optional[QueueLengthSampler]
+    config: TestbedConfig
+    num_queues: int
+
+    def mean_rate_bps(self, queue: int, start_ns: int = 0,
+                      end_ns: Optional[int] = None) -> float:
+        window = [s.per_queue_bps[queue] for s in self.samples
+                  if s.time_ns > start_ns
+                  and (end_ns is None or s.time_ns <= end_ns)]
+        return sum(window) / len(window) if window else 0.0
+
+    def mean_aggregate_bps(self, start_ns: int = 0,
+                           end_ns: Optional[int] = None) -> float:
+        window = [s.aggregate_bps for s in self.samples
+                  if s.time_ns > start_ns
+                  and (end_ns is None or s.time_ns <= end_ns)]
+        return sum(window) / len(window) if window else 0.0
+
+    def mean_shares(self, start_ns: int = 0,
+                    end_ns: Optional[int] = None) -> List[float]:
+        """Average throughput share of each queue (paper Fig. 6)."""
+        rates = [self.mean_rate_bps(q, start_ns, end_ns)
+                 for q in range(self.num_queues)]
+        return throughput_shares(rates)
+
+    def jain(self, active_queues: Sequence[int], start_ns: int = 0,
+             end_ns: Optional[int] = None) -> float:
+        rates = [self.mean_rate_bps(q, start_ns, end_ns)
+                 for q in active_queues]
+        return jain_index(rates)
+
+
+def _star_with_scheme(scheme_name: str, *, num_hosts: int,
+                      scheduler_factory: Callable,
+                      config: TestbedConfig) -> Network:
+    return build_star(
+        num_hosts=num_hosts, rate_bps=config.rate_bps,
+        rtt_ns=config.rtt_ns, buffer_bytes=config.buffer_bytes,
+        scheduler_factory=scheduler_factory,
+        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns))
+
+
+def _bulk_throughput_run(scheme_name: str, *,
+                         flows_per_queue: Sequence[int],
+                         quanta: Sequence[float],
+                         stop_times_ns: Optional[Sequence[Optional[int]]],
+                         duration_ns: int, sample_interval_ns: int,
+                         config: TestbedConfig,
+                         protocols: Optional[Sequence[str]] = None,
+                         queue_samples: int = 0,
+                         senders_per_queue=1) -> ThroughputResult:
+    """Shared machinery of the static-flow experiments.
+
+    Queue *k* (0-based) gets ``flows_per_queue[k]`` bulk flows, split over
+    ``senders_per_queue[k]`` sender hosts (an int means the same count for
+    every queue), optionally aborted at ``stop_times_ns[k]``.  Host h0 is
+    the receiver; its downlink is the bottleneck that is metered.
+
+    The per-queue sender count matters: each sender host has its own
+    line-rate NIC, so queues backed by several hosts present a higher
+    aggregate arrival rate at the bottleneck (Fig. 1's setup relies on
+    exactly this).
+    """
+    num_queues = len(flows_per_queue)
+    if isinstance(senders_per_queue, int):
+        senders_per_queue = [senders_per_queue] * num_queues
+    if len(senders_per_queue) != num_queues:
+        raise ValueError("senders_per_queue must match flows_per_queue")
+    net = _star_with_scheme(
+        scheme_name,
+        num_hosts=1 + sum(senders_per_queue),
+        scheduler_factory=lambda: DRRScheduler(list(quanta)),
+        config=config)
+    bottleneck = net.switch("s0").ports["s0->h0"]
+    meter = PortThroughputMeter(net.sim, bottleneck, sample_interval_ns)
+    lengths = None
+    if queue_samples:
+        # The paper takes "1K sequential samples at random time"; start in
+        # the steady state, not during the initial slow-start transient.
+        lengths = QueueLengthSampler(
+            bottleneck, start_ns=duration_ns // 2,
+            max_samples=queue_samples)
+
+    flow_id = 0
+    host_index = 1
+    for queue, total_flows in enumerate(flows_per_queue):
+        if total_flows == 0:
+            host_index += senders_per_queue[queue]
+            continue
+        protocol = protocols[queue] if protocols else "tcp"
+        per_host = _split_evenly(total_flows, senders_per_queue[queue])
+        for host_flows in per_host:
+            if host_flows == 0:
+                host_index += 1
+                continue
+            app = IperfApp(
+                net.sim, net.host(f"h{host_index}"), destination="h0",
+                num_flows=host_flows, service_class=queue,
+                sender_class=sender_class(protocol), flow_id_base=flow_id,
+                mtu_bytes=config.mtu_bytes, min_rto_ns=config.min_rto_ns)
+            flow_id += host_flows
+            app.start_at(0)
+            if stop_times_ns and stop_times_ns[queue] is not None:
+                app.stop_at(stop_times_ns[queue])
+            host_index += 1
+    net.sim.run(until=duration_ns)
+    return ThroughputResult(scheme(scheme_name).name, meter.samples,
+                            lengths, config, num_queues)
+
+
+def _split_evenly(total: int, parts: int) -> List[int]:
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — motivation: unfair buffer occupancy under best effort
+# ---------------------------------------------------------------------------
+
+def run_motivation(scheme_name: str = "besteffort", *,
+                   duration_s: float = 60.0,
+                   sample_interval_s: float = 0.5,
+                   flows_per_sender: int = 8,
+                   queue_samples: int = 1000,
+                   config: TestbedConfig = DEFAULT_CONFIG
+                   ) -> ThroughputResult:
+    """Fig. 1: 4 senders, 8 flows each; 3 senders share queue 2.
+
+    Queue 1 (one sender) should get half the link under equal-weight DRR
+    but cannot occupy its weighted BDP, so its throughput collapses.
+    """
+    return _bulk_throughput_run(
+        scheme_name,
+        flows_per_queue=[flows_per_sender, 3 * flows_per_sender],
+        quanta=[config.quantum_bytes] * 2,
+        stop_times_ns=None, duration_ns=seconds(duration_s),
+        sample_interval_ns=seconds(sample_interval_s), config=config,
+        queue_samples=queue_samples,
+        senders_per_queue=[1, 3])
+
+
+# ---------------------------------------------------------------------------
+# Figs. 3-4 — convergence and queue evolution, 2 active DRR queues
+# ---------------------------------------------------------------------------
+
+def run_convergence(scheme_name: str, *, duration_s: float = 10.0,
+                    sample_interval_s: float = 0.5,
+                    queue_samples: int = 1000,
+                    config: TestbedConfig = DEFAULT_CONFIG
+                    ) -> ThroughputResult:
+    """Figs. 3-4: queue 1 carries 2 flows, queue 2 carries 16.
+
+    4 DRR queues with equal quanta are configured; queues 3-4 stay idle.
+    A fair scheme converges both active queues to ~0.5 Gbps despite the
+    8x flow-count imbalance.
+    """
+    return _bulk_throughput_run(
+        scheme_name, flows_per_queue=[2, 16, 0, 0],
+        quanta=[config.quantum_bytes] * 4, stop_times_ns=None,
+        duration_ns=seconds(duration_s),
+        sample_interval_ns=seconds(sample_interval_s), config=config,
+        queue_samples=queue_samples)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — weighted fair sharing + work conservation over active-queue churn
+# ---------------------------------------------------------------------------
+
+def fair_sharing_stop_schedule(time_unit_s: float) -> List[int]:
+    """Stop times of queues 1..4 with the paper's 5 s unit: 25/20/15/10 s."""
+    return [seconds(time_unit_s * (6 - k)) for k in (1, 2, 3, 4)]
+
+
+def run_fair_sharing(scheme_name: str, *, time_unit_s: float = 5.0,
+                     sample_interval_s: float = 0.5,
+                     config: TestbedConfig = DEFAULT_CONFIG,
+                     protocols: Optional[Sequence[str]] = None
+                     ) -> ThroughputResult:
+    """Fig. 5: queue k holds 2^k flows; queues stop 4, 3, 2, 1 in turn.
+
+    With the paper's ``time_unit_s = 5``: queue 4 stops at 10 s, queue 3
+    at 15 s, queue 2 at 20 s, queue 1 at 25 s; the run ends at 27.5 s.
+    """
+    stops = fair_sharing_stop_schedule(time_unit_s)
+    return _bulk_throughput_run(
+        scheme_name, flows_per_queue=[2, 4, 8, 16],
+        quanta=[config.quantum_bytes] * 4, stop_times_ns=stops,
+        duration_ns=seconds(time_unit_s * 5.5),
+        sample_interval_ns=seconds(sample_interval_s), config=config,
+        protocols=protocols)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — different queue weights (4:3:2:1)
+# ---------------------------------------------------------------------------
+
+def run_weighted_sharing(scheme_name: str, *,
+                         weights: Sequence[float] = (4.0, 3.0, 2.0, 1.0),
+                         duration_s: float = 10.0,
+                         sample_interval_s: float = 0.5,
+                         config: TestbedConfig = DEFAULT_CONFIG
+                         ) -> ThroughputResult:
+    """Fig. 6: DRR quanta 6/4.5/3/1.5 KB; all queues active.
+
+    Queue k still carries 2^k flows; the throughput *share* must follow
+    the 4:3:2:1 weights, not the flow counts.
+    """
+    quanta = [config.quantum_bytes * weight for weight in weights]
+    flows = [2 ** (k + 1) for k in range(len(weights))]
+    return _bulk_throughput_run(
+        scheme_name, flows_per_queue=flows, quanta=quanta,
+        stop_times_ns=None, duration_ns=seconds(duration_s),
+        sample_interval_ns=seconds(sample_interval_s), config=config)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — protocol independence: TCP and CUBIC side by side
+# ---------------------------------------------------------------------------
+
+def run_protocol_mix(scheme_name: str, *, time_unit_s: float = 5.0,
+                     sample_interval_s: float = 0.5,
+                     config: TestbedConfig = DEFAULT_CONFIG
+                     ) -> ThroughputResult:
+    """Fig. 7: queues 1-2 run TCP(Reno), queues 3-4 run CUBIC.
+
+    Same flow counts and stop schedule as Fig. 5; a protocol-independent
+    scheme keeps the shares fair across the protocol boundary.
+    """
+    return run_fair_sharing(
+        scheme_name, time_unit_s=time_unit_s,
+        sample_interval_s=sample_interval_s, config=config,
+        protocols=["tcp", "tcp", "cubic", "cubic"])
+
+
+# ---------------------------------------------------------------------------
+# Figs. 8-9 — dynamic flows: FCT under SPQ(1)/DRR(4) with PIAS
+# ---------------------------------------------------------------------------
+
+class FCTResult(NamedTuple):
+    """One (scheme, load) cell of the Fig. 8/9/13 matrices."""
+
+    scheme: str
+    load: float
+    summary: Dict[str, Optional[float]]
+    completed: int
+    outstanding: int
+    collector: FCTCollector
+
+
+def run_fct_experiment(scheme_name: str, *, load: float,
+                       num_flows: int = 10_000,
+                       num_servers: int = 4,
+                       num_service_queues: int = 4,
+                       distribution: EmpiricalCDF = WEB_SEARCH,
+                       seed: int = 1,
+                       pias_threshold: int = kilobytes(100),
+                       config: TestbedConfig = DEFAULT_CONFIG,
+                       drain_timeout_s: float = 60.0) -> FCTResult:
+    """Figs. 8-9: web-search flows at the given load, PIAS + SPQ/DRR.
+
+    Host h0 is the client; h1..h{num_servers} respond with flows drawn
+    from ``distribution``.  Flows map to a random DRR service queue; PIAS
+    sends every flow's first 100 KB through the shared SPQ queue.
+    """
+    spec = scheme(scheme_name)
+    streams = RandomStreams(seed)
+    rng = streams.stream(f"fct:{scheme_name}:{load}")
+    net = _star_with_scheme(
+        scheme_name, num_hosts=1 + num_servers,
+        scheduler_factory=lambda: SPQDRRScheduler(
+            1, [config.quantum_bytes] * num_service_queues),
+        config=config)
+    specs = generate_flows(
+        distribution=distribution, load=load,
+        link_rate_bps=config.rate_bps, num_flows=num_flows, rng=rng)
+    servers = [f"h{i}" for i in range(1, num_servers + 1)]
+    placement = random_many_to_one_placement(
+        servers, "h0", num_service_queues, rng)
+    app = RequestResponseApp(
+        net, specs=specs, placement=placement,
+        sender_class=transport_for(scheme_name),
+        pias=PIASConfig(demotion_threshold=pias_threshold),
+        mtu_bytes=config.mtu_bytes, min_rto_ns=config.min_rto_ns)
+    horizon = specs[-1].arrival_ns + seconds(drain_timeout_s)
+    _run_until_drained(net, app, horizon)
+    return FCTResult(spec.name, load, app.fct.summary(),
+                     app.completed, app.outstanding, app.fct)
+
+
+def _run_until_drained(net: Network, app: RequestResponseApp,
+                       horizon_ns: int) -> None:
+    """Run until every flow completes or the safety horizon passes."""
+    chunk = seconds(1.0)
+    while app.outstanding and net.sim.now < horizon_ns:
+        net.sim.run(until=min(net.sim.now + chunk, horizon_ns))
+        if net.sim.peek_time() is None:
+            break
+
+
+def fct_load_sweep(scheme_names: Sequence[str], loads: Sequence[float],
+                   **kwargs) -> Dict[str, List[FCTResult]]:
+    """Run :func:`run_fct_experiment` for every (scheme, load) pair."""
+    results: Dict[str, List[FCTResult]] = {}
+    for name in scheme_names:
+        results[name] = [
+            run_fct_experiment(name, load=load, **kwargs)
+            for load in loads
+        ]
+    return results

@@ -1,0 +1,20 @@
+"""Related-work systems beyond the paper's comparison set (pFabric, QJump)."""
+
+from .pfabric import (
+    PFabricPort,
+    PFabricSender,
+    build_pfabric_star,
+    start_pfabric_flow,
+)
+from .qjump import QJumpConfig, QJumpLevel, QJumpPacer, install_qjump
+
+__all__ = [
+    "PFabricPort",
+    "PFabricSender",
+    "build_pfabric_star",
+    "start_pfabric_flow",
+    "QJumpConfig",
+    "QJumpLevel",
+    "QJumpPacer",
+    "install_qjump",
+]

@@ -1,0 +1,234 @@
+"""pFabric (Alizadeh et al., SIGCOMM'13) — related-work comparator.
+
+The paper's §II-C points out that pFabric "uses multiple queues, but
+aims at minimizing the FCT of small flows, not isolating service
+queues."  This module implements enough of pFabric to demonstrate both
+halves of that sentence:
+
+* **priority buffering** — every data packet carries its flow's
+  *remaining size* as a priority (lower = more urgent); a full port
+  evicts the worst-priority buffered packet to admit a better one;
+* **priority dequeue** — the port serves the flow holding the
+  best-priority packet, transmitting that flow's *earliest* buffered
+  packet (the original paper's trick to avoid intra-flow reordering);
+* **minimal rate control** — senders start at (a multiple of) the BDP
+  and rely on the fabric's priority dropping plus the RTO, instead of
+  conservative window dynamics.
+
+What pFabric deliberately lacks is the thing DynaQ provides: any notion
+of *service weights*.  ``benchmarks/test_pfabric_comparison.py`` shows
+pFabric's excellent small-flow FCT alongside its total indifference to
+operator-configured shares.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..net.packet import Packet
+from ..net.topology import Network
+from ..net.host import Host
+from ..net.switch import Switch
+from ..sim.engine import Simulator
+from ..sim.errors import ConfigurationError
+from ..sim.trace import TOPIC_PACKET_DEQUEUE, TOPIC_PACKET_DROP, TraceBus
+from ..sim.units import bandwidth_delay_product, transmission_time
+from ..transport.base import Flow
+from ..transport.tcp import TCPSender
+
+# pFabric uses very shallow buffers: ~2x BDP is the paper's guidance.
+DEFAULT_BUFFER_BDP_MULTIPLE = 2.0
+
+
+class PFabricPort:
+    """A priority-buffered, priority-served egress port.
+
+    Interface-compatible with :class:`~repro.net.port.EgressPort` where
+    the rest of the stack needs it (``send``, ``connect``, counters),
+    but holds one priority-ordered buffer instead of service queues.
+    """
+
+    def __init__(self, sim: Simulator, name: str, *, rate_bps: int,
+                 prop_delay_ns: int, buffer_bytes: int,
+                 trace: Optional[TraceBus] = None) -> None:
+        if rate_bps <= 0 or buffer_bytes <= 0:
+            raise ConfigurationError(f"bad pFabric port config for {name}")
+        self.sim = sim
+        self.name = name
+        self.link_rate_bps = rate_bps
+        self.prop_delay_ns = prop_delay_ns
+        self.buffer_bytes = buffer_bytes
+        self.trace = trace
+        self.peer = None
+        self._buffer: List[Packet] = []   # arrival order preserved
+        self._buffered_bytes = 0
+        self._busy = False
+        self.enqueued_packets = 0
+        self.dropped_packets = 0
+        self.transmitted_packets = 0
+        self.evictions = 0
+
+    def connect(self, peer) -> None:
+        self.peer = peer
+
+    def total_bytes(self) -> int:
+        return self._buffered_bytes
+
+    # -- admission with priority eviction ------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        if self.peer is None:
+            raise ConfigurationError(f"port {self.name} is not connected")
+        while (self._buffered_bytes + packet.size > self.buffer_bytes
+               and self._buffer):
+            worst_index = max(range(len(self._buffer)),
+                              key=lambda i: self._buffer[i].priority)
+            worst = self._buffer[worst_index]
+            if worst.priority <= packet.priority:
+                break  # the arrival is the worst packet: drop it instead
+            self._buffer.pop(worst_index)
+            self._buffered_bytes -= worst.size
+            self.dropped_packets += 1
+            self.evictions += 1
+            self._publish(TOPIC_PACKET_DROP, worst, "evicted by priority")
+        if self._buffered_bytes + packet.size > self.buffer_bytes:
+            self.dropped_packets += 1
+            self._publish(TOPIC_PACKET_DROP, packet, "buffer full")
+            return
+        packet.enqueued_at = self.sim.now
+        self._buffer.append(packet)
+        self._buffered_bytes += packet.size
+        self.enqueued_packets += 1
+        if not self._busy:
+            self._transmit_next()
+
+    # -- priority dequeue --------------------------------------------------------------
+
+    def _transmit_next(self) -> None:
+        if not self._buffer:
+            self._busy = False
+            return
+        best = min(self._buffer, key=lambda p: p.priority)
+        # Serve the best flow's earliest packet to avoid reordering.
+        chosen_index = None
+        for index, packet in enumerate(self._buffer):
+            if packet.flow_id == best.flow_id:
+                chosen_index = index
+                break
+        packet = self._buffer.pop(chosen_index)
+        self._buffered_bytes -= packet.size
+        self.transmitted_packets += 1
+        self._busy = True
+        self._publish(TOPIC_PACKET_DEQUEUE, packet, "")
+        tx_ns = transmission_time(packet.size, self.link_rate_bps)
+        self.sim.schedule(tx_ns, self._on_transmit_complete)
+        self.sim.schedule(tx_ns + self.prop_delay_ns,
+                          self.peer.receive, packet)
+
+    def _on_transmit_complete(self) -> None:
+        self._transmit_next()
+
+    def _publish(self, topic: str, packet: Packet, detail: str) -> None:
+        if self.trace is not None and self.trace.has_subscribers(topic):
+            self.trace.publish(topic, port=self.name, time=self.sim.now,
+                               packet=packet, queue=0, detail=detail,
+                               queue_bytes=(self._buffered_bytes,))
+
+
+class PFabricSender(TCPSender):
+    """Minimal-rate-control sender stamping remaining-size priorities."""
+
+    protocol = "pfabric"
+
+    def __init__(self, sim, host, flow: Flow, *,
+                 initial_window_bytes: Optional[int] = None,
+                 **kwargs) -> None:
+        super().__init__(sim, host, flow, **kwargs)
+        if initial_window_bytes is not None:
+            self.cwnd = float(initial_window_bytes)
+            # pFabric's "minimal rate control": start at line rate and
+            # stay there — no slow-start overshoot (the fabric's priority
+            # dropping replaces window probing).
+            self.ssthresh = self.cwnd
+
+
+def _ensure_priority_stamping(host: Host) -> None:
+    """Wrap a host's ``send_packet`` to stamp pFabric priorities.
+
+    Data packets carry the sending flow's *remaining* bytes (lower is
+    more urgent, so short/nearly-done flows win); ACKs always jump the
+    fabric with priority 0.  Idempotent per host.
+    """
+    if getattr(host, "_pfabric_stamping", False):
+        return
+    host._pfabric_stamping = True
+    original = host.send_packet
+
+    def stamped(packet: Packet) -> None:
+        if packet.is_ack:
+            packet.priority = 0
+        else:
+            sender = host.senders.get(packet.flow_id)
+            if sender is not None:
+                packet.priority = max(
+                    sender.flow.size - sender.high_ack, 1)
+        original(packet)
+
+    host.send_packet = stamped
+
+
+def build_pfabric_star(*, num_hosts: int, rate_bps: int, rtt_ns: int,
+                       buffer_bdp_multiple: float =
+                       DEFAULT_BUFFER_BDP_MULTIPLE,
+                       sim: Optional[Simulator] = None,
+                       trace: Optional[TraceBus] = None) -> Network:
+    """A rack where every port is a :class:`PFabricPort`.
+
+    Host NICs are pFabric ports too (the design assumes fabric-wide
+    deployment).  Buffers are ``buffer_bdp_multiple x BDP`` as in the
+    original paper's shallow-buffer setting.
+    """
+    sim = sim or Simulator()
+    trace = trace or TraceBus()
+    net = Network(sim, trace)
+    switch = Switch(sim, "s0")
+    net.switches["s0"] = switch
+    buffer_bytes = int(
+        bandwidth_delay_product(rate_bps, rtt_ns) * buffer_bdp_multiple)
+    link_prop = rtt_ns // 4
+    for index in range(num_hosts):
+        name = f"h{index}"
+        host = Host(sim, name, trace=trace)
+        # Host NICs buffer in host memory, not fabric SRAM: deep enough
+        # that a line-rate window never self-evicts at its own NIC.
+        nic = PFabricPort(sim, f"{name}.nic", rate_bps=rate_bps,
+                          prop_delay_ns=link_prop,
+                          buffer_bytes=max(8 * buffer_bytes, 512_000),
+                          trace=trace)
+        nic.connect(switch)
+        host.nic = nic
+        down = PFabricPort(sim, f"s0->{name}", rate_bps=rate_bps,
+                           prop_delay_ns=link_prop,
+                           buffer_bytes=buffer_bytes, trace=trace)
+        down.connect(host)
+        switch.add_route(name, down)
+        net.hosts[name] = host
+    return net
+
+
+def start_pfabric_flow(net: Network, flow: Flow, *,
+                       on_complete=None,
+                       min_rto_ns: Optional[int] = None) -> PFabricSender:
+    """Create, register, and start a pFabric flow on ``net``."""
+    host = net.host(flow.src)
+    bdp = bandwidth_delay_product(
+        host.nic.link_rate_bps, host.nic.prop_delay_ns * 4)
+    kwargs = {"initial_window_bytes": 2 * max(bdp, 15_000),
+              "on_complete": on_complete}
+    if min_rto_ns is not None:
+        kwargs["min_rto_ns"] = min_rto_ns
+    sender = PFabricSender(net.sim, host, flow, **kwargs)
+    host.register_sender(sender)
+    _ensure_priority_stamping(host)
+    net.sim.at(flow.start_time, sender.start)
+    return sender

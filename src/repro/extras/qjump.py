@@ -1,0 +1,116 @@
+"""QJump (Grosvenor et al., NSDI'15) — related-work comparator.
+
+QJump trades throughput for latency *variance*: traffic classes map to
+strict-priority levels, and level *i* is host-rate-limited to ``C / f_i``
+(``f_i`` the "throughput factor").  At the top level (``f = n``, one
+packet per network epoch) queueing is provably bounded — latency
+guaranteed by admission, not by buffer management.  The paper's §II-C
+cites it as a multi-queue design whose goal (bounded latency for a few
+flows) is orthogonal to service isolation: rate limits are static, so
+unused high-level capacity is simply *lost*, the mirror image of PQL's
+buffer non-work-conservation.
+
+Implementation: the switch runs plain SPQ (already in
+:mod:`repro.queueing.schedulers.spq`); this module adds the host-side
+per-level token-bucket pacing and a tagged-flow helper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..net.host import Host
+from ..net.packet import Packet
+from ..net.tokenbucket import TokenBucket
+from ..sim.errors import ConfigurationError
+
+
+class QJumpLevel:
+    """One latency level: a priority and a throughput factor."""
+
+    __slots__ = ("level", "throughput_factor")
+
+    def __init__(self, level: int, throughput_factor: float) -> None:
+        if throughput_factor < 1:
+            raise ConfigurationError(
+                f"throughput factor must be >= 1, got {throughput_factor}")
+        self.level = level
+        self.throughput_factor = throughput_factor
+
+
+class QJumpConfig:
+    """A ladder of levels; level 0 is the highest priority.
+
+    ``factors[i]`` is level *i*'s throughput factor; the classic setup is
+    ``[n_hosts, sqrt(n_hosts), 1]`` — guaranteed / low-variance / bulk.
+    """
+
+    def __init__(self, factors: Sequence[float]) -> None:
+        if not factors:
+            raise ConfigurationError("need at least one level")
+        self.levels = [QJumpLevel(i, factor)
+                       for i, factor in enumerate(factors)]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+
+class QJumpPacer:
+    """Host-side per-level rate limiting (the QJump kernel module).
+
+    Wraps a host's ``send_packet``: data packets of level *i* pass
+    through a token bucket of rate ``line_rate / f_i``; packets that
+    exceed the allowance are *delayed* (scheduled for the bucket's next
+    availability), never dropped — QJump polices at the source.  ACKs
+    bypass pacing.
+    """
+
+    def __init__(self, host: Host, config: QJumpConfig, *,
+                 burst_packets: int = 2, mtu_bytes: int = 1500) -> None:
+        self.host = host
+        self.config = config
+        rate = host.nic.link_rate_bps
+        self.buckets: List[TokenBucket] = [
+            TokenBucket(max(int(rate / level.throughput_factor), 1),
+                        burst_packets * mtu_bytes)
+            for level in config.levels
+        ]
+        self.delayed_packets = 0
+        self._original_send = host.send_packet
+        host.send_packet = self._paced_send
+
+    def _paced_send(self, packet: Packet) -> None:
+        if packet.is_ack:
+            self._original_send(packet)
+            return
+        level = min(packet.service_class, self.config.num_levels - 1)
+        bucket = self.buckets[level]
+        now = self.host.sim.now
+        if bucket.try_consume(now, packet.size):
+            self._original_send(packet)
+            return
+        self.delayed_packets += 1
+        ready = bucket.next_available_ns(now, packet.size)
+        self.host.sim.at(ready, self._release, packet, level)
+
+    def _release(self, packet: Packet, level: int) -> None:
+        bucket = self.buckets[level]
+        now = self.host.sim.now
+        if bucket.try_consume(now, packet.size):
+            self._original_send(packet)
+        else:
+            # Competing packets drained the refill; retry at the new ETA.
+            ready = bucket.next_available_ns(now, packet.size)
+            self.host.sim.at(max(ready, now + 1), self._release,
+                             packet, level)
+
+
+def install_qjump(hosts, config: QJumpConfig) -> Dict[str, QJumpPacer]:
+    """Attach a :class:`QJumpPacer` to every host; returns them by name."""
+    pacers = {}
+    for host in hosts:
+        if host.nic is None:
+            raise ConfigurationError(f"{host.name} has no NIC to pace")
+        pacers[host.name] = QJumpPacer(host, config)
+    return pacers

@@ -1,0 +1,43 @@
+"""Measurement: throughput series, fairness indices, FCT breakdowns, traces."""
+
+from .collector import DropMarkCollector
+from .export import read_jsonl, write_fct_csv, write_jsonl, write_throughput_csv
+from .fairness import jain_index, throughput_shares, weighted_jain_index
+from .fct import (
+    FCTCollector,
+    FlowRecord,
+    LARGE_FLOW_MIN_BYTES,
+    SMALL_FLOW_MAX_BYTES,
+    mean_fct_ms,
+    normalize_to,
+    percentile_fct_ms,
+)
+from .queuelen import QueueLengthSample, QueueLengthSampler
+from .stats import Summary, format_summary_table, repeat_with_seeds, summarize
+from .throughput import PortThroughputMeter, ThroughputSample
+
+__all__ = [
+    "DropMarkCollector",
+    "read_jsonl",
+    "write_fct_csv",
+    "write_jsonl",
+    "write_throughput_csv",
+    "Summary",
+    "format_summary_table",
+    "repeat_with_seeds",
+    "summarize",
+    "jain_index",
+    "throughput_shares",
+    "weighted_jain_index",
+    "FCTCollector",
+    "FlowRecord",
+    "LARGE_FLOW_MIN_BYTES",
+    "SMALL_FLOW_MAX_BYTES",
+    "mean_fct_ms",
+    "normalize_to",
+    "percentile_fct_ms",
+    "QueueLengthSample",
+    "QueueLengthSampler",
+    "PortThroughputMeter",
+    "ThroughputSample",
+]

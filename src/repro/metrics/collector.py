@@ -1,0 +1,48 @@
+"""Drop/mark counters aggregated from the trace bus.
+
+Complements the per-port counters with a network-wide view keyed by port
+name — handy for experiment sanity output ("where did the losses happen?")
+and for failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from ..sim.trace import TOPIC_PACKET_DROP, TOPIC_PACKET_MARK, TraceBus
+
+
+class DropMarkCollector:
+    """Counts drops and CE marks per port and per drop reason."""
+
+    def __init__(self, trace: TraceBus) -> None:
+        self.drops_by_port: Counter = Counter()
+        self.drops_by_reason: Counter = Counter()
+        self.marks_by_port: Counter = Counter()
+        trace.subscribe(TOPIC_PACKET_DROP, self._on_drop)
+        trace.subscribe(TOPIC_PACKET_MARK, self._on_mark)
+
+    def _on_drop(self, *, port: str, time: int, packet, queue: int,
+                 detail: str, queue_bytes) -> None:
+        self.drops_by_port[port] += 1
+        self.drops_by_reason[detail] += 1
+
+    def _on_mark(self, *, port: str, time: int, packet, queue: int,
+                 detail: str, queue_bytes) -> None:
+        self.marks_by_port[port] += 1
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drops_by_port.values())
+
+    @property
+    def total_marks(self) -> int:
+        return sum(self.marks_by_port.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        """Summary dictionary for experiment reports."""
+        return {
+            "drops": self.total_drops,
+            "marks": self.total_marks,
+        }

@@ -1,0 +1,71 @@
+"""Export measurement series to CSV / JSON-lines.
+
+For users who want to re-plot the figures with their own tooling: every
+series the report printers show can also be dumped to disk.  Pure stdlib
+(``csv`` + ``json``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from .fct import FlowRecord
+from .throughput import ThroughputSample
+
+PathLike = Union[str, Path]
+
+
+def write_throughput_csv(path: PathLike,
+                         samples: Sequence[ThroughputSample]) -> int:
+    """One row per sampling interval: time_s, q1_bps..qN_bps, aggregate.
+
+    Returns the number of data rows written.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if not samples:
+            return 0
+        num_queues = len(samples[0].per_queue_bps)
+        writer.writerow(["time_s"]
+                        + [f"q{i + 1}_bps" for i in range(num_queues)]
+                        + ["aggregate_bps"])
+        for sample in samples:
+            writer.writerow([sample.time_ns / 1e9]
+                            + [f"{rate:.0f}" for rate in sample.per_queue_bps]
+                            + [f"{sample.aggregate_bps:.0f}"])
+    return len(samples)
+
+
+def write_fct_csv(path: PathLike, records: Sequence[FlowRecord]) -> int:
+    """One row per completed flow: id, size, FCT (ms), service class."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["flow_id", "size_bytes", "fct_ms",
+                         "service_class"])
+        for record in records:
+            writer.writerow([record.flow_id, record.size_bytes,
+                             record.fct_ns / 1e6, record.service_class])
+    return len(records)
+
+
+def write_jsonl(path: PathLike, rows: Iterable[dict]) -> int:
+    """Generic JSON-lines dump; returns the row count."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: PathLike) -> list:
+    """Round-trip helper for :func:`write_jsonl`."""
+    with Path(path).open() as handle:
+        return [json.loads(line) for line in handle if line.strip()]

@@ -1,0 +1,49 @@
+"""Fairness metrics.
+
+Jain's fairness index over per-queue throughputs,
+
+    J(x) = (sum x_i)^2 / (n * sum x_i^2),
+
+equals 1 for a perfectly even allocation and 1/n when one queue takes
+everything.  The paper computes it *between active queues* every sampling
+interval (Figs. 10-12); :func:`jain_index` therefore takes only the active
+shares.  For weighted scenarios, normalise each rate by its weight first
+(:func:`weighted_jain_index`), so that exact weighted fair sharing also
+scores 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def jain_index(rates: Sequence[float]) -> float:
+    """Jain's fairness index of the given (active-queue) rates."""
+    values = [rate for rate in rates]
+    if not values:
+        return 1.0
+    if any(value < 0 for value in values):
+        raise ValueError(f"rates must be non-negative: {values}")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    square_sum = sum(value * value for value in values)
+    return total * total / (len(values) * square_sum)
+
+
+def weighted_jain_index(rates: Sequence[float],
+                        weights: Sequence[float]) -> float:
+    """Jain index of weight-normalised rates ``x_i / w_i``."""
+    if len(rates) != len(weights):
+        raise ValueError("rates and weights lengths differ")
+    if any(weight <= 0 for weight in weights):
+        raise ValueError("weights must be positive")
+    return jain_index([rate / weight for rate, weight in zip(rates, weights)])
+
+
+def throughput_shares(rates: Sequence[float]) -> list:
+    """``R_i / sum(R)`` as in the paper's Fig. 6 (zeros if link idle)."""
+    total = sum(rates)
+    if total <= 0:
+        return [0.0 for _ in rates]
+    return [rate / total for rate in rates]

@@ -1,0 +1,117 @@
+"""Flow-completion-time bookkeeping and breakdowns.
+
+The paper reports, per traffic load: average FCT of overall flows, of
+small flows (<= 100 KB), of large flows (> 10 MB), and the 99th-percentile
+FCT of small flows — each normalised by DynaQ's value.  This module holds
+the records and computes exactly those statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from ..sim.units import SECOND
+
+SMALL_FLOW_MAX_BYTES = 100_000       # <= 100 KB
+LARGE_FLOW_MIN_BYTES = 10_000_000    # > 10 MB
+
+
+class FlowRecord(NamedTuple):
+    """One completed flow."""
+
+    flow_id: int
+    size_bytes: int
+    fct_ns: int
+    service_class: int
+
+
+class FCTCollector:
+    """Accumulates completed flows; experiments call :meth:`record`."""
+
+    def __init__(self) -> None:
+        self.records: List[FlowRecord] = []
+
+    def record(self, flow_id: int, size_bytes: int, fct_ns: int,
+               service_class: int = 0) -> None:
+        if fct_ns < 0:
+            raise ValueError(f"negative FCT for flow {flow_id}")
+        self.records.append(
+            FlowRecord(flow_id, size_bytes, fct_ns, service_class))
+
+    def record_sender(self, sender) -> None:
+        """Convenience: record a completed TransportSender."""
+        self.record(sender.flow.flow_id, sender.flow.size,
+                    sender.fct_ns(), sender.flow.service_class)
+
+    # -- selections --------------------------------------------------------------
+
+    def all_flows(self) -> List[FlowRecord]:
+        return list(self.records)
+
+    def small_flows(self) -> List[FlowRecord]:
+        """Flows of at most 100 KB (the paper's "small")."""
+        return [r for r in self.records
+                if r.size_bytes <= SMALL_FLOW_MAX_BYTES]
+
+    def large_flows(self) -> List[FlowRecord]:
+        """Flows larger than 10 MB (the paper's "large")."""
+        return [r for r in self.records
+                if r.size_bytes > LARGE_FLOW_MIN_BYTES]
+
+    def medium_flows(self) -> List[FlowRecord]:
+        """Everything between small and large (omitted in the paper)."""
+        return [r for r in self.records
+                if SMALL_FLOW_MAX_BYTES < r.size_bytes
+                <= LARGE_FLOW_MIN_BYTES]
+
+    # -- statistics --------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        """The paper's four FCT statistics, in milliseconds."""
+        return {
+            "avg_overall_ms": mean_fct_ms(self.records),
+            "avg_small_ms": mean_fct_ms(self.small_flows()),
+            "avg_large_ms": mean_fct_ms(self.large_flows()),
+            "p99_small_ms": percentile_fct_ms(self.small_flows(), 99.0),
+        }
+
+
+def mean_fct_ms(records: Sequence[FlowRecord]) -> Optional[float]:
+    """Average FCT in milliseconds, or ``None`` with no flows."""
+    if not records:
+        return None
+    total_ns = sum(record.fct_ns for record in records)
+    return total_ns / len(records) * 1000 / SECOND
+
+
+def percentile_fct_ms(records: Sequence[FlowRecord],
+                      percentile: float) -> Optional[float]:
+    """Percentile FCT (linear interpolation) in milliseconds."""
+    if not records:
+        return None
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError(f"percentile out of range: {percentile}")
+    values = sorted(record.fct_ns for record in records)
+    if len(values) == 1:
+        return values[0] * 1000 / SECOND
+    rank = percentile / 100 * (len(values) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        result = values[lower]
+    else:
+        fraction = rank - lower
+        result = values[lower] + (values[upper] - values[lower]) * fraction
+    return result * 1000 / SECOND
+
+
+def normalize_to(baseline: Optional[float],
+                 value: Optional[float]) -> Optional[float]:
+    """``value / baseline`` — the paper normalises every FCT by DynaQ's.
+
+    Returns ``None`` when either side is missing or the baseline is zero.
+    """
+    if baseline is None or value is None or baseline == 0:
+        return None
+    return value / baseline

@@ -1,0 +1,59 @@
+"""Queue-length evolution sampling.
+
+The paper records per-queue buffer occupancy "every enqueueing and
+dequeueing operation" and plots 1 K sequential samples (Figs. 1 and 4).
+:class:`QueueLengthSampler` subscribes to a port's enqueue/dequeue trace
+topics and stores ``(time, per-queue-bytes)`` tuples, optionally capped.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from ..net.port import EgressPort
+from ..sim.trace import TOPIC_PACKET_DEQUEUE, TOPIC_PACKET_ENQUEUE
+
+
+class QueueLengthSample(NamedTuple):
+    time_ns: int
+    queue_bytes: tuple
+
+
+class QueueLengthSampler:
+    """Record per-queue occupancy on every enqueue/dequeue of a port."""
+
+    def __init__(self, port: EgressPort, *, start_ns: int = 0,
+                 max_samples: Optional[int] = None) -> None:
+        if port.trace is None:
+            raise ValueError(f"port {port.name} has no trace bus attached")
+        self.port = port
+        self.start_ns = start_ns
+        self.max_samples = max_samples
+        self.samples: List[QueueLengthSample] = []
+        port.trace.subscribe(TOPIC_PACKET_ENQUEUE, self._on_event)
+        port.trace.subscribe(TOPIC_PACKET_DEQUEUE, self._on_event)
+
+    def _on_event(self, *, port: str, time: int, packet, queue: int,
+                  detail: str, queue_bytes) -> None:
+        if port != self.port.name or time < self.start_ns:
+            return
+        if (self.max_samples is not None
+                and len(self.samples) >= self.max_samples):
+            return
+        self.samples.append(QueueLengthSample(time, queue_bytes))
+
+    # -- summaries ---------------------------------------------------------------
+
+    def series(self, queue: int) -> List[int]:
+        """Occupancy samples (bytes) of one queue, in event order."""
+        return [sample.queue_bytes[queue] for sample in self.samples]
+
+    def mean_occupancy(self, queue: int) -> float:
+        """Mean sampled occupancy of one queue (bytes)."""
+        series = self.series(queue)
+        return sum(series) / len(series) if series else 0.0
+
+    def peak_occupancy(self, queue: int) -> int:
+        """Largest sampled occupancy of one queue (bytes)."""
+        series = self.series(queue)
+        return max(series) if series else 0

@@ -1,0 +1,81 @@
+"""Multi-seed repetition and summary statistics.
+
+The paper reports single-run figures from a long testbed run; scaled-down
+simulations are noisier, so the harness offers seed-replicated runs with
+mean / standard-deviation / confidence-interval summaries.  Implemented
+with plain stdlib math so the core library keeps zero dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
+
+# Two-sided 95 % Student-t critical values for small sample sizes
+# (df = n - 1); falls back to the normal 1.96 beyond the table.
+_T_TABLE = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+            6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+
+
+class Summary(NamedTuple):
+    """Mean and spread of one metric across repetitions."""
+
+    mean: float
+    std: float
+    ci95: float          # half-width of the 95 % confidence interval
+    count: int
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean / sample-std / 95 % CI half-width of ``values``."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sequence")
+    n = len(data)
+    mean = sum(data) / n
+    if n == 1:
+        return Summary(mean, 0.0, 0.0, 1, mean, mean)
+    variance = sum((v - mean) ** 2 for v in data) / (n - 1)
+    std = math.sqrt(variance)
+    critical = _T_TABLE.get(n - 1, 1.96)
+    ci95 = critical * std / math.sqrt(n)
+    return Summary(mean, std, ci95, n, min(data), max(data))
+
+
+def repeat_with_seeds(run: Callable[[int], Dict[str, Optional[float]]],
+                      seeds: Sequence[int]) -> Dict[str, Summary]:
+    """Run ``run(seed)`` for every seed and summarize each metric.
+
+    ``run`` returns a flat dict of metric name -> value; ``None`` values
+    (e.g. "no large flows completed in this replication") are skipped per
+    metric.  Metrics absent from every replication are omitted.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: Dict[str, List[float]] = {}
+    for seed in seeds:
+        metrics = run(seed)
+        for name, value in metrics.items():
+            if value is not None:
+                collected.setdefault(name, []).append(float(value))
+    return {name: summarize(values)
+            for name, values in collected.items()}
+
+
+def format_summary_table(summaries: Dict[str, Summary],
+                         title: str) -> str:
+    """Human-readable mean +/- CI table."""
+    lines = [title, "metric".ljust(24) + "mean".rjust(12)
+             + "+/-95%".rjust(10) + "min".rjust(12) + "max".rjust(12)
+             + "n".rjust(4)]
+    for name in sorted(summaries):
+        summary = summaries[name]
+        lines.append(name.ljust(24)
+                     + f"{summary.mean:.3f}".rjust(12)
+                     + f"{summary.ci95:.3f}".rjust(10)
+                     + f"{summary.minimum:.3f}".rjust(12)
+                     + f"{summary.maximum:.3f}".rjust(12)
+                     + str(summary.count).rjust(4))
+    return "\n".join(lines)

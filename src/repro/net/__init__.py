@@ -1,0 +1,33 @@
+"""Network substrate: packets, multi-queue ports, switches, hosts, topologies."""
+
+from .host import Host
+from .packet import ACK_BYTES, HEADER_BYTES, JUMBO_MTU_BYTES, MTU_BYTES, Packet
+from .port import EgressPort
+from .routing import ForwardingTable
+from .shared_buffer import SharedBufferPool, attach_pool
+from .switch import Switch
+from .tokenbucket import TokenBucket, shape_port
+from .validate import ValidationIssue, assert_valid, validate_network
+from .topology import Network, build_leaf_spine, build_star
+
+__all__ = [
+    "Host",
+    "ACK_BYTES",
+    "HEADER_BYTES",
+    "JUMBO_MTU_BYTES",
+    "MTU_BYTES",
+    "Packet",
+    "EgressPort",
+    "ForwardingTable",
+    "SharedBufferPool",
+    "attach_pool",
+    "Switch",
+    "TokenBucket",
+    "shape_port",
+    "ValidationIssue",
+    "assert_valid",
+    "validate_network",
+    "Network",
+    "build_leaf_spine",
+    "build_star",
+]

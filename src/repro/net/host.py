@@ -1,0 +1,88 @@
+"""End host: transport endpoints behind one NIC uplink.
+
+A host owns a single egress port (its NIC) toward the first-hop switch and
+dispatches arriving packets to transport endpoints: ACKs go to the sender
+of the matching flow, data packets to a receiver endpoint created on
+demand.  The NIC port is a plain FIFO with a generous buffer by default —
+in every experiment of the paper the contended resource is the *switch*
+egress port, and modelling NIC-driver buffering beyond pacing-at-line-rate
+would only blur that (the paper's qdisc prototype rate-limits to 99.5 % of
+NIC capacity for the same reason).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..queueing.besteffort import BestEffortBuffer
+from ..queueing.schedulers.fifo import FIFOScheduler
+from ..sim.engine import Simulator
+from ..sim.errors import ConfigurationError
+from ..sim.trace import TraceBus
+from ..sim.units import kilobytes
+from ..transport.base import FlowReceiver, TransportSender
+from .packet import Packet
+from .port import EgressPort
+
+DEFAULT_NIC_BUFFER = kilobytes(512)
+
+
+class Host:
+    """A server with one NIC."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 trace: Optional[TraceBus] = None,
+                 delayed_ack: bool = False) -> None:
+        self.sim = sim
+        self.name = name
+        self.trace = trace
+        self.delayed_ack = delayed_ack
+        self.nic: Optional[EgressPort] = None
+        self.senders: Dict[int, TransportSender] = {}
+        self.receivers: Dict[int, FlowReceiver] = {}
+        self.received_packets = 0
+        self.received_bytes = 0
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach_nic(self, *, rate_bps: int, prop_delay_ns: int,
+                   buffer_bytes: int = DEFAULT_NIC_BUFFER) -> EgressPort:
+        """Create the host's uplink port (connected later by the topology)."""
+        self.nic = EgressPort(
+            self.sim, f"{self.name}.nic", rate_bps=rate_bps,
+            prop_delay_ns=prop_delay_ns, buffer_bytes=buffer_bytes,
+            scheduler=FIFOScheduler(), buffer_manager=BestEffortBuffer(),
+            trace=self.trace)
+        return self.nic
+
+    def register_sender(self, sender: TransportSender) -> None:
+        """Bind a transport sender so its ACKs find their way back."""
+        flow_id = sender.flow.flow_id
+        if flow_id in self.senders:
+            raise ConfigurationError(
+                f"{self.name}: duplicate sender for flow {flow_id}")
+        self.senders[flow_id] = sender
+
+    # -- datapath ----------------------------------------------------------------
+
+    def send_packet(self, packet: Packet) -> None:
+        """Transmit a packet out of the NIC (transports call this)."""
+        if self.nic is None:
+            raise ConfigurationError(f"{self.name} has no NIC attached")
+        self.nic.send(packet)
+
+    def receive(self, packet: Packet) -> None:
+        """Deliver an arriving packet to the right endpoint."""
+        self.received_packets += 1
+        self.received_bytes += packet.size
+        if packet.is_ack:
+            sender = self.senders.get(packet.flow_id)
+            if sender is not None:
+                sender.on_ack(packet)
+            return
+        receiver = self.receivers.get(packet.flow_id)
+        if receiver is None:
+            receiver = FlowReceiver(self.sim, self, packet.flow_id,
+                                    delayed_ack=self.delayed_ack)
+            self.receivers[packet.flow_id] = receiver
+        receiver.on_data(packet)

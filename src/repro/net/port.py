@@ -1,0 +1,217 @@
+"""Multi-queue egress port.
+
+The egress port is where everything in the paper happens: packets arriving
+for an output link are classified into one of M service queues, pass the
+buffer manager's admission check (DynaQ / BestEffort / PQL / ECN schemes),
+and are later pulled by a work-conserving packet scheduler (DRR / WRR /
+SPQ) when the link is free.
+
+One object models the port buffer, the service queues, the scheduler
+binding, and the link (rate + propagation delay) to the downstream node.
+It implements both observation protocols:
+
+* :class:`~repro.queueing.base.PortView` for buffer managers, and
+* :class:`~repro.queueing.schedulers.base.QueueView` for schedulers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from ..queueing.base import BufferManager
+from ..queueing.schedulers.base import Scheduler
+from ..sim.engine import Simulator
+from ..sim.errors import ConfigurationError
+from ..sim.trace import (
+    TOPIC_PACKET_DEQUEUE,
+    TOPIC_PACKET_DROP,
+    TOPIC_PACKET_ENQUEUE,
+    TOPIC_PACKET_MARK,
+    TraceBus,
+)
+from ..sim.units import transmission_time
+from .packet import Packet
+
+Classifier = Callable[[Packet], int]
+
+
+class EgressPort:
+    """One output port of a host NIC or switch."""
+
+    def __init__(self, sim: Simulator, name: str, *, rate_bps: int,
+                 prop_delay_ns: int, buffer_bytes: int,
+                 scheduler: Scheduler, buffer_manager: BufferManager,
+                 classifier: Optional[Classifier] = None,
+                 trace: Optional[TraceBus] = None) -> None:
+        if rate_bps <= 0 or buffer_bytes <= 0 or prop_delay_ns < 0:
+            raise ConfigurationError(
+                f"bad port parameters for {name}: rate={rate_bps}, "
+                f"buffer={buffer_bytes}, prop={prop_delay_ns}")
+        self.sim = sim
+        self.name = name
+        self.link_rate_bps = rate_bps
+        self.prop_delay_ns = prop_delay_ns
+        self.buffer_bytes = buffer_bytes
+        self.scheduler = scheduler
+        self.buffer_manager = buffer_manager
+        self.num_queues = scheduler.num_queues
+        self._classifier = classifier or self._default_classifier
+        self.trace = trace
+        self.peer = None  # downstream node, set by connect()
+
+        self._queues: List[Deque[Packet]] = [
+            deque() for _ in range(self.num_queues)]
+        self._queue_bytes: List[int] = [0] * self.num_queues
+        self._total_bytes = 0
+        self._busy = False
+
+        # Counters for experiments and assertions.
+        self.enqueued_packets = 0
+        self.dropped_packets = 0
+        self.transmitted_packets = 0
+        self.transmitted_bytes = 0
+
+        bind_clock = getattr(scheduler, "bind_clock", None)
+        if bind_clock is not None:
+            bind_clock(lambda: self.sim.now)
+        buffer_manager.attach(self)
+
+    # -- wiring -----------------------------------------------------------------
+
+    def connect(self, peer) -> None:
+        """Attach the downstream node (anything with ``receive(packet)``)."""
+        self.peer = peer
+
+    def _default_classifier(self, packet: Packet) -> int:
+        return min(packet.service_class, self.num_queues - 1)
+
+    # -- PortView protocol ---------------------------------------------------------
+
+    def queue_bytes(self, index: int) -> int:
+        return self._queue_bytes[index]
+
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def queue_weights(self) -> List[float]:
+        return self.scheduler.weights
+
+    def now(self) -> int:
+        return self.sim.now
+
+    # -- QueueView protocol ----------------------------------------------------------
+
+    def queue_empty(self, index: int) -> bool:
+        return not self._queues[index]
+
+    def head_size(self, index: int) -> int:
+        return self._queues[index][0].size
+
+    # -- datapath ----------------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Offer ``packet`` to this port (classification + admission)."""
+        if self.peer is None:
+            raise ConfigurationError(f"port {self.name} is not connected")
+        queue_index = self._classifier(packet)
+        decision = self.buffer_manager.admit(packet, queue_index)
+        if not decision.accept:
+            self.dropped_packets += 1
+            self._publish(TOPIC_PACKET_DROP, packet, queue_index,
+                          decision.reason)
+            return
+        if decision.mark and packet.ecn_capable:
+            packet.ecn_ce = True
+            self._publish(TOPIC_PACKET_MARK, packet, queue_index, "enqueue")
+        packet.enqueued_at = self.sim.now
+        self._queues[queue_index].append(packet)
+        self._queue_bytes[queue_index] += packet.size
+        self._total_bytes += packet.size
+        self.enqueued_packets += 1
+        self.scheduler.on_enqueue(queue_index)
+        self.buffer_manager.on_enqueued(packet, queue_index)
+        self._publish(TOPIC_PACKET_ENQUEUE, packet, queue_index, "")
+        if not self._busy:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        queue_index = self.scheduler.select(self)
+        if queue_index is None:
+            self._busy = False
+            return
+        packet = self._queues[queue_index].popleft()
+        self._queue_bytes[queue_index] -= packet.size
+        self._total_bytes -= packet.size
+        decision = self.buffer_manager.on_dequeue(packet, queue_index)
+        tx_ns = transmission_time(packet.size, self.link_rate_bps)
+        self._busy = True
+        if not decision.accept:
+            # Dequeue-time drop (TCN drop variant): the scheduling slot is
+            # already committed, so the wire idles for the packet's
+            # transmission time — the very pathology §II-C describes.
+            self.dropped_packets += 1
+            self._publish(TOPIC_PACKET_DROP, packet, queue_index,
+                          decision.reason)
+            self.sim.schedule(tx_ns, self._on_transmit_complete)
+            return
+        if decision.mark and packet.ecn_capable:
+            packet.ecn_ce = True
+            self._publish(TOPIC_PACKET_MARK, packet, queue_index, "dequeue")
+        self._publish(TOPIC_PACKET_DEQUEUE, packet, queue_index, "")
+        self.transmitted_packets += 1
+        self.transmitted_bytes += packet.size
+        self.sim.schedule(tx_ns, self._on_transmit_complete)
+        self.sim.schedule(tx_ns + self.prop_delay_ns,
+                          self.peer.receive, packet)
+
+    def _on_transmit_complete(self) -> None:
+        self._transmit_next()
+
+    def evict_tail(self, queue_index: int):
+        """Remove and return the tail packet of a queue (or ``None``).
+
+        Exists for eviction-based buffer managers (the BarberQ-style
+        DynaQ extension): dropping an already-buffered packet of an
+        over-threshold queue to admit a more deserving arrival.  The
+        evicted packet is accounted as a drop.
+        """
+        queue = self._queues[queue_index]
+        if not queue:
+            return None
+        packet = queue.pop()
+        self._queue_bytes[queue_index] -= packet.size
+        self._total_bytes -= packet.size
+        self.dropped_packets += 1
+        self._publish(TOPIC_PACKET_DROP, packet, queue_index, "evicted")
+        return packet
+
+    # -- operator actions ----------------------------------------------------------
+
+    def resize_buffer(self, new_buffer_bytes: int) -> None:
+        """Change the port buffer size at runtime (paper §III-B3).
+
+        The paper notes that resizing breaks DynaQ's ``sum(T) == B``
+        equality and prescribes re-running the threshold initialisation;
+        any buffer manager exposing ``reinitialize()`` gets exactly that.
+        Shrinking below the current occupancy is allowed — the buffer
+        drains naturally because admission checks use the new size.
+        """
+        if new_buffer_bytes <= 0:
+            raise ConfigurationError(
+                f"port {self.name}: buffer must be positive, "
+                f"got {new_buffer_bytes}")
+        self.buffer_bytes = new_buffer_bytes
+        reinitialize = getattr(self.buffer_manager, "reinitialize", None)
+        if reinitialize is not None:
+            reinitialize()
+
+    # -- tracing -----------------------------------------------------------------
+
+    def _publish(self, topic: str, packet: Packet, queue_index: int,
+                 detail: str) -> None:
+        if self.trace is not None and self.trace.has_subscribers(topic):
+            self.trace.publish(
+                topic, port=self.name, time=self.sim.now, packet=packet,
+                queue=queue_index, detail=detail,
+                queue_bytes=tuple(self._queue_bytes))

@@ -1,0 +1,79 @@
+"""Token-bucket rate shaping.
+
+The paper's qdisc prototype shapes egress to 99.5 % of NIC capacity so
+that queues build in the qdisc (where DynaQ runs) rather than invisibly
+in NIC drivers (§IV-B).  The same primitive implements QJump-style
+per-class rate limits.
+
+:class:`TokenBucket` is the pure policy object (integer-nanosecond
+arithmetic, no event-loop coupling); :func:`shape_port` wraps an
+:class:`~repro.net.port.EgressPort` so its effective line rate becomes
+``fraction x`` the physical rate, by stretching each packet's
+transmission slot — exactly what a shaper in front of a NIC does to the
+ACK clock.
+"""
+
+from __future__ import annotations
+
+from ..sim.units import SECOND
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate_bps`` sustained, ``burst_bytes`` deep."""
+
+    def __init__(self, rate_bps: int, burst_bytes: int) -> None:
+        if rate_bps <= 0 or burst_bytes <= 0:
+            raise ValueError(
+                f"rate and burst must be positive: {rate_bps}, {burst_bytes}")
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last_refill_ns = 0
+
+    def _refill(self, now_ns: int) -> None:
+        if now_ns < self._last_refill_ns:
+            raise ValueError("time moved backwards")
+        elapsed = now_ns - self._last_refill_ns
+        self._tokens = min(
+            self.burst_bytes,
+            self._tokens + elapsed * self.rate_bps / (8 * SECOND))
+        self._last_refill_ns = now_ns
+
+    def tokens_at(self, now_ns: int) -> float:
+        """Available tokens (bytes) at ``now_ns`` (refills as a side effect)."""
+        self._refill(now_ns)
+        return self._tokens
+
+    def try_consume(self, now_ns: int, size_bytes: int) -> bool:
+        """Take ``size_bytes`` tokens if available."""
+        self._refill(now_ns)
+        if self._tokens >= size_bytes:
+            self._tokens -= size_bytes
+            return True
+        return False
+
+    def next_available_ns(self, now_ns: int, size_bytes: int) -> int:
+        """Earliest time at which ``size_bytes`` tokens will exist."""
+        self._refill(now_ns)
+        deficit = size_bytes - self._tokens
+        if deficit <= 0:
+            return now_ns
+        wait = -(-int(deficit * 8 * SECOND) // self.rate_bps)  # ceil
+        return now_ns + wait
+
+
+def shape_port(port, fraction: float = 0.995) -> None:
+    """Shape an egress port to ``fraction`` of its physical rate.
+
+    Implemented the way the paper's prototype does it: the scheduler
+    still picks packets normally, but each transmission occupies the
+    wire for ``1/fraction`` of its physical time, so sustained
+    throughput converges to ``fraction x rate`` while per-packet
+    latency is essentially unchanged.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    # Transmission time is computed from link_rate_bps at dequeue; scale
+    # the rate the port *believes* it has.  Propagation is untouched.
+    port.link_rate_bps = int(port.link_rate_bps * fraction)
+    port.shaped_fraction = fraction

@@ -1,0 +1,160 @@
+"""Topology builders: star (rack) and leaf-spine fabrics.
+
+Both builders take *factories* for schedulers and buffer managers because
+every switch egress port needs its own instances (DynaQ thresholds, DRR
+deficits, and so on are per-port state).  Propagation delays are derived
+from the experiment's base RTT: a star path crosses 4 links per round trip
+and a leaf-spine path crosses 8, so each link gets ``rtt/4`` or ``rtt/8``
+respectively — reproducing the paper's 500 us (testbed), 84/40 us (10/100
+Gbps rack), and 85.2 us (leaf-spine) base RTTs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..queueing.base import BufferManager
+from ..queueing.schedulers.base import Scheduler
+from ..sim.engine import Simulator
+from ..sim.trace import TraceBus
+from .host import Host
+from .port import EgressPort
+from .switch import Switch
+
+SchedulerFactory = Callable[[], Scheduler]
+BufferFactory = Callable[[], BufferManager]
+
+
+class Network:
+    """A built topology: simulator, hosts, switches, and the trace bus."""
+
+    def __init__(self, sim: Simulator, trace: TraceBus) -> None:
+        self.sim = sim
+        self.trace = trace
+        self.hosts: Dict[str, Host] = {}
+        self.switches: Dict[str, Switch] = {}
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def switch(self, name: str) -> Switch:
+        return self.switches[name]
+
+    def host_names(self) -> List[str]:
+        return sorted(self.hosts)
+
+
+def _make_port(sim: Simulator, name: str, *, rate_bps: int,
+               prop_delay_ns: int, buffer_bytes: int,
+               scheduler_factory: SchedulerFactory,
+               buffer_factory: BufferFactory,
+               trace: TraceBus) -> EgressPort:
+    return EgressPort(
+        sim, name, rate_bps=rate_bps, prop_delay_ns=prop_delay_ns,
+        buffer_bytes=buffer_bytes, scheduler=scheduler_factory(),
+        buffer_manager=buffer_factory(), trace=trace)
+
+
+def build_star(*, num_hosts: int, rate_bps: int, rtt_ns: int,
+               buffer_bytes: int, scheduler_factory: SchedulerFactory,
+               buffer_factory: BufferFactory,
+               sim: Optional[Simulator] = None,
+               trace: Optional[TraceBus] = None) -> Network:
+    """A rack: ``num_hosts`` servers around one switch.
+
+    This is the paper's testbed shape (5 servers on a server-emulated
+    switch) and the static-flow simulation shape ("a star topology to
+    emulate a compute rack").  Host names are ``h0..h{n-1}``.
+    """
+    sim = sim or Simulator()
+    trace = trace or TraceBus()
+    net = Network(sim, trace)
+    switch = Switch(sim, "s0")
+    net.switches["s0"] = switch
+    link_prop = rtt_ns // 4
+    for index in range(num_hosts):
+        name = f"h{index}"
+        host = Host(sim, name, trace=trace)
+        host.attach_nic(rate_bps=rate_bps, prop_delay_ns=link_prop)
+        host.nic.connect(switch)
+        port = _make_port(
+            sim, f"s0->{name}", rate_bps=rate_bps, prop_delay_ns=link_prop,
+            buffer_bytes=buffer_bytes, scheduler_factory=scheduler_factory,
+            buffer_factory=buffer_factory, trace=trace)
+        port.connect(host)
+        switch.add_route(name, port)
+        net.hosts[name] = host
+    return net
+
+
+def build_leaf_spine(*, num_leaves: int, num_spines: int,
+                     hosts_per_leaf: int, rate_bps: int, rtt_ns: int,
+                     buffer_bytes: int,
+                     scheduler_factory: SchedulerFactory,
+                     buffer_factory: BufferFactory,
+                     sim: Optional[Simulator] = None,
+                     trace: Optional[TraceBus] = None) -> Network:
+    """A non-blocking leaf-spine fabric with ECMP.
+
+    The paper's large-scale setup: 12 leaves x 12 spines, 12 x 10 Gbps
+    downlinks and uplinks per leaf (144 hosts total).  Cross-rack packets
+    take host -> leaf -> spine -> leaf -> host; ECMP spreads flows over
+    the spines by stable flow hash.  Host names are ``h{leaf}_{index}``.
+    """
+    sim = sim or Simulator()
+    trace = trace or TraceBus()
+    net = Network(sim, trace)
+    link_prop = rtt_ns // 8
+    leaves = [Switch(sim, f"leaf{i}") for i in range(num_leaves)]
+    spines = [Switch(sim, f"spine{i}") for i in range(num_spines)]
+    for switch in leaves + spines:
+        net.switches[switch.name] = switch
+
+    host_leaf: Dict[str, int] = {}
+    for leaf_index, leaf in enumerate(leaves):
+        for host_index in range(hosts_per_leaf):
+            name = f"h{leaf_index}_{host_index}"
+            host = Host(sim, name, trace=trace)
+            host.attach_nic(rate_bps=rate_bps, prop_delay_ns=link_prop)
+            host.nic.connect(leaf)
+            down = _make_port(
+                sim, f"{leaf.name}->{name}", rate_bps=rate_bps,
+                prop_delay_ns=link_prop, buffer_bytes=buffer_bytes,
+                scheduler_factory=scheduler_factory,
+                buffer_factory=buffer_factory, trace=trace)
+            down.connect(host)
+            leaf.add_route(name, down)
+            net.hosts[name] = host
+            host_leaf[name] = leaf_index
+
+    # Leaf uplinks: every leaf reaches every spine; remote destinations are
+    # ECMP-spread across all uplinks.  Spine downlinks reach each leaf.
+    for leaf_index, leaf in enumerate(leaves):
+        uplinks = []
+        for spine in spines:
+            up = _make_port(
+                sim, f"{leaf.name}->{spine.name}", rate_bps=rate_bps,
+                prop_delay_ns=link_prop, buffer_bytes=buffer_bytes,
+                scheduler_factory=scheduler_factory,
+                buffer_factory=buffer_factory, trace=trace)
+            up.connect(spine)
+            leaf.add_port(up)
+            uplinks.append(up)
+        for name, home_leaf in host_leaf.items():
+            if home_leaf != leaf_index:
+                for up in uplinks:
+                    leaf.table.add_route(name, up)
+
+    for spine in spines:
+        for leaf_index, leaf in enumerate(leaves):
+            down = _make_port(
+                sim, f"{spine.name}->{leaf.name}", rate_bps=rate_bps,
+                prop_delay_ns=link_prop, buffer_bytes=buffer_bytes,
+                scheduler_factory=scheduler_factory,
+                buffer_factory=buffer_factory, trace=trace)
+            down.connect(leaf)
+            spine.add_port(down)
+            for name, home_leaf in host_leaf.items():
+                if home_leaf == leaf_index:
+                    spine.table.add_route(name, down)
+    return net

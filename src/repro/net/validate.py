@@ -1,0 +1,88 @@
+"""Topology validation.
+
+Misbuilt topologies fail in confusing ways (a missing route surfaces as
+an RTO storm half a simulated second in).  ``validate_network`` checks a
+built :class:`~repro.net.topology.Network` *before* traffic flows and
+returns a list of human-readable problems:
+
+* every host has a NIC and the NIC is connected;
+* every switch egress port is connected to something;
+* every switch can forward to every host (except hosts directly behind
+  none of its ports — a switch must either route or not exist on the
+  path, so we require full reachability tables, which both builders
+  produce);
+* scheduler queue counts are consistent across a switch's ports (mixed
+  queue counts are legal for the library but almost always a bug in an
+  experiment, so they are reported as warnings).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .topology import Network
+
+
+class ValidationIssue:
+    """One problem found in a network, with severity."""
+
+    __slots__ = ("severity", "message")
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __init__(self, severity: str, message: str) -> None:
+        self.severity = severity
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"[{self.severity}] {self.message}"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, ValidationIssue)
+                and (self.severity, self.message)
+                == (other.severity, other.message))
+
+
+def validate_network(net: Network) -> List[ValidationIssue]:
+    """Check wiring and routing; returns an empty list when healthy."""
+    issues: List[ValidationIssue] = []
+    host_names = set(net.hosts)
+
+    for name, host in net.hosts.items():
+        if host.nic is None:
+            issues.append(ValidationIssue(
+                ValidationIssue.ERROR, f"host {name} has no NIC"))
+        elif host.nic.peer is None:
+            issues.append(ValidationIssue(
+                ValidationIssue.ERROR,
+                f"host {name}'s NIC is not connected"))
+
+    for switch_name, switch in net.switches.items():
+        queue_counts = set()
+        for port in switch.port_list():
+            if port.peer is None:
+                issues.append(ValidationIssue(
+                    ValidationIssue.ERROR,
+                    f"{switch_name} port {port.name} is not connected"))
+            queue_counts.add(port.num_queues)
+        if len(queue_counts) > 1:
+            issues.append(ValidationIssue(
+                ValidationIssue.WARNING,
+                f"{switch_name} mixes queue counts {sorted(queue_counts)}"))
+        reachable = set(switch.table.destinations())
+        missing = host_names - reachable
+        for destination in sorted(missing):
+            issues.append(ValidationIssue(
+                ValidationIssue.ERROR,
+                f"{switch_name} has no route to {destination}"))
+    return issues
+
+
+def assert_valid(net: Network) -> None:
+    """Raise ``ValueError`` listing every error-severity issue."""
+    errors = [issue for issue in validate_network(net)
+              if issue.severity == ValidationIssue.ERROR]
+    if errors:
+        details = "\n".join(str(issue) for issue in errors)
+        raise ValueError(f"invalid network:\n{details}")

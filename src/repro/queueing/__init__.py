@@ -1,0 +1,29 @@
+"""Buffer managers and packet schedulers for multi-queue egress ports."""
+
+from .base import BufferManager, Decision, PortView
+from .besteffort import BestEffortBuffer
+from .codel import CoDelBuffer
+from .dynamic_threshold import DynamicThresholdBuffer
+from .mqecn import MQECNBuffer
+from .perqueue_ecn import DEFAULT_LAMBDA, PerQueueECNBuffer, ecn_threshold_bytes
+from .pmsb import PMSBBuffer
+from .pql import PQLBuffer
+from .red import REDBuffer
+from .tcn import TCNBuffer
+
+__all__ = [
+    "BufferManager",
+    "Decision",
+    "PortView",
+    "BestEffortBuffer",
+    "CoDelBuffer",
+    "DynamicThresholdBuffer",
+    "MQECNBuffer",
+    "DEFAULT_LAMBDA",
+    "PerQueueECNBuffer",
+    "ecn_threshold_bytes",
+    "PMSBBuffer",
+    "PQLBuffer",
+    "REDBuffer",
+    "TCNBuffer",
+]

@@ -1,0 +1,119 @@
+"""Buffer-manager interface.
+
+A buffer manager implements the switch's *enqueue admission* policy for one
+egress port: given an arriving packet and its service queue, decide whether
+to accept it, accept-and-ECN-mark it, or drop it.  Managers observe port
+state (queue lengths, total occupancy, weights, link rate, clock) through
+the :class:`PortView` protocol, and may keep their own state (DynaQ's
+dynamic thresholds, DCTCP-style marking state, ...).
+
+Dequeue-time hooks exist for TCN, whose sojourn-time marking can only
+happen when the packet leaves the queue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from ..net.packet import Packet
+
+
+class PortView(Protocol):
+    """What a buffer manager may observe about its port."""
+
+    buffer_bytes: int          # port buffer size B
+    num_queues: int            # M
+    link_rate_bps: int         # C
+
+    def queue_bytes(self, index: int) -> int:
+        """Current occupancy of service queue ``index``, in bytes."""
+        ...
+
+    def total_bytes(self) -> int:
+        """Current occupancy of the whole port buffer, in bytes."""
+        ...
+
+    def queue_weights(self) -> List[float]:
+        """Scheduler weights w_i (normalised by the manager as needed)."""
+        ...
+
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        ...
+
+
+class Decision:
+    """Outcome of an admission check."""
+
+    __slots__ = ("accept", "mark", "reason")
+
+    def __init__(self, accept: bool, mark: bool = False,
+                 reason: str = "") -> None:
+        self.accept = accept
+        self.mark = mark
+        self.reason = reason
+
+    @classmethod
+    def accepted(cls, mark: bool = False) -> "Decision":
+        return cls(accept=True, mark=mark)
+
+    @classmethod
+    def dropped(cls, reason: str) -> "Decision":
+        return cls(accept=False, reason=reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.accept:
+            return "<accept+mark>" if self.mark else "<accept>"
+        return f"<drop: {self.reason}>"
+
+
+class BufferManager:
+    """Base class for per-port buffer managers.
+
+    Subclasses must implement :meth:`admit`.  ``attach`` is called once by
+    the port before any traffic flows.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.port: Optional[PortView] = None
+        self.drops = 0
+        self.marks = 0
+
+    def attach(self, port: PortView) -> None:
+        """Bind the manager to its port and initialise derived state."""
+        self.port = port
+
+    # -- hooks ----------------------------------------------------------------
+
+    def admit(self, packet: Packet, queue_index: int) -> Decision:
+        """Decide the fate of ``packet`` arriving for ``queue_index``."""
+        raise NotImplementedError
+
+    def on_enqueued(self, packet: Packet, queue_index: int) -> None:
+        """Called after a packet was appended to its queue."""
+
+    def on_dequeue(self, packet: Packet, queue_index: int) -> Decision:
+        """Called when a packet is pulled for transmission.
+
+        Returning ``Decision.accepted(mark=True)`` CE-marks the departing
+        packet (TCN); returning a drop discards it at dequeue time (the
+        TCN *drop variant* discussed in the paper's §II-C).  The default
+        forwards unconditionally.
+        """
+        return Decision.accepted()
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def _fair_share_fraction(self, queue_index: int) -> float:
+        """``w_i / sum(w)`` for this port's configured weights."""
+        weights = self.port.queue_weights()
+        return weights[queue_index] / sum(weights)
+
+    def _port_tail_drop(self, packet: Packet) -> Optional[Decision]:
+        """Common final check: drop when the port buffer is full."""
+        if self.port.total_bytes() + packet.size > self.port.buffer_bytes:
+            self.drops += 1
+            return Decision.dropped("port buffer full")
+        return None

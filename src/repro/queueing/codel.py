@@ -1,0 +1,107 @@
+"""CoDel — Controlled Delay AQM (Nichols & Jacobson, 2012), per queue.
+
+CoDel is the intellectual ancestor of TCN: it measures each packet's
+*sojourn time* at dequeue and enters a dropping state when the sojourn
+stays above ``target`` for longer than ``interval``; successive drops
+accelerate by the inverse-square-root control law.  TCN replaces the
+interval state machine with instantaneous threshold marking to keep
+switch state per-port rather than per-flow-time, which is exactly the
+simplification the paper's §II-C discussion builds on.
+
+Included as an extra comparator: per-service-queue CoDel instances with
+ECN marking (mark instead of drop for ECT packets, as in the Linux
+implementation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..net.packet import Packet
+from ..sim.units import MILLISECOND, microseconds
+from .base import BufferManager, Decision, PortView
+
+DEFAULT_TARGET_NS = microseconds(500)   # ~RTT-scale for a 1 GbE rack
+DEFAULT_INTERVAL_NS = 10 * MILLISECOND
+
+
+class _CoDelState:
+    """Per-queue CoDel control-law state."""
+
+    __slots__ = ("first_above_time", "dropping", "drop_next", "count")
+
+    def __init__(self) -> None:
+        self.first_above_time: Optional[int] = None
+        self.dropping = False
+        self.drop_next = 0
+        self.count = 0
+
+
+class CoDelBuffer(BufferManager):
+    """Per-queue CoDel with dequeue-time marking (or dropping)."""
+
+    name = "CoDel"
+
+    def __init__(self, *, target_ns: int = DEFAULT_TARGET_NS,
+                 interval_ns: int = DEFAULT_INTERVAL_NS,
+                 ecn: bool = True) -> None:
+        if target_ns <= 0 or interval_ns <= 0:
+            raise ValueError("target and interval must be positive")
+        super().__init__()
+        self.target_ns = target_ns
+        self.interval_ns = interval_ns
+        self.ecn = ecn
+        self._states: List[_CoDelState] = []
+
+    def attach(self, port: PortView) -> None:
+        super().attach(port)
+        self._states = [_CoDelState() for _ in range(port.num_queues)]
+
+    def admit(self, packet: Packet, queue_index: int) -> Decision:
+        drop = self._port_tail_drop(packet)
+        if drop is not None:
+            return drop
+        return Decision.accepted()
+
+    # -- the control law (runs at dequeue) ------------------------------------------
+
+    def _control_interval(self, count: int) -> int:
+        return int(self.interval_ns / math.sqrt(max(count, 1)))
+
+    def on_dequeue(self, packet: Packet, queue_index: int) -> Decision:
+        state = self._states[queue_index]
+        now = self.port.now()
+        sojourn = now - packet.enqueued_at
+
+        if sojourn < self.target_ns:
+            # Below target: leave the dropping state.
+            state.first_above_time = None
+            state.dropping = False
+            return Decision.accepted()
+
+        if state.first_above_time is None:
+            state.first_above_time = now + self.interval_ns
+            return Decision.accepted()
+
+        if not state.dropping:
+            if now >= state.first_above_time:
+                state.dropping = True
+                state.count = max(1, state.count - 2
+                                  if state.count > 2 else 1)
+                state.drop_next = now + self._control_interval(state.count)
+                return self._congestion_action(packet)
+            return Decision.accepted()
+
+        if now >= state.drop_next:
+            state.count += 1
+            state.drop_next = now + self._control_interval(state.count)
+            return self._congestion_action(packet)
+        return Decision.accepted()
+
+    def _congestion_action(self, packet: Packet) -> Decision:
+        if self.ecn and packet.ecn_capable:
+            self.marks += 1
+            return Decision.accepted(mark=True)
+        self.drops += 1
+        return Decision.dropped("codel")

@@ -1,0 +1,46 @@
+"""Choudhury-Hahne Dynamic Threshold (DT) algorithm.
+
+The classic shared-buffer policy the paper's related-work section
+discusses: every queue's admission limit is a multiple of the *unused*
+buffer,
+
+    T(t) = alpha * (B - sum_i q_i(t)),
+
+applied here across the service queues of one port.  DT adapts to the
+number of active queues but — as the paper argues — it cannot provide
+*weighted* fairness: aggressive queues with more flows still converge to
+the same threshold as meek ones, and with equal thresholds the queue that
+fills faster wins.  Included as a comparator for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from .base import BufferManager, Decision
+
+
+class DynamicThresholdBuffer(BufferManager):
+    """Per-queue limit proportional to the remaining free buffer."""
+
+    name = "DT"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+
+    def current_threshold(self) -> float:
+        """``alpha * (B - total occupancy)`` — identical for every queue."""
+        free = self.port.buffer_bytes - self.port.total_bytes()
+        return self.alpha * max(free, 0)
+
+    def admit(self, packet: Packet, queue_index: int) -> Decision:
+        if (self.port.queue_bytes(queue_index) + packet.size
+                > self.current_threshold()):
+            self.drops += 1
+            return Decision.dropped("dynamic threshold")
+        drop = self._port_tail_drop(packet)
+        if drop is not None:
+            return drop
+        return Decision.accepted()

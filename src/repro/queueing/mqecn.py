@@ -1,0 +1,70 @@
+"""MQ-ECN (Bai et al., NSDI'16).
+
+Per-queue marking threshold derived from the scheduler's *round*:
+
+    K_i = min(quantum_i / T_round, C) * RTT * lambda
+
+where ``T_round`` is the (estimated) time for the round-robin scheduler to
+visit every active queue once.  A queue's threshold therefore tracks the
+bandwidth it actually receives this round.  The paper's critique (§II-C):
+the round concept ties MQ-ECN to round-based schedulers — it cannot be
+configured on SPQ, so it cannot protect latency-sensitive small flows, and
+a drop-based conversion would inherit the same limitation.
+
+This implementation reads the live round-time estimate from a
+:class:`~repro.queueing.schedulers.drr.DRRScheduler` bound to the port.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from ..sim.units import SECOND
+from .base import BufferManager, Decision, PortView
+from .perqueue_ecn import DEFAULT_LAMBDA
+from .schedulers.drr import DRRScheduler
+
+
+class MQECNBuffer(BufferManager):
+    """Round-time-scaled per-queue ECN marking (DRR/WRR schedulers only)."""
+
+    name = "MQ-ECN"
+
+    def __init__(self, rtt_ns: int,
+                 coefficient: float = DEFAULT_LAMBDA) -> None:
+        super().__init__()
+        self.rtt_ns = rtt_ns
+        self.coefficient = coefficient
+        self._scheduler: DRRScheduler = None
+
+    def attach(self, port: PortView) -> None:
+        super().attach(port)
+        scheduler = getattr(port, "scheduler", None)
+        if isinstance(scheduler, DRRScheduler):
+            self._scheduler = scheduler
+        else:
+            raise TypeError(
+                "MQ-ECN requires a round-based (DRR) scheduler; the round "
+                "concept is undefined for SPQ — see paper §II-C")
+
+    def marking_threshold(self, queue_index: int) -> int:
+        """``K_i`` for the current round-time estimate, in bytes."""
+        rate = self.port.link_rate_bps
+        round_ns = self._scheduler.estimated_round_time_ns(rate)
+        if round_ns <= 0:
+            service_rate = float(rate)
+        else:
+            quantum = self._scheduler.quanta[queue_index]
+            service_rate = min(quantum * 8 * SECOND / round_ns, float(rate))
+        return int(service_rate * self.rtt_ns * self.coefficient
+                   / (8 * SECOND))
+
+    def admit(self, packet: Packet, queue_index: int) -> Decision:
+        drop = self._port_tail_drop(packet)
+        if drop is not None:
+            return drop
+        mark = (packet.ecn_capable and
+                self.port.queue_bytes(queue_index)
+                > self.marking_threshold(queue_index))
+        if mark:
+            self.marks += 1
+        return Decision.accepted(mark=mark)

@@ -1,0 +1,62 @@
+"""Per-Queue ECN baseline.
+
+The naive multi-queue ECN configuration: each service queue gets a static
+marking threshold ``K_i = (w_i / sum(w)) * C * RTT * lambda`` and a packet
+is CE-marked whenever its queue already holds more than ``K_i`` bytes.
+This is the "Per-Queue ECN" comparator of Fig. 9; with many queues each
+``K_i`` becomes tiny and throughput collapses, which is exactly why MQ-ECN
+and PMSB were proposed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..net.packet import Packet
+from ..sim.units import SECOND
+from .base import BufferManager, Decision, PortView
+
+# Default ECN coefficient.  The testbed sets K = 30 KB at 1 Gbps / 500 us
+# (BDP 62.5 KB), i.e. lambda ~= 0.48; the same value reproduces TCN's
+# 240 us sojourn threshold.
+DEFAULT_LAMBDA = 0.48
+
+
+def ecn_threshold_bytes(rate_bps: int, rtt_ns: int,
+                        coefficient: float) -> int:
+    """``C * RTT * lambda`` in bytes — the standard marking threshold."""
+    return int(rate_bps * rtt_ns * coefficient / (8 * SECOND))
+
+
+class PerQueueECNBuffer(BufferManager):
+    """Static per-queue ECN marking thresholds."""
+
+    name = "PerQueueECN"
+
+    def __init__(self, rtt_ns: int,
+                 coefficient: float = DEFAULT_LAMBDA) -> None:
+        super().__init__()
+        self.rtt_ns = rtt_ns
+        self.coefficient = coefficient
+        self.queue_thresholds: List[int] = []
+
+    def attach(self, port: PortView) -> None:
+        super().attach(port)
+        weights = port.queue_weights()
+        total = sum(weights)
+        port_threshold = ecn_threshold_bytes(
+            port.link_rate_bps, self.rtt_ns, self.coefficient)
+        self.queue_thresholds = [
+            int(port_threshold * weight / total) for weight in weights
+        ]
+
+    def admit(self, packet: Packet, queue_index: int) -> Decision:
+        drop = self._port_tail_drop(packet)
+        if drop is not None:
+            return drop
+        mark = (packet.ecn_capable and
+                self.port.queue_bytes(queue_index)
+                > self.queue_thresholds[queue_index])
+        if mark:
+            self.marks += 1
+        return Decision.accepted(mark=mark)

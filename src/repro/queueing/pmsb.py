@@ -1,0 +1,61 @@
+"""PMSB — Per-port Marking with Selective Blindness (Pan et al., ICDCS'18).
+
+PMSB marks a packet only when **both** conditions hold at once:
+
+* port condition:      total occupancy > ``K   = C * RTT * lambda``
+* queue condition:     queue occupancy > ``K_i = (w_i/sum(w)) * C * RTT * lambda``
+
+The port condition makes the scheme scheduler-agnostic (unlike MQ-ECN's
+round-based thresholds) while the queue condition keeps small queues blind
+to congestion caused by others.  The paper notes ``K_i <= K``, so the
+*dropping* version of PMSB behaves like PQL — which is why DynaQ adopts
+PMSB only for its optional ECN mode rather than as a drop policy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..net.packet import Packet
+from .base import BufferManager, Decision, PortView
+from .perqueue_ecn import DEFAULT_LAMBDA, ecn_threshold_bytes
+
+
+class PMSBBuffer(BufferManager):
+    """Per-port + per-queue simultaneous ECN marking."""
+
+    name = "PMSB"
+
+    def __init__(self, rtt_ns: int,
+                 coefficient: float = DEFAULT_LAMBDA) -> None:
+        super().__init__()
+        self.rtt_ns = rtt_ns
+        self.coefficient = coefficient
+        self.port_threshold = 0
+        self.queue_thresholds: List[int] = []
+
+    def attach(self, port: PortView) -> None:
+        super().attach(port)
+        self.port_threshold = ecn_threshold_bytes(
+            port.link_rate_bps, self.rtt_ns, self.coefficient)
+        weights = port.queue_weights()
+        total = sum(weights)
+        self.queue_thresholds = [
+            int(self.port_threshold * weight / total) for weight in weights
+        ]
+
+    def should_mark(self, packet: Packet, queue_index: int) -> bool:
+        """The PMSB double condition (reused by DynaQ's ECN mode)."""
+        return (packet.ecn_capable
+                and self.port.total_bytes() > self.port_threshold
+                and self.port.queue_bytes(queue_index)
+                > self.queue_thresholds[queue_index])
+
+    def admit(self, packet: Packet, queue_index: int) -> Decision:
+        drop = self._port_tail_drop(packet)
+        if drop is not None:
+            return drop
+        mark = self.should_mark(packet, queue_index)
+        if mark:
+            self.marks += 1
+        return Decision.accepted(mark=mark)

@@ -1,0 +1,112 @@
+"""RED / WRED — Random Early Detection (Floyd & Jacobson, 1993).
+
+The classic AQM underlying all the ECN work the paper builds on: keep an
+EWMA of the queue length and, between ``min_th`` and ``max_th``, drop (or
+CE-mark) arrivals with a probability that ramps up to ``max_p``; above
+``max_th`` drop everything.  The *weighted* variant (WRED) scales the
+thresholds per service queue by scheduler weight, which is the closest
+classic-AQM analogue of the paper's per-queue threshold idea — and a
+useful extra baseline: WRED's thresholds are static, so it inherits PQL's
+work-conservation problem in marking form.
+
+The gentle ramp and per-queue averaging follow the standard formulation;
+counting-based dropping (``count`` since last drop) is included so the
+drop process is uniformly spread, as in the original paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..net.packet import Packet
+from .base import BufferManager, Decision, PortView
+
+DEFAULT_WEIGHT = 0.002     # EWMA gain for the average queue length
+DEFAULT_MAX_P = 0.1        # marking probability at max_th
+
+
+class REDBuffer(BufferManager):
+    """Per-queue RED with optional ECN marking (WRED when weighted).
+
+    ``min_th``/``max_th`` default to 20 % / 60 % of each queue's
+    weight-proportional share of the port buffer.
+    """
+
+    name = "RED"
+
+    def __init__(self, *, min_th_fraction: float = 0.2,
+                 max_th_fraction: float = 0.6,
+                 max_p: float = DEFAULT_MAX_P,
+                 ewma_weight: float = DEFAULT_WEIGHT,
+                 ecn: bool = True,
+                 seed: int = 20200426) -> None:
+        if not 0 < min_th_fraction < max_th_fraction <= 1:
+            raise ValueError("need 0 < min_th < max_th <= 1 (fractions)")
+        if not 0 < max_p <= 1:
+            raise ValueError(f"max_p must be in (0, 1], got {max_p}")
+        super().__init__()
+        self.min_th_fraction = min_th_fraction
+        self.max_th_fraction = max_th_fraction
+        self.max_p = max_p
+        self.ewma_weight = ewma_weight
+        self.ecn = ecn
+        self._seed = seed
+        self.min_th: List[int] = []
+        self.max_th: List[int] = []
+        self.avg: List[float] = []
+        self._count: List[int] = []
+        self._rng = None
+
+    def attach(self, port: PortView) -> None:
+        super().attach(port)
+        self._rng = random.Random(self._seed)
+        weights = port.queue_weights()
+        total = sum(weights)
+        shares = [int(port.buffer_bytes * w / total) for w in weights]
+        self.min_th = [int(s * self.min_th_fraction) for s in shares]
+        self.max_th = [int(s * self.max_th_fraction) for s in shares]
+        self.avg = [0.0] * port.num_queues
+        self._count = [0] * port.num_queues
+
+    def _update_average(self, queue_index: int) -> float:
+        current = self.port.queue_bytes(queue_index)
+        self.avg[queue_index] += self.ewma_weight * (
+            current - self.avg[queue_index])
+        return self.avg[queue_index]
+
+    def _mark_probability(self, queue_index: int, avg: float) -> float:
+        span = self.max_th[queue_index] - self.min_th[queue_index]
+        if span <= 0:
+            return self.max_p
+        base = self.max_p * (avg - self.min_th[queue_index]) / span
+        # Uniform spreading: scale by the count since the last action.
+        denominator = 1 - self._count[queue_index] * base
+        if denominator <= 0:
+            return 1.0
+        return min(base / denominator, 1.0)
+
+    def admit(self, packet: Packet, queue_index: int) -> Decision:
+        drop = self._port_tail_drop(packet)
+        if drop is not None:
+            return drop
+        avg = self._update_average(queue_index)
+        if avg < self.min_th[queue_index]:
+            self._count[queue_index] = 0
+            return Decision.accepted()
+        if avg >= self.max_th[queue_index]:
+            self._count[queue_index] = 0
+            return self._congestion_action(packet, "red max threshold")
+        probability = self._mark_probability(queue_index, avg)
+        self._count[queue_index] += 1
+        if self._rng.random() < probability:
+            self._count[queue_index] = 0
+            return self._congestion_action(packet, "red early")
+        return Decision.accepted()
+
+    def _congestion_action(self, packet: Packet, reason: str) -> Decision:
+        if self.ecn and packet.ecn_capable:
+            self.marks += 1
+            return Decision.accepted(mark=True)
+        self.drops += 1
+        return Decision.dropped(reason)

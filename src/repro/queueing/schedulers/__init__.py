@@ -1,0 +1,20 @@
+"""Work-conserving packet schedulers: FIFO, DRR, WRR, SPQ, SPQ/DRR."""
+
+from .base import QueueView, Scheduler, validate_weights
+from .drr import DRRScheduler
+from .fifo import FIFOScheduler
+from .spq import SPQDRRScheduler, SPQScheduler
+from .wfq import WFQScheduler
+from .wrr import WRRScheduler
+
+__all__ = [
+    "QueueView",
+    "Scheduler",
+    "validate_weights",
+    "DRRScheduler",
+    "FIFOScheduler",
+    "SPQDRRScheduler",
+    "SPQScheduler",
+    "WFQScheduler",
+    "WRRScheduler",
+]

@@ -1,0 +1,65 @@
+"""Packet-scheduler interface.
+
+A scheduler decides, each time the link becomes free, which service queue
+the egress port should dequeue from next.  Schedulers never touch packets:
+they see queue state through the :class:`QueueView` protocol the port
+implements (head-of-line packet size, emptiness) and return a queue index.
+
+All schedulers here are **work-conserving**: if any queue holds a packet,
+``select`` returns an index; ``None`` means every queue is empty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence
+
+
+class QueueView(Protocol):
+    """What a scheduler is allowed to observe about the port's queues."""
+
+    def queue_empty(self, index: int) -> bool:
+        """True if service queue ``index`` holds no packets."""
+        ...
+
+    def head_size(self, index: int) -> int:
+        """Wire size (bytes) of the head-of-line packet of queue ``index``.
+
+        Undefined when the queue is empty; schedulers must check first.
+        """
+        ...
+
+
+class Scheduler:
+    """Base class for packet schedulers."""
+
+    def __init__(self, num_queues: int) -> None:
+        if num_queues <= 0:
+            raise ValueError(f"need at least one queue, got {num_queues}")
+        self.num_queues = num_queues
+
+    def on_enqueue(self, index: int) -> None:
+        """Notification that a packet was enqueued into queue ``index``."""
+
+    def select(self, queues: QueueView) -> Optional[int]:
+        """Return the queue index to dequeue from, or ``None`` if all empty."""
+        raise NotImplementedError
+
+    @property
+    def weights(self) -> List[float]:
+        """Relative service weights per queue (used by buffer managers).
+
+        Defaults to equal weights; weighted schedulers override this so
+        that DynaQ/PQL/PMSB thresholds respect the scheduling policy.
+        """
+        return [1.0] * self.num_queues
+
+
+def validate_weights(weights: Sequence[float]) -> List[float]:
+    """Check that ``weights`` are positive and return them as a list."""
+    result = list(weights)
+    if not result:
+        raise ValueError("weights must be non-empty")
+    for weight in result:
+        if weight <= 0:
+            raise ValueError(f"weights must be positive, got {result}")
+    return result

@@ -1,0 +1,99 @@
+"""Strict Priority Queueing and the SPQ/DRR hybrid.
+
+SPQ always serves the lowest-indexed non-empty queue.  The hybrid mirrors
+the paper's dynamic-flow configuration: queue 0 is a shared high-priority
+SPQ queue (fed by PIAS with the first 100 KB of every flow) and the
+remaining queues are dedicated DRR service queues served only when the SPQ
+queue is empty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .base import QueueView, Scheduler, validate_weights
+from .drr import DRRScheduler
+
+
+class SPQScheduler(Scheduler):
+    """Pure strict priority: queue 0 is highest priority."""
+
+    def __init__(self, num_queues: int,
+                 weights: Optional[Sequence[float]] = None) -> None:
+        super().__init__(num_queues=num_queues)
+        if weights is None:
+            self._weights = [1.0] * num_queues
+        else:
+            self._weights = validate_weights(weights)
+            if len(self._weights) != num_queues:
+                raise ValueError("weights length must equal num_queues")
+
+    @property
+    def weights(self) -> List[float]:
+        return list(self._weights)
+
+    def select(self, queues: QueueView) -> Optional[int]:
+        for index in range(self.num_queues):
+            if not queues.queue_empty(index):
+                return index
+        return None
+
+
+class _OffsetQueueView:
+    """Expose queues ``[offset, offset+n)`` of a port as queues ``[0, n)``.
+
+    Lets the embedded DRR scheduler of the hybrid operate on the low-priority
+    queues without knowing about the SPQ queue in front of them.
+    """
+
+    __slots__ = ("_queues", "_offset")
+
+    def __init__(self, queues: QueueView, offset: int) -> None:
+        self._queues = queues
+        self._offset = offset
+
+    def queue_empty(self, index: int) -> bool:
+        return self._queues.queue_empty(index + self._offset)
+
+    def head_size(self, index: int) -> int:
+        return self._queues.head_size(index + self._offset)
+
+
+class SPQDRRScheduler(Scheduler):
+    """SPQ over DRR: queues ``[0, num_high)`` strict, the rest DRR.
+
+    This is the paper's "SPQ (1 queue) / DRR (N queues)" switch
+    configuration used in every FCT experiment.
+    """
+
+    def __init__(self, num_high: int, drr_quanta: Sequence[float]) -> None:
+        if num_high < 1:
+            raise ValueError("need at least one strict-priority queue")
+        quanta = validate_weights(drr_quanta)
+        super().__init__(num_queues=num_high + len(quanta))
+        self.num_high = num_high
+        self.drr = DRRScheduler(quanta)
+
+    def bind_clock(self, clock) -> None:
+        """Forward the simulation clock to the embedded DRR scheduler."""
+        self.drr.bind_clock(clock)
+
+    @property
+    def weights(self) -> List[float]:
+        # The SPQ queue has no fair-share weight; buffer managers treat it
+        # like any other queue, so give it one quantum's worth of weight.
+        high = [max(self.drr.quanta)] * self.num_high
+        return high + list(self.drr.quanta)
+
+    def on_enqueue(self, index: int) -> None:
+        if index >= self.num_high:
+            self.drr.on_enqueue(index - self.num_high)
+
+    def select(self, queues: QueueView) -> Optional[int]:
+        for index in range(self.num_high):
+            if not queues.queue_empty(index):
+                return index
+        low = self.drr.select(_OffsetQueueView(queues, self.num_high))
+        if low is None:
+            return None
+        return low + self.num_high

@@ -1,0 +1,80 @@
+"""Weighted Fair Queueing (packet-by-packet GPS approximation).
+
+The idealised fair scheduler DRR approximates.  Each packet gets a
+*virtual finish time*
+
+    F = max(V, F_prev_of_queue) + size / weight
+
+where ``V`` is the system virtual time (advanced to the finish time of
+the last served packet in this O(1)-virtual-time simplification — the
+"start-time fair queueing"-flavoured variant that avoids tracking the
+GPS fluid system).  The port serves the queue whose head has the
+smallest finish time.  WFQ gives tighter short-term fairness than DRR at
+the cost of a priority computation per dequeue — the classic trade the
+paper's §II background takes as given.
+
+Included for scheduler-coverage completeness; the paper's experiments
+use DRR/WRR/SPQ, and all buffer managers run unchanged under WFQ
+(`tests/test_matrix.py` exercises the combinations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .base import QueueView, Scheduler, validate_weights
+
+
+class WFQScheduler(Scheduler):
+    """Virtual-finish-time weighted fair queueing."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weight_list = validate_weights(weights)
+        super().__init__(num_queues=len(weight_list))
+        self._weights = weight_list
+        self._virtual_time = 0.0
+        self._queue_finish: List[float] = [0.0] * self.num_queues
+        # Finish tags of packets currently in each queue, FIFO order.
+        self._tags: List[List[float]] = [[] for _ in range(self.num_queues)]
+
+    @property
+    def weights(self) -> List[float]:
+        return list(self._weights)
+
+    def on_enqueue(self, index: int) -> None:
+        # The packet's size is not visible at on_enqueue time through the
+        # scheduler interface; tag lazily in select() instead.
+        pass
+
+    def _ensure_tag(self, queues: QueueView, index: int) -> None:
+        """Tag the head packet of ``index`` if it has no finish time yet.
+
+        Tags are assigned in FIFO order as packets become heads, which is
+        equivalent to tagging at enqueue for per-queue FIFO service.
+        """
+        if not self._tags[index] and not queues.queue_empty(index):
+            size = queues.head_size(index)
+            start = max(self._virtual_time, self._queue_finish[index])
+            finish = start + size / self._weights[index]
+            self._tags[index].append(finish)
+            self._queue_finish[index] = finish
+
+    def select(self, queues: QueueView) -> Optional[int]:
+        best_index: Optional[int] = None
+        best_finish = 0.0
+        for index in range(self.num_queues):
+            if queues.queue_empty(index):
+                # A drained queue's pending tag (from a dropped packet
+                # scenario) is stale; clear it.
+                self._tags[index].clear()
+                continue
+            self._ensure_tag(queues, index)
+            finish = self._tags[index][0]
+            if best_index is None or finish < best_finish:
+                best_index = index
+                best_finish = finish
+        if best_index is None:
+            return None
+        self._tags[best_index].pop(0)
+        self._virtual_time = max(self._virtual_time, best_finish)
+        return best_index

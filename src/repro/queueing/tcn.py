@@ -1,0 +1,64 @@
+"""TCN — ECN over generic packet scheduling via sojourn time (CoNEXT'16).
+
+TCN replaces queue-length thresholds with the packet's **sojourn time**:
+when a packet is dequeued after spending more than ``T = RTT * lambda`` in
+the buffer, it is CE-marked.  Because the sojourn time is only known at
+dequeue, TCN is inherently a *dequeue-marking* scheme.
+
+The module also implements the **drop variant** the paper's §II-C uses to
+argue that TCN cannot simply be converted into a protocol-independent
+dropper: dropping the just-dequeued packet (a) idles the link for the slot
+the packet would have used and (b) wastes the buffering the packet already
+consumed, inflating FCT by the sojourn time plus an RTO.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from .base import BufferManager, Decision, PortView
+from .perqueue_ecn import DEFAULT_LAMBDA
+from ..sim.units import SECOND
+
+
+class TCNBuffer(BufferManager):
+    """Sojourn-time ECN marking at dequeue (plus port tail drop)."""
+
+    name = "TCN"
+
+    def __init__(self, rtt_ns: int, coefficient: float = DEFAULT_LAMBDA,
+                 drop_variant: bool = False) -> None:
+        super().__init__()
+        self.sojourn_threshold_ns = int(rtt_ns * coefficient)
+        self.drop_variant = drop_variant
+        if drop_variant:
+            self.name = "TCN-drop"
+        self.dequeue_drops = 0
+
+    def attach(self, port: PortView) -> None:
+        super().attach(port)
+
+    def admit(self, packet: Packet, queue_index: int) -> Decision:
+        drop = self._port_tail_drop(packet)
+        if drop is not None:
+            return drop
+        return Decision.accepted()
+
+    def on_dequeue(self, packet: Packet, queue_index: int) -> Decision:
+        sojourn = self.port.now() - packet.enqueued_at
+        if sojourn <= self.sojourn_threshold_ns:
+            return Decision.accepted()
+        if self.drop_variant:
+            # The paper's thought experiment: drop the packet we already
+            # paid to buffer and schedule.  The transmission slot is lost.
+            self.dequeue_drops += 1
+            self.drops += 1
+            return Decision.dropped("sojourn time exceeded")
+        if packet.ecn_capable:
+            self.marks += 1
+            return Decision.accepted(mark=True)
+        return Decision.accepted()
+
+    @property
+    def sojourn_threshold_us(self) -> float:
+        """The threshold in microseconds (the paper quotes 240 us)."""
+        return self.sojourn_threshold_ns * 1e6 / SECOND

@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel: event loop, clock units, RNG, tracing."""
+
+from . import units
+from .engine import Event, Simulator
+from .errors import (
+    ConfigurationError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TransportError,
+)
+from .randomness import RandomStreams, stable_hash
+from .trace import TraceBus
+
+__all__ = [
+    "units",
+    "Event",
+    "Simulator",
+    "ConfigurationError",
+    "ReproError",
+    "RoutingError",
+    "SimulationError",
+    "TransportError",
+    "RandomStreams",
+    "stable_hash",
+    "TraceBus",
+]

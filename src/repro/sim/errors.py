@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package.
+
+A single root (:class:`ReproError`) lets callers catch everything raised by
+this library without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The event loop was used incorrectly (e.g. scheduling in the past)."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, device, or scheme was configured inconsistently."""
+
+
+class RoutingError(ReproError):
+    """No route exists for a packet, or a forwarding table is malformed."""
+
+
+class TransportError(ReproError):
+    """A transport connection was driven through an invalid state change."""

@@ -1,0 +1,55 @@
+"""Lightweight tracing / probe hooks.
+
+Components publish events ("packet dropped", "queue length changed", ...) to
+a :class:`TraceBus`; metric collectors subscribe to the topics they care
+about.  Publishing to a topic with no subscribers is a dict lookup and a
+truth test, so tracing can stay compiled-in without slowing down large
+simulations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, DefaultDict, List
+
+Subscriber = Callable[..., None]
+
+
+class TraceBus:
+    """Minimal publish/subscribe bus keyed by string topics."""
+
+    def __init__(self) -> None:
+        self._subscribers: DefaultDict[str, List[Subscriber]] = defaultdict(list)
+
+    def subscribe(self, topic: str, callback: Subscriber) -> None:
+        """Register ``callback`` to be invoked on every ``publish(topic)``."""
+        self._subscribers[topic].append(callback)
+
+    def unsubscribe(self, topic: str, callback: Subscriber) -> None:
+        """Remove a previously registered callback (no-op if absent)."""
+        callbacks = self._subscribers.get(topic)
+        if callbacks and callback in callbacks:
+            callbacks.remove(callback)
+
+    def publish(self, topic: str, *args: Any, **kwargs: Any) -> None:
+        """Invoke every subscriber of ``topic`` with the given payload."""
+        callbacks = self._subscribers.get(topic)
+        if callbacks:
+            for callback in list(callbacks):
+                callback(*args, **kwargs)
+
+    def has_subscribers(self, topic: str) -> bool:
+        """True if publishing to ``topic`` would call anyone."""
+        return bool(self._subscribers.get(topic))
+
+
+# Well-known topics used across the package.  Collectors import these
+# constants instead of spelling the strings so typos fail loudly.
+TOPIC_PACKET_DROP = "packet.drop"
+TOPIC_PACKET_ENQUEUE = "packet.enqueue"
+TOPIC_PACKET_DEQUEUE = "packet.dequeue"
+TOPIC_PACKET_MARK = "packet.mark"
+TOPIC_PACKET_DELIVERED = "packet.delivered"
+TOPIC_FLOW_START = "flow.start"
+TOPIC_FLOW_COMPLETE = "flow.complete"
+TOPIC_THRESHOLD_CHANGE = "dynaq.threshold"

@@ -1,0 +1,30 @@
+"""End-host transports: TCP (NewReno), CUBIC, DCTCP, RTO, PIAS tagging."""
+
+from .base import Flow, FlowReceiver, TransportSender, segment_sizes, wire_size
+from .cubic import CubicSender
+from .dctcp import DCTCPSender
+from .ecn_tcp import ECNTCPSender
+from .pias import DEFAULT_DEMOTION_THRESHOLD, PIASConfig
+from .registry import available_protocols, sender_class
+from .rto import DEFAULT_MIN_RTO_NS, RTOEstimator
+from .tcp import TCPSender
+from .vegas import VegasSender
+
+__all__ = [
+    "Flow",
+    "FlowReceiver",
+    "TransportSender",
+    "segment_sizes",
+    "wire_size",
+    "CubicSender",
+    "DCTCPSender",
+    "ECNTCPSender",
+    "DEFAULT_DEMOTION_THRESHOLD",
+    "PIASConfig",
+    "available_protocols",
+    "sender_class",
+    "DEFAULT_MIN_RTO_NS",
+    "RTOEstimator",
+    "TCPSender",
+    "VegasSender",
+]

@@ -1,0 +1,185 @@
+"""Transport-layer foundations: flows, receiver endpoint, sender interface.
+
+The transports are deliberately *window-based models*, not byte-faithful
+TCP stacks: the paper's mechanisms live in the switch, and what the
+end-host must contribute is (a) filling the pipe, (b) reacting to loss or
+ECN, and (c) carrying per-packet service-class tags.  Everything else
+(SACK blocks, window scaling, Nagle, ...) is irrelevant to the reproduced
+behaviour and is omitted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..net.packet import ACK_BYTES, HEADER_BYTES, Packet
+from ..sim.errors import TransportError
+
+
+class Flow:
+    """One unidirectional transfer of ``size`` bytes.
+
+    ``service_class`` is the DSCP-derived traffic class; with PIAS enabled
+    (``pias_threshold`` set, the paper uses 100 KB), bytes below the
+    threshold are tagged class 0 (the shared SPQ queue) and the rest ride
+    the flow's own service class — the two-level priority classification
+    of the dynamic-flow experiments.
+    """
+
+    __slots__ = ("flow_id", "src", "dst", "size", "service_class",
+                 "pias_threshold", "start_time", "ecn")
+
+    def __init__(self, flow_id: int, src: str, dst: str, size: int, *,
+                 service_class: int = 0,
+                 pias_threshold: Optional[int] = None,
+                 start_time: int = 0, ecn: bool = False) -> None:
+        if size <= 0:
+            raise TransportError(f"flow {flow_id} has non-positive size")
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.service_class = service_class
+        self.pias_threshold = pias_threshold
+        self.start_time = start_time
+        self.ecn = ecn
+
+    def class_for_offset(self, offset: int) -> int:
+        """Service class of the packet whose payload starts at ``offset``."""
+        if self.pias_threshold is not None and offset < self.pias_threshold:
+            return 0
+        return self.service_class
+
+
+class FlowReceiver:
+    """Receiver endpoint: reassembly + cumulative ACKs.
+
+    ACKs echo the data packet's CE bit (``ece``), its send timestamp
+    (``ts_echo``, suppressed for retransmitted segments so RTT samples obey
+    Karn's rule), and its service class (so high-priority data gets
+    high-priority ACKs).
+
+    By default every data packet is ACKed immediately (the model used for
+    all paper experiments — it matches DCTCP's intended per-packet CE
+    feedback exactly).  With ``delayed_ack=True`` the receiver follows the
+    RFC 1122 rules instead: ACK every second segment, or after
+    ``delack_timeout_ns``, but immediately on out-of-order data or a CE
+    mark.  Delayed ACKs make the ACK clock burstier, which is one of the
+    reasons real testbeds show stronger best-effort unfairness than the
+    smooth default model (see EXPERIMENTS.md).
+    """
+
+    def __init__(self, sim, host, flow_id: int, *,
+                 delayed_ack: bool = False,
+                 delack_timeout_ns: int = 1_000_000) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.next_expected = 0
+        self._out_of_order: Dict[int, int] = {}  # seq -> end_seq
+        self.received_bytes = 0
+        self.duplicate_packets = 0
+        self.delayed_ack = delayed_ack
+        self.delack_timeout_ns = delack_timeout_ns
+        self._unacked_segments = 0
+        self._delack_event = None
+        self._last_data: Optional[Packet] = None
+        self.acks_sent = 0
+
+    def on_data(self, packet: Packet) -> None:
+        """Absorb a data packet and emit (or schedule) the ACK."""
+        in_order = packet.seq == self.next_expected
+        if in_order:
+            self.next_expected = packet.end_seq
+            self.received_bytes += packet.payload
+            while self.next_expected in self._out_of_order:
+                end = self._out_of_order.pop(self.next_expected)
+                self.received_bytes += end - self.next_expected
+                self.next_expected = end
+        elif packet.seq > self.next_expected:
+            if packet.seq not in self._out_of_order:
+                self._out_of_order[packet.seq] = packet.end_seq
+            else:
+                self.duplicate_packets += 1
+        else:
+            self.duplicate_packets += 1
+
+        if not self.delayed_ack:
+            self._send_ack(packet)
+            return
+        self._unacked_segments += 1
+        self._last_data = packet
+        must_ack_now = (not in_order or packet.ecn_ce
+                        or self._unacked_segments >= 2)
+        if must_ack_now:
+            self._flush_ack()
+        elif self._delack_event is None:
+            self._delack_event = self.sim.schedule(
+                self.delack_timeout_ns, self._flush_ack)
+
+    def _flush_ack(self) -> None:
+        if self._last_data is not None:
+            self._send_ack(self._last_data)
+        self._unacked_segments = 0
+        self.sim.cancel(self._delack_event)
+        self._delack_event = None
+
+    def _send_ack(self, data_packet: Packet) -> None:
+        ack = Packet(
+            flow_id=self.flow_id, src=self.host.name, dst=data_packet.src,
+            size=ACK_BYTES, service_class=data_packet.service_class,
+            ecn_capable=False, is_ack=True, ack_seq=self.next_expected,
+            created_at=self.sim.now)
+        ack.ece = data_packet.ecn_ce
+        if not data_packet.retransmitted:
+            ack.ts_echo = data_packet.created_at
+        self.acks_sent += 1
+        self.host.send_packet(ack)
+
+
+class TransportSender:
+    """Interface every sender-side transport implements."""
+
+    protocol = "base"
+
+    def __init__(self, sim, host, flow: Flow) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow = flow
+        self.started_at: Optional[int] = None
+        self.completed_at: Optional[int] = None
+
+    def start(self) -> None:
+        """Begin transmitting the flow."""
+        raise NotImplementedError
+
+    def on_ack(self, packet: Packet) -> None:
+        """Handle an arriving ACK."""
+        raise NotImplementedError
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+    def fct_ns(self) -> int:
+        """Flow completion time (start of flow to last byte acked)."""
+        if self.started_at is None or self.completed_at is None:
+            raise TransportError(
+                f"flow {self.flow.flow_id} has not completed")
+        return self.completed_at - self.started_at
+
+
+def segment_sizes(flow_size: int, mss: int) -> List[Tuple[int, int]]:
+    """Split a flow into ``(seq, end_seq)`` segments of at most ``mss``."""
+    segments = []
+    offset = 0
+    while offset < flow_size:
+        end = min(offset + mss, flow_size)
+        segments.append((offset, end))
+        offset = end
+    return segments
+
+
+def wire_size(payload: int) -> int:
+    """Payload bytes to on-the-wire packet size."""
+    return payload + HEADER_BYTES

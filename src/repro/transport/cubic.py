@@ -1,0 +1,82 @@
+"""CUBIC sender model (RFC 8312 shape).
+
+CUBIC grows the window as a cubic function of *wall-clock time* since the
+last loss instead of per-ACK AIMD, which makes it markedly more aggressive
+than Reno on long-RTT or large-BDP paths.  In the paper it plays the role
+of "a different generic transport protocol" in the protocol-mix experiment
+(Fig. 7): queues 3-4 run CUBIC against queues 1-2 running TCP, and DynaQ
+must keep the shares fair anyway.
+
+The implementation follows the standard structure: on a loss event record
+``W_max``, shrink by ``beta = 0.7``, and afterwards chase the target
+
+    W_cubic(t) = C * (t - K)^3 + W_max,   K = cbrt(W_max * (1 - beta) / C)
+
+with windows measured in segments and ``C = 0.4 segments/s^3``.  A
+TCP-friendly floor (the Reno-equivalent window estimate) keeps CUBIC from
+underperforming Reno at small windows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .tcp import TCPSender
+
+CUBIC_C = 0.4     # segments per second cubed
+CUBIC_BETA = 0.7  # multiplicative decrease factor
+
+
+class CubicSender(TCPSender):
+    """CUBIC congestion control on top of the TCP sender machinery."""
+
+    protocol = "cubic"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.w_max_segments = 0.0
+        self._epoch_start: Optional[int] = None
+        self._k_seconds = 0.0
+        self._epoch_cwnd_segments = 0.0
+
+    # -- congestion control hooks -------------------------------------------------
+
+    def _on_loss_event(self) -> None:
+        cwnd_segments = self.cwnd / self.mss
+        self.w_max_segments = cwnd_segments
+        self.ssthresh = max(self.cwnd * CUBIC_BETA, float(2 * self.mss))
+        self._epoch_start = None
+
+    def _on_rto(self) -> None:
+        # A timeout also ends the cubic epoch.
+        self._epoch_start = None
+        self.w_max_segments = self.cwnd / self.mss
+        super()._on_rto()
+
+    def _on_new_ack_cc(self, newly_acked: int) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked
+            return
+        now = self.sim.now
+        if self._epoch_start is None:
+            self._epoch_start = now
+            self._epoch_cwnd_segments = self.cwnd / self.mss
+            origin = max(self.w_max_segments, self._epoch_cwnd_segments)
+            self._k_seconds = ((origin - self._epoch_cwnd_segments)
+                               / CUBIC_C) ** (1 / 3) if origin > 0 else 0.0
+        elapsed = (now - self._epoch_start) / 1e9
+        origin = max(self.w_max_segments, self._epoch_cwnd_segments)
+        target = (CUBIC_C * (elapsed - self._k_seconds) ** 3 + origin)
+        cwnd_segments = self.cwnd / self.mss
+        # TCP-friendly region: never slower than Reno's AIMD estimate.
+        rtt_seconds = ((self.rto.srtt_ns or 1e6) / 1e9)
+        friendly = (self.w_max_segments * CUBIC_BETA
+                    + 3 * (1 - CUBIC_BETA) / (1 + CUBIC_BETA)
+                    * elapsed / max(rtt_seconds, 1e-9))
+        target = max(target, friendly)
+        if target > cwnd_segments:
+            # Spread the climb to the target over roughly one RTT of ACKs.
+            self.cwnd += ((target - cwnd_segments) / cwnd_segments) * self.mss
+        else:
+            # Deep in the concave plateau: probe very gently.
+            self.cwnd += 0.01 * self.mss

@@ -1,0 +1,66 @@
+"""DCTCP sender model (Alizadeh et al., SIGCOMM'10).
+
+DCTCP is the ECN-based transport the paper pairs with TCN, MQ-ECN, PMSB,
+and Per-Queue ECN in the Fig. 9 comparison.  The sender keeps an EWMA
+``alpha`` of the fraction of CE-marked bytes per window,
+
+    alpha <- (1 - g) * alpha + g * F,      g = 1/16,
+
+and on a window containing marks shrinks ``cwnd`` by ``alpha / 2`` —
+proportional to the *extent* of congestion rather than the fixed halving
+of Reno.  Loss handling (fast retransmit, RTO) is inherited unchanged.
+
+All DCTCP data packets are ECN-capable; the per-packet-ACK receiver model
+echoes CE marks exactly (the real protocol's delayed-ACK state machine
+exists to approximate this, so the model is faithful).
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from .base import Flow
+from .tcp import TCPSender
+
+DCTCP_G = 1 / 16
+
+
+class DCTCPSender(TCPSender):
+    """DCTCP congestion control on top of the TCP sender machinery."""
+
+    protocol = "dctcp"
+
+    def __init__(self, sim, host, flow: Flow, **kwargs) -> None:
+        flow.ecn = True  # DCTCP is ECN-capable by definition
+        super().__init__(sim, host, flow, **kwargs)
+        self.alpha = 1.0           # conservative start, as in the paper's code
+        self._window_end = 0       # high_ack value ending the current window
+        self._acked_in_window = 0
+        self._marked_in_window = 0
+        self._pending_mark = False
+
+    def _on_ecn_echo(self, packet: Packet) -> None:
+        # Attribute the echo to the bytes this ACK covers; counted in
+        # _on_new_ack_cc via the flag below.
+        self._pending_mark = True
+
+    def _on_new_ack_cc(self, newly_acked: int) -> None:
+        self._acked_in_window += newly_acked
+        if self._pending_mark:
+            self._marked_in_window += newly_acked
+            self._pending_mark = False
+        if self.high_ack >= self._window_end:
+            self._end_window()
+        # Growth is standard TCP (slow start / AIMD).
+        super()._on_new_ack_cc(newly_acked)
+
+    def _end_window(self) -> None:
+        if self._acked_in_window > 0:
+            fraction = self._marked_in_window / self._acked_in_window
+            self.alpha += DCTCP_G * (fraction - self.alpha)
+            if self._marked_in_window > 0:
+                self.cwnd = max(self.cwnd * (1 - self.alpha / 2),
+                                float(self.mss))
+                self.ssthresh = self.cwnd
+        self._acked_in_window = 0
+        self._marked_in_window = 0
+        self._window_end = self.next_seq

@@ -1,0 +1,39 @@
+"""Classic ECN-enabled TCP (RFC 3168 semantics on the Reno base).
+
+DCTCP reacts to the *fraction* of marked bytes; classic ECN-TCP treats
+any ECN echo in a window exactly like a packet loss — one multiplicative
+decrease per round trip, with no retransmission.  The paper's ECN-based
+comparators all use DCTCP, but classic ECN-TCP rounds out the transport
+matrix for protocol-independence experiments (DynaQ must coexist with it
+like with any other generic transport) and for the coarse-vs-fine
+congestion-signal comparison MQ-ECN's authors motivate.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from .base import Flow
+from .tcp import TCPSender
+
+
+class ECNTCPSender(TCPSender):
+    """Reno with RFC 3168 ECN reaction (halve once per window on ECE)."""
+
+    protocol = "ecn-tcp"
+
+    def __init__(self, sim, host, flow: Flow, **kwargs) -> None:
+        flow.ecn = True
+        super().__init__(sim, host, flow, **kwargs)
+        self._cwr_until = 0  # ignore further echoes below this seq
+        self.ecn_reductions = 0
+
+    def _on_ecn_echo(self, packet: Packet) -> None:
+        # One reduction per window of data (congestion-window-reduced
+        # state): echoes for bytes below the recorded boundary are the
+        # same congestion event.
+        if packet.ack_seq < self._cwr_until:
+            return
+        self.ssthresh = max(self.cwnd / 2, float(2 * self.mss))
+        self.cwnd = self.ssthresh
+        self._cwr_until = self.next_seq
+        self.ecn_reductions += 1

@@ -1,0 +1,44 @@
+"""PIAS two-level flow classification (Bai et al., NSDI'15).
+
+PIAS approximates shortest-job-first without flow-size knowledge by
+demoting a flow through priority queues as it sends more bytes.  The paper
+uses the two-level variant: the first ``demotion_threshold`` bytes
+(100 KB) of every flow ride the shared high-priority SPQ queue (class 0);
+everything after is demoted to the flow's dedicated service queue.
+
+The tagging itself happens per packet inside
+:meth:`repro.transport.base.Flow.class_for_offset`; this module provides
+the configuration object and helpers the experiment harness uses.
+"""
+
+from __future__ import annotations
+
+from ..sim.units import kilobytes
+
+# The paper's demotion threshold for both testbed and simulations.
+DEFAULT_DEMOTION_THRESHOLD = kilobytes(100)
+
+
+class PIASConfig:
+    """Two-level PIAS settings applied to generated flows."""
+
+    def __init__(self,
+                 demotion_threshold: int = DEFAULT_DEMOTION_THRESHOLD,
+                 high_priority_class: int = 0) -> None:
+        if demotion_threshold <= 0:
+            raise ValueError("demotion threshold must be positive")
+        if high_priority_class != 0:
+            raise ValueError(
+                "the shared SPQ queue is class 0 in this implementation")
+        self.demotion_threshold = demotion_threshold
+        self.high_priority_class = high_priority_class
+
+    def classify_offset(self, offset: int, service_class: int) -> int:
+        """Service class for a payload byte at ``offset`` of a flow."""
+        if offset < self.demotion_threshold:
+            return self.high_priority_class
+        return service_class
+
+    def is_small_flow(self, size: int) -> bool:
+        """True if the whole flow fits in the high-priority stage."""
+        return size <= self.demotion_threshold

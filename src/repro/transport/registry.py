@@ -1,0 +1,38 @@
+"""Protocol registry: name -> sender class.
+
+Experiments select transports by name ("tcp", "cubic", "dctcp") so that
+scenario descriptions stay declarative — e.g. the protocol-mix experiment
+assigns ``{1: "tcp", 2: "tcp", 3: "cubic", 4: "cubic"}`` per queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from .cubic import CubicSender
+from .dctcp import DCTCPSender
+from .ecn_tcp import ECNTCPSender
+from .vegas import VegasSender
+from .tcp import TCPSender
+
+_PROTOCOLS: Dict[str, Type[TCPSender]] = {
+    "tcp": TCPSender,
+    "cubic": CubicSender,
+    "dctcp": DCTCPSender,
+    "ecn-tcp": ECNTCPSender,
+    "vegas": VegasSender,
+}
+
+
+def sender_class(protocol: str) -> Type[TCPSender]:
+    """Look up a sender class by protocol name (case-insensitive)."""
+    key = protocol.lower()
+    if key not in _PROTOCOLS:
+        raise KeyError(
+            f"unknown transport {protocol!r}; known: {sorted(_PROTOCOLS)}")
+    return _PROTOCOLS[key]
+
+
+def available_protocols() -> list:
+    """Names of every registered transport."""
+    return sorted(_PROTOCOLS)

@@ -1,0 +1,214 @@
+"""TCP Reno/NewReno sender model.
+
+Window-based, per-segment packets, per-packet cumulative ACKs.  Features
+reproduced because the paper's experiments depend on them:
+
+* slow start / congestion avoidance with a configurable initial window
+  (10 segments, RFC 6928, per the paper's testbed setup);
+* fast retransmit on three duplicate ACKs + NewReno fast recovery with
+  partial-ACK retransmissions (drop-based schemes live and die by this);
+* RTO with a configurable minimum (10 ms testbed / 5 ms simulations) and
+  go-back-N recovery after an expiry;
+* per-packet service-class tagging through the flow's PIAS rule.
+
+Subclasses override the three hooks ``_on_new_ack_cc`` (additive growth),
+``_on_loss_event`` (multiplicative decrease bookkeeping), and
+``_on_ecn_echo`` to become CUBIC or DCTCP.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import MTU_BYTES, HEADER_BYTES, Packet
+from ..sim.errors import TransportError
+from .base import Flow, TransportSender, wire_size
+from .rto import DEFAULT_MIN_RTO_NS, RTOEstimator
+
+INITIAL_WINDOW_SEGMENTS = 10
+DUPACK_THRESHOLD = 3
+
+
+class TCPSender(TransportSender):
+    """NewReno-style TCP sender for one flow."""
+
+    protocol = "tcp"
+
+    def __init__(self, sim, host, flow: Flow, *,
+                 mtu_bytes: int = MTU_BYTES,
+                 min_rto_ns: int = DEFAULT_MIN_RTO_NS,
+                 on_complete=None) -> None:
+        super().__init__(sim, host, flow)
+        self.mss = mtu_bytes - HEADER_BYTES
+        if self.mss <= 0:
+            raise TransportError(f"MTU {mtu_bytes} leaves no payload room")
+        self.cwnd = float(INITIAL_WINDOW_SEGMENTS * self.mss)
+        self.ssthresh = float(1 << 62)
+        self.high_ack = 0          # cumulative bytes acknowledged
+        self.next_seq = 0          # next new byte to transmit
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.recover_seq = 0       # NewReno recovery point
+        self.rto = RTOEstimator(min_rto_ns=min_rto_ns)
+        self._rto_event = None
+        self._on_complete = on_complete
+        # Statistics.
+        self.packets_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.ecn_echoes = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.started_at is not None:
+            raise TransportError(
+                f"flow {self.flow.flow_id} started twice")
+        self.started_at = self.sim.now
+        self._fill_window()
+
+    def abort(self) -> None:
+        """Stop the flow now (models "the sender stops traffic at t").
+
+        Used by the static-flow experiments, where iperf senders are
+        killed on a schedule.  The flow is marked complete so timers die
+        and late ACKs are ignored; no completion callback fires.
+        """
+        if self.complete:
+            return
+        self.completed_at = self.sim.now
+        if self._rto_event is not None:
+            self.sim.cancel(self._rto_event)
+            self._rto_event = None
+
+    # -- sending -----------------------------------------------------------------
+
+    def _bytes_in_flight(self) -> int:
+        return self.next_seq - self.high_ack
+
+    def _fill_window(self) -> None:
+        while (self.next_seq < self.flow.size
+               and self._bytes_in_flight() + self.mss <= self.cwnd):
+            end = min(self.next_seq + self.mss, self.flow.size)
+            self._transmit(self.next_seq, end, retransmit=False)
+            self.next_seq = end
+
+    def _transmit(self, seq: int, end: int, retransmit: bool) -> None:
+        packet = Packet(
+            flow_id=self.flow.flow_id, src=self.host.name,
+            dst=self.flow.dst, size=wire_size(end - seq), seq=seq,
+            end_seq=end, service_class=self.flow.class_for_offset(seq),
+            ecn_capable=self.flow.ecn, created_at=self.sim.now)
+        packet.retransmitted = retransmit
+        self.packets_sent += 1
+        if retransmit:
+            self.retransmissions += 1
+        self._arm_rto()
+        self.host.send_packet(packet)
+
+    # -- receiving ----------------------------------------------------------------
+
+    def on_ack(self, packet: Packet) -> None:
+        if self.complete:
+            return
+        if packet.ts_echo is not None:
+            self.rto.add_sample(self.sim.now - packet.ts_echo)
+        if packet.ece:
+            self.ecn_echoes += 1
+            self._on_ecn_echo(packet)
+        if packet.ack_seq > self.high_ack:
+            self._handle_new_ack(packet.ack_seq)
+        elif packet.ack_seq == self.high_ack and self.next_seq > self.high_ack:
+            self._handle_dup_ack()
+
+    def _handle_new_ack(self, ack_seq: int) -> None:
+        newly_acked = ack_seq - self.high_ack
+        self.high_ack = ack_seq
+        self.dup_acks = 0
+        if self.in_recovery:
+            if ack_seq >= self.recover_seq:
+                # Full ACK: recovery ends, deflate to ssthresh.
+                self.in_recovery = False
+                self.cwnd = max(self.ssthresh, float(self.mss))
+            else:
+                # Partial ACK: retransmit the next hole, partial deflation.
+                end = min(self.high_ack + self.mss, self.flow.size)
+                self._transmit(self.high_ack, end, retransmit=True)
+                self.cwnd = max(self.cwnd - newly_acked + self.mss,
+                                float(self.mss))
+        else:
+            self._on_new_ack_cc(newly_acked)
+        if self.high_ack >= self.flow.size:
+            self._finish()
+            return
+        self._arm_rto(restart=True)
+        self._fill_window()
+
+    def _handle_dup_ack(self) -> None:
+        self.dup_acks += 1
+        if self.in_recovery:
+            # Window inflation keeps the pipe full during recovery.
+            self.cwnd += self.mss
+            self._fill_window()
+        elif self.dup_acks >= DUPACK_THRESHOLD:
+            self._enter_fast_recovery()
+
+    # -- congestion control hooks ------------------------------------------------------
+
+    def _on_new_ack_cc(self, newly_acked: int) -> None:
+        """Reno: slow start below ssthresh, AIMD above."""
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked
+        else:
+            self.cwnd += self.mss * self.mss / self.cwnd
+
+    def _on_loss_event(self) -> None:
+        """Multiplicative decrease bookkeeping on fast retransmit."""
+        self.ssthresh = max(self._bytes_in_flight() / 2,
+                            float(2 * self.mss))
+
+    def _on_ecn_echo(self, packet: Packet) -> None:
+        """Reaction to an ECN echo; plain TCP ignores it (not ECN-capable)."""
+
+    # -- loss recovery ----------------------------------------------------------------
+
+    def _enter_fast_recovery(self) -> None:
+        self._on_loss_event()
+        self.in_recovery = True
+        self.recover_seq = self.next_seq
+        self.cwnd = self.ssthresh + DUPACK_THRESHOLD * self.mss
+        end = min(self.high_ack + self.mss, self.flow.size)
+        self._transmit(self.high_ack, end, retransmit=True)
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.complete:
+            return
+        self.timeouts += 1
+        self.rto.on_timeout()
+        self.ssthresh = max(self._bytes_in_flight() / 2,
+                            float(2 * self.mss))
+        self.cwnd = float(self.mss)
+        self.in_recovery = False
+        self.dup_acks = 0
+        # Go-back-N: resume from the last cumulative ACK.
+        self.next_seq = self.high_ack
+        self._fill_window()
+        self._arm_rto()
+
+    # -- timer ----------------------------------------------------------------------
+
+    def _arm_rto(self, restart: bool = False) -> None:
+        if self._rto_event is not None:
+            if not restart:
+                return
+            self.sim.cancel(self._rto_event)
+        self._rto_event = self.sim.schedule(self.rto.rto_ns, self._on_rto)
+
+    # -- completion -------------------------------------------------------------------
+
+    def _finish(self) -> None:
+        self.completed_at = self.sim.now
+        if self._rto_event is not None:
+            self.sim.cancel(self._rto_event)
+            self._rto_event = None
+        if self._on_complete is not None:
+            self._on_complete(self)

@@ -1,0 +1,71 @@
+"""Delay-based congestion control (Vegas-style, standing in for DX/TIMELY).
+
+The paper's protocol-independence argument (§II-B) leans on the rise of
+*non-ECN* congestion signals — network delay in particular (DX, TIMELY).
+Like the authors ("we have tried to use emerging protocols, but it is
+hard to obtain their codes"), we cannot run the original stacks; this
+module provides the closest well-understood window-based model: TCP
+Vegas.  Vegas estimates the backlog it keeps in the network,
+
+    diff = cwnd/base_rtt - cwnd/rtt        [packets of standing queue]
+
+and steers it into the band ``[alpha, beta]`` — increasing the window
+when the queue estimate is below ``alpha`` packets, decreasing above
+``beta``.  It never needs drops or marks on the steady path, which makes
+it the sharpest possible test of a buffer-management scheme's protocol
+independence: DynaQ must share fairly even when one queue's senders keep
+near-empty queues by design (see ``benchmarks/test_protocol_zoo.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.packet import Packet
+from .base import Flow
+from .tcp import TCPSender
+
+VEGAS_ALPHA = 2.0   # lower backlog target, packets
+VEGAS_BETA = 4.0    # upper backlog target, packets
+
+
+class VegasSender(TCPSender):
+    """Delay-based window adjustment on the TCP sender machinery."""
+
+    protocol = "vegas"
+
+    def __init__(self, sim, host, flow: Flow, **kwargs) -> None:
+        super().__init__(sim, host, flow, **kwargs)
+        self.base_rtt_ns: Optional[int] = None
+        self._last_adjust_seq = 0
+
+    def on_ack(self, packet: Packet) -> None:
+        if packet.ts_echo is not None:
+            sample = self.sim.now - packet.ts_echo
+            if self.base_rtt_ns is None or sample < self.base_rtt_ns:
+                self.base_rtt_ns = sample
+        super().on_ack(packet)
+
+    def _on_new_ack_cc(self, newly_acked: int) -> None:
+        rtt = self.rto.srtt_ns
+        if rtt is None or self.base_rtt_ns is None or rtt <= 0:
+            # No delay estimate yet: behave like slow start.
+            self.cwnd += newly_acked
+            return
+        # Adjust once per RTT's worth of acknowledged data.
+        if self.high_ack < self._last_adjust_seq:
+            return
+        self._last_adjust_seq = self.high_ack + int(self.cwnd)
+        cwnd_packets = self.cwnd / self.mss
+        expected = cwnd_packets / (self.base_rtt_ns / 1e9)
+        actual = cwnd_packets / (rtt / 1e9)
+        backlog = (expected - actual) * (self.base_rtt_ns / 1e9)
+        if backlog < VEGAS_ALPHA:
+            self.cwnd += self.mss
+        elif backlog > VEGAS_BETA:
+            self.cwnd = max(self.cwnd - self.mss, float(2 * self.mss))
+        # Inside the band: hold.
+
+    def _on_loss_event(self) -> None:
+        # Vegas still halves on actual loss (it is a TCP after all).
+        super()._on_loss_event()

@@ -1,0 +1,32 @@
+"""Production traffic workloads (Fig. 2) and Poisson flow generation."""
+
+from .datasets import (
+    CACHE,
+    DATA_MINING,
+    HADOOP,
+    WEB_SEARCH,
+    WORKLOADS,
+    workload,
+    workload_names,
+)
+from .distributions import EmpiricalCDF
+from .flowgen import FlowSpec, arrival_rate_per_second, generate_flows, iter_flows
+from .trace import fit_cdf, load_flow_trace, save_flow_trace
+
+__all__ = [
+    "CACHE",
+    "DATA_MINING",
+    "HADOOP",
+    "WEB_SEARCH",
+    "WORKLOADS",
+    "workload",
+    "workload_names",
+    "EmpiricalCDF",
+    "FlowSpec",
+    "arrival_rate_per_second",
+    "generate_flows",
+    "iter_flows",
+    "fit_cdf",
+    "load_flow_trace",
+    "save_flow_trace",
+]

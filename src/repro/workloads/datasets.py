@@ -1,0 +1,101 @@
+"""The four production workloads of the paper's Fig. 2.
+
+* **web search** — the DCTCP workload (Alizadeh et al., SIGCOMM'10).  The
+  least skewed of the four: a large share of medium flows keeps many flows
+  concurrently active on the bottleneck, which is why the paper uses it
+  for every testbed experiment.
+* **data mining** — the VL2 workload (Greenberg et al., SIGCOMM'09).
+  Extremely heavy-tailed: roughly half the flows are ~1 KB while ~90 % of
+  the bytes come from flows larger than 100 MB.
+* **cache** and **hadoop** — Facebook's production clusters (Roy et al.,
+  SIGCOMM'15).
+
+The point sets for web search and data mining are the ones shipped with
+the open-source PIAS / MQ-ECN ns-2 generators; the Facebook curves are not
+published as machine-readable CDFs, so the cache/hadoop point sets below
+are piecewise-linear approximations of the paper-reported shapes
+(documented substitution — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .distributions import EmpiricalCDF
+
+KB = 1_000
+MB = 1_000_000
+
+WEB_SEARCH = EmpiricalCDF("web_search", [
+    (1 * KB, 0.0),
+    (10 * KB, 0.15),
+    (20 * KB, 0.20),
+    (30 * KB, 0.30),
+    (50 * KB, 0.40),
+    (80 * KB, 0.53),
+    (200 * KB, 0.60),
+    (1 * MB, 0.70),
+    (2 * MB, 0.80),
+    (5 * MB, 0.90),
+    (10 * MB, 0.97),
+    (30 * MB, 1.00),
+])
+
+DATA_MINING = EmpiricalCDF("data_mining", [
+    (100, 0.0),
+    (180, 0.10),
+    (250, 0.20),
+    (560, 0.30),
+    (900, 0.40),
+    (1100, 0.50),
+    (1870, 0.60),
+    (3160, 0.70),
+    (10 * KB, 0.80),
+    (400 * KB, 0.90),
+    (3160 * KB, 0.95),
+    (100 * MB, 0.98),
+    (1000 * MB, 1.00),
+])
+
+CACHE = EmpiricalCDF("cache", [
+    (1 * KB, 0.0),
+    (2 * KB, 0.20),
+    (5 * KB, 0.40),
+    (10 * KB, 0.55),
+    (50 * KB, 0.70),
+    (100 * KB, 0.80),
+    (500 * KB, 0.90),
+    (1 * MB, 0.95),
+    (10 * MB, 1.00),
+])
+
+HADOOP = EmpiricalCDF("hadoop", [
+    (300, 0.0),
+    (1 * KB, 0.20),
+    (2 * KB, 0.40),
+    (10 * KB, 0.60),
+    (100 * KB, 0.75),
+    (1 * MB, 0.85),
+    (10 * MB, 0.95),
+    (300 * MB, 1.00),
+])
+
+WORKLOADS: Dict[str, EmpiricalCDF] = {
+    "web_search": WEB_SEARCH,
+    "data_mining": DATA_MINING,
+    "cache": CACHE,
+    "hadoop": HADOOP,
+}
+
+
+def workload(name: str) -> EmpiricalCDF:
+    """Look up one of the four paper workloads by name."""
+    if name not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}")
+    return WORKLOADS[name]
+
+
+def workload_names() -> List[str]:
+    """Names of all four workloads, in a stable order."""
+    return ["web_search", "data_mining", "cache", "hadoop"]

@@ -1,0 +1,108 @@
+"""Trace-driven workloads: replay flow traces from CSV.
+
+Users with their own production traces can bypass the synthetic CDFs and
+feed measured ``(arrival, size)`` pairs straight into the experiment
+harness.  The format is a two-or-more-column CSV with a header:
+
+    arrival_s,size_bytes[,anything else...]
+    0.00125,15000
+    0.00241,1200000
+
+Arrival times are seconds (float) relative to trace start; extra columns
+are preserved in the returned metadata but ignored by the generator.
+An :class:`~repro.workloads.distributions.EmpiricalCDF` can also be
+*fitted* from a trace so the synthetic generator matches its marginal
+size distribution.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from ..sim.units import seconds
+from .distributions import EmpiricalCDF
+from .flowgen import FlowSpec
+
+PathLike = Union[str, Path]
+
+
+def load_flow_trace(path: PathLike) -> List[FlowSpec]:
+    """Parse a CSV flow trace into sorted :class:`FlowSpec` records."""
+    path = Path(path)
+    specs: List[FlowSpec] = []
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"{path}: empty trace file")
+        columns = [column.strip().lower() for column in header]
+        try:
+            arrival_index = columns.index("arrival_s")
+            size_index = columns.index("size_bytes")
+        except ValueError:
+            raise ValueError(
+                f"{path}: header must contain arrival_s and size_bytes, "
+                f"got {columns}") from None
+        for line_number, row in enumerate(reader, start=2):
+            if not row or not "".join(row).strip():
+                continue
+            try:
+                arrival = float(row[arrival_index])
+                size = int(float(row[size_index]))
+            except (ValueError, IndexError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: bad row {row!r}") from exc
+            if arrival < 0 or size <= 0:
+                raise ValueError(
+                    f"{path}:{line_number}: arrival must be >= 0 and "
+                    f"size > 0, got {arrival}, {size}")
+            specs.append(FlowSpec(seconds(arrival), size))
+    specs.sort(key=lambda spec: spec.arrival_ns)
+    return specs
+
+
+def save_flow_trace(path: PathLike, specs: Sequence[FlowSpec]) -> int:
+    """Write specs back out in the trace format; returns the row count."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["arrival_s", "size_bytes"])
+        for spec in specs:
+            writer.writerow([spec.arrival_ns / 1e9, spec.size_bytes])
+    return len(specs)
+
+
+def fit_cdf(specs: Sequence[FlowSpec], *, name: str = "trace",
+            points: int = 20) -> EmpiricalCDF:
+    """Fit a piecewise-linear CDF to a trace's flow sizes.
+
+    Uses evenly spaced quantiles, which reproduces the trace's marginal
+    size distribution closely enough for load calculations and synthetic
+    extension of short traces.
+    """
+    if not specs:
+        raise ValueError("cannot fit a CDF to an empty trace")
+    if points < 2:
+        raise ValueError("need at least two CDF points")
+    sizes = sorted(spec.size_bytes for spec in specs)
+    cdf_points: List[Tuple[int, float]] = []
+    last_size = None
+    for step in range(points):
+        probability = step / (points - 1)
+        rank = round(probability * (len(sizes) - 1))
+        size = sizes[rank]
+        if size == last_size:
+            # Merge duplicate sizes, keeping the highest probability.
+            cdf_points[-1] = (size, probability)
+        else:
+            cdf_points.append((size, probability))
+            last_size = size
+    # Guarantee a proper endpoint.
+    if cdf_points[-1][1] != 1.0:
+        cdf_points[-1] = (cdf_points[-1][0], 1.0)
+    if len(cdf_points) == 1:
+        cdf_points.append((cdf_points[0][0] + 1, 1.0))
+        cdf_points[0] = (cdf_points[0][0], 0.0)
+    return EmpiricalCDF(name, cdf_points)

@@ -1,0 +1,91 @@
+"""Shared test fixtures and fakes."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class FakePort:
+    """In-memory stand-in for EgressPort's PortView/QueueView protocols.
+
+    Lets buffer managers and schedulers be unit-tested without a network:
+    tests manipulate queue occupancies directly and drive admission calls.
+    """
+
+    def __init__(self, *, buffer_bytes: int = 100_000, num_queues: int = 4,
+                 weights: Optional[List[float]] = None,
+                 link_rate_bps: int = 1_000_000_000) -> None:
+        self.buffer_bytes = buffer_bytes
+        self.num_queues = num_queues
+        self.link_rate_bps = link_rate_bps
+        self._weights = weights or [1.0] * num_queues
+        self._queue_bytes = [0] * num_queues
+        self._time = 0
+        self.scheduler = None  # managers that need one can have it set
+
+    # PortView ------------------------------------------------------------
+
+    def queue_bytes(self, index: int) -> int:
+        return self._queue_bytes[index]
+
+    def total_bytes(self) -> int:
+        return sum(self._queue_bytes)
+
+    def queue_weights(self) -> List[float]:
+        return list(self._weights)
+
+    def now(self) -> int:
+        return self._time
+
+    # test helpers ----------------------------------------------------------
+
+    def fill(self, index: int, amount: int) -> None:
+        self._queue_bytes[index] += amount
+
+    def drain(self, index: int, amount: int) -> None:
+        self._queue_bytes[index] -= amount
+        assert self._queue_bytes[index] >= 0
+
+    def set_time(self, time_ns: int) -> None:
+        self._time = time_ns
+
+
+class ListQueueView:
+    """QueueView over plain lists of packet sizes (ints)."""
+
+    def __init__(self, queues: List[List[int]]) -> None:
+        self.queues = queues
+
+    def queue_empty(self, index: int) -> bool:
+        return not self.queues[index]
+
+    def head_size(self, index: int) -> int:
+        return self.queues[index][0]
+
+    def pop(self, index: int) -> int:
+        return self.queues[index].pop(0)
+
+
+def make_packet(size: int = 1500, *, flow_id: int = 0,
+                service_class: int = 0, ecn: bool = False,
+                is_ack: bool = False, seq: int = 0) -> Packet:
+    """A throwaway packet for unit tests."""
+    return Packet(flow_id=flow_id, src="a", dst="b", size=size, seq=seq,
+                  end_seq=seq + max(size - 40, 0),
+                  service_class=service_class, ecn_capable=ecn,
+                  is_ack=is_ack)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def fake_port() -> FakePort:
+    return FakePort()

@@ -1,0 +1,157 @@
+"""Tests for the traffic applications (iperf bulk + request/response)."""
+
+import random
+
+import pytest
+
+from repro.apps.client_server import (
+    RequestResponseApp,
+    random_many_to_one_placement,
+    random_pairs_placement,
+)
+from repro.apps.iperf import BULK_FLOW_BYTES, IperfApp
+from repro.net.topology import build_star
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.sim.units import gbps, kilobytes, microseconds, seconds
+from repro.transport.pias import PIASConfig
+from repro.workloads.flowgen import FlowSpec
+
+
+def make_net(num_hosts=4):
+    return build_star(
+        num_hosts=num_hosts, rate_bps=gbps(1),
+        rtt_ns=microseconds(500), buffer_bytes=kilobytes(85),
+        scheduler_factory=lambda: DRRScheduler([1500] * 4),
+        buffer_factory=BestEffortBuffer)
+
+
+# -- IperfApp ----------------------------------------------------------------
+
+def test_iperf_starts_n_flows():
+    net = make_net()
+    app = IperfApp(net.sim, net.host("h1"), destination="h0",
+                   num_flows=3, service_class=1)
+    app.start_at(0)
+    net.sim.run(until=seconds(0.05))
+    assert len(app.senders) == 3
+    assert all(sender.started_at == 0 for sender in app.senders)
+    assert app.total_acked_bytes() > 0
+
+
+def test_iperf_flows_carry_service_class():
+    net = make_net()
+    app = IperfApp(net.sim, net.host("h1"), destination="h0",
+                   num_flows=2, service_class=2)
+    assert all(sender.flow.service_class == 2 for sender in app.senders)
+    assert all(sender.flow.size == BULK_FLOW_BYTES
+               for sender in app.senders)
+
+
+def test_iperf_stop_aborts_flows():
+    net = make_net()
+    app = IperfApp(net.sim, net.host("h1"), destination="h0",
+                   num_flows=2, service_class=0)
+    app.start_at(0)
+    app.stop_at(seconds(0.02))
+    net.sim.run(until=seconds(0.05))
+    assert all(sender.complete for sender in app.senders)
+
+
+def test_iperf_validates_flow_count():
+    net = make_net()
+    with pytest.raises(ValueError):
+        IperfApp(net.sim, net.host("h1"), destination="h0",
+                 num_flows=0, service_class=0)
+
+
+def test_iperf_unique_flow_ids():
+    net = make_net()
+    a = IperfApp(net.sim, net.host("h1"), destination="h0",
+                 num_flows=2, service_class=0, flow_id_base=0)
+    b = IperfApp(net.sim, net.host("h2"), destination="h0",
+                 num_flows=2, service_class=1, flow_id_base=2)
+    ids = [s.flow.flow_id for s in a.senders + b.senders]
+    assert ids == [0, 1, 2, 3]
+
+
+# -- placements --------------------------------------------------------------
+
+def test_many_to_one_placement_ranges():
+    rng = random.Random(1)
+    placement = random_many_to_one_placement(
+        ["h1", "h2"], "h0", num_service_classes=4, rng=rng)
+    for index in range(50):
+        server, client, service_class = placement(index)
+        assert server in ("h1", "h2")
+        assert client == "h0"
+        assert 1 <= service_class <= 4
+
+
+def test_random_pairs_placement_distinct_endpoints():
+    rng = random.Random(2)
+    placement = random_pairs_placement(
+        ["a", "b", "c"], num_service_classes=2, rng=rng)
+    for index in range(50):
+        src, dst, service_class = placement(index)
+        assert src != dst
+        assert service_class in (1, 2)
+
+
+def test_random_pairs_placement_with_fixed_classes():
+    rng = random.Random(3)
+    class_of_pair = {}
+    hosts = ["a", "b"]
+    for src in hosts:
+        for dst in hosts:
+            if src != dst:
+                class_of_pair[(src, dst)] = 7
+    placement = random_pairs_placement(
+        hosts, num_service_classes=2, rng=rng,
+        class_of_pair=class_of_pair)
+    assert placement(0)[2] == 7
+
+
+# -- RequestResponseApp ----------------------------------------------------------
+
+def test_request_response_runs_flows_to_completion():
+    net = make_net()
+    specs = [FlowSpec(arrival_ns=i * 1_000_000, size_bytes=20_000)
+             for i in range(5)]
+    rng = random.Random(4)
+    app = RequestResponseApp(
+        net, specs=specs,
+        placement=random_many_to_one_placement(
+            ["h1", "h2", "h3"], "h0", 3, rng))
+    net.sim.run(until=seconds(1))
+    assert app.completed == 5
+    assert app.outstanding == 0
+    sizes = sorted(record.size_bytes for record in app.fct.records)
+    assert sizes == [20_000] * 5
+
+
+def test_request_response_respects_arrival_times():
+    net = make_net()
+    specs = [FlowSpec(arrival_ns=seconds(0.5), size_bytes=1_000)]
+    rng = random.Random(5)
+    app = RequestResponseApp(
+        net, specs=specs,
+        placement=random_many_to_one_placement(["h1"], "h0", 1, rng))
+    net.sim.run(until=seconds(0.4))
+    assert app.completed == 0
+    net.sim.run(until=seconds(1))
+    assert app.completed == 1
+
+
+def test_request_response_applies_pias():
+    net = make_net()
+    specs = [FlowSpec(arrival_ns=0, size_bytes=200_000)]
+    rng = random.Random(6)
+    app = RequestResponseApp(
+        net, specs=specs,
+        placement=random_many_to_one_placement(["h1"], "h0", 3, rng),
+        pias=PIASConfig(demotion_threshold=100_000))
+    sender = app.senders[0]
+    assert sender.flow.pias_threshold == 100_000
+    assert sender.flow.class_for_offset(0) == 0
+    assert sender.flow.class_for_offset(150_000) >= 1

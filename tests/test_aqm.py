@@ -1,0 +1,177 @@
+"""Tests for the classic AQM comparators: RED/WRED and CoDel."""
+
+import pytest
+
+from repro.queueing.codel import CoDelBuffer
+from repro.queueing.red import REDBuffer
+from repro.sim.units import MILLISECOND, microseconds
+
+from conftest import FakePort, make_packet
+
+
+# -- RED ---------------------------------------------------------------------
+
+def make_red(**kwargs):
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = REDBuffer(**kwargs)
+    manager.attach(port)
+    return port, manager
+
+
+def test_red_thresholds_follow_queue_shares():
+    port, manager = make_red()
+    # Share = 25 KB per queue; min 20 %, max 60 %.
+    assert manager.min_th == [5_000] * 4
+    assert manager.max_th == [15_000] * 4
+
+
+def test_red_weighted_thresholds():
+    port = FakePort(buffer_bytes=100_000, num_queues=2,
+                    weights=[3.0, 1.0])
+    manager = REDBuffer()
+    manager.attach(port)
+    assert manager.min_th[0] == 3 * manager.min_th[1]
+
+
+def test_red_accepts_below_min_threshold():
+    port, manager = make_red()
+    for _ in range(50):
+        decision = manager.admit(make_packet(1500, ecn=True), 0)
+        assert decision.accept and not decision.mark
+
+
+def test_red_marks_above_max_threshold():
+    port, manager = make_red()
+    port.fill(0, 40_000)
+    manager.avg[0] = 40_000.0  # force the EWMA to steady state
+    decision = manager.admit(make_packet(1500, ecn=True), 0)
+    assert decision.accept and decision.mark
+
+
+def test_red_drop_variant_drops_non_ect():
+    port, manager = make_red(ecn=False)
+    port.fill(0, 40_000)
+    manager.avg[0] = 40_000.0
+    decision = manager.admit(make_packet(1500), 0)
+    assert not decision.accept
+
+
+def test_red_probabilistic_region_marks_some():
+    port, manager = make_red()
+    port.fill(0, 10_000)
+    manager.avg[0] = 10_000.0  # inside [min_th, max_th)
+    outcomes = [manager.admit(make_packet(1500, ecn=True), 0).mark
+                for _ in range(400)]
+    assert 0 < sum(outcomes) < 400
+
+
+def test_red_average_tracks_occupancy():
+    port, manager = make_red(ewma_weight=0.5)
+    port.fill(0, 10_000)
+    manager.admit(make_packet(1500, ecn=True), 0)
+    assert manager.avg[0] == pytest.approx(5_000)
+
+
+def test_red_validation():
+    with pytest.raises(ValueError):
+        REDBuffer(min_th_fraction=0.7, max_th_fraction=0.5)
+    with pytest.raises(ValueError):
+        REDBuffer(max_p=0)
+
+
+def test_red_deterministic_per_seed():
+    def outcomes(seed):
+        port, manager = make_red(seed=seed)
+        port.fill(0, 10_000)
+        manager.avg[0] = 10_000.0
+        return [manager.admit(make_packet(1500, ecn=True), 0).mark
+                for _ in range(100)]
+
+    assert outcomes(1) == outcomes(1)
+    assert outcomes(1) != outcomes(2)
+
+
+# -- CoDel --------------------------------------------------------------------
+
+def make_codel(**kwargs):
+    port = FakePort(buffer_bytes=100_000, num_queues=2)
+    manager = CoDelBuffer(**kwargs)
+    manager.attach(port)
+    return port, manager
+
+
+def dequeue_with_sojourn(port, manager, sojourn_ns, queue=0, ecn=True):
+    packet = make_packet(1500, ecn=ecn)
+    packet.enqueued_at = port.now()
+    port.set_time(port.now() + sojourn_ns)
+    return manager.on_dequeue(packet, queue)
+
+
+def test_codel_below_target_never_acts():
+    port, manager = make_codel()
+    for _ in range(100):
+        decision = dequeue_with_sojourn(port, manager, 100_000)
+        assert decision.accept and not decision.mark
+
+
+def test_codel_waits_one_interval_before_acting():
+    port, manager = make_codel(target_ns=microseconds(500),
+                               interval_ns=10 * MILLISECOND)
+    # First packet above target: starts the timer, no action yet.
+    decision = dequeue_with_sojourn(port, manager, 600_000)
+    assert decision.accept and not decision.mark
+    # Still within the interval: no action.
+    decision = dequeue_with_sojourn(port, manager, 600_000)
+    assert not decision.mark
+    # Advance past the interval: the next above-target dequeue acts.
+    port.set_time(port.now() + 11 * MILLISECOND)
+    decision = dequeue_with_sojourn(port, manager, 600_000)
+    assert decision.mark
+
+
+def test_codel_accelerates_drops_in_dropping_state():
+    port, manager = make_codel(interval_ns=10 * MILLISECOND)
+    marks = 0
+    for _ in range(300):
+        port.set_time(port.now() + MILLISECOND)
+        decision = dequeue_with_sojourn(port, manager, 700_000)
+        if decision.mark:
+            marks += 1
+    # Control law engaged and the count grew.
+    assert marks >= 2
+    assert manager._states[0].count >= 2
+
+
+def test_codel_exits_dropping_when_sojourn_recovers():
+    port, manager = make_codel()
+    for _ in range(50):
+        port.set_time(port.now() + MILLISECOND)
+        dequeue_with_sojourn(port, manager, 700_000)
+    dequeue_with_sojourn(port, manager, 100_000)  # back under target
+    assert manager._states[0].dropping is False
+
+
+def test_codel_drop_variant_for_non_ect():
+    port, manager = make_codel(ecn=False, interval_ns=MILLISECOND)
+    drops = 0
+    for _ in range(100):
+        port.set_time(port.now() + MILLISECOND)
+        decision = dequeue_with_sojourn(port, manager, 700_000, ecn=False)
+        if not decision.accept:
+            drops += 1
+    assert drops > 0
+    assert manager.drops == drops
+
+
+def test_codel_per_queue_state_is_independent():
+    port, manager = make_codel(interval_ns=MILLISECOND)
+    for _ in range(50):
+        port.set_time(port.now() + MILLISECOND)
+        dequeue_with_sojourn(port, manager, 700_000, queue=0)
+    assert manager._states[0].first_above_time is not None
+    assert manager._states[1].first_above_time is None
+
+
+def test_codel_validation():
+    with pytest.raises(ValueError):
+        CoDelBuffer(target_ns=0)

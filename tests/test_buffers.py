@@ -1,0 +1,275 @@
+"""Unit tests for the baseline / comparator buffer managers."""
+
+import pytest
+
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.dynamic_threshold import DynamicThresholdBuffer
+from repro.queueing.mqecn import MQECNBuffer
+from repro.queueing.perqueue_ecn import (
+    DEFAULT_LAMBDA,
+    PerQueueECNBuffer,
+    ecn_threshold_bytes,
+)
+from repro.queueing.pmsb import PMSBBuffer
+from repro.queueing.pql import PQLBuffer
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.queueing.schedulers.spq import SPQScheduler
+from repro.queueing.tcn import TCNBuffer
+from repro.sim.units import gbps, microseconds
+
+from conftest import FakePort, make_packet
+
+RTT = microseconds(500)
+
+
+# -- BestEffort --------------------------------------------------------------
+
+def test_besteffort_accepts_until_port_full():
+    port = FakePort(buffer_bytes=10_000, num_queues=2)
+    manager = BestEffortBuffer()
+    manager.attach(port)
+    assert manager.admit(make_packet(9_000), 0).accept
+    port.fill(0, 9_000)
+    assert manager.admit(make_packet(1_000), 1).accept
+    port.fill(1, 1_000)
+    decision = manager.admit(make_packet(1), 0)
+    assert not decision.accept
+    assert manager.drops == 1
+
+
+def test_besteffort_ignores_per_queue_occupancy():
+    """One queue may monopolise the whole buffer (the Fig. 1 pathology)."""
+    port = FakePort(buffer_bytes=10_000, num_queues=4)
+    manager = BestEffortBuffer()
+    manager.attach(port)
+    port.fill(3, 9_900)
+    assert manager.admit(make_packet(100), 3).accept
+
+
+# -- PQL ----------------------------------------------------------------------
+
+def test_pql_limits_follow_weights():
+    port = FakePort(buffer_bytes=100_000, num_queues=4,
+                    weights=[4.0, 3.0, 2.0, 1.0])
+    manager = PQLBuffer()
+    manager.attach(port)
+    assert manager.limits == [40_000, 30_000, 20_000, 10_000]
+
+
+def test_pql_drops_at_queue_limit_even_with_free_buffer():
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = PQLBuffer()
+    manager.attach(port)
+    port.fill(0, 25_000)  # at the static limit; buffer 75 % empty
+    decision = manager.admit(make_packet(100), 0)
+    assert not decision.accept
+    assert decision.reason == "per-queue limit"
+
+
+def test_pql_accepts_below_limit():
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = PQLBuffer()
+    manager.attach(port)
+    port.fill(0, 20_000)
+    assert manager.admit(make_packet(1500), 0).accept
+
+
+# -- Dynamic Threshold -----------------------------------------------------------
+
+def test_dt_threshold_shrinks_with_occupancy():
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = DynamicThresholdBuffer(alpha=1.0)
+    manager.attach(port)
+    assert manager.current_threshold() == 100_000
+    port.fill(0, 60_000)
+    assert manager.current_threshold() == 40_000
+
+
+def test_dt_drop_above_threshold():
+    port = FakePort(buffer_bytes=100_000, num_queues=2)
+    manager = DynamicThresholdBuffer(alpha=0.5)
+    manager.attach(port)
+    port.fill(0, 40_000)
+    # threshold = 0.5 * (100k - 40k) = 30k < queue occupancy -> drop.
+    assert not manager.admit(make_packet(1500), 0).accept
+
+
+def test_dt_same_threshold_for_all_queues():
+    """DT cannot provide *weighted* isolation: thresholds are identical."""
+    port = FakePort(buffer_bytes=100_000, num_queues=2,
+                    weights=[10.0, 1.0])
+    manager = DynamicThresholdBuffer()
+    manager.attach(port)
+    port.fill(0, 30_000)
+    port.fill(1, 30_000)
+    threshold = manager.current_threshold()
+    assert threshold == 40_000  # independent of weights
+
+
+def test_dt_rejects_bad_alpha():
+    with pytest.raises(ValueError):
+        DynamicThresholdBuffer(alpha=0)
+
+
+# -- Per-Queue ECN ------------------------------------------------------------------
+
+def test_ecn_threshold_bytes_testbed_value():
+    # C*RTT*lambda = 62.5 KB * 0.48 = 30 KB, the paper's DCTCP K.
+    assert ecn_threshold_bytes(gbps(1), RTT, DEFAULT_LAMBDA) == 30_000
+
+
+def test_perqueue_ecn_marks_above_share_threshold():
+    port = FakePort(buffer_bytes=100_000, num_queues=4,
+                    link_rate_bps=gbps(1))
+    manager = PerQueueECNBuffer(rtt_ns=RTT)
+    manager.attach(port)
+    # K = 30 KB -> per-queue K_i = 7.5 KB with equal weights.
+    assert manager.queue_thresholds == [7_500] * 4
+    port.fill(0, 8_000)
+    decision = manager.admit(make_packet(1500, ecn=True), 0)
+    assert decision.accept and decision.mark
+    assert manager.marks == 1
+
+
+def test_perqueue_ecn_no_mark_below_threshold():
+    port = FakePort(buffer_bytes=100_000, num_queues=4,
+                    link_rate_bps=gbps(1))
+    manager = PerQueueECNBuffer(rtt_ns=RTT)
+    manager.attach(port)
+    decision = manager.admit(make_packet(1500, ecn=True), 0)
+    assert decision.accept and not decision.mark
+
+
+def test_perqueue_ecn_never_marks_non_ect():
+    port = FakePort(buffer_bytes=100_000, num_queues=4,
+                    link_rate_bps=gbps(1))
+    manager = PerQueueECNBuffer(rtt_ns=RTT)
+    manager.attach(port)
+    port.fill(0, 50_000)
+    decision = manager.admit(make_packet(1500, ecn=False), 0)
+    assert decision.accept and not decision.mark
+
+
+# -- PMSB -------------------------------------------------------------------------
+
+def make_pmsb(port=None):
+    port = port or FakePort(buffer_bytes=100_000, num_queues=4,
+                            link_rate_bps=gbps(1))
+    manager = PMSBBuffer(rtt_ns=RTT)
+    manager.attach(port)
+    return port, manager
+
+
+def test_pmsb_thresholds():
+    _, manager = make_pmsb()
+    assert manager.port_threshold == 30_000
+    assert manager.queue_thresholds == [7_500] * 4
+
+
+def test_pmsb_requires_both_conditions():
+    port, manager = make_pmsb()
+    packet = make_packet(1500, ecn=True)
+    # Queue over K_i but port under K: selective blindness, no mark.
+    port.fill(0, 10_000)
+    assert not manager.admit(packet, 0).mark
+    # Port over K but this queue under K_i: still no mark.
+    port.fill(1, 25_000)
+    assert not manager.admit(make_packet(1500, ecn=True), 2).mark
+    # Both conditions: mark.
+    assert manager.admit(make_packet(1500, ecn=True), 0).mark
+
+
+# -- TCN --------------------------------------------------------------------------
+
+def test_tcn_threshold_is_240us_at_testbed_settings():
+    manager = TCNBuffer(rtt_ns=RTT)
+    assert manager.sojourn_threshold_ns == 240_000
+    assert manager.sojourn_threshold_us == pytest.approx(240.0)
+
+
+def test_tcn_marks_on_long_sojourn():
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = TCNBuffer(rtt_ns=RTT)
+    manager.attach(port)
+    packet = make_packet(1500, ecn=True)
+    packet.enqueued_at = 0
+    port.set_time(300_000)  # 300 us in queue > 240 us threshold
+    decision = manager.on_dequeue(packet, 0)
+    assert decision.accept and decision.mark
+
+
+def test_tcn_no_mark_on_short_sojourn():
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = TCNBuffer(rtt_ns=RTT)
+    manager.attach(port)
+    packet = make_packet(1500, ecn=True)
+    packet.enqueued_at = 0
+    port.set_time(100_000)
+    decision = manager.on_dequeue(packet, 0)
+    assert decision.accept and not decision.mark
+
+
+def test_tcn_drop_variant_drops_at_dequeue():
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = TCNBuffer(rtt_ns=RTT, drop_variant=True)
+    manager.attach(port)
+    packet = make_packet(1500)
+    packet.enqueued_at = 0
+    port.set_time(300_000)
+    decision = manager.on_dequeue(packet, 0)
+    assert not decision.accept
+    assert manager.dequeue_drops == 1
+    assert manager.name == "TCN-drop"
+
+
+def test_tcn_enqueue_is_plain_tail_drop():
+    port = FakePort(buffer_bytes=10_000, num_queues=2)
+    manager = TCNBuffer(rtt_ns=RTT)
+    manager.attach(port)
+    port.fill(0, 10_000)
+    assert not manager.admit(make_packet(1500), 0).accept
+
+
+# -- MQ-ECN -----------------------------------------------------------------------
+
+def make_mqecn_port():
+    port = FakePort(buffer_bytes=100_000, num_queues=2,
+                    link_rate_bps=gbps(1))
+    port.scheduler = DRRScheduler([1500, 1500])
+    return port
+
+
+def test_mqecn_requires_drr_scheduler():
+    port = FakePort(buffer_bytes=100_000, num_queues=2)
+    port.scheduler = SPQScheduler(2)
+    manager = MQECNBuffer(rtt_ns=RTT)
+    with pytest.raises(TypeError):
+        manager.attach(port)
+
+
+def test_mqecn_threshold_capped_at_link_rate():
+    port = make_mqecn_port()
+    manager = MQECNBuffer(rtt_ns=RTT)
+    manager.attach(port)
+    # No active queues -> analytic round estimate 0 -> full-rate K.
+    assert manager.marking_threshold(0) == 30_000
+
+
+def test_mqecn_threshold_scales_with_round_time():
+    port = make_mqecn_port()
+    manager = MQECNBuffer(rtt_ns=RTT)
+    manager.attach(port)
+    # Simulate a measured round of 24 us with quantum 1500 B:
+    # service rate = 1500*8/24us = 0.5 Gbps -> K_i = 15 KB.
+    port.scheduler.round_time_ns = 24_000.0
+    assert manager.marking_threshold(0) == 15_000
+
+
+def test_mqecn_marks_above_threshold():
+    port = make_mqecn_port()
+    manager = MQECNBuffer(rtt_ns=RTT)
+    manager.attach(port)
+    port.scheduler.round_time_ns = 24_000.0
+    port.fill(0, 20_000)
+    decision = manager.admit(make_packet(1500, ecn=True), 0)
+    assert decision.accept and decision.mark

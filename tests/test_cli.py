@@ -1,0 +1,94 @@
+"""Tests for the command-line interface (fast subcommands + plumbing)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_list_schemes(capsys):
+    code, out = run_cli(capsys, "list-schemes")
+    assert code == 0
+    assert "dynaq" in out
+    assert "besteffort" in out
+    assert "pmsb" in out
+
+
+def test_workloads(capsys):
+    code, out = run_cli(capsys, "workloads")
+    assert code == 0
+    assert "web_search" in out
+    assert "data_mining" in out
+
+
+def test_hw_cost(capsys):
+    code, out = run_cli(capsys, "hw-cost")
+    assert code == 0
+    assert "7 cycles" in out
+    assert "0.88%" in out
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_scheme_raises():
+    with pytest.raises(KeyError):
+        main(["convergence", "--schemes", "bogus", "--duration", "0.01"])
+
+
+def test_convergence_runs_tiny(capsys):
+    code, out = run_cli(capsys, "convergence", "--schemes", "dynaq",
+                        "--duration", "0.05")
+    assert code == 0
+    assert "DynaQ" in out
+    assert "q1(Gbps)" in out
+
+
+def test_weighted_runs_tiny(capsys):
+    code, out = run_cli(capsys, "weighted", "--schemes", "dynaq",
+                        "--weights", "2,1", "--duration", "0.05")
+    assert code == 0
+    assert "ideal" in out
+
+
+def test_fct_runs_tiny(capsys, tmp_path):
+    prefix = str(tmp_path / "fct")
+    code, out = run_cli(capsys, "fct", "--schemes", "dynaq",
+                        "--loads", "0.3", "--flows", "20",
+                        "--truncate-mb", "0.5", "--csv", prefix)
+    assert code == 0
+    assert "absolute FCTs" in out
+    assert "wrote" in out
+    assert (tmp_path / "fct.dynaq.0.30.csv").exists()
+
+
+def test_convergence_csv_export(capsys, tmp_path):
+    prefix = str(tmp_path / "conv")
+    code, out = run_cli(capsys, "convergence", "--schemes", "dynaq",
+                        "--duration", "0.05", "--csv", prefix)
+    assert code == 0
+    assert (tmp_path / "conv.dynaq.csv").exists()
+
+
+def test_parser_structure():
+    parser = build_parser()
+    # All documented subcommands exist.
+    subparsers = parser._subparsers._group_actions[0].choices
+    for command in ("list-schemes", "workloads", "hw-cost", "convergence",
+                    "motivation", "fair-sharing", "weighted",
+                    "protocol-mix", "fct", "static-sim", "incast"):
+        assert command in subparsers
+
+
+def test_incast_runs_tiny(capsys):
+    code, out = run_cli(capsys, "incast", "--schemes", "dynaq",
+                        "--workers", "4", "--horizon", "1.0")
+    assert code == 0
+    assert "QCT" in out

@@ -1,0 +1,92 @@
+"""Keep the documentation honest: run the tutorial's code paths."""
+
+from repro.apps import IperfApp, RequestResponseApp, random_many_to_one_placement
+from repro.experiments import buffer_factory
+from repro.metrics import PortThroughputMeter, QueueLengthSampler
+from repro.net import assert_valid, build_star
+from repro.queueing import BufferManager, Decision
+from repro.queueing.schedulers import DRRScheduler
+from repro.sim import RandomStreams, units
+from repro.transport import PIASConfig
+from repro.workloads import WEB_SEARCH, generate_flows
+
+
+def tutorial_net(buffer=None):
+    net = build_star(
+        num_hosts=5,
+        rate_bps=units.gbps(1),
+        rtt_ns=units.microseconds(500),
+        buffer_bytes=units.kilobytes(85),
+        scheduler_factory=lambda: DRRScheduler([1500] * 4),
+        buffer_factory=buffer or buffer_factory(
+            "dynaq", rtt_ns=units.microseconds(500)),
+    )
+    assert_valid(net)
+    return net
+
+
+def test_tutorial_steps_one_to_four():
+    net = tutorial_net()
+    app = IperfApp(net.sim, net.host("h1"), destination="h0",
+                   num_flows=8, service_class=1)
+    app.start_at(0)
+    app.stop_at(units.seconds(0.1))
+    bottleneck = net.switch("s0").ports["s0->h0"]
+    meter = PortThroughputMeter(net.sim, bottleneck,
+                                units.milliseconds(20))
+    lengths = QueueLengthSampler(bottleneck, max_samples=1000)
+    net.sim.run(until=units.seconds(0.15))
+    assert meter.mean_rate_bps(1, start_ns=units.milliseconds(20),
+                               end_ns=units.milliseconds(100)) > 0.9e9
+    assert lengths.samples
+
+
+def test_tutorial_request_response():
+    net = tutorial_net()
+    rng = RandomStreams(1).stream("flows")
+    specs = generate_flows(
+        distribution=WEB_SEARCH.truncated(300_000), load=0.5,
+        link_rate_bps=units.gbps(1), num_flows=25, rng=rng)
+    app = RequestResponseApp(
+        net, specs=specs,
+        placement=random_many_to_one_placement(
+            ["h1", "h2", "h3", "h4"], "h0", num_service_classes=4,
+            rng=rng),
+        pias=PIASConfig())
+    net.sim.run(until=units.seconds(5))
+    assert app.completed == 25
+    summary = app.fct.summary()
+    assert summary["avg_overall_ms"] > 0
+
+
+class TwoThreshold(BufferManager):
+    """The tutorial's example scheme, verbatim."""
+
+    name = "TwoThreshold"
+
+    def attach(self, port):
+        super().attach(port)
+        share = port.buffer_bytes // port.num_queues
+        self.lo, self.hi = share // 3, share
+
+    def admit(self, packet, queue_index):
+        occupancy = self.port.queue_bytes(queue_index)
+        if occupancy + packet.size > self.hi:
+            self.drops += 1
+            return Decision.dropped("hi threshold")
+        drop = self._port_tail_drop(packet)
+        if drop is not None:
+            return drop
+        return Decision.accepted(
+            mark=packet.ecn_capable and occupancy > self.lo)
+
+
+def test_tutorial_custom_scheme_runs_end_to_end():
+    net = tutorial_net(buffer=TwoThreshold)
+    app = IperfApp(net.sim, net.host("h1"), destination="h0",
+                   num_flows=4, service_class=0)
+    app.start_at(0)
+    net.sim.run(until=units.seconds(0.05))
+    assert app.total_acked_bytes() > 0
+    manager = net.switch("s0").ports["s0->h0"].buffer_manager
+    assert isinstance(manager, TwoThreshold)

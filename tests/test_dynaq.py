@@ -1,0 +1,226 @@
+"""Unit tests for DynaQ's Algorithm 1 against a fake port."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynaq import DynaQBuffer
+from repro.sim.trace import TOPIC_THRESHOLD_CHANGE, TraceBus
+
+from conftest import FakePort, make_packet
+
+MTU = 1500
+
+
+def make_dynaq(port=None, **kwargs):
+    manager = DynaQBuffer(**kwargs)
+    manager.attach(port or FakePort(buffer_bytes=100_000, num_queues=4))
+    return manager
+
+
+def test_initial_thresholds_follow_eq1():
+    manager = make_dynaq()
+    assert manager.thresholds == [25_000] * 4
+    assert manager.satisfaction == [25_000] * 4
+
+
+def test_threshold_sum_equals_buffer_initially():
+    manager = make_dynaq()
+    assert manager.threshold_sum() == 100_000
+
+
+def test_below_threshold_no_adjustment():
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = make_dynaq(port)
+    decision = manager.admit(make_packet(MTU), 0)
+    assert decision.accept
+    assert manager.thresholds == [25_000] * 4
+    assert manager.threshold_moves == 0
+
+
+def test_steals_from_inactive_queue():
+    """A queue over threshold takes buffer from an idle victim."""
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = make_dynaq(port)
+    port.fill(0, 25_000)  # queue 0 exactly at threshold
+    decision = manager.admit(make_packet(MTU), 0)
+    assert decision.accept
+    assert manager.thresholds[0] == 25_000 + MTU
+    # Some other queue lost exactly MTU.
+    assert manager.threshold_sum() == 100_000
+    assert manager.threshold_moves == 1
+
+
+def test_victim_is_largest_extra_buffer():
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = make_dynaq(port)
+    # Give queue 2 extra threshold by direct manipulation.
+    manager.thresholds = [25_000, 20_000, 35_000, 20_000]
+    port.fill(0, 25_000)
+    manager.admit(make_packet(MTU), 0)
+    assert manager.thresholds[2] == 35_000 - MTU
+
+
+def test_drop_when_victim_is_unsatisfied_and_active():
+    """Line 3's second condition: active victims below S are protected."""
+    port = FakePort(buffer_bytes=100_000, num_queues=2)
+    manager = make_dynaq(port)
+    # Both queues at threshold (50 KB each) and active.
+    port.fill(0, 50_000)
+    port.fill(1, 40_000)
+    decision = manager.admit(make_packet(MTU), 0)
+    assert not decision.accept
+    assert manager.protected_drops == 1
+    assert manager.threshold_sum() == 100_000
+
+
+def test_inactive_victim_is_not_protected():
+    """Empty queues lose threshold even below S (work conservation)."""
+    port = FakePort(buffer_bytes=100_000, num_queues=2)
+    manager = make_dynaq(port)
+    manager.thresholds = [60_000, 40_000]  # victim already below S=50 KB
+    port.fill(0, 60_000)
+    decision = manager.admit(make_packet(MTU), 0)
+    assert decision.accept
+    assert manager.thresholds == [60_000 + MTU, 40_000 - MTU]
+
+
+def test_drop_when_victim_threshold_smaller_than_packet():
+    """Line 3's first condition keeps every T_i >= 0."""
+    port = FakePort(buffer_bytes=100_000, num_queues=2)
+    manager = make_dynaq(port)
+    manager.thresholds = [99_000, 1_000]
+    port.fill(0, 99_000)
+    decision = manager.admit(make_packet(MTU), 0)
+    assert not decision.accept
+    assert manager.thresholds == [99_000, 1_000]
+
+
+def test_lone_queue_grows_to_nearly_whole_buffer():
+    """Work conservation: a single active queue absorbs the buffer.
+
+    Victims cannot give up a residue smaller than one packet, so the
+    reachable threshold is B minus at most (M-1) packet-sized residues —
+    far beyond the BDP, which is all work conservation needs.
+    """
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = make_dynaq(port)
+    occupancy = 0
+    while occupancy + MTU <= 95_000:
+        decision = manager.admit(make_packet(MTU), 0)
+        assert decision.accept, f"dropped at occupancy {occupancy}"
+        port.fill(0, MTU)
+        occupancy += MTU
+    assert manager.thresholds[0] >= 95_000
+    assert manager.thresholds[0] > 100_000 - 4 * MTU
+    assert manager.threshold_sum() == 100_000
+
+
+def test_port_tail_drop_still_applies():
+    # Queue 0 is under its threshold so Algorithm 1 does nothing, but the
+    # port-occupancy check (the final enqueue decision) still rejects.
+    port = FakePort(buffer_bytes=10_000, num_queues=2)
+    manager = make_dynaq(port)
+    port.fill(0, 4_000)
+    port.fill(1, 5_800)
+    decision = manager.admit(make_packet(800), 0)
+    assert not decision.accept
+    assert decision.reason == "port buffer full"
+
+
+def test_single_queue_port_degenerates_to_tail_drop():
+    port = FakePort(buffer_bytes=10_000, num_queues=1, weights=[1.0])
+    manager = make_dynaq(port)
+    port.fill(0, 10_000)
+    decision = manager.admit(make_packet(MTU), 0)
+    assert not decision.accept
+
+
+def test_weighted_initialization():
+    port = FakePort(buffer_bytes=100_000, num_queues=4,
+                    weights=[4.0, 3.0, 2.0, 1.0])
+    manager = make_dynaq(port)
+    assert manager.thresholds == [40_000, 30_000, 20_000, 10_000]
+
+
+def test_reinitialize_after_buffer_resize():
+    port = FakePort(buffer_bytes=100_000, num_queues=2)
+    manager = make_dynaq(port)
+    port.fill(0, 50_000)
+    manager.admit(make_packet(MTU), 0)  # perturb thresholds
+    port.buffer_bytes = 200_000
+    manager.reinitialize()
+    assert manager.thresholds == [100_000, 100_000]
+    assert manager.threshold_sum() == 200_000
+
+
+def test_satisfaction_override_validation():
+    with pytest.raises(ValueError):
+        make_dynaq(satisfaction_override=[1, 2, 3])  # port has 4 queues
+
+
+def test_satisfaction_override_applied():
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = DynaQBuffer(satisfaction_override=[10_000] * 4)
+    manager.attach(port)
+    assert manager.satisfaction == [10_000] * 4
+
+
+def test_unknown_victim_search_rejected():
+    with pytest.raises(ValueError):
+        DynaQBuffer(victim_search="bogus")
+
+
+def test_tournament_search_equivalent_behaviour():
+    for search in ("linear", "tournament"):
+        port = FakePort(buffer_bytes=100_000, num_queues=4)
+        manager = DynaQBuffer(victim_search=search)
+        manager.attach(port)
+        manager.thresholds = [25_000, 30_000, 25_000, 20_000]
+        port.fill(0, 25_000)
+        manager.admit(make_packet(MTU), 0)
+        assert manager.thresholds[1] == 30_000 - MTU
+
+
+def test_threshold_trace_published():
+    trace = TraceBus()
+    events = []
+    trace.subscribe(TOPIC_THRESHOLD_CHANGE, lambda **kw: events.append(kw))
+    port = FakePort(buffer_bytes=100_000, num_queues=2)
+    manager = DynaQBuffer(trace=trace, port_name="p0")
+    manager.attach(port)
+    port.fill(0, 50_000)
+    manager.admit(make_packet(MTU), 0)
+    assert len(events) == 1
+    assert events[0]["gainer"] == 0
+    assert events[0]["port"] == "p0"
+    assert sum(events[0]["thresholds"]) == 100_000
+
+
+def test_extra_buffer_accessor():
+    manager = make_dynaq()
+    assert manager.extra_buffer(0) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),      # queue
+              st.integers(min_value=64, max_value=9000),  # packet size
+              st.booleans()),                             # drain first?
+    min_size=1, max_size=300))
+def test_invariant_threshold_sum_under_random_traffic(operations):
+    """sum(T) == B and T_i >= 0 survive arbitrary admit sequences."""
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = DynaQBuffer()
+    manager.attach(port)
+    queue_fill = [0, 0, 0, 0]
+    for queue, size, drain in operations:
+        if drain and queue_fill[queue] > 0:
+            port.drain(queue, queue_fill[queue])
+            queue_fill[queue] = 0
+        decision = manager.admit(make_packet(size), queue)
+        if decision.accept:
+            port.fill(queue, size)
+            queue_fill[queue] += size
+        assert manager.threshold_sum() == 100_000
+        assert all(t >= 0 for t in manager.thresholds)

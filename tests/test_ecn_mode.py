@@ -1,0 +1,66 @@
+"""Tests for DynaQ's ECN mode (PMSB-style marking, §III-B3)."""
+
+import pytest
+
+from repro.core.ecn_mode import DynaQECNBuffer
+from repro.net.topology import build_star
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.sim.units import gbps, kilobytes, microseconds, seconds
+from repro.transport.base import Flow
+from repro.transport.dctcp import DCTCPSender
+
+from conftest import FakePort, make_packet
+
+RTT = microseconds(500)
+
+
+def make_manager(port=None):
+    port = port or FakePort(buffer_bytes=100_000, num_queues=4,
+                            link_rate_bps=gbps(1))
+    manager = DynaQECNBuffer(rtt_ns=RTT)
+    manager.attach(port)
+    return port, manager
+
+
+def test_name_distinguishes_mode():
+    _, manager = make_manager()
+    assert manager.name == "DynaQ-ECN"
+
+
+def test_inherits_pmsb_double_condition():
+    port, manager = make_manager()
+    packet = make_packet(1500, ecn=True)
+    # Port over K (30 KB) and queue over K_i (7.5 KB): mark.
+    port.fill(0, 25_000)
+    port.fill(1, 10_000)
+    decision = manager.admit(make_packet(1500, ecn=True), 0)
+    assert decision.accept and decision.mark
+    # Queue under K_i: selective blindness.
+    decision = manager.admit(packet, 2)
+    assert decision.accept and not decision.mark
+
+
+def test_ecn_mode_does_not_adjust_thresholds():
+    """Per §III-B3, with ECN enabled DynaQ only marks — there are no
+    dynamic thresholds to maintain at all."""
+    _, manager = make_manager()
+    assert not hasattr(manager, "thresholds")
+
+
+def test_end_to_end_with_dctcp():
+    net = build_star(
+        num_hosts=3, rate_bps=gbps(1), rtt_ns=RTT,
+        buffer_bytes=kilobytes(85),
+        scheduler_factory=lambda: DRRScheduler([1500] * 4),
+        buffer_factory=lambda: DynaQECNBuffer(rtt_ns=RTT))
+    senders = []
+    for index, src in ((1, "h1"), (2, "h2")):
+        flow = Flow(flow_id=index, src=src, dst="h0", size=1_000_000)
+        sender = DCTCPSender(net.sim, net.host(src), flow)
+        net.host(src).register_sender(sender)
+        sender.start()
+        senders.append(sender)
+    net.sim.run(until=seconds(2))
+    assert all(sender.complete for sender in senders)
+    # Congestion was signalled by marks, not (only) drops.
+    assert sum(sender.ecn_echoes for sender in senders) > 0

@@ -1,0 +1,218 @@
+"""Integration tests: shortened versions of the paper's experiments.
+
+These runs are scaled down (hundreds of milliseconds instead of tens of
+seconds) but still long enough — thousands of RTTs — for the qualitative
+claims of each figure to hold: DynaQ is fair and work-conserving,
+BestEffort is unfair, PQL loses throughput when queues go idle.
+"""
+
+import pytest
+
+from repro.experiments.runner import (
+    buffer_factory,
+    scheme,
+    scheme_names,
+    transport_for,
+)
+from repro.experiments.simulation import (
+    SIM_10G,
+    StaticSimResult,
+    run_static_sim,
+)
+from repro.experiments.testbed import (
+    DEFAULT_CONFIG,
+    fair_sharing_stop_schedule,
+    run_convergence,
+    run_fct_experiment,
+    run_motivation,
+    run_protocol_mix,
+    run_weighted_sharing,
+)
+from repro.sim.units import seconds
+from repro.transport.dctcp import DCTCPSender
+from repro.transport.tcp import TCPSender
+from repro.workloads.datasets import WEB_SEARCH
+
+GBPS = 1e9
+
+
+# -- scheme registry ------------------------------------------------------------
+
+def test_scheme_registry_complete():
+    names = scheme_names()
+    for expected in ("dynaq", "besteffort", "pql", "tcn", "pmsb",
+                     "perqueue-ecn", "mqecn", "dt", "dynaq-ecn",
+                     "tcn-drop", "dynaq-tournament"):
+        assert expected in names
+
+
+def test_scheme_lookup_case_insensitive():
+    assert scheme("DynaQ").name == "DynaQ"
+    with pytest.raises(KeyError):
+        scheme("nonsense")
+
+
+def test_buffer_factory_returns_fresh_instances():
+    factory = buffer_factory("dynaq", rtt_ns=500_000)
+    assert factory() is not factory()
+
+
+def test_transport_pairing_follows_paper():
+    assert transport_for("dynaq") is TCPSender
+    assert transport_for("pmsb") is DCTCPSender
+    assert transport_for("tcn") is DCTCPSender
+
+
+# -- Fig. 3: convergence ---------------------------------------------------------
+
+def test_convergence_dynaq_is_fair_despite_flow_imbalance():
+    result = run_convergence("dynaq", duration_s=0.4,
+                             sample_interval_s=0.1)
+    q1 = result.mean_rate_bps(0, start_ns=seconds(0.1))
+    q2 = result.mean_rate_bps(1, start_ns=seconds(0.1))
+    assert q1 / GBPS > 0.35
+    assert q2 / GBPS > 0.35
+    assert result.mean_aggregate_bps() / GBPS > 0.9
+
+
+def test_convergence_besteffort_is_unfair():
+    result = run_convergence("besteffort", duration_s=0.4,
+                             sample_interval_s=0.1)
+    q1 = result.mean_rate_bps(0, start_ns=seconds(0.1))
+    q2 = result.mean_rate_bps(1, start_ns=seconds(0.1))
+    # Queue 2's 16 flows dominate the 2 flows of queue 1.
+    assert q2 > 2 * q1
+
+
+def test_convergence_queue_samples_collected():
+    result = run_convergence("dynaq", duration_s=0.2,
+                             sample_interval_s=0.1, queue_samples=500)
+    assert len(result.queue_lengths.samples) == 500
+
+
+# -- Fig. 1: motivation ------------------------------------------------------------
+
+def test_motivation_besteffort_starves_queue1():
+    result = run_motivation(duration_s=0.4, sample_interval_s=0.1,
+                            queue_samples=200)
+    q1 = result.mean_rate_bps(0, start_ns=seconds(0.1))
+    q2 = result.mean_rate_bps(1, start_ns=seconds(0.1))
+    assert q2 > 2 * q1  # fair share would be equal
+    # Queue 2 dominates the sampled buffer occupancy too.
+    assert (result.queue_lengths.mean_occupancy(1)
+            > result.queue_lengths.mean_occupancy(0))
+
+
+def test_motivation_dynaq_restores_fairness():
+    result = run_motivation("dynaq", duration_s=0.4,
+                            sample_interval_s=0.1)
+    q1 = result.mean_rate_bps(0, start_ns=seconds(0.1))
+    q2 = result.mean_rate_bps(1, start_ns=seconds(0.1))
+    assert q1 == pytest.approx(q2, rel=0.35)
+
+
+# -- Fig. 6: weighted sharing -------------------------------------------------------
+
+def test_weighted_sharing_dynaq_respects_weights():
+    result = run_weighted_sharing("dynaq", duration_s=0.4,
+                                  sample_interval_s=0.1)
+    shares = result.mean_shares(start_ns=seconds(0.1))
+    ideal = [0.4, 0.3, 0.2, 0.1]
+    for measured, expected in zip(shares, ideal):
+        assert measured == pytest.approx(expected, abs=0.08)
+
+
+def test_weighted_sharing_besteffort_violates_weights():
+    result = run_weighted_sharing("besteffort", duration_s=0.4,
+                                  sample_interval_s=0.1)
+    shares = result.mean_shares(start_ns=seconds(0.1))
+    # Queue 4 (weight 0.1, 16 flows) grabs far more than its share,
+    # mirroring the paper's 0.35-vs-0.1 observation.
+    assert shares[3] > 0.2
+
+
+# -- Fig. 5 schedule helper -----------------------------------------------------------
+
+def test_fair_sharing_stop_schedule_matches_paper():
+    stops = fair_sharing_stop_schedule(5.0)
+    assert stops == [seconds(25), seconds(20), seconds(15), seconds(10)]
+
+
+# -- Fig. 7: protocol mix -------------------------------------------------------------
+
+def test_protocol_mix_dynaq_fair_across_tcp_and_cubic():
+    result = run_protocol_mix("dynaq", time_unit_s=0.08,
+                              sample_interval_s=0.04)
+    window_end = seconds(0.16)  # all four queues still active
+    rates = [result.mean_rate_bps(q, end_ns=window_end)
+             for q in range(4)]
+    assert result.jain(range(4), end_ns=window_end) > 0.9
+    assert sum(rates) / GBPS > 0.85
+
+
+# -- Figs. 8-9: FCT ---------------------------------------------------------------
+
+def test_fct_experiment_completes_all_flows():
+    result = run_fct_experiment(
+        "dynaq", load=0.4, num_flows=40,
+        distribution=WEB_SEARCH.truncated(1_000_000), seed=3)
+    assert result.completed == 40
+    assert result.outstanding == 0
+    assert result.summary["avg_overall_ms"] > 0
+
+
+def test_fct_experiment_small_flows_fast_under_spq():
+    result = run_fct_experiment(
+        "dynaq", load=0.5, num_flows=60,
+        distribution=WEB_SEARCH.truncated(1_000_000), seed=4)
+    summary = result.summary
+    # PIAS + SPQ gives small flows far better FCT than the average.
+    assert summary["avg_small_ms"] < summary["avg_overall_ms"]
+
+
+def test_fct_experiment_deterministic_for_seed():
+    kwargs = dict(load=0.4, num_flows=25,
+                  distribution=WEB_SEARCH.truncated(500_000), seed=11)
+    a = run_fct_experiment("dynaq", **kwargs)
+    b = run_fct_experiment("dynaq", **kwargs)
+    assert a.summary == b.summary
+
+
+def test_fct_experiment_ecn_scheme_uses_dctcp_and_marks():
+    result = run_fct_experiment(
+        "pmsb", load=0.6, num_flows=50,
+        distribution=WEB_SEARCH.truncated(2_000_000), seed=5)
+    assert result.completed == 50
+
+
+# -- Figs. 10-12: static sims -----------------------------------------------------------
+
+def small_static(scheme_name):
+    return run_static_sim(
+        scheme_name, config=SIM_10G, num_queues=4,
+        senders_for_queue=lambda k: 2 * k, first_stop_ms=40,
+        stop_step_ms=20, duration_ms=120, sample_interval_ms=10)
+
+
+def test_static_sim_dynaq_fair_and_work_conserving():
+    result = small_static("dynaq")
+    assert result.mean_fairness(start_ns=10_000_000) > 0.9
+    assert result.mean_aggregate_bps(start_ns=10_000_000) / GBPS > 9.0
+
+
+def test_static_sim_pql_loses_throughput_when_queues_idle():
+    dynaq = small_static("dynaq")
+    pql = small_static("pql")
+    # After every queue but #1 stopped (t > 100 ms), PQL caps queue 1's
+    # buffer at B/4 < BDP and the link under-utilises relative to DynaQ.
+    tail_start = 100_000_000
+    assert (pql.mean_aggregate_bps(start_ns=tail_start)
+            < dynaq.mean_aggregate_bps(start_ns=tail_start) * 0.97)
+
+
+def test_static_sim_active_queue_bookkeeping():
+    result = small_static("dynaq")
+    assert result.active_queues_at(0) == [0, 1, 2, 3]
+    assert result.active_queues_at(130_000_000) == [0]
+    assert isinstance(result, StaticSimResult)
+    assert len(result.fairness_series()) == len(result.samples)

@@ -1,0 +1,265 @@
+"""Tests for the extension features: runtime buffer resize (§III-B3),
+the DynaQ-Evict variant, delayed ACKs, and classic ECN-TCP."""
+
+import pytest
+
+from repro.core.dynaq import DynaQBuffer
+from repro.core.eviction import DynaQEvictBuffer
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.net.port import EgressPort
+from repro.net.topology import build_star
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.perqueue_ecn import PerQueueECNBuffer
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.units import gbps, kilobytes, microseconds, seconds
+from repro.transport.base import Flow, FlowReceiver
+from repro.transport.ecn_tcp import ECNTCPSender
+from repro.transport.tcp import TCPSender
+
+from conftest import FakePort, make_packet
+
+RTT = microseconds(500)
+
+
+# -- runtime buffer resize ------------------------------------------------------
+
+def make_port(manager, buffer_bytes=100_000):
+    sim = Simulator()
+    port = EgressPort(
+        sim, "p0", rate_bps=gbps(1), prop_delay_ns=0,
+        buffer_bytes=buffer_bytes, scheduler=DRRScheduler([1500] * 4),
+        buffer_manager=manager)
+
+    class Sink:
+        def receive(self, packet):
+            pass
+
+    port.connect(Sink())
+    return sim, port
+
+
+def test_resize_reinitializes_dynaq_thresholds():
+    manager = DynaQBuffer()
+    sim, port = make_port(manager)
+    assert manager.threshold_sum() == 100_000
+    port.resize_buffer(200_000)
+    assert manager.threshold_sum() == 200_000
+    assert manager.thresholds == [50_000] * 4
+
+
+def test_resize_validates_size():
+    sim, port = make_port(DynaQBuffer())
+    with pytest.raises(ConfigurationError):
+        port.resize_buffer(0)
+
+
+def test_resize_works_for_managers_without_reinitialize():
+    manager = BestEffortBuffer()
+    sim, port = make_port(manager)
+    port.resize_buffer(10_000)
+    assert port.buffer_bytes == 10_000
+
+
+def test_shrink_enforced_on_new_arrivals():
+    manager = BestEffortBuffer()
+    sim, port = make_port(manager, buffer_bytes=100_000)
+    for _ in range(10):
+        port.send(make_packet(1500))
+    port.resize_buffer(5_000)
+    before = port.dropped_packets
+    for _ in range(5):
+        port.send(make_packet(1500))
+    assert port.dropped_packets > before
+
+
+# -- DynaQ-Evict -------------------------------------------------------------------
+
+def test_evict_tail_removes_and_accounts():
+    sim, port = make_port(BestEffortBuffer())
+    port.send(make_packet(1500, service_class=1))  # transmits immediately
+    port.send(make_packet(1500, service_class=1))
+    port.send(make_packet(1000, service_class=1))
+    assert port.queue_bytes(1) == 2_500
+    evicted = port.evict_tail(1)
+    assert evicted.size == 1_000  # tail, not head
+    assert port.queue_bytes(1) == 1_500
+    assert port.dropped_packets == 1
+
+
+def test_evict_tail_empty_queue_returns_none():
+    sim, port = make_port(BestEffortBuffer())
+    assert port.evict_tail(2) is None
+
+
+def test_dynaq_evict_admits_burst_at_full_port():
+    """The scenario that motivates the extension: an idle queue's burst
+    arrives at a physically full port and would be tail-dropped by plain
+    DynaQ; DynaQ-Evict evicts the over-threshold holder instead."""
+    fake = FakePort(buffer_bytes=10_000, num_queues=2)
+
+    # Plain DynaQ: queue 1 stole queue 0's threshold and filled the port.
+    plain = DynaQBuffer()
+    plain.attach(fake)
+    plain.thresholds = [2_000, 8_000]
+    fake.fill(1, 10_000)  # occupancy above its threshold (stolen later)
+    decision = plain.admit(make_packet(1500), 0)
+    assert not decision.accept
+    assert decision.reason == "port buffer full"
+
+    # DynaQ-Evict on a real port in the same state.
+    sim, port = make_port(DynaQEvictBuffer(), buffer_bytes=12_000)
+    manager = port.buffer_manager
+    # Fill queue 1 until the port is physically full (the first packet
+    # dequeues straight onto the wire, the next 8 fill the 12 KB buffer).
+    for _ in range(9):
+        port.send(make_packet(1500, service_class=1))
+    assert port.total_bytes() == 12_000
+    manager.thresholds = [9_000, 1_000, 1_000, 1_000]
+    burst = make_packet(1500, service_class=0)
+    port.send(burst)
+    assert manager.evictions >= 1
+    assert port.queue_bytes(0) == 1_500  # the burst got in
+
+
+def test_dynaq_evict_keeps_threshold_invariant():
+    sim, port = make_port(DynaQEvictBuffer(), buffer_bytes=12_000)
+    manager = port.buffer_manager
+    for service_class in (0, 1, 2, 3, 1, 1, 1, 1, 0, 2):
+        port.send(make_packet(1500, service_class=service_class))
+    assert manager.threshold_sum() == 12_000
+
+
+def test_dynaq_evict_end_to_end():
+    net = build_star(
+        num_hosts=3, rate_bps=gbps(1), rtt_ns=RTT,
+        buffer_bytes=kilobytes(85),
+        scheduler_factory=lambda: DRRScheduler([1500] * 4),
+        buffer_factory=DynaQEvictBuffer)
+    senders = []
+    for index, src in ((1, "h1"), (2, "h2")):
+        flow = Flow(flow_id=index, src=src, dst="h0", size=500_000,
+                    service_class=index - 1)
+        sender = TCPSender(net.sim, net.host(src), flow)
+        net.host(src).register_sender(sender)
+        sender.start()
+        senders.append(sender)
+    net.sim.run(until=seconds(2))
+    assert all(sender.complete for sender in senders)
+
+
+# -- delayed ACKs --------------------------------------------------------------------
+
+class AckSink:
+    def __init__(self):
+        self.acks = []
+
+    def receive(self, packet):
+        self.acks.append(packet)
+
+
+def delayed_host(sim):
+    host = Host(sim, "h", delayed_ack=True)
+    host.attach_nic(rate_bps=gbps(1), prop_delay_ns=0)
+    sink = AckSink()
+    host.nic.connect(sink)
+    return host, sink
+
+
+def segment(seq, end, flow_id=1, ce=False):
+    packet = Packet(flow_id=flow_id, src="x", dst="h",
+                    size=end - seq + 40, seq=seq, end_seq=end,
+                    ecn_capable=ce)
+    packet.ecn_ce = ce
+    return packet
+
+
+def test_delayed_ack_coalesces_pairs():
+    sim = Simulator()
+    host, sink = delayed_host(sim)
+    host.receive(segment(0, 1460))
+    host.receive(segment(1460, 2920))
+    sim.run(until=100_000)  # below the 1 ms delack timer
+    assert len(sink.acks) == 1
+    assert sink.acks[0].ack_seq == 2920
+
+
+def test_delayed_ack_timer_fires_for_odd_segment():
+    sim = Simulator()
+    host, sink = delayed_host(sim)
+    host.receive(segment(0, 1460))
+    sim.run(until=100_000)
+    assert len(sink.acks) == 0
+    sim.run(until=2_000_000)
+    assert len(sink.acks) == 1
+
+
+def test_delayed_ack_immediate_on_out_of_order():
+    sim = Simulator()
+    host, sink = delayed_host(sim)
+    host.receive(segment(1460, 2920))  # gap
+    sim.run(until=1_000)
+    assert len(sink.acks) == 1
+    assert sink.acks[0].ack_seq == 0
+
+
+def test_delayed_ack_immediate_on_ce_mark():
+    sim = Simulator()
+    host, sink = delayed_host(sim)
+    host.receive(segment(0, 1460, ce=True))
+    sim.run(until=1_000)
+    assert len(sink.acks) == 1
+    assert sink.acks[0].ece
+
+
+def test_delayed_ack_flow_still_completes():
+    net = build_star(
+        num_hosts=3, rate_bps=gbps(1), rtt_ns=RTT,
+        buffer_bytes=kilobytes(85),
+        scheduler_factory=lambda: DRRScheduler([1500] * 4),
+        buffer_factory=BestEffortBuffer)
+    net.host("h0").delayed_ack = True
+    flow = Flow(flow_id=1, src="h1", dst="h0", size=300_000)
+    sender = TCPSender(net.sim, net.host("h1"), flow)
+    net.host("h1").register_sender(sender)
+    sender.start()
+    net.sim.run(until=seconds(2))
+    assert sender.complete
+    receiver = net.host("h0").receivers[1]
+    # Roughly half the ACKs of per-packet acking.
+    assert receiver.acks_sent < sender.packets_sent
+
+
+# -- ECN-TCP -----------------------------------------------------------------------
+
+def test_ecn_tcp_is_ecn_capable():
+    sim = Simulator()
+    host = Host(sim, "h")
+    host.attach_nic(rate_bps=gbps(1), prop_delay_ns=0)
+    flow = Flow(flow_id=1, src="h", dst="x", size=10_000)
+    sender = ECNTCPSender(sim, host, flow)
+    assert flow.ecn is True
+
+
+def test_ecn_tcp_halves_once_per_window():
+    net = build_star(
+        num_hosts=3, rate_bps=gbps(1), rtt_ns=RTT,
+        buffer_bytes=kilobytes(85),
+        scheduler_factory=lambda: DRRScheduler([1500] * 4),
+        buffer_factory=lambda: PerQueueECNBuffer(rtt_ns=RTT))
+    senders = []
+    for index, src in ((1, "h1"), (2, "h2")):
+        flow = Flow(flow_id=index, src=src, dst="h0", size=2_000_000)
+        sender = ECNTCPSender(net.sim, net.host(src), flow)
+        net.host(src).register_sender(sender)
+        sender.start()
+        senders.append(sender)
+    net.sim.run(until=seconds(3))
+    assert all(sender.complete for sender in senders)
+    total_reductions = sum(sender.ecn_reductions for sender in senders)
+    total_echoes = sum(sender.ecn_echoes for sender in senders)
+    assert total_reductions > 0
+    # Far fewer reductions than echoes: once per window, not per packet.
+    assert total_reductions < total_echoes / 2

@@ -1,0 +1,54 @@
+"""Unit tests for the §IV-A hardware cost model."""
+
+import pytest
+
+from repro.core.hardware import (
+    CycleBudget,
+    algorithm1_cycles,
+    cost_table,
+    relative_overhead,
+)
+
+
+def test_paper_headline_seven_cycles():
+    """8-queue port: 1 + 3 + 2 + 1 = 7 cycles (paper §IV-A)."""
+    budget = algorithm1_cycles(8)
+    assert budget.threshold_check == 1
+    assert budget.victim_search == 3
+    assert budget.protection_check == 2
+    assert budget.threshold_exchange == 1
+    assert budget.total == 7
+
+
+def test_four_queue_port_costs_six_cycles():
+    assert algorithm1_cycles(4).total == 6
+
+
+def test_trident3_overhead_is_0_88_percent():
+    overhead = relative_overhead(8)
+    assert overhead == pytest.approx(7 / 800)
+    assert round(100 * overhead, 2) == 0.88
+
+
+def test_relative_overhead_scales_with_clock():
+    # A 2 GHz chip has twice the cycle budget per 800 ns.
+    assert relative_overhead(8, clock_ghz=2.0) == pytest.approx(7 / 1600)
+
+
+def test_invalid_inputs_raise():
+    with pytest.raises(ValueError):
+        algorithm1_cycles(0)
+    with pytest.raises(ValueError):
+        relative_overhead(8, packet_delay_ns=0)
+
+
+def test_cost_table_rows():
+    rows = cost_table()
+    assert [row["queues"] for row in rows] == [4, 8]
+    eight = rows[1]
+    assert eight["total_cycles"] == 7
+    assert eight["trident3_overhead_pct"] == pytest.approx(0.875)
+
+
+def test_cycle_budget_total_property():
+    assert CycleBudget(1, 2, 3, 4).total == 10

@@ -1,0 +1,154 @@
+"""Tests for Host dispatch and the Packet model."""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.packet import ACK_BYTES, HEADER_BYTES, MTU_BYTES, Packet
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.transport.base import Flow
+from repro.transport.tcp import TCPSender
+
+from conftest import make_packet
+
+
+# -- Packet ---------------------------------------------------------------
+
+def test_packet_payload():
+    packet = Packet(flow_id=1, src="a", dst="b", size=1500,
+                    seq=100, end_seq=1560)
+    assert packet.payload == 1460
+
+
+def test_ack_has_no_payload():
+    ack = Packet(flow_id=1, src="a", dst="b", size=ACK_BYTES,
+                 is_ack=True, ack_seq=500)
+    assert ack.payload == 0
+    assert ack.ack_seq == 500
+
+
+def test_packet_defaults():
+    packet = make_packet()
+    assert not packet.ecn_ce
+    assert not packet.retransmitted
+    assert packet.ts_echo is None
+
+
+def test_wire_constants():
+    assert HEADER_BYTES == 40
+    assert MTU_BYTES == 1500
+    assert ACK_BYTES == HEADER_BYTES
+
+
+# -- Host -------------------------------------------------------------------
+
+def test_host_requires_nic_for_sending():
+    sim = Simulator()
+    host = Host(sim, "h")
+    with pytest.raises(ConfigurationError):
+        host.send_packet(make_packet())
+
+
+def test_duplicate_sender_registration_rejected():
+    sim = Simulator()
+    host = Host(sim, "h")
+    host.attach_nic(rate_bps=10 ** 9, prop_delay_ns=0)
+    flow = Flow(flow_id=7, src="h", dst="x", size=1000)
+    host.register_sender(TCPSender(sim, host, flow))
+    with pytest.raises(ConfigurationError):
+        host.register_sender(TCPSender(sim, host, flow))
+
+
+def test_ack_for_unknown_flow_is_ignored():
+    sim = Simulator()
+    host = Host(sim, "h")
+    host.receive(make_packet(40, flow_id=99, is_ack=True))
+    assert host.received_packets == 1  # counted, not crashed
+
+
+def test_data_creates_receiver_on_demand():
+    sim = Simulator()
+    host = Host(sim, "h")
+    host.attach_nic(rate_bps=10 ** 9, prop_delay_ns=0)
+
+    class Sink:
+        def receive(self, packet):
+            pass
+
+    host.nic.connect(Sink())
+    data = Packet(flow_id=5, src="x", dst="h", size=1500,
+                  seq=0, end_seq=1460)
+    host.receive(data)
+    assert 5 in host.receivers
+    assert host.receivers[5].next_expected == 1460
+
+
+def test_receiver_echoes_service_class_on_ack():
+    sim = Simulator()
+    host = Host(sim, "h")
+    host.attach_nic(rate_bps=10 ** 9, prop_delay_ns=0)
+    acks = []
+
+    class Sink:
+        def receive(self, packet):
+            acks.append(packet)
+
+    host.nic.connect(Sink())
+    data = Packet(flow_id=5, src="x", dst="h", size=1500,
+                  seq=0, end_seq=1460, service_class=3)
+    host.receive(data)
+    sim.run()
+    assert acks[0].is_ack
+    assert acks[0].service_class == 3
+    assert acks[0].dst == "x"
+
+
+def test_receiver_echoes_ce_and_timestamp():
+    sim = Simulator()
+    host = Host(sim, "h")
+    host.attach_nic(rate_bps=10 ** 9, prop_delay_ns=0)
+    acks = []
+
+    class Sink:
+        def receive(self, packet):
+            acks.append(packet)
+
+    host.nic.connect(Sink())
+    data = Packet(flow_id=5, src="x", dst="h", size=1500,
+                  seq=0, end_seq=1460, ecn_capable=True, created_at=123)
+    data.ecn_ce = True
+    host.receive(data)
+    retx = Packet(flow_id=5, src="x", dst="h", size=1500,
+                  seq=1460, end_seq=2920, created_at=456)
+    retx.retransmitted = True
+    host.receive(retx)
+    sim.run()
+    assert acks[0].ece is True
+    assert acks[0].ts_echo == 123
+    # Karn's rule: retransmitted segments yield no timestamp echo.
+    assert acks[1].ts_echo is None
+
+
+def test_out_of_order_reassembly_with_duplicates():
+    sim = Simulator()
+    host = Host(sim, "h")
+    host.attach_nic(rate_bps=10 ** 9, prop_delay_ns=0)
+
+    class Sink:
+        def receive(self, packet):
+            pass
+
+    host.nic.connect(Sink())
+
+    def segment(seq, end):
+        return Packet(flow_id=1, src="x", dst="h", size=end - seq + 40,
+                      seq=seq, end_seq=end)
+
+    host.receive(segment(1460, 2920))      # out of order
+    assert host.receivers[1].next_expected == 0
+    host.receive(segment(1460, 2920))      # duplicate OOO
+    host.receive(segment(0, 1460))         # fills the hole
+    assert host.receivers[1].next_expected == 2920
+    host.receive(segment(0, 1460))         # stale duplicate
+    assert host.receivers[1].next_expected == 2920
+    assert host.receivers[1].duplicate_packets == 2

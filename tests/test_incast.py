@@ -1,0 +1,46 @@
+"""Tests for the incast/microburst experiment module."""
+
+import pytest
+
+from repro.experiments.incast import IncastResult, incast_sweep, run_incast
+
+
+def quick_incast(scheme, **kwargs):
+    defaults = dict(num_workers=6, background_flows=2, horizon_s=1.5)
+    defaults.update(kwargs)
+    return run_incast(scheme, **defaults)
+
+
+def test_incast_completes_all_workers():
+    result = quick_incast("dynaq")
+    assert result.all_completed
+    assert result.completed == 6
+    assert result.query_completion_ms is not None
+    assert result.query_completion_ms >= result.mean_fct_ms
+
+
+def test_incast_without_background():
+    result = quick_incast("besteffort", background_flows=0)
+    assert result.all_completed
+    # Unloaded port: the burst fits, QCT stays in the low milliseconds.
+    assert result.query_completion_ms < 20.0
+
+
+def test_incast_records_bottleneck_drops():
+    result = quick_incast("besteffort", num_workers=12)
+    assert result.drops_at_bottleneck > 0
+
+
+def test_incast_eviction_no_worse_than_plain():
+    plain = quick_incast("dynaq", num_workers=12)
+    evict = quick_incast("dynaq-evict", num_workers=12)
+    assert evict.all_completed
+    assert evict.query_completion_ms <= plain.query_completion_ms * 1.1
+
+
+def test_incast_sweep_shape():
+    results = incast_sweep(["dynaq"], [4, 8], background_flows=0,
+                           horizon_s=1.0)
+    assert set(results) == {"dynaq"}
+    assert [r.num_workers for r in results["dynaq"]] == [4, 8]
+    assert all(isinstance(r, IncastResult) for r in results["dynaq"])

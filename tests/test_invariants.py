@@ -1,0 +1,180 @@
+"""System-level invariants and failure injection.
+
+These tests drive full simulations and then check conservation laws and
+structural invariants that must hold no matter what the traffic did:
+
+* packet conservation per port (enqueued == transmitted + buffered),
+* DynaQ's ``sum(T) == B`` on every port after real traffic,
+* non-negative queue occupancies,
+* byte-exact delivery under loss, reordering (ECMP), and blackholes.
+"""
+
+import pytest
+
+from repro.apps.iperf import IperfApp
+from repro.core.dynaq import DynaQBuffer
+from repro.net.topology import build_leaf_spine, build_star
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.sim.units import gbps, kilobytes, microseconds, seconds
+from repro.transport.base import Flow
+from repro.transport.tcp import TCPSender
+
+
+def star_net(buffer_factory, num_hosts=4, buffer_bytes=kilobytes(85)):
+    return build_star(
+        num_hosts=num_hosts, rate_bps=gbps(1), rtt_ns=microseconds(500),
+        buffer_bytes=buffer_bytes,
+        scheduler_factory=lambda: DRRScheduler([1500] * 4),
+        buffer_factory=buffer_factory)
+
+
+def all_ports(net):
+    for switch in net.switches.values():
+        yield from switch.port_list()
+    for host in net.hosts.values():
+        if host.nic is not None:
+            yield host.nic
+
+
+def run_congested(net, duration_s=0.3):
+    for index, queue in ((1, 0), (2, 1), (3, 1)):
+        app = IperfApp(net.sim, net.host(f"h{index}"), destination="h0",
+                       num_flows=6, service_class=queue,
+                       flow_id_base=index * 100)
+        app.start_at(0)
+    net.sim.run(until=seconds(duration_s))
+
+
+def test_packet_conservation_per_port():
+    net = star_net(BestEffortBuffer, buffer_bytes=kilobytes(30))
+    run_congested(net)
+    for port in all_ports(net):
+        buffered = port.total_bytes()
+        assert (port.enqueued_packets
+                >= port.transmitted_packets), port.name
+        # Every enqueued packet was either transmitted or is still queued.
+        queued_packets = sum(
+            len(port._queues[i]) for i in range(port.num_queues))
+        assert (port.enqueued_packets
+                == port.transmitted_packets + queued_packets), port.name
+        assert buffered >= 0
+
+
+def test_dynaq_threshold_invariant_after_real_traffic():
+    net = star_net(DynaQBuffer)
+    run_congested(net)
+    for port in all_ports(net):
+        manager = port.buffer_manager
+        if isinstance(manager, DynaQBuffer):
+            assert manager.threshold_sum() == port.buffer_bytes, port.name
+            assert all(t >= 0 for t in manager.thresholds), port.name
+
+
+def test_no_negative_occupancy_under_congestion():
+    net = star_net(DynaQBuffer, buffer_bytes=kilobytes(20))
+    run_congested(net)
+    for port in all_ports(net):
+        for queue in range(port.num_queues):
+            assert port.queue_bytes(queue) >= 0
+        assert port.total_bytes() <= port.buffer_bytes
+
+
+def test_occupancy_never_exceeds_buffer_besteffort():
+    net = star_net(BestEffortBuffer, buffer_bytes=kilobytes(20))
+    peak = {"value": 0}
+    bottleneck = net.switch("s0").ports["s0->h0"]
+    original = bottleneck.send
+
+    def watched_send(packet):
+        original(packet)
+        peak["value"] = max(peak["value"], bottleneck.total_bytes())
+
+    bottleneck.send = watched_send
+    run_congested(net)
+    assert peak["value"] <= kilobytes(20)
+
+
+def test_byte_exact_delivery_under_heavy_loss():
+    """A flow through a 5 KB buffer completes with exact reassembly."""
+    net = star_net(BestEffortBuffer, buffer_bytes=5_000)
+    flows = []
+    for index, src in ((1, "h1"), (2, "h2"), (3, "h3")):
+        flow = Flow(flow_id=index, src=src, dst="h0", size=150_000)
+        sender = TCPSender(net.sim, net.host(src), flow)
+        net.host(src).register_sender(sender)
+        sender.start()
+        flows.append(sender)
+    net.sim.run(until=seconds(5))
+    for sender in flows:
+        assert sender.complete
+        receiver = net.host("h0").receivers[sender.flow.flow_id]
+        assert receiver.next_expected == 150_000
+
+
+def test_delivery_across_ecmp_reordering():
+    """ECMP paths have equal delay here, but the flow must still complete
+    if one spine path is slowed (propagation skew => reordering)."""
+    net = build_leaf_spine(
+        num_leaves=2, num_spines=2, hosts_per_leaf=2,
+        rate_bps=gbps(10), rtt_ns=microseconds(85),
+        buffer_bytes=kilobytes(192),
+        scheduler_factory=lambda: DRRScheduler([1500] * 4),
+        buffer_factory=BestEffortBuffer)
+    # Skew one uplink's propagation delay to 5x.
+    net.switch("leaf0").ports["leaf0->spine1"].prop_delay_ns *= 5
+    flow = Flow(flow_id=1, src="h0_0", dst="h1_1", size=500_000)
+    sender = TCPSender(net.sim, net.host("h0_0"), flow)
+    net.host("h0_0").register_sender(sender)
+    sender.start()
+    net.sim.run(until=seconds(2))
+    assert sender.complete
+    assert net.host("h1_1").receivers[1].next_expected == 500_000
+
+
+def test_transient_blackhole_recovery():
+    """A port that eats all packets for 30 ms must not wedge the flows."""
+    net = star_net(BestEffortBuffer)
+    bottleneck = net.switch("s0").ports["s0->h0"]
+    original = bottleneck.send
+    gate = {"open": False}
+
+    def gated(packet):
+        if gate["open"]:
+            original(packet)
+
+    bottleneck.send = gated
+    net.sim.schedule(seconds(0.03), lambda: gate.update(open=True))
+    flow = Flow(flow_id=1, src="h1", dst="h0", size=50_000)
+    sender = TCPSender(net.sim, net.host("h1"), flow)
+    net.host("h1").register_sender(sender)
+    sender.start()
+    net.sim.run(until=seconds(3))
+    assert sender.complete
+    assert sender.timeouts >= 1
+
+
+def test_aborted_flows_leave_clean_state():
+    net = star_net(DynaQBuffer)
+    app = IperfApp(net.sim, net.host("h1"), destination="h0",
+                   num_flows=4, service_class=0)
+    app.start_at(0)
+    app.stop_at(seconds(0.05))
+    net.sim.run(until=seconds(0.3))
+    # After abort + drain, no packets linger and no timers fire forever.
+    for port in all_ports(net):
+        assert port.total_bytes() == 0
+    assert net.sim.peek_time() is None
+
+
+def test_two_parallel_simulations_do_not_interfere():
+    """Simulator instances are fully independent (no global state)."""
+    net_a = star_net(DynaQBuffer)
+    net_b = star_net(DynaQBuffer)
+    run_congested(net_a, duration_s=0.05)
+    events_before = net_b.sim.events_executed
+    assert events_before == 0
+    run_congested(net_b, duration_s=0.05)
+    assert net_a.sim.now == net_b.sim.now
+    assert (net_a.switch("s0").ports["s0->h0"].transmitted_packets
+            == net_b.switch("s0").ports["s0->h0"].transmitted_packets)

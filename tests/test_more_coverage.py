@@ -1,0 +1,195 @@
+"""Additional coverage: result helpers, config defaults, edge cases."""
+
+import pytest
+
+from repro.experiments.incast import IncastResult
+from repro.experiments.simulation import (
+    SIM_10G,
+    SIM_100G,
+    LeafSpineConfig,
+    StaticSimResult,
+    many_flows_senders,
+)
+from repro.experiments.testbed import DEFAULT_CONFIG
+from repro.experiments.testbed import TestbedConfig as _TestbedConfig
+from repro.metrics.throughput import ThroughputSample
+from repro.net.packet import JUMBO_MTU_BYTES
+from repro.sim.units import gbps, kilobytes, megabytes, microseconds
+from repro.workloads.datasets import WEB_SEARCH
+
+from conftest import FakePort, make_packet
+
+
+# -- configuration constants match the paper -----------------------------------------
+
+def test_testbed_config_matches_paper():
+    assert DEFAULT_CONFIG.rate_bps == gbps(1)
+    assert DEFAULT_CONFIG.buffer_bytes == kilobytes(85)
+    assert DEFAULT_CONFIG.rtt_ns == microseconds(500)
+    assert DEFAULT_CONFIG.min_rto_ns == 10_000_000
+    assert DEFAULT_CONFIG.mtu_bytes == 1500
+
+
+def test_sim_configs_match_paper():
+    assert SIM_10G.rate_bps == gbps(10)
+    assert SIM_10G.buffer_bytes == kilobytes(192)   # Trident+
+    assert SIM_10G.rtt_ns == microseconds(84)
+    assert SIM_100G.rate_bps == gbps(100)
+    assert SIM_100G.buffer_bytes == megabytes(1)    # Trident 3
+    assert SIM_100G.mtu_bytes == JUMBO_MTU_BYTES
+    assert SIM_100G.min_rto_ns == 5_000_000         # jiffy-timer floor
+
+
+def test_leaf_spine_config_matches_paper():
+    config = LeafSpineConfig()
+    assert config.num_leaves == 12
+    assert config.num_spines == 12
+    assert config.hosts_per_leaf == 12
+    assert config.rtt_ns == 85_200
+
+
+def test_many_flows_senders_is_exponential():
+    # Fig. 12: queue k has 2^(3+k) senders; queue 8 -> 2048.
+    assert many_flows_senders(1) == 16
+    assert many_flows_senders(8) == 2048
+
+
+def test_custom_testbed_config_overrides():
+    config = _TestbedConfig(rate_bps=gbps(10))
+    assert config.rate_bps == gbps(10)
+    assert config.buffer_bytes == kilobytes(85)  # others keep defaults
+
+
+# -- StaticSimResult helpers ------------------------------------------------------------
+
+def make_static_result():
+    samples = [
+        ThroughputSample(10_000_000, (5e9, 5e9), 10e9),
+        ThroughputSample(20_000_000, (10e9, 0.0), 10e9),
+    ]
+    return StaticSimResult(
+        scheme="DynaQ", samples=samples,
+        stop_times_ns=[None, 15_000_000], config=SIM_10G, num_queues=2)
+
+
+def test_active_queue_bookkeeping():
+    result = make_static_result()
+    assert result.active_queues_at(10_000_000) == [0, 1]
+    assert result.active_queues_at(16_000_000) == [0]
+
+
+def test_fairness_series_ignores_stopped_queues():
+    result = make_static_result()
+    series = result.fairness_series()
+    assert series[0] == pytest.approx(1.0)   # both active, equal
+    assert series[1] == pytest.approx(1.0)   # queue 2 stopped: only q1
+    assert len(series) == 2
+
+
+def test_mean_helpers_window():
+    result = make_static_result()
+    assert result.mean_aggregate_bps() == pytest.approx(10e9)
+    assert result.mean_aggregate_bps(start_ns=15_000_000) == pytest.approx(10e9)
+    assert result.mean_fairness() == pytest.approx(1.0)
+    # Empty window defaults to perfect fairness.
+    assert result.mean_fairness(start_ns=10**12) == 1.0
+
+
+# -- IncastResult -----------------------------------------------------------------------
+
+def test_incast_result_properties():
+    result = IncastResult("DynaQ", 8, 8, 12.0, 6.0, 1, 10)
+    assert result.all_completed
+    incomplete = IncastResult("DynaQ", 8, 7, None, 6.0, 1, 10)
+    assert not incomplete.all_completed
+    assert incomplete.query_completion_ms is None
+
+
+# -- DynaQ edge cases ---------------------------------------------------------------------
+
+def test_dynaq_packet_larger_than_total_buffer():
+    from repro.core.dynaq import DynaQBuffer
+    port = FakePort(buffer_bytes=5_000, num_queues=2)
+    manager = DynaQBuffer()
+    manager.attach(port)
+    decision = manager.admit(make_packet(9_000), 0)
+    assert not decision.accept
+    assert manager.threshold_sum() == 5_000
+
+
+def test_dynaq_two_queue_steal_direction():
+    from repro.core.dynaq import DynaQBuffer
+    port = FakePort(buffer_bytes=10_000, num_queues=2)
+    manager = DynaQBuffer()
+    manager.attach(port)
+    # Queue 1 idle: queue 0 over threshold steals from it repeatedly.
+    port.fill(0, 5_000)
+    for _ in range(2):
+        decision = manager.admit(make_packet(1_000), 0)
+        assert decision.accept
+        port.fill(0, 1_000)
+    assert manager.thresholds[0] == 7_000
+    assert manager.thresholds[1] == 3_000
+
+
+# -- workload tail stats --------------------------------------------------------------------
+
+def test_bytes_fraction_above_is_monotone():
+    low = WEB_SEARCH.bytes_fraction_above(10_000)
+    high = WEB_SEARCH.bytes_fraction_above(10_000_000)
+    assert 0.0 <= high <= low <= 1.0
+
+
+def test_bytes_fraction_above_extremes():
+    assert WEB_SEARCH.bytes_fraction_above(0) == pytest.approx(1.0)
+    assert WEB_SEARCH.bytes_fraction_above(10 ** 12) == 0.0
+
+
+def test_truncated_at_exact_point():
+    truncated = WEB_SEARCH.truncated(1_000_000)
+    assert truncated.sizes[-1] == 1_000_000
+    assert truncated.probs[-1] == 1.0
+    # The body below the cut is untouched.
+    assert truncated.cdf_at(50_000) == pytest.approx(
+        WEB_SEARCH.cdf_at(50_000))
+
+
+# -- port odds and ends -----------------------------------------------------------------------
+
+def test_port_queue_weights_come_from_scheduler():
+    from repro.net.port import EgressPort
+    from repro.queueing.besteffort import BestEffortBuffer
+    from repro.queueing.schedulers.drr import DRRScheduler
+    from repro.sim.engine import Simulator
+    port = EgressPort(
+        Simulator(), "p", rate_bps=gbps(1), prop_delay_ns=0,
+        buffer_bytes=1000, scheduler=DRRScheduler([6000, 1500]),
+        buffer_manager=BestEffortBuffer())
+    assert port.queue_weights() == [6000, 1500]
+
+
+def test_port_resize_mid_traffic_keeps_occupancy_consistent():
+    from repro.net.port import EgressPort
+    from repro.core.dynaq import DynaQBuffer
+    from repro.queueing.schedulers.drr import DRRScheduler
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    port = EgressPort(
+        sim, "p", rate_bps=gbps(1), prop_delay_ns=0,
+        buffer_bytes=20_000, scheduler=DRRScheduler([1500] * 2),
+        buffer_manager=DynaQBuffer())
+
+    class Sink:
+        def receive(self, packet):
+            pass
+
+    port.connect(Sink())
+    for _ in range(6):
+        port.send(make_packet(1500))
+    occupancy_before = port.total_bytes()
+    port.resize_buffer(40_000)
+    assert port.total_bytes() == occupancy_before
+    assert port.buffer_manager.threshold_sum() == 40_000
+    sim.run()
+    assert port.total_bytes() == 0

@@ -1,0 +1,142 @@
+"""Tests for the pFabric related-work comparator."""
+
+import pytest
+
+from repro.extras.pfabric import (
+    PFabricPort,
+    build_pfabric_star,
+    start_pfabric_flow,
+)
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.units import gbps, microseconds, seconds
+from repro.transport.base import Flow
+
+RTT = microseconds(500)
+
+
+class Sink:
+    def __init__(self):
+        self.packets = []
+
+    def receive(self, packet):
+        self.packets.append(packet)
+
+
+def make_port(buffer_bytes=6_000, rate_bps=gbps(1)):
+    sim = Simulator()
+    port = PFabricPort(sim, "p0", rate_bps=rate_bps, prop_delay_ns=0,
+                       buffer_bytes=buffer_bytes)
+    sink = Sink()
+    port.connect(sink)
+    return sim, port, sink
+
+
+def packet(priority, flow_id=1, size=1500, seq=0):
+    p = Packet(flow_id=flow_id, src="a", dst="b", size=size,
+               seq=seq, end_seq=seq + size - 40)
+    p.priority = priority
+    return p
+
+
+# -- port mechanics ------------------------------------------------------------
+
+def test_unconnected_port_rejected():
+    sim = Simulator()
+    port = PFabricPort(sim, "p", rate_bps=gbps(1), prop_delay_ns=0,
+                       buffer_bytes=1000)
+    with pytest.raises(ConfigurationError):
+        port.send(packet(1))
+
+
+def test_full_buffer_evicts_worst_priority():
+    sim, port, sink = make_port(buffer_bytes=4_500)
+    port.send(packet(100, flow_id=1))            # transmitting
+    port.send(packet(500, flow_id=2))            # buffered (worst)
+    port.send(packet(300, flow_id=3))
+    port.send(packet(200, flow_id=4, seq=10))    # buffer full now
+    # A better-priority arrival evicts flow 2's packet.
+    port.send(packet(50, flow_id=5))
+    assert port.evictions == 1
+    sim.run()
+    delivered = [p.flow_id for p in sink.packets]
+    assert 2 not in delivered
+    assert 5 in delivered
+
+
+def test_worse_arrival_is_dropped_not_buffered():
+    sim, port, sink = make_port(buffer_bytes=4_500)
+    port.send(packet(10, flow_id=1))
+    port.send(packet(20, flow_id=2))
+    port.send(packet(30, flow_id=3))
+    port.send(packet(40, flow_id=4))
+    before = port.enqueued_packets
+    port.send(packet(999, flow_id=5))
+    assert port.enqueued_packets == before
+    assert port.evictions == 0
+    assert port.dropped_packets == 1
+
+
+def test_dequeue_serves_best_priority_flow_in_order():
+    sim, port, sink = make_port(buffer_bytes=100_000)
+    port.send(packet(500, flow_id=9))  # goes to the wire first (idle)
+    port.send(packet(300, flow_id=7, seq=0))
+    port.send(packet(300, flow_id=7, seq=1460))
+    port.send(packet(100, flow_id=8))
+    sim.run()
+    order = [(p.flow_id, p.seq) for p in sink.packets]
+    assert order[0] == (9, 0)          # already committed to the wire
+    assert order[1] == (8, 0)          # best priority next
+    assert order[2:] == [(7, 0), (7, 1460)]  # then flow 7, in seq order
+
+
+def test_intra_flow_order_preserved_despite_priorities():
+    sim, port, sink = make_port(buffer_bytes=100_000)
+    port.send(packet(1, flow_id=42, seq=0))
+    # Later packets of the same flow have *better* priority (remaining
+    # shrinks), but must not overtake earlier ones.
+    port.send(packet(5, flow_id=42, seq=1460))
+    port.send(packet(3, flow_id=42, seq=2920))
+    sim.run()
+    seqs = [p.seq for p in sink.packets]
+    assert seqs == [0, 1460, 2920]
+
+
+# -- end-to-end SRPT behaviour -----------------------------------------------------
+
+def test_small_flow_preempts_elephant():
+    net = build_pfabric_star(num_hosts=3, rate_bps=gbps(1), rtt_ns=RTT)
+    big = start_pfabric_flow(
+        net, Flow(flow_id=1, src="h1", dst="h0", size=5_000_000))
+    small = start_pfabric_flow(
+        net, Flow(flow_id=2, src="h2", dst="h0", size=20_000,
+                  start_time=seconds(0.005)))
+    net.sim.run(until=seconds(3))
+    assert big.complete and small.complete
+    # The small flow finishes in ~1 RTT + transmission despite the
+    # elephant: SRPT-like behaviour.
+    assert small.fct_ns() < 3 * RTT + seconds(0.001)
+
+
+def test_pfabric_has_no_service_isolation():
+    """Two 'services' with equal rights: pFabric gives the link to the
+    shorter flows regardless — the paper's §II-C point."""
+    net = build_pfabric_star(num_hosts=3, rate_bps=gbps(1), rtt_ns=RTT)
+    long_service = start_pfabric_flow(
+        net, Flow(flow_id=1, src="h1", dst="h0", size=4_000_000,
+                  service_class=0))
+    short_service = start_pfabric_flow(
+        net, Flow(flow_id=2, src="h2", dst="h0", size=400_000,
+                  service_class=1))
+    net.sim.run(until=seconds(3))
+    assert long_service.complete and short_service.complete
+    # Strict SRPT: the short flow monopolises until done, so it finishes
+    # in roughly its solo transmission time while the long one waits.
+    assert short_service.fct_ns() < long_service.fct_ns() / 3
+
+
+def test_pfabric_star_uses_shallow_buffers():
+    net = build_pfabric_star(num_hosts=2, rate_bps=gbps(1), rtt_ns=RTT)
+    port = net.switch("s0").ports["s0->h0"]
+    assert port.buffer_bytes == 125_000  # 2 x 62.5 KB BDP

@@ -1,0 +1,221 @@
+"""Unit tests for the multi-queue egress port."""
+
+import pytest
+
+from repro.core.dynaq import DynaQBuffer
+from repro.net.packet import Packet
+from repro.net.port import EgressPort
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.queueing.schedulers.spq import SPQScheduler
+from repro.queueing.tcn import TCNBuffer
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError
+from repro.sim.trace import (
+    TOPIC_PACKET_DEQUEUE,
+    TOPIC_PACKET_DROP,
+    TOPIC_PACKET_ENQUEUE,
+    TraceBus,
+)
+from repro.sim.units import microseconds
+
+from conftest import make_packet
+
+
+class SinkNode:
+    """Records delivered packets with their arrival time."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.packets = []
+
+    def receive(self, packet):
+        self.packets.append((self.sim.now, packet))
+
+
+def make_port(sim, *, rate_bps=10 ** 9, prop_delay_ns=1_000,
+              buffer_bytes=85_000, scheduler=None, manager=None,
+              trace=None):
+    port = EgressPort(
+        sim, "p0", rate_bps=rate_bps, prop_delay_ns=prop_delay_ns,
+        buffer_bytes=buffer_bytes,
+        scheduler=scheduler or DRRScheduler([1500] * 4),
+        buffer_manager=manager or BestEffortBuffer(), trace=trace)
+    sink = SinkNode(sim)
+    port.connect(sink)
+    return port, sink
+
+
+def test_single_packet_latency():
+    sim = Simulator()
+    port, sink = make_port(sim)
+    port.send(make_packet(1500))
+    sim.run()
+    # 12 us transmission + 1 us propagation.
+    assert sink.packets[0][0] == 12_000 + 1_000
+
+
+def test_unconnected_port_raises():
+    sim = Simulator()
+    port = EgressPort(
+        sim, "p", rate_bps=10 ** 9, prop_delay_ns=0, buffer_bytes=1000,
+        scheduler=DRRScheduler([1500]), buffer_manager=BestEffortBuffer())
+    with pytest.raises(ConfigurationError):
+        port.send(make_packet(100))
+
+
+def test_bad_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        EgressPort(sim, "p", rate_bps=0, prop_delay_ns=0,
+                   buffer_bytes=1000, scheduler=DRRScheduler([1500]),
+                   buffer_manager=BestEffortBuffer())
+
+
+def test_back_to_back_packets_serialize():
+    sim = Simulator()
+    port, sink = make_port(sim)
+    port.send(make_packet(1500))
+    port.send(make_packet(1500))
+    sim.run()
+    times = [t for t, _ in sink.packets]
+    assert times == [13_000, 25_000]
+
+
+def test_occupancy_accounting():
+    sim = Simulator()
+    port, _ = make_port(sim)
+    port.send(make_packet(1500, service_class=0))
+    port.send(make_packet(1500, service_class=1))
+    # First packet dequeues immediately (port idle); second is buffered.
+    assert port.total_bytes() == 1500
+    sim.run()
+    assert port.total_bytes() == 0
+    assert port.queue_bytes(0) == 0
+    assert port.queue_bytes(1) == 0
+
+
+def test_classifier_clips_to_queue_count():
+    sim = Simulator()
+    port, sink = make_port(sim)
+    port.send(make_packet(1500, service_class=99))
+    sim.run()
+    assert port.transmitted_packets == 1
+
+
+def test_custom_classifier():
+    sim = Simulator()
+    port, _ = make_port(sim)
+    port._classifier = lambda packet: 2
+    port.send(make_packet(1500, service_class=0))
+    port.send(make_packet(1500, service_class=0))
+    assert port.queue_bytes(2) == 1500  # second packet buffered in q2
+
+
+def test_drop_counted_and_not_delivered():
+    sim = Simulator()
+    port, sink = make_port(sim, buffer_bytes=3_000)
+    for _ in range(4):
+        port.send(make_packet(1500))
+    sim.run()
+    # One in flight + two buffered; the fourth exceeded the 3 KB buffer.
+    assert port.dropped_packets == 1
+    assert len(sink.packets) == 3
+
+
+def test_work_conservation_across_queues():
+    sim = Simulator()
+    port, sink = make_port(sim)
+    for service_class in (0, 1, 2, 3):
+        port.send(make_packet(1500, service_class=service_class))
+    sim.run()
+    assert len(sink.packets) == 4
+    assert port.transmitted_bytes == 6_000
+
+
+def test_spq_dequeue_order():
+    sim = Simulator()
+    port, sink = make_port(sim, scheduler=SPQScheduler(4))
+    # Fill while the port is busy with a low-priority packet.
+    port.send(make_packet(1500, service_class=3))
+    port.send(make_packet(1500, service_class=2, flow_id=2))
+    port.send(make_packet(1500, service_class=0, flow_id=1))
+    sim.run()
+    flow_order = [p.flow_id for _, p in sink.packets]
+    assert flow_order == [0, 1, 2]
+
+
+def test_trace_topics_published():
+    sim = Simulator()
+    trace = TraceBus()
+    events = {"enq": 0, "deq": 0, "drop": 0}
+    trace.subscribe(TOPIC_PACKET_ENQUEUE,
+                    lambda **kw: events.__setitem__("enq", events["enq"] + 1))
+    trace.subscribe(TOPIC_PACKET_DEQUEUE,
+                    lambda **kw: events.__setitem__("deq", events["deq"] + 1))
+    trace.subscribe(TOPIC_PACKET_DROP,
+                    lambda **kw: events.__setitem__("drop", events["drop"] + 1))
+    port, _ = make_port(sim, buffer_bytes=3_000, trace=trace)
+    for _ in range(4):
+        port.send(make_packet(1500))
+    sim.run()
+    assert events == {"enq": 3, "deq": 3, "drop": 1}
+
+
+def test_ecn_mark_only_on_capable_packets():
+    sim = Simulator()
+
+    class AlwaysMark(BestEffortBuffer):
+        def admit(self, packet, queue_index):
+            decision = super().admit(packet, queue_index)
+            decision.mark = True
+            return decision
+
+    port, sink = make_port(sim, manager=AlwaysMark())
+    port.send(make_packet(1500, ecn=True))
+    port.send(make_packet(1500, ecn=False, flow_id=1))
+    sim.run()
+    marked = {p.flow_id: p.ecn_ce for _, p in sink.packets}
+    assert marked == {0: True, 1: False}
+
+
+def test_tcn_dequeue_drop_wastes_transmission_slot():
+    """The drop variant idles the wire for the dropped packet's slot."""
+    sim = Simulator()
+    manager = TCNBuffer(rtt_ns=microseconds(500), drop_variant=True)
+    # 48 Mbps: one 1500 B packet occupies the wire for 250 us, so the
+    # second packet's sojourn time exceeds the 240 us threshold.
+    port, sink = make_port(sim, rate_bps=48_000_000, manager=manager)
+    port.send(make_packet(1500, flow_id=0))
+    port.send(make_packet(1500, flow_id=1))
+    port.send(make_packet(1500, flow_id=2))
+    sim.run()
+    # Flows 1 and 2 aged past the threshold and were dropped at dequeue.
+    assert manager.dequeue_drops == 2
+    assert [p.flow_id for _, p in sink.packets] == [0]
+    # The wasted slots still consumed wire time: the single delivered
+    # packet plus nothing else, yet the port stayed "busy" three slots.
+    assert port.dropped_packets == 2
+
+
+def test_dynaq_port_integration_thresholds_move():
+    sim = Simulator()
+    manager = DynaQBuffer()
+    port, sink = make_port(sim, manager=manager, buffer_bytes=12_000)
+    # Queue 0's initial threshold is 3 KB; the third packet triggers a
+    # threshold steal from an idle queue rather than a drop.
+    for _ in range(5):
+        port.send(make_packet(1500, service_class=0))
+    assert manager.threshold_moves >= 1
+    assert manager.threshold_sum() == 12_000
+    sim.run()
+    assert len(sink.packets) == 5
+
+
+def test_packet_enqueued_at_stamped():
+    sim = Simulator()
+    port, _ = make_port(sim)
+    packet = make_packet(1500)
+    sim.schedule(7_000, port.send, packet)
+    sim.run()
+    assert packet.enqueued_at == 7_000

@@ -1,0 +1,173 @@
+"""Property-based tests (Hypothesis) on cross-cutting invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynaq import DynaQBuffer
+from repro.core.eviction import DynaQEvictBuffer
+from repro.net.port import EgressPort
+from repro.net.shared_buffer import SharedBufferPool
+from repro.net.tokenbucket import TokenBucket
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.dynamic_threshold import DynamicThresholdBuffer
+from repro.queueing.pql import PQLBuffer
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.sim.engine import Simulator
+from repro.sim.units import gbps
+
+from conftest import make_packet
+
+
+class Sink:
+    def receive(self, packet):
+        pass
+
+
+# -- port conservation under arbitrary traffic ----------------------------------------
+
+MANAGERS = [BestEffortBuffer, PQLBuffer, DynamicThresholdBuffer,
+            DynaQBuffer, DynaQEvictBuffer]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3),       # queue
+                          st.integers(64, 9000),   # size
+                          st.integers(0, 500_000)  # gap ns
+                          ), min_size=1, max_size=80),
+       st.sampled_from(range(len(MANAGERS))))
+def test_port_conservation_random_traffic(events, manager_index):
+    """enqueued == transmitted + buffered, occupancy bounded, for every
+    drop-based manager under random arrival patterns."""
+    sim = Simulator()
+    port = EgressPort(
+        sim, "p", rate_bps=gbps(1), prop_delay_ns=1_000,
+        buffer_bytes=20_000, scheduler=DRRScheduler([1500] * 4),
+        buffer_manager=MANAGERS[manager_index]())
+    port.connect(Sink())
+    clock = 0
+    for queue, size, gap in events:
+        clock += gap
+        sim.at(clock, port.send,
+               make_packet(size, service_class=queue))
+    sim.run()
+    assert port.total_bytes() == 0
+    assert port.enqueued_packets == port.transmitted_packets
+    assert port.enqueued_packets + port.dropped_packets == len(events)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(64, 9000),
+                          st.integers(0, 500_000)),
+                min_size=1, max_size=80))
+def test_occupancy_never_exceeds_buffer(events):
+    sim = Simulator()
+    port = EgressPort(
+        sim, "p", rate_bps=gbps(1), prop_delay_ns=0,
+        buffer_bytes=20_000, scheduler=DRRScheduler([1500] * 4),
+        buffer_manager=DynaQBuffer())
+    port.connect(Sink())
+    peak = {"value": 0}
+    original = port.send
+
+    def watched(packet):
+        original(packet)
+        peak["value"] = max(peak["value"], port.total_bytes())
+
+    clock = 0
+    for queue, size, gap in events:
+        clock += gap
+        sim.at(clock, watched, make_packet(size, service_class=queue))
+    sim.run()
+    assert peak["value"] <= 20_000
+
+
+# -- token bucket -----------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 10_000_000),   # time gap ns
+                          st.integers(1, 5_000)),       # request bytes
+                min_size=1, max_size=60))
+def test_token_bucket_never_exceeds_sustained_rate(requests):
+    """Consumed bytes <= burst + rate * elapsed, for any request mix."""
+    rate_bps = 8_000_000  # 1 MB/s
+    burst = 10_000
+    bucket = TokenBucket(rate_bps=rate_bps, burst_bytes=burst)
+    clock = 0
+    consumed = 0
+    for gap, size in requests:
+        clock += gap
+        if bucket.try_consume(clock, size):
+            consumed += size
+    allowance = burst + clock * rate_bps / (8 * 1e9)
+    assert consumed <= allowance + 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 100_000), st.integers(1, 50_000))
+def test_token_bucket_next_available_is_sufficient(size, wait_hint):
+    bucket = TokenBucket(rate_bps=8_000_000, burst_bytes=50_000)
+    bucket.try_consume(0, 50_000)  # drain
+    size = min(size, 50_000)
+    ready = bucket.next_available_ns(0, size)
+    assert bucket.try_consume(ready, size)
+
+
+# -- shared pool --------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                          st.booleans(),          # reserve or release-all
+                          st.integers(1, 5_000)),
+                min_size=1, max_size=100),
+       st.floats(min_value=0.25, max_value=4.0))
+def test_pool_invariants_under_random_ops(operations, alpha):
+    pool = SharedBufferPool(50_000, alpha=alpha)
+    held = {"a": 0, "b": 0, "c": 0}
+    for name in held:
+        pool.register(name)
+    for name, reserve, size in operations:
+        if reserve:
+            if pool.try_reserve(name, size):
+                held[name] += size
+        elif held[name]:
+            pool.release(name, held[name])
+            held[name] = 0
+        # Invariants after every operation:
+        assert pool.total_usage == sum(held.values())
+        assert 0 <= pool.total_usage <= pool.capacity_bytes
+        assert pool.free_bytes >= 0
+
+
+# -- DRR never starves ----------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(100, 9000), min_size=1, max_size=30),
+       st.lists(st.integers(100, 9000), min_size=1, max_size=30))
+def test_drr_serves_both_queues_interleaved(sizes_a, sizes_b):
+    """With two backlogged queues, DRR alternates service: neither queue
+    waits for the other to drain completely (unless tiny)."""
+    from conftest import ListQueueView
+    scheduler = DRRScheduler([1500, 1500])
+    view = ListQueueView([list(sizes_a), list(sizes_b)])
+    scheduler.on_enqueue(0)
+    scheduler.on_enqueue(1)
+    order = []
+    served_bytes = []
+    while True:
+        index = scheduler.select(view)
+        if index is None:
+            break
+        served_bytes.append((index, view.pop(index)))
+        order.append(index)
+    assert order.count(0) == len(sizes_a)
+    assert order.count(1) == len(sizes_b)
+    # Bounded head start: queue 0 serves at most ~one quantum's worth of
+    # bytes (plus one oversized head) before queue 1 gets its turn.
+    bytes_before_q1 = 0
+    for index, size in served_bytes:
+        if index == 1:
+            break
+        bytes_before_q1 += size
+    else:
+        return  # queue 1's share came entirely after queue 0 drained
+    assert bytes_before_q1 <= 1500 + 9000

@@ -1,0 +1,102 @@
+"""Tests for the QJump related-work comparator."""
+
+import pytest
+
+from repro.extras.qjump import QJumpConfig, QJumpPacer, install_qjump
+from repro.net.topology import build_star
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.schedulers.spq import SPQScheduler
+from repro.sim.errors import ConfigurationError
+from repro.sim.units import gbps, kilobytes, microseconds, seconds
+from repro.transport.base import Flow
+from repro.transport.tcp import TCPSender
+
+
+def qjump_net(factors=(16.0, 4.0, 1.0)):
+    net = build_star(
+        num_hosts=4, rate_bps=gbps(1), rtt_ns=microseconds(500),
+        buffer_bytes=kilobytes(85),
+        scheduler_factory=lambda: SPQScheduler(len(factors)),
+        buffer_factory=BestEffortBuffer)
+    config = QJumpConfig(factors)
+    pacers = install_qjump(net.hosts.values(), config)
+    return net, pacers
+
+
+def start_flow(net, flow_id, src, size, level):
+    flow = Flow(flow_id=flow_id, src=src, dst="h0", size=size,
+                service_class=level)
+    sender = TCPSender(net.sim, net.host(src), flow)
+    net.host(src).register_sender(sender)
+    sender.start()
+    return sender
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        QJumpConfig([])
+    with pytest.raises(ConfigurationError):
+        QJumpConfig([0.5])
+
+
+def test_install_requires_nic():
+    from repro.net.host import Host
+    from repro.sim.engine import Simulator
+    host = Host(Simulator(), "x")
+    with pytest.raises(ConfigurationError):
+        install_qjump([host], QJumpConfig([1.0]))
+
+
+def test_top_level_is_rate_limited():
+    """A level-0 bulk transfer is throttled to C/f0 — the QJump trade."""
+    net, pacers = qjump_net(factors=(10.0, 1.0))
+    sender = start_flow(net, 1, "h1", 1_000_000, level=0)
+    net.sim.run(until=seconds(0.5))
+    assert sender.complete
+    # 1 MB at 100 Mbps is 80 ms (plus pacing granularity); far slower
+    # than the 8 ms an unpaced 1 Gbps transfer would take.
+    assert sender.fct_ns() > seconds(0.05)
+    assert pacers["h1"].delayed_packets > 0
+
+
+def test_bottom_level_is_unrestricted():
+    net, pacers = qjump_net(factors=(10.0, 1.0))
+    sender = start_flow(net, 1, "h1", 1_000_000, level=1)
+    net.sim.run(until=seconds(0.5))
+    assert sender.complete
+    # Line-rate pacing only (f=1): slow start + 8 ms of wire time, far
+    # below the ~80 ms a level-0 transfer needs at C/10.
+    assert sender.fct_ns() < seconds(0.03)
+
+
+def test_paced_packets_are_delayed_not_dropped():
+    net, pacers = qjump_net(factors=(50.0, 1.0))
+    sender = start_flow(net, 1, "h1", 200_000, level=0)
+    net.sim.run(until=seconds(2))
+    assert sender.complete
+    assert sender.retransmissions == 0  # pacing never loses packets
+    receiver = net.host("h0").receivers[1]
+    assert receiver.next_expected == 200_000
+
+
+def test_high_level_latency_immune_to_bulk():
+    """The QJump promise: level-0 mice see ~no queueing from level-1
+    elephants, because SPQ + source pacing bound the queue ahead."""
+    net, _ = qjump_net(factors=(16.0, 1.0))
+    start_flow(net, 1, "h1", 50_000_000, level=1)  # bulk elephant
+    net.sim.run(until=seconds(0.05))               # let it fill the port
+    mouse = start_flow(net, 2, "h2", 3_000, level=0)
+    net.sim.run(until=seconds(1))
+    assert mouse.complete
+    # ~1 RTT + pacing of 3 packets at C/16 (~0.6 ms) — but no RTO and no
+    # multi-ms queueing behind the elephant.
+    assert mouse.fct_ns() < seconds(0.005)
+
+
+def test_acks_bypass_pacing():
+    net, pacers = qjump_net(factors=(50.0, 1.0))
+    sender = start_flow(net, 1, "h1", 30_000, level=0)
+    net.sim.run(until=seconds(2))
+    assert sender.complete
+    # h0 sent ACKs for every data packet but its pacer delayed none.
+    assert pacers["h0"].delayed_packets == 0

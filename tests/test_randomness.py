@@ -1,0 +1,58 @@
+"""Unit tests for seeded random streams and the stable hash."""
+
+from repro.sim.randomness import RandomStreams, stable_hash
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(7).stream("flows")
+    b = RandomStreams(7).stream("flows")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(7)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(1)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_draws_on_one_stream_do_not_perturb_another():
+    reference = RandomStreams(3)
+    expected = [reference.stream("b").random() for _ in range(3)]
+
+    perturbed = RandomStreams(3)
+    perturbed.stream("a").random()  # extra draw elsewhere
+    actual = [perturbed.stream("b").random() for _ in range(3)]
+    assert actual == expected
+
+
+def test_spawn_derives_independent_child():
+    parent = RandomStreams(5)
+    child1 = parent.spawn("rep1")
+    child2 = parent.spawn("rep2")
+    assert child1.stream("x").random() != child2.stream("x").random()
+
+
+def test_spawn_is_deterministic():
+    a = RandomStreams(5).spawn("rep1").stream("x").random()
+    b = RandomStreams(5).spawn("rep1").stream("x").random()
+    assert a == b
+
+
+def test_stable_hash_is_stable():
+    assert stable_hash("a", 1, "b") == stable_hash("a", 1, "b")
+
+
+def test_stable_hash_differs_on_parts():
+    assert stable_hash("a", 1) != stable_hash("a", 2)
+    assert stable_hash("ab") != stable_hash("a", "b")
+
+
+def test_stable_hash_known_width():
+    value = stable_hash("ecmp", 42)
+    assert 0 <= value < 2 ** 64

@@ -1,0 +1,95 @@
+"""Tests for the report formatting helpers."""
+
+import pytest
+
+from repro.experiments.report import (
+    fairness_table,
+    fct_absolute_table,
+    fct_matrix,
+    share_table,
+    throughput_table,
+    timeseries_table,
+)
+from repro.experiments.testbed import DEFAULT_CONFIG, FCTResult, ThroughputResult
+from repro.metrics.fct import FCTCollector
+from repro.metrics.throughput import ThroughputSample
+
+
+def make_throughput_result(scheme="DynaQ", rates=((5e8, 5e8),)):
+    samples = [
+        ThroughputSample(time_ns=(i + 1) * 10 ** 9, per_queue_bps=rate,
+                         aggregate_bps=sum(rate))
+        for i, rate in enumerate(rates)
+    ]
+    return ThroughputResult(scheme, samples, None, DEFAULT_CONFIG,
+                            num_queues=len(rates[0]))
+
+
+def make_fct_result(scheme="DynaQ", load=0.5, overall=10.0):
+    collector = FCTCollector()
+    collector.record(1, 50_000, int(overall * 1e6))
+    return FCTResult(scheme, load,
+                     {"avg_overall_ms": overall, "avg_small_ms": overall,
+                      "avg_large_ms": None, "p99_small_ms": overall},
+                     completed=1, outstanding=0, collector=collector)
+
+
+def test_throughput_table_contents():
+    table = throughput_table([make_throughput_result()], title="T")
+    assert "T" in table
+    assert "DynaQ" in table
+    assert "0.50" in table       # 0.5 Gbps
+    assert "1.00" in table       # aggregate
+
+
+def test_share_table_contains_ideal_row():
+    table = share_table([make_throughput_result()], title="S",
+                        ideal=[0.5, 0.5])
+    assert "ideal" in table
+    assert "q1" in table and "q2" in table
+
+
+def test_timeseries_table_rows_per_sample():
+    result = make_throughput_result(rates=((1e9, 0.0), (0.0, 1e9)))
+    table = timeseries_table([result], title="TS", queues=[0, 1])
+    lines = table.splitlines()
+    assert len([line for line in lines if line.startswith(" ")]) >= 2
+    assert "1.00" in table
+
+
+def test_fct_matrix_normalises_to_baseline():
+    results = {
+        "dynaq": [make_fct_result("DynaQ", overall=10.0)],
+        "pql": [make_fct_result("PQL", overall=18.0)],
+    }
+    table = fct_matrix(results, metric="avg_overall_ms", title="M")
+    assert "1.00" in table        # DynaQ normalised to itself
+    assert "1.80" in table        # PQL 1.8x
+
+
+def test_fct_matrix_missing_baseline_raises():
+    with pytest.raises(KeyError):
+        fct_matrix({"pql": [make_fct_result("PQL")]},
+                   metric="avg_overall_ms", title="M")
+
+
+def test_fct_matrix_handles_none_metric():
+    results = {"dynaq": [make_fct_result("DynaQ")]}
+    table = fct_matrix(results, metric="avg_large_ms", title="M")
+    assert "-" in table
+
+
+def test_fct_absolute_table_lists_every_cell():
+    results = {
+        "dynaq": [make_fct_result("DynaQ", load=0.3),
+                  make_fct_result("DynaQ", load=0.5)],
+    }
+    table = fct_absolute_table(results, title="A")
+    assert table.count("DynaQ") == 2
+    assert "0.30" in table and "0.50" in table
+
+
+def test_fairness_table_mean_and_min():
+    table = fairness_table({"DynaQ": [1.0, 0.8]}, title="F")
+    assert "0.90" in table   # mean
+    assert "0.80" in table   # min

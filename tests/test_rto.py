@@ -1,0 +1,76 @@
+"""Unit tests for the RFC 6298 RTO estimator."""
+
+import pytest
+
+from repro.sim.units import MILLISECOND
+from repro.transport.rto import RTOEstimator
+
+
+def test_first_sample_initialises_srtt_and_var():
+    rto = RTOEstimator(min_rto_ns=1)
+    rto.add_sample(100_000)
+    assert rto.srtt_ns == 100_000
+    assert rto.rttvar_ns == 50_000
+    # RTO = SRTT + max(4*RTTVAR, granularity) = 100k + 1ms-granularity.
+    assert rto.rto_ns == 100_000 + MILLISECOND
+
+
+def test_smoothing_follows_rfc_gains():
+    rto = RTOEstimator(min_rto_ns=1)
+    rto.add_sample(100_000)
+    rto.add_sample(200_000)
+    # RTTVAR = 3/4*50k + 1/4*|100k-200k| = 62.5k
+    # SRTT = 7/8*100k + 1/8*200k = 112.5k
+    assert rto.srtt_ns == pytest.approx(112_500)
+    assert rto.rttvar_ns == pytest.approx(62_500)
+
+
+def test_min_rto_clamp():
+    rto = RTOEstimator(min_rto_ns=10 * MILLISECOND)
+    rto.add_sample(100_000)  # tiny RTT -> raw RTO ~1.1 ms
+    assert rto.rto_ns == 10 * MILLISECOND
+
+
+def test_max_rto_clamp():
+    rto = RTOEstimator(min_rto_ns=1_000, max_rto_ns=2 * MILLISECOND)
+    rto.add_sample(100 * MILLISECOND)
+    assert rto.rto_ns == 2 * MILLISECOND
+
+
+def test_backoff_doubles_and_sample_resets():
+    rto = RTOEstimator(min_rto_ns=1 * MILLISECOND,
+                       max_rto_ns=1_000 * MILLISECOND)
+    rto.add_sample(5 * MILLISECOND)
+    base = rto.rto_ns
+    rto.on_timeout()
+    assert rto.rto_ns == 2 * base
+    rto.on_timeout()
+    assert rto.rto_ns == 4 * base
+    rto.add_sample(5 * MILLISECOND)
+    assert rto.rto_ns == pytest.approx(base, rel=0.5)
+
+
+def test_backoff_respects_max():
+    rto = RTOEstimator(min_rto_ns=MILLISECOND, max_rto_ns=8 * MILLISECOND)
+    rto.add_sample(2 * MILLISECOND)
+    for _ in range(10):
+        rto.on_timeout()
+    assert rto.rto_ns == 8 * MILLISECOND
+
+
+def test_pre_sample_rto_is_conservative():
+    rto = RTOEstimator(min_rto_ns=10 * MILLISECOND)
+    assert rto.rto_ns >= 10 * MILLISECOND
+
+
+def test_invalid_bounds_raise():
+    with pytest.raises(ValueError):
+        RTOEstimator(min_rto_ns=0)
+    with pytest.raises(ValueError):
+        RTOEstimator(min_rto_ns=10, max_rto_ns=5)
+
+
+def test_negative_sample_rejected():
+    rto = RTOEstimator()
+    with pytest.raises(ValueError):
+        rto.add_sample(-1)

@@ -1,0 +1,206 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError
+
+
+def test_schedule_and_run_executes_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, "c")
+    sim.schedule(10, order.append, "a")
+    sim.schedule(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_timestamp_executes_fifo():
+    sim = Simulator()
+    order = []
+    for tag in range(10):
+        sim.schedule(5, order.append, tag)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(42, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42]
+    assert sim.now == 42
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    hits = []
+    sim.schedule(100, hits.append, "at-100")
+    sim.schedule(101, hits.append, "at-101")
+    sim.run(until=100)
+    assert hits == ["at-100"]
+    assert sim.now == 100
+
+
+def test_run_until_with_no_events_advances_clock():
+    sim = Simulator()
+    sim.run(until=500)
+    assert sim.now == 500
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(5, lambda: order.append("nested"))
+
+    sim.schedule(1, first)
+    sim.run()
+    assert order == ["first", "nested"]
+    assert sim.now == 6
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    hits = []
+    event = sim.schedule(10, hits.append, "x")
+    sim.cancel(event)
+    sim.run()
+    assert hits == []
+
+
+def test_cancel_none_is_noop():
+    sim = Simulator()
+    sim.cancel(None)  # must not raise
+
+
+def test_cancel_after_execution_is_noop():
+    sim = Simulator()
+    hits = []
+    event = sim.schedule(1, hits.append, "x")
+    sim.run()
+    sim.cancel(event)
+    assert hits == ["x"]
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_at_in_past_raises():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(5, lambda: None)
+
+
+def test_stop_halts_after_current_callback():
+    sim = Simulator()
+    order = []
+
+    def stopper():
+        order.append("stop")
+        sim.stop()
+
+    sim.schedule(1, stopper)
+    sim.schedule(2, order.append, "never")
+    sim.run()
+    assert order == ["stop"]
+    assert sim.pending() == 1
+
+
+def test_run_resumes_after_stop():
+    sim = Simulator()
+    order = []
+    sim.schedule(1, lambda: (order.append("a"), sim.stop()))
+    sim.schedule(2, order.append, "b")
+    sim.run()
+    sim.run()
+    assert order[-1] == "b"
+
+
+def test_max_events_bounds_execution():
+    sim = Simulator()
+    count = []
+    for _ in range(100):
+        sim.schedule(1, count.append, 1)
+    sim.run(max_events=10)
+    assert len(count) == 10
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    e1 = sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    sim.cancel(e1)
+    assert sim.pending() == 1
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    e1 = sim.schedule(1, lambda: None)
+    sim.schedule(7, lambda: None)
+    sim.cancel(e1)
+    assert sim.peek_time() == 7
+
+
+def test_peek_time_empty_heap():
+    sim = Simulator()
+    assert sim.peek_time() is None
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_reentrant_run_raises():
+    sim = Simulator()
+    caught = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError:
+            caught.append(True)
+
+    sim.schedule(1, reenter)
+    sim.run()
+    assert caught == [True]
+
+
+def test_callback_args_passed_through():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1, lambda a, b: seen.append((a, b)), 1, "two")
+    sim.run()
+    assert seen == [(1, "two")]
+
+
+def test_deterministic_event_sequence():
+    """Two identical simulations produce identical execution traces."""
+    def build_and_run():
+        sim = Simulator()
+        trace = []
+
+        def emit(tag):
+            trace.append((sim.now, tag))
+            if tag < 3:
+                sim.schedule(10 - tag, emit, tag + 1)
+
+        sim.schedule(5, emit, 0)
+        sim.schedule(5, emit, 2)
+        sim.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,66 @@
+"""Unit tests for time/size/rate conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import units
+
+
+def test_time_conversions():
+    assert units.seconds(1) == 1_000_000_000
+    assert units.milliseconds(10) == 10_000_000
+    assert units.microseconds(500) == 500_000
+    assert units.nanoseconds(7.4) == 7
+
+
+def test_to_seconds_roundtrip():
+    assert units.to_seconds(units.seconds(2.5)) == pytest.approx(2.5)
+
+
+def test_size_conversions():
+    assert units.kilobytes(85) == 85_000
+    assert units.megabytes(1) == 1_000_000
+
+
+def test_rate_conversions():
+    assert units.gbps(1) == 1_000_000_000
+    assert units.mbps(100) == 100_000_000
+
+
+def test_transmission_time_1500B_at_1gbps():
+    # 1500 B = 12000 bits -> 12 us at 1 Gbps.
+    assert units.transmission_time(1500, units.gbps(1)) == 12_000
+
+
+def test_transmission_time_rounds_up():
+    # 1 byte at 3 bps: 8/3 s = 2.666..s -> ceil.
+    assert units.transmission_time(1, 3) == 2_666_666_667
+
+
+def test_transmission_time_zero_rate_raises():
+    with pytest.raises(ValueError):
+        units.transmission_time(100, 0)
+
+
+def test_bdp_testbed_value():
+    # 1 Gbps x 500 us = 62.5 KB, the paper's testbed BDP.
+    assert units.bandwidth_delay_product(
+        units.gbps(1), units.microseconds(500)) == 62_500
+
+
+def test_bdp_10g_value():
+    # 10 Gbps x 84 us = 105 KB.
+    assert units.bandwidth_delay_product(
+        units.gbps(10), units.microseconds(84)) == 105_000
+
+
+@given(st.integers(min_value=1, max_value=10**7),
+       st.integers(min_value=1_000, max_value=10**12))
+def test_transmission_time_is_positive_and_ceil(size, rate):
+    tx = units.transmission_time(size, rate)
+    assert tx >= 1
+    # ceil property: tx is the smallest integer with tx*rate >= bits*1e9
+    bits = size * 8
+    assert tx * rate >= bits * units.SECOND
+    assert (tx - 1) * rate < bits * units.SECOND

@@ -1,0 +1,118 @@
+"""Tests for multi-seed statistics and CSV/JSONL export."""
+
+import csv
+
+import pytest
+
+from repro.metrics.export import (
+    read_jsonl,
+    write_fct_csv,
+    write_jsonl,
+    write_throughput_csv,
+)
+from repro.metrics.fct import FlowRecord
+from repro.metrics.stats import (
+    format_summary_table,
+    repeat_with_seeds,
+    summarize,
+)
+from repro.metrics.throughput import ThroughputSample
+
+
+# -- summarize ----------------------------------------------------------------
+
+def test_summarize_basic():
+    summary = summarize([2.0, 4.0, 6.0])
+    assert summary.mean == 4.0
+    assert summary.std == 2.0
+    assert summary.count == 3
+    assert summary.minimum == 2.0
+    assert summary.maximum == 6.0
+    assert summary.ci95 > 0
+
+
+def test_summarize_single_value():
+    summary = summarize([5.0])
+    assert summary.mean == 5.0
+    assert summary.std == 0.0
+    assert summary.ci95 == 0.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_ci_uses_t_distribution_for_small_n():
+    # n=2 -> t(1) = 12.706: much wider than the normal approximation.
+    narrow = summarize([1.0] * 20 + [2.0] * 20)
+    wide = summarize([1.0, 2.0])
+    assert wide.ci95 > narrow.ci95
+
+
+# -- repeat_with_seeds ----------------------------------------------------------
+
+def test_repeat_with_seeds_aggregates_metrics():
+    def run(seed):
+        return {"throughput": float(seed), "drops": 2.0 * seed}
+
+    summaries = repeat_with_seeds(run, seeds=[1, 2, 3])
+    assert summaries["throughput"].mean == 2.0
+    assert summaries["drops"].mean == 4.0
+
+
+def test_repeat_with_seeds_skips_none_values():
+    def run(seed):
+        return {"large_fct": None if seed == 1 else 10.0}
+
+    summaries = repeat_with_seeds(run, seeds=[1, 2, 3])
+    assert summaries["large_fct"].count == 2
+
+
+def test_repeat_with_seeds_requires_seeds():
+    with pytest.raises(ValueError):
+        repeat_with_seeds(lambda seed: {}, seeds=[])
+
+
+def test_format_summary_table():
+    table = format_summary_table(
+        {"fct_ms": summarize([1.0, 2.0])}, title="T")
+    assert "fct_ms" in table
+    assert "1.500" in table
+
+
+# -- export ---------------------------------------------------------------------
+
+def test_write_throughput_csv(tmp_path):
+    samples = [
+        ThroughputSample(10 ** 9, (1e9, 2e9), 3e9),
+        ThroughputSample(2 * 10 ** 9, (2e9, 1e9), 3e9),
+    ]
+    path = tmp_path / "tput.csv"
+    assert write_throughput_csv(path, samples) == 2
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["time_s", "q1_bps", "q2_bps", "aggregate_bps"]
+    assert rows[1][0] == "1.0"
+    assert rows[1][1] == "1000000000"
+
+
+def test_write_throughput_csv_empty(tmp_path):
+    path = tmp_path / "empty.csv"
+    assert write_throughput_csv(path, []) == 0
+
+
+def test_write_fct_csv(tmp_path):
+    records = [FlowRecord(1, 50_000, 1_500_000, 2)]
+    path = tmp_path / "fct.csv"
+    assert write_fct_csv(path, records) == 1
+    content = path.read_text()
+    assert "flow_id" in content
+    assert "1.5" in content  # 1.5 ms
+
+
+def test_jsonl_roundtrip(tmp_path):
+    rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+    path = tmp_path / "rows.jsonl"
+    assert write_jsonl(path, rows) == 2
+    assert read_jsonl(path) == rows

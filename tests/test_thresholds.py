@@ -1,0 +1,94 @@
+"""Unit tests for DynaQ threshold arithmetic (Eqs. 1-3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.thresholds import (
+    extra_buffer,
+    initial_thresholds,
+    normalized_weights,
+    satisfaction_thresholds,
+    weighted_bdp,
+)
+from repro.sim.units import gbps, microseconds
+
+
+def test_normalized_weights_sum_to_one():
+    fractions = normalized_weights([4, 3, 2, 1])
+    assert sum(fractions) == pytest.approx(1.0)
+    assert fractions == pytest.approx([0.4, 0.3, 0.2, 0.1])
+
+
+def test_normalized_weights_rejects_zero_sum():
+    with pytest.raises(ValueError):
+        normalized_weights([0, 0])
+
+
+def test_initial_thresholds_equal_weights():
+    thresholds = initial_thresholds(85_000, [1, 1, 1, 1])
+    assert sum(thresholds) == 85_000
+    assert thresholds == [21_250, 21_250, 21_250, 21_250]
+
+
+def test_initial_thresholds_weighted():
+    thresholds = initial_thresholds(100_000, [4, 3, 2, 1])
+    assert thresholds == [40_000, 30_000, 20_000, 10_000]
+
+
+def test_initial_thresholds_rounding_remainder_preserved():
+    # 100 / 3 does not divide evenly; invariant sum(T) == B must hold.
+    thresholds = initial_thresholds(100, [1, 1, 1])
+    assert sum(thresholds) == 100
+
+
+def test_satisfaction_equals_eq3():
+    assert satisfaction_thresholds(85_000, [1, 1]) == [42_500, 42_500]
+
+
+def test_weighted_bdp_testbed():
+    # 1 Gbps x 500 us = 62.5 KB; equal halves are 31.25 KB.
+    wbdp = weighted_bdp(gbps(1), microseconds(500), [1, 1])
+    assert wbdp == [31_250, 31_250]
+
+
+def test_satisfaction_exceeds_wbdp_when_buffer_exceeds_bdp():
+    """The paper's argument: B > BDP implies S_i > WBDP_i."""
+    buffer_bytes = 85_000  # > 62.5 KB BDP
+    weights = [1, 2, 3]
+    satisfaction = satisfaction_thresholds(buffer_bytes, weights)
+    wbdp = weighted_bdp(gbps(1), microseconds(500), weights)
+    assert all(s > w for s, w in zip(satisfaction, wbdp))
+
+
+def test_extra_buffer():
+    assert extra_buffer([10, 20], [15, 5]) == [-5, 15]
+
+
+def test_extra_buffer_length_mismatch():
+    with pytest.raises(ValueError):
+        extra_buffer([1], [1, 2])
+
+
+@given(
+    st.integers(min_value=1_000, max_value=10_000_000),
+    st.lists(st.floats(min_value=0.1, max_value=100.0,
+                       allow_nan=False, allow_infinity=False),
+             min_size=1, max_size=16),
+)
+def test_initial_thresholds_always_sum_to_buffer(buffer_bytes, weights):
+    thresholds = initial_thresholds(buffer_bytes, weights)
+    assert sum(thresholds) == buffer_bytes
+    assert all(t >= 0 for t in thresholds)
+
+
+@given(
+    st.integers(min_value=1_000, max_value=10_000_000),
+    st.lists(st.integers(min_value=1, max_value=100),
+             min_size=1, max_size=16),
+)
+def test_satisfaction_monotone_in_weight(buffer_bytes, weights):
+    satisfaction = satisfaction_thresholds(buffer_bytes, weights)
+    ranked = sorted(zip(weights, satisfaction))
+    values = [s for _, s in ranked]
+    assert values == sorted(values)

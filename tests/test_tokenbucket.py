@@ -1,0 +1,107 @@
+"""Tests for the token bucket and port shaping (§IV-B)."""
+
+import pytest
+
+from repro.net.port import EgressPort
+from repro.net.tokenbucket import TokenBucket, shape_port
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.schedulers.fifo import FIFOScheduler
+from repro.sim.engine import Simulator
+from repro.sim.units import SECOND, gbps
+
+from conftest import make_packet
+
+
+# -- TokenBucket -----------------------------------------------------------------
+
+def test_bucket_starts_full():
+    bucket = TokenBucket(rate_bps=gbps(1), burst_bytes=10_000)
+    assert bucket.tokens_at(0) == 10_000
+
+
+def test_consume_depletes_and_refills():
+    bucket = TokenBucket(rate_bps=8_000, burst_bytes=1_000)  # 1000 B/s
+    assert bucket.try_consume(0, 1_000)
+    assert not bucket.try_consume(0, 1)
+    # After half a second: 500 bytes refilled.
+    assert bucket.tokens_at(SECOND // 2) == pytest.approx(500)
+    assert bucket.try_consume(SECOND // 2, 500)
+
+
+def test_bucket_caps_at_burst():
+    bucket = TokenBucket(rate_bps=8_000, burst_bytes=1_000)
+    bucket.try_consume(0, 1_000)
+    assert bucket.tokens_at(100 * SECOND) == 1_000
+
+
+def test_next_available_time():
+    bucket = TokenBucket(rate_bps=8_000, burst_bytes=1_000)  # 1000 B/s
+    bucket.try_consume(0, 1_000)
+    # 250 bytes need 0.25 s.
+    assert bucket.next_available_ns(0, 250) == pytest.approx(
+        SECOND // 4, rel=0.01)
+    assert bucket.next_available_ns(SECOND, 250) == SECOND
+
+
+def test_bucket_rejects_time_reversal():
+    bucket = TokenBucket(rate_bps=8_000, burst_bytes=1_000)
+    bucket.tokens_at(100)
+    with pytest.raises(ValueError):
+        bucket.tokens_at(50)
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate_bps=0, burst_bytes=100)
+    with pytest.raises(ValueError):
+        TokenBucket(rate_bps=100, burst_bytes=0)
+
+
+# -- port shaping ------------------------------------------------------------------
+
+class Sink:
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append(self.sim.now)
+
+
+def shaped_port(fraction):
+    sim = Simulator()
+    port = EgressPort(
+        sim, "p0", rate_bps=gbps(1), prop_delay_ns=0,
+        buffer_bytes=10 ** 6, scheduler=FIFOScheduler(),
+        buffer_manager=BestEffortBuffer())
+    sink = Sink(sim)
+    port.connect(sink)
+    shape_port(port, fraction)
+    return sim, port, sink
+
+
+def test_shaped_port_throughput_fraction():
+    sim, port, sink = shaped_port(0.5)
+    for _ in range(100):
+        port.send(make_packet(1500))
+    sim.run()
+    # 100 x 1500 B at 0.5 Gbps = 2.4 ms.
+    assert sink.arrivals[-1] == pytest.approx(2_400_000, rel=0.01)
+
+
+def test_paper_default_half_percent_headroom():
+    sim, port, sink = shaped_port(0.995)
+    for _ in range(10):
+        port.send(make_packet(1500))
+    sim.run()
+    unshaped_ns = 10 * 12_000
+    assert sink.arrivals[-1] == pytest.approx(unshaped_ns / 0.995, rel=0.01)
+    assert port.shaped_fraction == 0.995
+
+
+def test_shape_port_validation():
+    sim, port, _ = shaped_port(0.9)
+    with pytest.raises(ValueError):
+        shape_port(port, 0)
+    with pytest.raises(ValueError):
+        shape_port(port, 1.5)

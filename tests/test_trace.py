@@ -1,0 +1,63 @@
+"""Unit tests for the trace bus."""
+
+from repro.sim.trace import TraceBus
+
+
+def test_publish_reaches_subscriber():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("topic", lambda **kw: seen.append(kw))
+    bus.publish("topic", value=1)
+    assert seen == [{"value": 1}]
+
+
+def test_publish_without_subscribers_is_noop():
+    bus = TraceBus()
+    bus.publish("nobody", value=1)  # must not raise
+
+
+def test_multiple_subscribers_all_called():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("t", lambda **kw: seen.append("a"))
+    bus.subscribe("t", lambda **kw: seen.append("b"))
+    bus.publish("t")
+    assert seen == ["a", "b"]
+
+
+def test_unsubscribe_stops_delivery():
+    bus = TraceBus()
+    seen = []
+    callback = lambda **kw: seen.append(1)  # noqa: E731
+    bus.subscribe("t", callback)
+    bus.unsubscribe("t", callback)
+    bus.publish("t")
+    assert seen == []
+
+
+def test_unsubscribe_unknown_is_noop():
+    bus = TraceBus()
+    bus.unsubscribe("t", lambda **kw: None)  # must not raise
+
+
+def test_has_subscribers():
+    bus = TraceBus()
+    assert not bus.has_subscribers("t")
+    bus.subscribe("t", lambda **kw: None)
+    assert bus.has_subscribers("t")
+
+
+def test_topics_are_isolated():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("a", lambda **kw: seen.append("a"))
+    bus.publish("b")
+    assert seen == []
+
+
+def test_positional_payload_supported():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("t", lambda x, y: seen.append(x + y))
+    bus.publish("t", 2, 3)
+    assert seen == [5]

@@ -1,0 +1,282 @@
+"""Transport tests: TCP/NewReno, CUBIC, DCTCP over a real mini-network."""
+
+import pytest
+
+from repro.net.topology import build_star
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.perqueue_ecn import PerQueueECNBuffer
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.sim.errors import TransportError
+from repro.sim.units import gbps, kilobytes, microseconds, seconds
+from repro.transport.base import Flow, segment_sizes, wire_size
+from repro.transport.cubic import CubicSender
+from repro.transport.dctcp import DCTCPSender
+from repro.transport.registry import available_protocols, sender_class
+from repro.transport.tcp import TCPSender
+
+RTT = microseconds(500)
+
+
+def make_net(buffer_bytes=kilobytes(85), buffer_factory=BestEffortBuffer,
+             num_hosts=3):
+    return build_star(
+        num_hosts=num_hosts, rate_bps=gbps(1), rtt_ns=RTT,
+        buffer_bytes=buffer_bytes,
+        scheduler_factory=lambda: DRRScheduler([1500] * 4),
+        buffer_factory=buffer_factory)
+
+
+def run_flow(net, size, sender_cls=TCPSender, src="h1", dst="h2",
+             flow_id=0, **kwargs):
+    flow = Flow(flow_id=flow_id, src=src, dst=dst, size=size)
+    sender = sender_cls(net.sim, net.host(src), flow, **kwargs)
+    net.host(src).register_sender(sender)
+    sender.start()
+    return sender
+
+
+# -- helpers ----------------------------------------------------------------
+
+def test_segment_sizes_cover_flow_exactly():
+    segments = segment_sizes(4000, 1460)
+    assert segments == [(0, 1460), (1460, 2920), (2920, 4000)]
+
+
+def test_wire_size_adds_header():
+    assert wire_size(1460) == 1500
+
+
+def test_flow_rejects_empty():
+    with pytest.raises(TransportError):
+        Flow(flow_id=0, src="a", dst="b", size=0)
+
+
+def test_registry_contains_all_protocols():
+    assert available_protocols() == [
+        "cubic", "dctcp", "ecn-tcp", "tcp", "vegas"]
+    assert sender_class("TCP") is TCPSender
+
+
+def test_registry_unknown_protocol():
+    with pytest.raises(KeyError):
+        sender_class("quic")
+
+
+def test_pias_tagging_per_offset():
+    flow = Flow(flow_id=0, src="a", dst="b", size=10 ** 6,
+                service_class=3, pias_threshold=100_000)
+    assert flow.class_for_offset(0) == 0
+    assert flow.class_for_offset(99_999) == 0
+    assert flow.class_for_offset(100_000) == 3
+
+
+# -- clean-path behaviour ------------------------------------------------------
+
+def test_single_flow_completes_and_fct_reasonable():
+    net = make_net()
+    sender = run_flow(net, 100_000)
+    net.sim.run(until=seconds(1))
+    assert sender.complete
+    # 100 KB at 1 Gbps is 0.8 ms of wire time; FCT must be a handful of
+    # RTTs (slow start) but well under 20 ms.
+    assert sender.fct_ns() < 20_000_000
+    assert sender.retransmissions == 0
+
+
+def test_tiny_flow_finishes_in_about_one_rtt():
+    net = make_net()
+    sender = run_flow(net, 1_000)
+    net.sim.run(until=seconds(1))
+    assert sender.complete
+    assert sender.fct_ns() < 2 * RTT
+
+
+def test_receiver_reassembles_exact_bytes():
+    net = make_net()
+    sender = run_flow(net, 123_456)
+    net.sim.run(until=seconds(1))
+    receiver = net.host("h2").receivers[0]
+    assert receiver.next_expected == 123_456
+    assert receiver.received_bytes == 123_456
+
+
+def test_fct_before_completion_raises():
+    net = make_net()
+    sender = run_flow(net, 10 ** 7)
+    with pytest.raises(TransportError):
+        sender.fct_ns()
+
+
+def test_double_start_rejected():
+    net = make_net()
+    sender = run_flow(net, 10_000)
+    with pytest.raises(TransportError):
+        sender.start()
+
+
+def test_initial_window_is_ten_segments():
+    net = make_net()
+    sender = run_flow(net, 10 ** 6)
+    # Immediately after start, exactly IW segments are in flight.
+    assert sender.next_seq == 10 * sender.mss
+
+
+def test_slow_start_doubles_window():
+    net = make_net()
+    sender = run_flow(net, 10 ** 7)
+    net.sim.run(until=3 * RTT)
+    assert sender.cwnd >= 20 * sender.mss  # grew beyond IW
+
+
+def test_abort_stops_flow():
+    net = make_net()
+    sender = run_flow(net, 10 ** 9)
+    net.sim.run(until=10 * RTT)
+    sender.abort()
+    acked_at_abort = sender.high_ack
+    assert sender.complete
+    net.sim.run(until=seconds(0.1))
+    assert sender.packets_sent > 0
+    # No new data transmitted after abort.
+    assert sender.high_ack == acked_at_abort
+
+
+def test_two_flows_share_link():
+    net = make_net()
+    a = run_flow(net, 500_000, flow_id=1)
+    b = run_flow(net, 500_000, src="h1", dst="h2", flow_id=2)
+    net.sim.run(until=seconds(1))
+    assert a.complete and b.complete
+
+
+# -- loss recovery ----------------------------------------------------------------
+
+def lossy_pair(size=400_000, cls_a=TCPSender, cls_b=TCPSender):
+    """Two senders on distinct hosts converge on h2 through a tiny buffer.
+
+    A single flow never overflows the switch (its own NIC paces it at the
+    same line rate); congestion needs fan-in, exactly as in the paper's
+    many-to-one scenarios.
+    """
+    net = make_net(buffer_bytes=6_000)
+    a = run_flow(net, size, sender_cls=cls_a, src="h0", dst="h2", flow_id=1)
+    b = run_flow(net, size, sender_cls=cls_b, src="h1", dst="h2", flow_id=2)
+    return net, a, b
+
+
+def test_fast_retransmit_recovers_from_loss():
+    net, a, b = lossy_pair()
+    net.sim.run(until=seconds(3))
+    assert a.complete and b.complete
+    assert a.retransmissions + b.retransmissions > 0
+    # Loss was recovered by dupacks (mostly), not stalls: FCT is far less
+    # than the RTO-bound worst case of one timeout per window.
+    assert a.fct_ns() < seconds(2)
+
+
+def test_ssthresh_reduced_after_loss():
+    net, a, b = lossy_pair()
+    net.sim.run(until=seconds(3))
+    assert min(a.ssthresh, b.ssthresh) < (1 << 62)
+
+
+def test_rto_fires_when_whole_window_lost():
+    """Drop everything for a while: only the RTO can recover."""
+    net = make_net()
+    port = net.switch("s0").ports["s0->h2"]
+    real_send = port.send
+    blackhole = {"on": True}
+
+    def gated_send(packet):
+        if blackhole["on"] and not packet.is_ack:
+            return  # silently eat every data packet
+        real_send(packet)
+
+    port.send = gated_send
+    sender = run_flow(net, 50_000)
+    net.sim.schedule(seconds(0.05), lambda: blackhole.update(on=False))
+    net.sim.run(until=seconds(2))
+    assert sender.complete
+    assert sender.timeouts >= 1
+
+
+def test_rto_uses_min_rto_floor():
+    net = make_net()
+    sender = run_flow(net, 100_000, min_rto_ns=10_000_000)
+    net.sim.run(until=seconds(1))
+    assert sender.rto.min_rto_ns == 10_000_000
+    assert sender.rto.rto_ns >= 10_000_000
+
+
+# -- CUBIC ------------------------------------------------------------------------
+
+def test_cubic_completes_clean_path():
+    net = make_net()
+    sender = run_flow(net, 1_000_000, sender_cls=CubicSender)
+    net.sim.run(until=seconds(1))
+    assert sender.complete
+
+
+def test_cubic_recovers_from_loss():
+    net, a, b = lossy_pair(size=300_000, cls_a=CubicSender,
+                           cls_b=CubicSender)
+    net.sim.run(until=seconds(4))
+    assert a.complete and b.complete
+    assert max(a.w_max_segments, b.w_max_segments) > 0
+
+
+def test_cubic_beta_decrease():
+    net, a, b = lossy_pair(size=300_000, cls_a=CubicSender,
+                           cls_b=CubicSender)
+    net.sim.run(until=seconds(4))
+    # After any loss, ssthresh is 0.7x cwnd (not Reno's 0.5x of flight);
+    # just assert the multiplicative-decrease hook ran on someone.
+    assert min(a.ssthresh, b.ssthresh) < (1 << 62)
+
+
+# -- DCTCP ------------------------------------------------------------------------
+
+def ecn_net():
+    return make_net(
+        buffer_factory=lambda: PerQueueECNBuffer(rtt_ns=RTT))
+
+
+def test_dctcp_flow_is_ecn_capable():
+    net = ecn_net()
+    sender = run_flow(net, 100_000, sender_cls=DCTCPSender)
+    assert sender.flow.ecn is True
+    net.sim.run(until=seconds(1))
+    assert sender.complete
+
+
+def test_dctcp_alpha_tracks_marking():
+    net = ecn_net()
+    # Two competing DCTCP flows drive the queue over the marking
+    # threshold, so alpha must move away from its initial value and
+    # ECN echoes must be observed.
+    a = run_flow(net, 2_000_000, sender_cls=DCTCPSender, src="h0",
+                 dst="h2", flow_id=1)
+    b = run_flow(net, 2_000_000, sender_cls=DCTCPSender, src="h1",
+                 dst="h2", flow_id=2)
+    net.sim.run(until=seconds(1))
+    assert a.complete and b.complete
+    assert a.ecn_echoes + b.ecn_echoes > 0
+
+
+def test_dctcp_cwnd_reduction_is_gentler_than_halving():
+    """With small alpha, the window reduction is less than 50 %."""
+    net = ecn_net()
+    sender = run_flow(net, 4_000_000, sender_cls=DCTCPSender)
+    net.sim.run(until=seconds(2))
+    assert sender.complete
+    # alpha decays from 1.0 toward the actual marking fraction.
+    assert 0.0 <= sender.alpha < 1.0
+
+
+def test_plain_tcp_ignores_ecn_echo():
+    net = ecn_net()
+    sender = run_flow(net, 1_000_000, sender_cls=TCPSender)
+    net.sim.run(until=seconds(2))
+    assert sender.complete
+    # Non-ECT packets are never marked, so no echoes arrive at all.
+    assert sender.ecn_echoes == 0

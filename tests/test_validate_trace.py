@@ -1,0 +1,170 @@
+"""Tests for topology validation and trace-driven workloads."""
+
+import random
+
+import pytest
+
+from repro.net.topology import Network, build_leaf_spine, build_star
+from repro.net.validate import ValidationIssue, assert_valid, validate_network
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceBus
+from repro.sim.units import gbps, kilobytes, microseconds
+from repro.workloads.flowgen import FlowSpec, generate_flows
+from repro.workloads.datasets import WEB_SEARCH
+from repro.workloads.trace import fit_cdf, load_flow_trace, save_flow_trace
+
+
+def healthy_star():
+    return build_star(
+        num_hosts=3, rate_bps=gbps(1), rtt_ns=microseconds(500),
+        buffer_bytes=kilobytes(85),
+        scheduler_factory=lambda: DRRScheduler([1500] * 4),
+        buffer_factory=BestEffortBuffer)
+
+
+# -- validation -----------------------------------------------------------------
+
+def test_builders_produce_valid_networks():
+    assert validate_network(healthy_star()) == []
+    fabric = build_leaf_spine(
+        num_leaves=2, num_spines=2, hosts_per_leaf=2,
+        rate_bps=gbps(10), rtt_ns=microseconds(85),
+        buffer_bytes=kilobytes(192),
+        scheduler_factory=lambda: DRRScheduler([1500] * 8),
+        buffer_factory=BestEffortBuffer)
+    assert validate_network(fabric) == []
+
+
+def test_missing_nic_detected():
+    net = healthy_star()
+    net.hosts["h1"].nic = None
+    issues = validate_network(net)
+    assert any("h1 has no NIC" in issue.message for issue in issues)
+    with pytest.raises(ValueError):
+        assert_valid(net)
+
+
+def test_unconnected_port_detected():
+    net = healthy_star()
+    net.switch("s0").ports["s0->h2"].peer = None
+    issues = validate_network(net)
+    assert any("not connected" in issue.message for issue in issues)
+
+
+def test_missing_route_detected():
+    net = healthy_star()
+    net.switch("s0").table._routes.pop("h1")
+    issues = validate_network(net)
+    assert any("no route to h1" in issue.message for issue in issues)
+
+
+def test_mixed_queue_counts_is_warning_only():
+    net = healthy_star()
+    from repro.net.port import EgressPort
+    odd = EgressPort(
+        net.sim, "s0->odd", rate_bps=gbps(1), prop_delay_ns=0,
+        buffer_bytes=1000, scheduler=DRRScheduler([1500] * 2),
+        buffer_manager=BestEffortBuffer())
+    odd.connect(net.host("h0"))
+    net.switch("s0").add_port(odd)
+    issues = validate_network(net)
+    warnings = [i for i in issues
+                if i.severity == ValidationIssue.WARNING]
+    assert warnings
+    assert_valid(net)  # warnings don't raise
+
+
+def test_assert_valid_passes_on_healthy():
+    assert_valid(healthy_star())
+
+
+# -- flow traces -------------------------------------------------------------------
+
+def test_trace_roundtrip(tmp_path):
+    specs = [FlowSpec(1_000_000, 5_000), FlowSpec(2_500_000, 150_000)]
+    path = tmp_path / "trace.csv"
+    assert save_flow_trace(path, specs) == 2
+    loaded = load_flow_trace(path)
+    assert loaded == specs
+
+
+def test_trace_sorts_by_arrival(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("arrival_s,size_bytes\n0.5,100\n0.1,200\n")
+    loaded = load_flow_trace(path)
+    assert [spec.size_bytes for spec in loaded] == [200, 100]
+
+
+def test_trace_accepts_extra_columns(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("src,arrival_s,size_bytes,notes\nh1,0.1,100,x\n")
+    loaded = load_flow_trace(path)
+    assert loaded == [FlowSpec(100_000_000, 100)]
+
+
+def test_trace_rejects_bad_header(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("time,bytes\n0.1,100\n")
+    with pytest.raises(ValueError):
+        load_flow_trace(path)
+
+
+def test_trace_rejects_bad_values(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("arrival_s,size_bytes\n-1,100\n")
+    with pytest.raises(ValueError):
+        load_flow_trace(path)
+    path.write_text("arrival_s,size_bytes\n0.1,zero\n")
+    with pytest.raises(ValueError):
+        load_flow_trace(path)
+
+
+def test_trace_rejects_empty_file(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        load_flow_trace(path)
+
+
+def test_trace_skips_blank_lines(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("arrival_s,size_bytes\n0.1,100\n\n0.2,200\n")
+    assert len(load_flow_trace(path)) == 2
+
+
+# -- CDF fitting --------------------------------------------------------------------
+
+def test_fit_cdf_reproduces_distribution_shape():
+    rng = random.Random(5)
+    specs = generate_flows(distribution=WEB_SEARCH, load=0.5,
+                           link_rate_bps=gbps(1), num_flows=3_000,
+                           rng=rng)
+    fitted = fit_cdf(specs, points=40)
+    # Median and 90th percentile within a factor of the source.
+    assert fitted.inverse(0.5) == pytest.approx(
+        WEB_SEARCH.inverse(0.5), rel=0.5)
+    assert fitted.inverse(0.9) == pytest.approx(
+        WEB_SEARCH.inverse(0.9), rel=0.5)
+
+
+def test_fit_cdf_constant_sizes():
+    specs = [FlowSpec(i, 1_000) for i in range(10)]
+    fitted = fit_cdf(specs)
+    assert fitted.inverse(0.5) in (1_000, 1_001)
+
+
+def test_fit_cdf_validation():
+    with pytest.raises(ValueError):
+        fit_cdf([])
+    with pytest.raises(ValueError):
+        fit_cdf([FlowSpec(0, 100)], points=1)
+
+
+def test_fitted_cdf_is_sampleable():
+    specs = [FlowSpec(i, 100 * (i + 1)) for i in range(50)]
+    fitted = fit_cdf(specs)
+    rng = random.Random(1)
+    for _ in range(100):
+        assert 100 <= fitted.sample(rng) <= 5_000

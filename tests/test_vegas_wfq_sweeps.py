@@ -1,0 +1,163 @@
+"""Tests for the Vegas transport, WFQ scheduler, and sweep helper."""
+
+import pytest
+
+from repro.experiments.sweeps import grid_points, run_sweep, sweep_table
+from repro.net.topology import build_star
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.schedulers.wfq import WFQScheduler
+from repro.sim.units import gbps, kilobytes, microseconds, seconds
+from repro.transport.base import Flow
+from repro.transport.vegas import VegasSender
+
+from conftest import ListQueueView
+
+RTT = microseconds(500)
+
+
+def make_net(scheduler_factory=None):
+    return build_star(
+        num_hosts=3, rate_bps=gbps(1), rtt_ns=RTT,
+        buffer_bytes=kilobytes(85),
+        scheduler_factory=scheduler_factory
+        or (lambda: WFQScheduler([1.0] * 4)),
+        buffer_factory=BestEffortBuffer)
+
+
+def start(net, flow_id, src, size, service_class=0, cls=VegasSender):
+    flow = Flow(flow_id=flow_id, src=src, dst="h0", size=size,
+                service_class=service_class)
+    sender = cls(net.sim, net.host(src), flow)
+    net.host(src).register_sender(sender)
+    sender.start()
+    return sender
+
+
+# -- Vegas ----------------------------------------------------------------------
+
+def test_vegas_completes_clean_path():
+    net = make_net()
+    sender = start(net, 1, "h1", 500_000)
+    net.sim.run(until=seconds(2))
+    assert sender.complete
+    assert sender.base_rtt_ns is not None
+    assert sender.base_rtt_ns >= RTT  # cannot beat the propagation floor
+
+
+def test_vegas_keeps_standing_queue_small():
+    """A lone Vegas flow converges to a few packets of backlog — its
+    defining property versus loss-based TCP, which fills the buffer."""
+    net = make_net()
+    bottleneck = net.switch("s0").ports["s0->h0"]
+    sender = start(net, 1, "h1", 10_000_000)
+    peak = {"value": 0}
+    original = bottleneck.send
+
+    def watched(packet):
+        original(packet)
+        if net.sim.now > seconds(0.02):  # after convergence
+            peak["value"] = max(peak["value"], bottleneck.total_bytes())
+
+    bottleneck.send = watched
+    net.sim.run(until=seconds(0.1))
+    # Backlog stays within ~beta packets (plus a burst allowance).
+    assert peak["value"] <= 12 * 1500
+
+
+def test_vegas_two_flows_share_without_loss():
+    net = make_net()
+    a = start(net, 1, "h1", 1_000_000)
+    b = start(net, 2, "h2", 1_000_000, service_class=1)
+    net.sim.run(until=seconds(2))
+    assert a.complete and b.complete
+    assert a.retransmissions + b.retransmissions == 0  # no drops needed
+
+
+# -- WFQ ------------------------------------------------------------------------
+
+def test_wfq_equal_weights_byte_fair():
+    scheduler = WFQScheduler([1.0, 1.0])
+    view = ListQueueView([[1500] * 20, [1500] * 20])
+    served = [0, 0]
+    for _ in range(20):
+        index = scheduler.select(view)
+        served[index] += view.pop(index)
+    assert served[0] == served[1]
+
+
+def test_wfq_respects_weights():
+    scheduler = WFQScheduler([3.0, 1.0])
+    view = ListQueueView([[1500] * 40, [1500] * 40])
+    served = [0, 0]
+    for _ in range(40):
+        index = scheduler.select(view)
+        served[index] += view.pop(index)
+    assert served[0] == pytest.approx(3 * served[1], rel=0.15)
+
+
+def test_wfq_byte_fair_with_mixed_sizes():
+    """WFQ (like DRR, unlike WRR) is fair in bytes, not packets."""
+    scheduler = WFQScheduler([1.0, 1.0])
+    view = ListQueueView([[500] * 120, [1500] * 40])
+    served = [0, 0]
+    for _ in range(100):
+        index = scheduler.select(view)
+        served[index] += view.pop(index)
+    assert served[0] == pytest.approx(served[1], rel=0.15)
+
+
+def test_wfq_work_conserving():
+    scheduler = WFQScheduler([1.0, 1.0, 1.0])
+    view = ListQueueView([[], [1500, 1500], []])
+    assert scheduler.select(view) == 1
+    view.pop(1)
+    assert scheduler.select(view) == 1
+    view.pop(1)
+    assert scheduler.select(view) is None
+
+
+def test_wfq_end_to_end():
+    net = make_net(lambda: WFQScheduler([2.0, 1.0, 1.0, 1.0]))
+    a = start(net, 1, "h1", 300_000, service_class=0)
+    b = start(net, 2, "h2", 300_000, service_class=1)
+    net.sim.run(until=seconds(2))
+    assert a.complete and b.complete
+
+
+def test_wfq_validation():
+    with pytest.raises(ValueError):
+        WFQScheduler([])
+
+
+# -- sweeps -----------------------------------------------------------------------
+
+def test_grid_points_cartesian():
+    points = grid_points({"a": [1, 2], "b": ["x"]})
+    assert points == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+    assert grid_points({}) == [{}]
+
+
+def test_run_sweep_aggregates_over_seeds():
+    def experiment(*, load, seed):
+        return {"fct": load * 10 + seed, "maybe": None}
+
+    records = run_sweep(experiment, {"load": [0.1, 0.2]}, seeds=[1, 2])
+    assert len(records) == 2
+    first = records[0]
+    assert first["load"] == 0.1
+    assert first["metrics"]["fct"].mean == pytest.approx(2.5)
+    assert "maybe" not in first["metrics"]
+
+
+def test_run_sweep_requires_seeds():
+    with pytest.raises(ValueError):
+        run_sweep(lambda **kw: {}, {}, seeds=[])
+
+
+def test_sweep_table_formats():
+    records = run_sweep(lambda *, x, seed: {"m": x + seed},
+                        {"x": [1]}, seeds=[1, 3])
+    table = sweep_table(records, metric="m", title="T")
+    assert "T" in table
+    assert "3.000" in table  # mean of 2 and 4
+    assert sweep_table([], metric="m", title="T") == "T"

@@ -1,0 +1,89 @@
+"""Unit tests for victim-queue selection (linear argmax vs tournament)."""
+
+import itertools
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.victim import (
+    linear_victim,
+    max_idx,
+    tournament_depth,
+    tournament_victim,
+)
+
+
+def test_linear_picks_largest():
+    assert linear_victim([1, 9, 3, 4]) == 1
+
+
+def test_linear_excludes_arriving_queue():
+    assert linear_victim([1, 9, 3, 4], exclude=1) == 3
+
+
+def test_linear_tie_breaks_to_lowest_index():
+    assert linear_victim([5, 7, 7, 2]) == 1
+
+
+def test_linear_handles_negative_extras():
+    # Extra buffer can be negative (T_i < S_i); largest still wins.
+    assert linear_victim([-10, -3, -7]) == 1
+
+
+def test_linear_single_queue_excluded_returns_none():
+    assert linear_victim([5], exclude=0) is None
+
+
+def test_max_idx_prefers_left_on_tie():
+    assert max_idx([3, 3], 0, 1) == 0
+    assert max_idx([3, 4], 0, 1) == 1
+
+
+def test_tournament_matches_paper_example():
+    # 4 queues: MaxIdx(MaxIdx(0,1), MaxIdx(2,3)).
+    extra = [10, 40, 30, 20]
+    assert tournament_victim(extra) == 1
+
+
+def test_tournament_excludes():
+    assert tournament_victim([10, 40, 30, 20], exclude=1) == 2
+
+
+def test_tournament_odd_number_of_queues():
+    assert tournament_victim([1, 2, 9]) == 2
+
+
+def test_tournament_all_excluded_returns_none():
+    assert tournament_victim([5], exclude=0) is None
+
+
+def test_exhaustive_equivalence_small():
+    """Linear and tournament agree on every 4-queue permutation."""
+    for extra in itertools.permutations([1, 2, 3, 4]):
+        for exclude in [None, 0, 1, 2, 3]:
+            assert (linear_victim(list(extra), exclude)
+                    == tournament_victim(list(extra), exclude))
+
+
+def test_exhaustive_equivalence_with_ties():
+    for extra in itertools.product([0, 1, 2], repeat=4):
+        for exclude in [None, 0, 3]:
+            assert (linear_victim(list(extra), exclude)
+                    == tournament_victim(list(extra), exclude))
+
+
+@given(st.lists(st.integers(min_value=-10**6, max_value=10**6),
+                min_size=1, max_size=16),
+       st.integers(min_value=0, max_value=15))
+def test_property_equivalence(extra, exclude_raw):
+    exclude = exclude_raw if exclude_raw < len(extra) else None
+    assert (linear_victim(extra, exclude)
+            == tournament_victim(extra, exclude))
+
+
+def test_tournament_depth_values():
+    assert tournament_depth(1) == 0
+    assert tournament_depth(2) == 1
+    assert tournament_depth(4) == 2
+    assert tournament_depth(8) == 3  # the paper's "log 8 = 3 cycles"
+    assert tournament_depth(5) == 3

@@ -1,0 +1,218 @@
+"""Tests for the empirical workloads and the Poisson flow generator."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.units import gbps
+from repro.workloads.datasets import (
+    CACHE,
+    DATA_MINING,
+    HADOOP,
+    WEB_SEARCH,
+    workload,
+    workload_names,
+)
+from repro.workloads.distributions import EmpiricalCDF
+from repro.workloads.flowgen import (
+    arrival_rate_per_second,
+    generate_flows,
+    iter_flows,
+)
+
+
+# -- EmpiricalCDF ------------------------------------------------------------
+
+def simple_cdf():
+    return EmpiricalCDF("simple", [(100, 0.0), (1_000, 0.5), (10_000, 1.0)])
+
+
+def test_cdf_validation_rejects_bad_points():
+    with pytest.raises(ValueError):
+        EmpiricalCDF("x", [(100, 0.0)])                    # too few
+    with pytest.raises(ValueError):
+        EmpiricalCDF("x", [(100, 0.5), (50, 1.0)])         # sizes decrease
+    with pytest.raises(ValueError):
+        EmpiricalCDF("x", [(100, 0.5), (200, 0.4)])        # probs decrease
+    with pytest.raises(ValueError):
+        EmpiricalCDF("x", [(100, 0.0), (200, 0.9)])        # no endpoint
+    with pytest.raises(ValueError):
+        EmpiricalCDF("x", [(0, 0.0), (200, 1.0)])          # zero size
+
+
+def test_inverse_endpoints():
+    cdf = simple_cdf()
+    assert cdf.inverse(0.0) == 100
+    assert cdf.inverse(1.0) == 10_000
+
+
+def test_inverse_interpolates():
+    cdf = simple_cdf()
+    assert cdf.inverse(0.25) == 550       # halfway from 100 to 1000
+    assert cdf.inverse(0.75) == 5_500
+
+
+def test_inverse_out_of_range():
+    with pytest.raises(ValueError):
+        simple_cdf().inverse(1.5)
+
+
+def test_sample_within_support():
+    cdf = simple_cdf()
+    rng = random.Random(1)
+    for _ in range(500):
+        assert 100 <= cdf.sample(rng) <= 10_000
+
+
+def test_mean_bytes_piecewise():
+    cdf = simple_cdf()
+    # 0.5*(100+1000)/2 + 0.5*(1000+10000)/2 = 275 + 2750 = 3025
+    assert cdf.mean_bytes() == pytest.approx(3_025)
+
+
+def test_cdf_at_roundtrips_inverse():
+    cdf = simple_cdf()
+    for u in (0.1, 0.3, 0.5, 0.8):
+        assert cdf.cdf_at(cdf.inverse(u)) == pytest.approx(u, abs=0.01)
+
+
+def test_cdf_at_boundaries():
+    cdf = simple_cdf()
+    assert cdf.cdf_at(50) == 0.0
+    assert cdf.cdf_at(10_000) == 1.0
+    assert cdf.cdf_at(999_999) == 1.0
+
+
+def test_truncated_clips_tail():
+    truncated = DATA_MINING.truncated(1_000_000)
+    assert truncated.sizes[-1] == 1_000_000
+    assert truncated.probs[-1] == 1.0
+    rng = random.Random(2)
+    assert all(truncated.sample(rng) <= 1_000_000 for _ in range(300))
+
+
+def test_truncated_above_support_is_identity():
+    truncated = simple_cdf().truncated(10 ** 9)
+    assert truncated.sizes == simple_cdf().sizes
+
+
+def test_truncated_below_support_rejected():
+    with pytest.raises(ValueError):
+        simple_cdf().truncated(50)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_inverse_is_monotone(u):
+    cdf = simple_cdf()
+    if u < 1.0:
+        assert cdf.inverse(u) <= cdf.inverse(min(u + 0.01, 1.0))
+
+
+# -- the four paper workloads -------------------------------------------------
+
+def test_workload_lookup():
+    assert workload("web_search") is WEB_SEARCH
+    with pytest.raises(KeyError):
+        workload("bitcoin")
+
+
+def test_workload_names_order():
+    assert workload_names() == [
+        "web_search", "data_mining", "cache", "hadoop"]
+
+
+def test_all_workloads_are_valid_cdfs():
+    for name in workload_names():
+        cdf = workload(name)
+        assert cdf.probs[-1] == 1.0
+        assert cdf.mean_bytes() > 0
+
+
+def test_data_mining_half_of_flows_are_tiny():
+    """Paper Fig. 2: ~50 % of data-mining flows are about 1 KB."""
+    assert DATA_MINING.cdf_at(1_100) == pytest.approx(0.5, abs=0.02)
+
+
+def test_data_mining_bytes_come_from_elephants():
+    """Paper Fig. 2: ~90 % of bytes from flows larger than 100 MB."""
+    assert DATA_MINING.bytes_fraction_above(100_000_000) > 0.55
+
+
+def test_web_search_is_least_skewed():
+    """Web search has the largest share of mid-size flows, which is why
+    the paper uses it for the testbed (many concurrent flows)."""
+    mid_share = {
+        name: workload(name).cdf_at(10_000_000) - workload(name).cdf_at(100_000)
+        for name in workload_names()
+    }
+    assert mid_share["web_search"] == max(mid_share.values())
+
+
+def test_workload_means_are_heavy_tailed():
+    for name in workload_names():
+        cdf = workload(name)
+        median = cdf.inverse(0.5)
+        assert cdf.mean_bytes() > median  # mean far above median
+
+
+# -- flow generation --------------------------------------------------------------
+
+def test_arrival_rate_formula():
+    # 50 % of 1 Gbps with 1 MB mean flows -> 62.5 flows/s.
+    rate = arrival_rate_per_second(0.5, gbps(1), 1_000_000)
+    assert rate == pytest.approx(62.5)
+
+
+def test_arrival_rate_validation():
+    with pytest.raises(ValueError):
+        arrival_rate_per_second(0.0, gbps(1), 1_000)
+    with pytest.raises(ValueError):
+        arrival_rate_per_second(0.5, gbps(1), 0)
+
+
+def test_generate_flows_count_and_ordering():
+    specs = generate_flows(
+        distribution=WEB_SEARCH, load=0.5, link_rate_bps=gbps(1),
+        num_flows=200, rng=random.Random(3))
+    assert len(specs) == 200
+    times = [spec.arrival_ns for spec in specs]
+    assert times == sorted(times)
+    assert all(spec.size_bytes > 0 for spec in specs)
+
+
+def test_generate_flows_rate_approximates_load():
+    specs = generate_flows(
+        distribution=WEB_SEARCH, load=0.6, link_rate_bps=gbps(1),
+        num_flows=3_000, rng=random.Random(4))
+    horizon_s = specs[-1].arrival_ns / 1e9
+    offered = sum(spec.size_bytes for spec in specs) * 8 / horizon_s
+    assert offered == pytest.approx(0.6 * 1e9, rel=0.25)
+
+
+def test_generate_flows_deterministic_per_seed():
+    a = generate_flows(distribution=CACHE, load=0.4,
+                       link_rate_bps=gbps(1), num_flows=50,
+                       rng=random.Random(7))
+    b = generate_flows(distribution=CACHE, load=0.4,
+                       link_rate_bps=gbps(1), num_flows=50,
+                       rng=random.Random(7))
+    assert a == b
+
+
+def test_iter_flows_matches_generate():
+    gen = iter_flows(distribution=HADOOP, load=0.3,
+                     link_rate_bps=gbps(1), rng=random.Random(9))
+    first = [next(gen) for _ in range(10)]
+    expected = generate_flows(distribution=HADOOP, load=0.3,
+                              link_rate_bps=gbps(1), num_flows=10,
+                              rng=random.Random(9))
+    assert first == expected
+
+
+def test_generate_flows_rejects_zero_count():
+    with pytest.raises(ValueError):
+        generate_flows(distribution=CACHE, load=0.5,
+                       link_rate_bps=gbps(1), num_flows=0,
+                       rng=random.Random(1))
