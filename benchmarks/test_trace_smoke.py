@@ -1,0 +1,82 @@
+"""Tier-2 smoke: the telemetry pipeline end-to-end through the real CLI.
+
+Spawns ``python -m repro convergence --trace-out ...`` as a subprocess
+(the same invocation a user types), then schema-checks the emitted JSONL
+with ``repro trace-validate`` and asserts the DynaQ topics are present.
+Also profiles the same scenario in-process to keep an events/sec figure
+in the benchmark record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.experiments.runner import run_scenario
+from repro.sim.engine import Simulator
+from repro.telemetry import RunProfiler
+
+from conftest import run_once, scaled
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DURATION_S = scaled(0.1)
+
+
+def _repro(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv], env=env,
+        capture_output=True, text=True, timeout=600)
+
+
+def test_convergence_trace_out_cli_smoke(benchmark, tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+
+    def run():
+        return _repro("convergence", "--schemes", "dynaq",
+                      "--duration", f"{DURATION_S}",
+                      "--trace-out", str(trace_path))
+
+    proc = run_once(benchmark, run)
+    assert proc.returncode == 0, proc.stderr
+    assert f"wrote {trace_path}" in proc.stdout
+
+    topics = set()
+    count = 0
+    with trace_path.open() as handle:
+        for line in handle:
+            topics.add(json.loads(line)["topic"])
+            count += 1
+    print(f"trace: {count} records, topics {sorted(topics)}")
+    assert count > 1_000
+    assert "dynaq.threshold" in topics
+    assert "dynaq.steal" in topics
+    assert "packet.enqueue" in topics
+
+    check = _repro("trace-validate", str(trace_path))
+    assert check.returncode == 0, check.stdout
+    assert "OK" in check.stdout
+
+
+def test_profiler_convergence_smoke(benchmark):
+    sim = Simulator()
+    profiler = RunProfiler().attach(sim)
+
+    def run():
+        run_scenario("convergence", "dynaq", duration_s=DURATION_S, sim=sim)
+        return profiler
+
+    run_once(benchmark, run)
+    profiler.detach()
+    summary = profiler.summary()
+    print(f"profiled {summary['events']} events at "
+          f"{summary['events_per_sec']:,.0f} events/sec, "
+          f"heap high-water {summary['heap_high_water']}")
+    assert summary["events"] > 1_000
+    assert summary["events_per_sec"] > 0
+    assert profiler.top_callbacks()

@@ -4,20 +4,25 @@ Examples::
 
     python -m repro list-schemes
     python -m repro convergence --schemes dynaq,besteffort --duration 0.5
+    python -m repro convergence --trace-out trace.jsonl
     python -m repro weighted --schemes dynaq,pql --weights 4,3,2,1
     python -m repro fct --schemes dynaq,pql --loads 0.3,0.5 --flows 120
     python -m repro static-sim --schemes dynaq,pql --rate 100g
+    python -m repro profile convergence --scheme dynaq
+    python -m repro trace-validate trace.jsonl
     python -m repro hw-cost
     python -m repro workloads
 
 Every subcommand prints the same tables the benchmark harness produces;
 ``--csv PREFIX`` additionally dumps raw series to ``PREFIX.<scheme>.csv``.
+Telemetry flags (``--trace-out``, ``--flight-dump``, ``--timeline-csv``;
+see ``docs/observability.md``) attach collectors to the run's trace bus.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .core.hardware import cost_table
 from .experiments import report
@@ -30,8 +35,15 @@ from .experiments.testbed import (
     run_protocol_mix,
     run_weighted_sharing,
 )
-from .metrics.export import write_fct_csv, write_throughput_csv
-from .experiments.runner import scheme_names
+from .metrics.export import (
+    write_fct_csv,
+    write_steal_matrix_csv,
+    write_threshold_series_csv,
+    write_throughput_csv,
+)
+from .experiments.runner import run_scenario, scenario_names, scheme_names
+from .sim.engine import Simulator
+from .telemetry import RunProfiler, TelemetrySession, validate_trace_file
 from .workloads.datasets import workload, workload_names
 
 
@@ -51,6 +63,67 @@ def _maybe_export(results, prefix: Optional[str]) -> None:
         path = f"{prefix}.{name}.csv"
         write_throughput_csv(path, result.samples)
         print(f"wrote {path}")
+
+
+# -- telemetry plumbing -------------------------------------------------------
+
+def _parse_window(text: str) -> Tuple[Optional[int], Optional[int]]:
+    """``START:END`` in ns; either side may be empty (open-ended)."""
+    start_text, sep, end_text = text.partition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            "--trace-window expects START:END nanoseconds (either side "
+            "may be empty)")
+    start = int(start_text) if start_text else None
+    end = int(end_text) if end_text else None
+    return start, end
+
+
+def _telemetry_session(args) -> TelemetrySession:
+    """Build the run's telemetry session from CLI flags (may be inert)."""
+    topics = None
+    if getattr(args, "trace_topics", None):
+        topics = [item.strip() for item in args.trace_topics.split(",")
+                  if item.strip()]
+    start_ns = end_ns = None
+    window = getattr(args, "trace_window", None)
+    if window is not None:
+        start_ns, end_ns = window
+    return TelemetrySession(
+        trace_out=getattr(args, "trace_out", None),
+        topics=topics, start_ns=start_ns, end_ns=end_ns,
+        flight_dump=getattr(args, "flight_dump", None),
+        drop_burst_count=getattr(args, "drop_burst_count", 32),
+        timeline=bool(getattr(args, "timeline_csv", None)))
+
+
+def _finish_telemetry(session: TelemetrySession, args) -> None:
+    """Close the session and report what the collectors produced."""
+    session.close()
+    if session.recorder is not None:
+        print(f"wrote {args.trace_out} "
+              f"({session.recorder.records_written} records)")
+    if session.timeline is not None:
+        prefix = args.timeline_csv
+        for port in session.timeline.ports():
+            path = f"{prefix}.{port}.thresholds.csv"
+            rows = write_threshold_series_csv(path, session.timeline, port)
+            print(f"wrote {path} ({rows} rows)")
+            if session.timeline.steal_moves(port):
+                path = f"{prefix}.{port}.steals.csv"
+                write_steal_matrix_csv(path, session.timeline, port)
+                print(f"wrote {path}")
+
+
+def _run_traced(args, run_one):
+    """Run ``run_one(scheme, trace)`` per scheme under one session."""
+    session = _telemetry_session(args)
+    trace = session.trace if session.active else None
+    try:
+        with session:
+            return [run_one(name, trace) for name in args.schemes]
+    finally:
+        _finish_telemetry(session, args)
 
 
 def _cmd_list_schemes(args) -> int:
@@ -80,9 +153,9 @@ def _cmd_hw_cost(args) -> int:
 
 
 def _cmd_convergence(args) -> int:
-    results = [run_convergence(name, duration_s=args.duration,
-                               sample_interval_s=args.duration / 10)
-               for name in args.schemes]
+    results = _run_traced(args, lambda name, trace: run_convergence(
+        name, duration_s=args.duration,
+        sample_interval_s=args.duration / 10, trace=trace))
     print(report.timeseries_table(
         results, title="Throughput convergence (2 vs 16 flows)",
         queues=[0, 1]))
@@ -91,9 +164,9 @@ def _cmd_convergence(args) -> int:
 
 
 def _cmd_motivation(args) -> int:
-    results = [run_motivation(name, duration_s=args.duration,
-                              sample_interval_s=args.duration / 8)
-               for name in args.schemes]
+    results = _run_traced(args, lambda name, trace: run_motivation(
+        name, duration_s=args.duration,
+        sample_interval_s=args.duration / 8, trace=trace))
     print(report.throughput_table(
         results, title="Motivation: 1-sender queue vs 3-sender queue"))
     _maybe_export(results, args.csv)
@@ -101,9 +174,9 @@ def _cmd_motivation(args) -> int:
 
 
 def _cmd_fair_sharing(args) -> int:
-    results = [run_fair_sharing(name, time_unit_s=args.time_unit,
-                                sample_interval_s=args.time_unit / 4)
-               for name in args.schemes]
+    results = _run_traced(args, lambda name, trace: run_fair_sharing(
+        name, time_unit_s=args.time_unit,
+        sample_interval_s=args.time_unit / 4, trace=trace))
     print(report.timeseries_table(
         results, title="Fair sharing with staggered queue stops",
         queues=[0, 1, 2, 3]))
@@ -113,10 +186,9 @@ def _cmd_fair_sharing(args) -> int:
 
 def _cmd_weighted(args) -> int:
     weights = _split_floats(args.weights)
-    results = [run_weighted_sharing(name, weights=weights,
-                                    duration_s=args.duration,
-                                    sample_interval_s=args.duration / 10)
-               for name in args.schemes]
+    results = _run_traced(args, lambda name, trace: run_weighted_sharing(
+        name, weights=weights, duration_s=args.duration,
+        sample_interval_s=args.duration / 10, trace=trace))
     total = sum(weights)
     print(report.share_table(
         results, title=f"Throughput shares, weights {args.weights}",
@@ -126,9 +198,9 @@ def _cmd_weighted(args) -> int:
 
 
 def _cmd_protocol_mix(args) -> int:
-    results = [run_protocol_mix(name, time_unit_s=args.time_unit,
-                                sample_interval_s=args.time_unit / 4)
-               for name in args.schemes]
+    results = _run_traced(args, lambda name, trace: run_protocol_mix(
+        name, time_unit_s=args.time_unit,
+        sample_interval_s=args.time_unit / 4, trace=trace))
     print(report.timeseries_table(
         results, title="TCP (q1-2) vs CUBIC (q3-4)", queues=[0, 1, 2, 3]))
     _maybe_export(results, args.csv)
@@ -140,9 +212,16 @@ def _cmd_fct(args) -> int:
     if args.truncate_mb:
         distribution = distribution.truncated(
             int(args.truncate_mb * 1_000_000))
-    results = fct_load_sweep(
-        args.schemes, _split_floats(args.loads), num_flows=args.flows,
-        distribution=distribution, seed=args.seed)
+    session = _telemetry_session(args)
+    trace = session.trace if session.active else None
+    try:
+        with session:
+            results = fct_load_sweep(
+                args.schemes, _split_floats(args.loads),
+                num_flows=args.flows, distribution=distribution,
+                seed=args.seed, trace=trace)
+    finally:
+        _finish_telemetry(session, args)
     for metric, label in [("avg_overall_ms", "overall"),
                           ("avg_small_ms", "small"),
                           ("p99_small_ms", "p99 small")]:
@@ -165,9 +244,10 @@ def _cmd_incast(args) -> int:
     print(f"{args.workers}-worker incast into a loaded 1 GbE port")
     print("scheme".ljust(14) + "QCT(ms)".rjust(9) + "mean(ms)".rjust(10)
           + "timeouts".rjust(10))
-    for name in args.schemes:
-        result = run_incast(name, num_workers=args.workers,
-                            horizon_s=args.horizon)
+    results = _run_traced(args, lambda name, trace: run_incast(
+        name, num_workers=args.workers, horizon_s=args.horizon,
+        trace=trace))
+    for result in results:
         qct = (f"{result.query_completion_ms:.1f}"
                if result.query_completion_ms is not None else "-")
         mean = (f"{result.mean_fct_ms:.1f}"
@@ -179,16 +259,14 @@ def _cmd_incast(args) -> int:
 
 def _cmd_static_sim(args) -> int:
     config = SIM_100G if args.rate == "100g" else SIM_10G
-    per_scheme = {}
-    for name in args.schemes:
-        result = run_static_sim(
-            name, config=config, num_queues=args.queues,
-            senders_for_queue=lambda k: 2 * k,
-            first_stop_ms=args.first_stop_ms,
-            stop_step_ms=args.stop_step_ms,
-            duration_ms=args.duration_ms,
-            sample_interval_ms=args.sample_ms)
-        per_scheme[result.scheme] = result
+    results = _run_traced(args, lambda name, trace: run_static_sim(
+        name, config=config, num_queues=args.queues,
+        senders_for_queue=lambda k: 2 * k,
+        first_stop_ms=args.first_stop_ms,
+        stop_step_ms=args.stop_step_ms,
+        duration_ms=args.duration_ms,
+        sample_interval_ms=args.sample_ms, trace=trace))
+    per_scheme = {result.scheme: result for result in results}
     print(report.fairness_table(
         {name: result.fairness_series()
          for name, result in per_scheme.items()},
@@ -200,6 +278,37 @@ def _cmd_static_sim(args) -> int:
                           for value in result.aggregate_series())
         print(f"{name:<14}{series}")
     return 0
+
+
+def _cmd_profile(args) -> int:
+    sim = Simulator()
+    profiler = RunProfiler()
+    profiler.attach(sim)
+    try:
+        run_scenario(args.scenario, args.scheme,
+                     duration_s=args.duration, sim=sim)
+    finally:
+        profiler.detach()
+    print(report.profile_table(
+        profiler, title=f"profile: {args.scenario} ({args.scheme})",
+        top=args.top))
+    return 0
+
+
+def _cmd_trace_validate(args) -> int:
+    try:
+        count, errors = validate_trace_file(args.path,
+                                            max_errors=args.max_errors)
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc.strerror}")
+        return 1
+    print(f"{args.path}: {count} records")
+    if not errors:
+        print("OK")
+        return 0
+    for error in errors:
+        print(f"error: {error}")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -217,6 +326,21 @@ def build_parser() -> argparse.ArgumentParser:
                        default=_split_schemes(default_schemes))
         p.add_argument("--csv", default=None,
                        help="export series to CSV files with this prefix")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record a structured JSONL event trace")
+        p.add_argument("--trace-topics", default=None, metavar="T1,T2",
+                       help="restrict the trace to these topics")
+        p.add_argument("--trace-window", type=_parse_window, default=None,
+                       metavar="START:END",
+                       help="only record events inside [START, END] ns")
+        p.add_argument("--flight-dump", default=None, metavar="PATH",
+                       help="arm the flight recorder; dump last events "
+                            "here on drop bursts or errors")
+        p.add_argument("--drop-burst-count", type=int, default=32,
+                       help="drops per ms that count as a burst anomaly")
+        p.add_argument("--timeline-csv", default=None, metavar="PREFIX",
+                       help="export per-port threshold/steal series to "
+                            "PREFIX.<port>.*.csv")
 
     p = sub.add_parser("convergence", help="Fig. 3 scenario")
     add_common(p)
@@ -270,6 +394,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration-ms", type=float, default=160.0)
     p.add_argument("--sample-ms", type=float, default=5.0)
     p.set_defaults(func=_cmd_static_sim)
+
+    p = sub.add_parser(
+        "profile", help="run one scenario under the event-loop profiler")
+    p.add_argument("scenario", choices=scenario_names())
+    p.add_argument("--scheme", default="dynaq")
+    p.add_argument("--duration", type=float, default=0.2)
+    p.add_argument("--top", type=int, default=12,
+                   help="callback rows to show")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "trace-validate", help="schema-check a JSONL trace file")
+    p.add_argument("path")
+    p.add_argument("--max-errors", type=int, default=20)
+    p.set_defaults(func=_cmd_trace_validate)
 
     return parser
 

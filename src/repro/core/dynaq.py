@@ -27,7 +27,7 @@ from ..net.packet import Packet
 from ..queueing.base import BufferManager, Decision, PortView
 from ..sim.trace import TOPIC_THRESHOLD_CHANGE, TraceBus
 from .thresholds import initial_thresholds, satisfaction_thresholds
-from .victim import linear_victim, tournament_victim
+from .victim import linear_victim, publish_steal, tournament_victim
 
 VictimSearch = Callable[[List[int], Optional[int]], Optional[int]]
 
@@ -76,6 +76,13 @@ class DynaQBuffer(BufferManager):
 
     # -- lifecycle ---------------------------------------------------------------
 
+    def bind_trace(self, trace: TraceBus, port_name: str) -> None:
+        """Adopt the port's trace bus unless one was passed explicitly."""
+        if self._trace is None:
+            self._trace = trace
+        if not self._port_name:
+            self._port_name = port_name
+
     def attach(self, port: PortView) -> None:
         super().attach(port)
         self.reinitialize()
@@ -96,6 +103,14 @@ class DynaQBuffer(BufferManager):
         else:
             self.satisfaction = satisfaction_thresholds(
                 self.port.buffer_bytes, weights)
+        trace = self._trace
+        if trace is not None:
+            # Baseline snapshot (victim/gainer = -1): gives timeline
+            # collectors T_i(0) and the otherwise-unpublished S_i values.
+            trace.emit(TOPIC_THRESHOLD_CHANGE, lambda: dict(
+                port=self._port_name, time=self.port.now(), victim=-1,
+                gainer=-1, size=0, thresholds=tuple(self.thresholds),
+                satisfaction=tuple(self.satisfaction)))
 
     # -- Algorithm 1 ---------------------------------------------------------------
 
@@ -136,11 +151,16 @@ class DynaQBuffer(BufferManager):
         self.thresholds[victim] -= size
         self.thresholds[gainer] += size
         self.threshold_moves += 1
-        if self._trace is not None:
-            self._trace.publish(
-                TOPIC_THRESHOLD_CHANGE, port=self._port_name,
-                time=self.port.now(), victim=victim, gainer=gainer,
-                size=size, thresholds=tuple(self.thresholds))
+        trace = self._trace
+        if trace is not None:
+            trace.emit(TOPIC_THRESHOLD_CHANGE, lambda: dict(
+                port=self._port_name, time=self.port.now(), victim=victim,
+                gainer=gainer, size=size,
+                thresholds=tuple(self.thresholds)))
+            publish_steal(
+                trace, port=self._port_name, time=self.port.now(),
+                victim=victim, gainer=gainer, size=size,
+                thresholds=self.thresholds)
 
     # -- introspection ---------------------------------------------------------------
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..sim.trace import TOPIC_VICTIM_STEAL, TraceBus
+
 
 def linear_victim(extra: Sequence[int],
                   exclude: Optional[int] = None) -> Optional[int]:
@@ -66,6 +68,22 @@ def tournament_victim(extra: Sequence[int],
             next_round.append(candidates[-1])
         candidates = next_round
     return candidates[0]
+
+
+def publish_steal(trace: TraceBus, *, port: str, time: int, victim: int,
+                  gainer: int, size: int, thresholds: Sequence[int]) -> None:
+    """Publish one threshold steal to ``dynaq.steal``.
+
+    This is the telemetry counterpart of the victim search above: every
+    time Algorithm 1 moves ``size`` bytes of threshold from ``victim`` to
+    ``gainer``, the steal is announced so collectors can build the
+    who-stole-from-whom matrix and the per-queue S/T timelines.  Payload
+    construction is deferred behind :meth:`TraceBus.emit`, so the call is
+    free when nobody subscribed.
+    """
+    trace.emit(TOPIC_VICTIM_STEAL, lambda: dict(
+        port=port, time=time, victim=victim, gainer=gainer, size=size,
+        thresholds=tuple(thresholds)))
 
 
 def tournament_depth(num_queues: int) -> int:

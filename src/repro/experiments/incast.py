@@ -23,6 +23,8 @@ from ..apps.iperf import IperfApp
 from ..metrics.fct import FCTCollector
 from ..net.topology import build_star
 from ..queueing.schedulers.spq import SPQDRRScheduler
+from ..sim.engine import Simulator
+from ..sim.trace import TraceBus
 from ..sim.units import kilobytes, seconds
 from ..transport.base import Flow
 from ..transport.tcp import TCPSender
@@ -51,7 +53,9 @@ def run_incast(scheme_name: str, *, num_workers: int = 16,
                background_flows: int = 4,
                num_service_queues: int = 4,
                config: TestbedConfig = DEFAULT_CONFIG,
-               horizon_s: float = 5.0) -> IncastResult:
+               horizon_s: float = 5.0,
+               sim: Optional[Simulator] = None,
+               trace: Optional[TraceBus] = None) -> IncastResult:
     """One synchronized fan-in burst into a loaded port.
 
     Workers' responses ride the high-priority class 0 (as PIAS would
@@ -65,7 +69,8 @@ def run_incast(scheme_name: str, *, num_workers: int = 16,
         rtt_ns=config.rtt_ns, buffer_bytes=config.buffer_bytes,
         scheduler_factory=lambda: SPQDRRScheduler(
             1, [config.quantum_bytes] * num_service_queues),
-        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns))
+        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns),
+        sim=sim, trace=trace)
 
     if background_flows:
         elephant_host = net.host(f"h{num_hosts - 1}")

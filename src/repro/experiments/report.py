@@ -123,6 +123,52 @@ def fct_absolute_table(results_by_scheme: Dict[str, List[FCTResult]], *,
     return "\n".join(lines)
 
 
+def profile_table(profiler, *, title: str = "run profile",
+                  top: int = 12) -> str:
+    """Opt-in profiler section: loop stats + per-callback time table.
+
+    ``profiler`` is a :class:`repro.telemetry.RunProfiler` that was
+    attached to the run's simulator.  The per-callback rows are sorted
+    by total wall time, heaviest first.
+    """
+    summary = profiler.summary()
+    lines = [title]
+    lines.append(f"events executed   {summary['events']:>12,}")
+    lines.append(f"wall time (s)     {summary['wall_s']:>12.3f}")
+    lines.append(f"events/sec        {summary['events_per_sec']:>12,.0f}")
+    lines.append(f"sim time (ms)     {summary['sim_time_ns'] / 1e6:>12.3f}")
+    lines.append(f"heap high-water   {summary['heap_high_water']:>12,}")
+    lines.append(f"events scheduled  {summary['events_scheduled']:>12,}")
+    lines.append("cancelled ratio   "
+                 + f"{summary['cancelled_ratio']:>12.4f}")
+    lines.append("")
+    lines.append("callback".ljust(44) + "calls".rjust(10)
+                 + "total(s)".rjust(10) + "mean(us)".rjust(10)
+                 + "max(us)".rjust(10))
+    for name, stats in profiler.top_callbacks(top):
+        lines.append(name[:43].ljust(44)
+                     + f"{stats.count:,}".rjust(10)
+                     + f"{stats.total_s:.3f}".rjust(10)
+                     + f"{stats.mean_us:.1f}".rjust(10)
+                     + f"{stats.max_s * 1e6:.1f}".rjust(10))
+    return "\n".join(lines)
+
+
+def drop_breakdown_table(drop_summary: Dict, *,
+                         title: str = "drops by reason / port") -> str:
+    """Render :meth:`DropMarkCollector.as_dict` breakdowns as text."""
+    lines = [title]
+    lines.append(f"total drops {drop_summary['drops']}, "
+                 f"marks {drop_summary['marks']}")
+    for key, label in (("drops_by_reason", "reason"),
+                       ("drops_by_port", "port")):
+        breakdown = drop_summary.get(key) or {}
+        for name, count in sorted(breakdown.items(),
+                                  key=lambda item: -item[1]):
+            lines.append(f"  {label} {name:<28}{count:>10}")
+    return "\n".join(lines)
+
+
 def fairness_table(samples_by_scheme: Dict[str, Sequence[float]], *,
                    title: str) -> str:
     """Mean/min Jain fairness per scheme (Figs. 10-12 summary)."""

@@ -98,3 +98,66 @@ def buffer_factory(name: str, *, rtt_ns: int) -> Callable[[], BufferManager]:
 def transport_for(name: str):
     """The sender class the paper pairs with the scheme."""
     return sender_class(scheme(name).transport)
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry: one uniform entry point per named experiment, used by
+# the telemetry-aware CLI paths (``--trace-out``, ``repro profile``).
+# Imports are deferred because the experiment modules import this one.
+# ---------------------------------------------------------------------------
+
+SCENARIO_NAMES = ("convergence", "motivation", "fair-sharing", "weighted",
+                  "protocol-mix", "incast", "static-sim")
+
+
+def scenario_names() -> List[str]:
+    """Scenarios runnable through :func:`run_scenario`."""
+    return list(SCENARIO_NAMES)
+
+
+def run_scenario(name: str, scheme_name: str, *, duration_s: float = 0.2,
+                 sim=None, trace=None, **kwargs):
+    """Run one named scenario with uniform knobs.
+
+    ``duration_s`` maps onto whatever time parameter the scenario uses
+    (total duration, stop-schedule time unit, or incast horizon), scaled
+    the way each scenario's own CLI subcommand scales it.  ``sim`` and
+    ``trace`` are forwarded so callers can attach a profiler or a
+    telemetry session; remaining ``kwargs`` pass through verbatim.
+    """
+    from . import incast, simulation, testbed
+    duration = max(duration_s, 1e-3)
+    if name == "convergence":
+        return testbed.run_convergence(
+            scheme_name, duration_s=duration,
+            sample_interval_s=duration / 10, sim=sim, trace=trace, **kwargs)
+    if name == "motivation":
+        return testbed.run_motivation(
+            scheme_name, duration_s=duration,
+            sample_interval_s=duration / 8, sim=sim, trace=trace, **kwargs)
+    if name == "fair-sharing":
+        unit = duration / 5.5
+        return testbed.run_fair_sharing(
+            scheme_name, time_unit_s=unit, sample_interval_s=unit / 4,
+            sim=sim, trace=trace, **kwargs)
+    if name == "weighted":
+        return testbed.run_weighted_sharing(
+            scheme_name, duration_s=duration,
+            sample_interval_s=duration / 10, sim=sim, trace=trace, **kwargs)
+    if name == "protocol-mix":
+        unit = duration / 5.5
+        return testbed.run_protocol_mix(
+            scheme_name, time_unit_s=unit, sample_interval_s=unit / 4,
+            sim=sim, trace=trace, **kwargs)
+    if name == "incast":
+        return incast.run_incast(
+            scheme_name, horizon_s=duration, sim=sim, trace=trace, **kwargs)
+    if name == "static-sim":
+        duration_ms = duration * 1e3
+        return simulation.run_static_sim(
+            scheme_name, duration_ms=duration_ms,
+            sample_interval_ms=duration_ms / 10,
+            first_stop_ms=duration_ms / 3, stop_step_ms=duration_ms / 12,
+            sim=sim, trace=trace, **kwargs)
+    raise KeyError(
+        f"unknown scenario {name!r}; known: {list(SCENARIO_NAMES)}")

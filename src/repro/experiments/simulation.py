@@ -20,7 +20,9 @@ from ..metrics.throughput import PortThroughputMeter, ThroughputSample
 from ..net.topology import Network, build_leaf_spine, build_star
 from ..queueing.schedulers.spq import SPQDRRScheduler
 from ..queueing.schedulers.wrr import WRRScheduler
+from ..sim.engine import Simulator
 from ..sim.randomness import RandomStreams, stable_hash
+from ..sim.trace import TraceBus
 from ..sim.units import (
     gbps,
     kilobytes,
@@ -107,7 +109,9 @@ def run_static_sim(scheme_name: str, *, config: SimConfig = SIM_10G,
                    first_stop_ms: float = 200.0,
                    stop_step_ms: float = 50.0,
                    duration_ms: float = 600.0,
-                   sample_interval_ms: float = 10.0) -> StaticSimResult:
+                   sample_interval_ms: float = 10.0,
+                   sim: Optional[Simulator] = None,
+                   trace: Optional[TraceBus] = None) -> StaticSimResult:
     """Figs. 10-12: staggered-stop bandwidth sharing on a fast rack.
 
     Queue *k* (1-based) is fed by ``senders_for_queue(k)`` single-flow
@@ -121,7 +125,8 @@ def run_static_sim(scheme_name: str, *, config: SimConfig = SIM_10G,
         num_hosts=1 + sum(sender_counts), rate_bps=config.rate_bps,
         rtt_ns=config.rtt_ns, buffer_bytes=config.buffer_bytes,
         scheduler_factory=lambda: WRRScheduler([1.0] * num_queues),
-        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns))
+        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns),
+        sim=sim, trace=trace)
     bottleneck = net.switch("s0").ports["s0->h0"]
     meter = PortThroughputMeter(
         net.sim, bottleneck, milliseconds(sample_interval_ms))
@@ -183,7 +188,9 @@ def run_leafspine_fct(scheme_name: str, *, load: float,
                       seed: int = 1,
                       pias_threshold: int = kilobytes(100),
                       quantum_bytes: float = 1500.0,
-                      drain_timeout_s: float = 30.0) -> FCTResult:
+                      drain_timeout_s: float = 30.0,
+                      sim: Optional[Simulator] = None,
+                      trace: Optional[TraceBus] = None) -> FCTResult:
     """Fig. 13: FCT across a leaf-spine fabric with ECMP.
 
     Communication pairs are classified into ``num_service_queues``
@@ -203,7 +210,8 @@ def run_leafspine_fct(scheme_name: str, *, load: float,
         rtt_ns=config.rtt_ns, buffer_bytes=config.buffer_bytes,
         scheduler_factory=lambda: SPQDRRScheduler(
             1, [quantum_bytes] * num_service_queues),
-        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns))
+        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns),
+        sim=sim, trace=trace)
     hosts = net.host_names()
 
     # Every service draws its flow sizes from one of the four workloads.

@@ -27,7 +27,9 @@ from ..metrics.throughput import PortThroughputMeter, ThroughputSample
 from ..net.topology import Network, build_star
 from ..queueing.schedulers.drr import DRRScheduler
 from ..queueing.schedulers.spq import SPQDRRScheduler
+from ..sim.engine import Simulator
 from ..sim.randomness import RandomStreams
+from ..sim.trace import TraceBus
 from ..sim.units import (
     SECOND,
     gbps,
@@ -97,12 +99,15 @@ class ThroughputResult(NamedTuple):
 
 def _star_with_scheme(scheme_name: str, *, num_hosts: int,
                       scheduler_factory: Callable,
-                      config: TestbedConfig) -> Network:
+                      config: TestbedConfig,
+                      sim: Optional[Simulator] = None,
+                      trace: Optional[TraceBus] = None) -> Network:
     return build_star(
         num_hosts=num_hosts, rate_bps=config.rate_bps,
         rtt_ns=config.rtt_ns, buffer_bytes=config.buffer_bytes,
         scheduler_factory=scheduler_factory,
-        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns))
+        buffer_factory=buffer_factory(scheme_name, rtt_ns=config.rtt_ns),
+        sim=sim, trace=trace)
 
 
 def _bulk_throughput_run(scheme_name: str, *,
@@ -113,7 +118,10 @@ def _bulk_throughput_run(scheme_name: str, *,
                          config: TestbedConfig,
                          protocols: Optional[Sequence[str]] = None,
                          queue_samples: int = 0,
-                         senders_per_queue=1) -> ThroughputResult:
+                         senders_per_queue=1,
+                         sim: Optional[Simulator] = None,
+                         trace: Optional[TraceBus] = None
+                         ) -> ThroughputResult:
     """Shared machinery of the static-flow experiments.
 
     Queue *k* (0-based) gets ``flows_per_queue[k]`` bulk flows, split over
@@ -135,7 +143,7 @@ def _bulk_throughput_run(scheme_name: str, *,
         scheme_name,
         num_hosts=1 + sum(senders_per_queue),
         scheduler_factory=lambda: DRRScheduler(list(quanta)),
-        config=config)
+        config=config, sim=sim, trace=trace)
     bottleneck = net.switch("s0").ports["s0->h0"]
     meter = PortThroughputMeter(net.sim, bottleneck, sample_interval_ns)
     lengths = None
@@ -187,8 +195,9 @@ def run_motivation(scheme_name: str = "besteffort", *,
                    sample_interval_s: float = 0.5,
                    flows_per_sender: int = 8,
                    queue_samples: int = 1000,
-                   config: TestbedConfig = DEFAULT_CONFIG
-                   ) -> ThroughputResult:
+                   config: TestbedConfig = DEFAULT_CONFIG,
+                   sim: Optional[Simulator] = None,
+                   trace: Optional[TraceBus] = None) -> ThroughputResult:
     """Fig. 1: 4 senders, 8 flows each; 3 senders share queue 2.
 
     Queue 1 (one sender) should get half the link under equal-weight DRR
@@ -201,7 +210,7 @@ def run_motivation(scheme_name: str = "besteffort", *,
         stop_times_ns=None, duration_ns=seconds(duration_s),
         sample_interval_ns=seconds(sample_interval_s), config=config,
         queue_samples=queue_samples,
-        senders_per_queue=[1, 3])
+        senders_per_queue=[1, 3], sim=sim, trace=trace)
 
 
 # ---------------------------------------------------------------------------
@@ -211,8 +220,9 @@ def run_motivation(scheme_name: str = "besteffort", *,
 def run_convergence(scheme_name: str, *, duration_s: float = 10.0,
                     sample_interval_s: float = 0.5,
                     queue_samples: int = 1000,
-                    config: TestbedConfig = DEFAULT_CONFIG
-                    ) -> ThroughputResult:
+                    config: TestbedConfig = DEFAULT_CONFIG,
+                    sim: Optional[Simulator] = None,
+                    trace: Optional[TraceBus] = None) -> ThroughputResult:
     """Figs. 3-4: queue 1 carries 2 flows, queue 2 carries 16.
 
     4 DRR queues with equal quanta are configured; queues 3-4 stay idle.
@@ -224,7 +234,7 @@ def run_convergence(scheme_name: str, *, duration_s: float = 10.0,
         quanta=[config.quantum_bytes] * 4, stop_times_ns=None,
         duration_ns=seconds(duration_s),
         sample_interval_ns=seconds(sample_interval_s), config=config,
-        queue_samples=queue_samples)
+        queue_samples=queue_samples, sim=sim, trace=trace)
 
 
 # ---------------------------------------------------------------------------
@@ -239,8 +249,9 @@ def fair_sharing_stop_schedule(time_unit_s: float) -> List[int]:
 def run_fair_sharing(scheme_name: str, *, time_unit_s: float = 5.0,
                      sample_interval_s: float = 0.5,
                      config: TestbedConfig = DEFAULT_CONFIG,
-                     protocols: Optional[Sequence[str]] = None
-                     ) -> ThroughputResult:
+                     protocols: Optional[Sequence[str]] = None,
+                     sim: Optional[Simulator] = None,
+                     trace: Optional[TraceBus] = None) -> ThroughputResult:
     """Fig. 5: queue k holds 2^k flows; queues stop 4, 3, 2, 1 in turn.
 
     With the paper's ``time_unit_s = 5``: queue 4 stops at 10 s, queue 3
@@ -252,7 +263,7 @@ def run_fair_sharing(scheme_name: str, *, time_unit_s: float = 5.0,
         quanta=[config.quantum_bytes] * 4, stop_times_ns=stops,
         duration_ns=seconds(time_unit_s * 5.5),
         sample_interval_ns=seconds(sample_interval_s), config=config,
-        protocols=protocols)
+        protocols=protocols, sim=sim, trace=trace)
 
 
 # ---------------------------------------------------------------------------
@@ -263,7 +274,9 @@ def run_weighted_sharing(scheme_name: str, *,
                          weights: Sequence[float] = (4.0, 3.0, 2.0, 1.0),
                          duration_s: float = 10.0,
                          sample_interval_s: float = 0.5,
-                         config: TestbedConfig = DEFAULT_CONFIG
+                         config: TestbedConfig = DEFAULT_CONFIG,
+                         sim: Optional[Simulator] = None,
+                         trace: Optional[TraceBus] = None
                          ) -> ThroughputResult:
     """Fig. 6: DRR quanta 6/4.5/3/1.5 KB; all queues active.
 
@@ -275,7 +288,8 @@ def run_weighted_sharing(scheme_name: str, *,
     return _bulk_throughput_run(
         scheme_name, flows_per_queue=flows, quanta=quanta,
         stop_times_ns=None, duration_ns=seconds(duration_s),
-        sample_interval_ns=seconds(sample_interval_s), config=config)
+        sample_interval_ns=seconds(sample_interval_s), config=config,
+        sim=sim, trace=trace)
 
 
 # ---------------------------------------------------------------------------
@@ -284,8 +298,9 @@ def run_weighted_sharing(scheme_name: str, *,
 
 def run_protocol_mix(scheme_name: str, *, time_unit_s: float = 5.0,
                      sample_interval_s: float = 0.5,
-                     config: TestbedConfig = DEFAULT_CONFIG
-                     ) -> ThroughputResult:
+                     config: TestbedConfig = DEFAULT_CONFIG,
+                     sim: Optional[Simulator] = None,
+                     trace: Optional[TraceBus] = None) -> ThroughputResult:
     """Fig. 7: queues 1-2 run TCP(Reno), queues 3-4 run CUBIC.
 
     Same flow counts and stop schedule as Fig. 5; a protocol-independent
@@ -294,7 +309,8 @@ def run_protocol_mix(scheme_name: str, *, time_unit_s: float = 5.0,
     return run_fair_sharing(
         scheme_name, time_unit_s=time_unit_s,
         sample_interval_s=sample_interval_s, config=config,
-        protocols=["tcp", "tcp", "cubic", "cubic"])
+        protocols=["tcp", "tcp", "cubic", "cubic"],
+        sim=sim, trace=trace)
 
 
 # ---------------------------------------------------------------------------
@@ -320,7 +336,9 @@ def run_fct_experiment(scheme_name: str, *, load: float,
                        seed: int = 1,
                        pias_threshold: int = kilobytes(100),
                        config: TestbedConfig = DEFAULT_CONFIG,
-                       drain_timeout_s: float = 60.0) -> FCTResult:
+                       drain_timeout_s: float = 60.0,
+                       sim: Optional[Simulator] = None,
+                       trace: Optional[TraceBus] = None) -> FCTResult:
     """Figs. 8-9: web-search flows at the given load, PIAS + SPQ/DRR.
 
     Host h0 is the client; h1..h{num_servers} respond with flows drawn
@@ -334,7 +352,7 @@ def run_fct_experiment(scheme_name: str, *, load: float,
         scheme_name, num_hosts=1 + num_servers,
         scheduler_factory=lambda: SPQDRRScheduler(
             1, [config.quantum_bytes] * num_service_queues),
-        config=config)
+        config=config, sim=sim, trace=trace)
     specs = generate_flows(
         distribution=distribution, load=load,
         link_rate_bps=config.rate_bps, num_flows=num_flows, rng=rng)

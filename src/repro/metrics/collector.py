@@ -8,7 +8,7 @@ and for failure-injection tests.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict
+from typing import Any, Dict
 
 from ..sim.trace import TOPIC_PACKET_DROP, TOPIC_PACKET_MARK, TraceBus
 
@@ -40,9 +40,16 @@ class DropMarkCollector:
     def total_marks(self) -> int:
         return sum(self.marks_by_port.values())
 
-    def as_dict(self) -> Dict[str, int]:
-        """Summary dictionary for experiment reports."""
+    def as_dict(self) -> Dict[str, Any]:
+        """Summary dictionary for experiment reports.
+
+        Includes the per-reason and per-port breakdowns so a report can
+        say *where* and *why* losses happened, not just how many.
+        """
         return {
             "drops": self.total_drops,
             "marks": self.total_marks,
+            "drops_by_reason": dict(self.drops_by_reason),
+            "drops_by_port": dict(self.drops_by_port),
+            "marks_by_port": dict(self.marks_by_port),
         }

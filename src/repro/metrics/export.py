@@ -69,3 +69,45 @@ def read_jsonl(path: PathLike) -> list:
     """Round-trip helper for :func:`write_jsonl`."""
     with Path(path).open() as handle:
         return [json.loads(line) for line in handle if line.strip()]
+
+
+def write_threshold_series_csv(path: PathLike, timeline,
+                               port: str) -> int:
+    """Dump one port's DynaQ ``T_i(t)`` evolution (Fig. 4 re-plots).
+
+    One row per threshold event: ``time_s, T_1..T_M`` (bytes); a final
+    comment-free header-only file results when the port saw no events.
+    ``timeline`` is a :class:`repro.telemetry.ThresholdTimeline`.
+    """
+    path = Path(path)
+    series = timeline.series(port)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if not series:
+            return 0
+        num_queues = len(series[0][1])
+        writer.writerow(["time_s"]
+                        + [f"T{i + 1}_bytes" for i in range(num_queues)])
+        for time_ns, thresholds in series:
+            writer.writerow([time_ns / 1e9] + list(thresholds))
+    return len(series)
+
+
+def write_steal_matrix_csv(path: PathLike, timeline, port: str) -> int:
+    """Dump one port's steal matrix: bytes moved ``victim -> gainer``.
+
+    Row i / column j holds the bytes queue j took from queue i over the
+    run.  Returns the matrix dimension (0 when the port saw no steals).
+    """
+    path = Path(path)
+    matrix = timeline.steal_matrix(port)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if not matrix:
+            return 0
+        size = len(matrix)
+        writer.writerow(["victim\\gainer"]
+                        + [f"q{j + 1}" for j in range(size)])
+        for i, row in enumerate(matrix):
+            writer.writerow([f"q{i + 1}"] + list(row))
+    return len(matrix)

@@ -75,6 +75,8 @@ class EgressPort:
         bind_clock = getattr(scheduler, "bind_clock", None)
         if bind_clock is not None:
             bind_clock(lambda: self.sim.now)
+        if trace is not None:
+            buffer_manager.bind_trace(trace, name)
         buffer_manager.attach(self)
 
     # -- wiring -----------------------------------------------------------------
@@ -210,8 +212,9 @@ class EgressPort:
 
     def _publish(self, topic: str, packet: Packet, queue_index: int,
                  detail: str) -> None:
-        if self.trace is not None and self.trace.has_subscribers(topic):
-            self.trace.publish(
-                topic, port=self.name, time=self.sim.now, packet=packet,
+        trace = self.trace
+        if trace is not None:
+            trace.emit(topic, lambda: dict(
+                port=self.name, time=self.sim.now, packet=packet,
                 queue=queue_index, detail=detail,
-                queue_bytes=tuple(self._queue_bytes))
+                queue_bytes=tuple(self._queue_bytes)))

@@ -85,6 +85,13 @@ class BufferManager:
         """Bind the manager to its port and initialise derived state."""
         self.port = port
 
+    def bind_trace(self, trace, port_name: str) -> None:
+        """Offer the manager the port's trace bus (called by the port
+        before :meth:`attach` when the port has one).  The default ignores
+        it; managers that publish telemetry (DynaQ's threshold exchanges)
+        override this to pick the bus up unless one was already passed to
+        their constructor."""
+
     # -- hooks ----------------------------------------------------------------
 
     def admit(self, packet: Packet, queue_index: int) -> Decision:

@@ -14,6 +14,7 @@ process-based kernel like simpy (which is not available offline anyway).
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 from .errors import SimulationError
@@ -24,7 +25,10 @@ class Event:
 
     Events are created through :meth:`Simulator.schedule` / :meth:`.at` and
     can be cancelled with :meth:`Simulator.cancel`.  Cancellation is lazy:
-    the heap entry stays put and is skipped when popped.
+    the heap entry stays put and is skipped when popped.  Executed events
+    are marked ``cancelled`` too (they are dead either way), which makes
+    cancelling an already-fired event a harmless no-op and keeps the
+    simulator's live-event counter exact.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
@@ -44,7 +48,7 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.callback, "__qualname__", repr(self.callback))
-        state = " cancelled" if self.cancelled else ""
+        state = " dead" if self.cancelled else ""
         return f"<Event t={self.time} #{self.seq} {name}{state}>"
 
 
@@ -56,15 +60,22 @@ class Simulator:
         sim = Simulator()
         sim.schedule(1_000, handler, arg1, arg2)   # 1 us from now
         sim.run(until=units.seconds(10))
+
+    Setting :attr:`profiler` (see :class:`repro.telemetry.RunProfiler`)
+    makes the loop time every callback; the attribute is ``None`` by
+    default and costs one local truth test per event when unset.
     """
 
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: List[Event] = []
         self._seq: int = 0
+        self._live: int = 0
         self._running = False
         self._stopped = False
         self.events_executed: int = 0
+        self.events_cancelled: int = 0
+        self.profiler = None  # duck-typed: record(callback, elapsed_s, heap_len)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -84,14 +95,18 @@ class Simulator:
                 f"cannot schedule at t={time} < now={self.now}")
         event = Event(time, self._seq, callback, args)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
-        """Cancel a pending event.  Cancelling ``None`` or a finished event
-        is a harmless no-op so callers can cancel unconditionally."""
-        if event is not None:
+        """Cancel a pending event.  Cancelling ``None``, a finished event,
+        or an already-cancelled event is a harmless no-op so callers can
+        cancel unconditionally."""
+        if event is not None and not event.cancelled:
             event.cancelled = True
+            self._live -= 1
+            self.events_cancelled += 1
 
     # -- execution -----------------------------------------------------------
 
@@ -108,18 +123,28 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        heap = self._heap
+        profiler = self.profiler
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    self._compact_head()
                     continue
                 if until is not None and event.time > until:
                     self.now = until
                     break
-                heapq.heappop(self._heap)
+                heapq.heappop(heap)
+                event.cancelled = True  # consumed; see Event docstring
+                self._live -= 1
                 self.now = event.time
-                event.callback(*event.args)
+                if profiler is None:
+                    event.callback(*event.args)
+                else:
+                    start = perf_counter()
+                    event.callback(*event.args)
+                    profiler.record(event.callback, perf_counter() - start,
+                                    len(heap))
                 self.events_executed += 1
                 executed += 1
                 if self._stopped:
@@ -136,18 +161,27 @@ class Simulator:
         """Stop the loop after the currently executing callback returns."""
         self._stopped = True
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the sequence counter)."""
+        return self._seq
+
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still in the heap."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (non-cancelled) events still in the heap.
+
+        O(1): maintained incrementally on schedule / cancel / execute.
+        """
+        return self._live
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next live event, or ``None`` if idle."""
-        for event in self._heap:
-            if not event.cancelled:
-                break
-        else:
-            return None
-        # The heap head may be cancelled; compact lazily.
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        self._compact_head()
         return self._heap[0].time if self._heap else None
+
+    # -- internals -----------------------------------------------------------
+
+    def _compact_head(self) -> None:
+        """Pop dead (cancelled/consumed) events off the heap head."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

@@ -4,15 +4,18 @@ Components publish events ("packet dropped", "queue length changed", ...) to
 a :class:`TraceBus`; metric collectors subscribe to the topics they care
 about.  Publishing to a topic with no subscribers is a dict lookup and a
 truth test, so tracing can stay compiled-in without slowing down large
-simulations.
+simulations.  Publish sites whose payload is expensive to build use
+:meth:`TraceBus.emit`, which defers payload construction behind the
+subscriber check.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, DefaultDict, List
+from typing import Any, Callable, DefaultDict, Dict, List
 
 Subscriber = Callable[..., None]
+PayloadFactory = Callable[[], Dict[str, Any]]
 
 
 class TraceBus:
@@ -22,7 +25,11 @@ class TraceBus:
         self._subscribers: DefaultDict[str, List[Subscriber]] = defaultdict(list)
 
     def subscribe(self, topic: str, callback: Subscriber) -> None:
-        """Register ``callback`` to be invoked on every ``publish(topic)``."""
+        """Register ``callback`` to be invoked on every ``publish(topic)``.
+
+        Subscribing the same callback twice delivers each event twice;
+        one :meth:`unsubscribe` removes one registration.
+        """
         self._subscribers[topic].append(callback)
 
     def unsubscribe(self, topic: str, callback: Subscriber) -> None:
@@ -32,11 +39,31 @@ class TraceBus:
             callbacks.remove(callback)
 
     def publish(self, topic: str, *args: Any, **kwargs: Any) -> None:
-        """Invoke every subscriber of ``topic`` with the given payload."""
+        """Invoke every subscriber of ``topic`` with the given payload.
+
+        The subscriber list is snapshotted per publish: callbacks that
+        subscribe or unsubscribe *during* delivery affect the next
+        publish, not the one in flight.
+        """
         callbacks = self._subscribers.get(topic)
         if callbacks:
             for callback in list(callbacks):
                 callback(*args, **kwargs)
+
+    def emit(self, topic: str, payload: PayloadFactory) -> None:
+        """Guarded publish: build the payload only if someone listens.
+
+        ``payload`` is a zero-argument callable returning the kwargs dict
+        for the subscribers.  This factors the ``has_subscribers`` +
+        ``publish`` idiom used by hot publish sites (ports, DynaQ) into
+        one place, keeping tracing free when nobody is subscribed.
+        """
+        callbacks = self._subscribers.get(topic)
+        if not callbacks:
+            return
+        kwargs = payload()
+        for callback in list(callbacks):
+            callback(**kwargs)
 
     def has_subscribers(self, topic: str) -> bool:
         """True if publishing to ``topic`` would call anyone."""
@@ -53,3 +80,19 @@ TOPIC_PACKET_DELIVERED = "packet.delivered"
 TOPIC_FLOW_START = "flow.start"
 TOPIC_FLOW_COMPLETE = "flow.complete"
 TOPIC_THRESHOLD_CHANGE = "dynaq.threshold"
+TOPIC_VICTIM_STEAL = "dynaq.steal"
+
+#: Every well-known topic, in a stable order.  The telemetry recorder
+#: subscribes to all of these by default, and the trace-file schema
+#: checker treats anything else as unknown.
+ALL_TOPICS = (
+    TOPIC_PACKET_DROP,
+    TOPIC_PACKET_ENQUEUE,
+    TOPIC_PACKET_DEQUEUE,
+    TOPIC_PACKET_MARK,
+    TOPIC_PACKET_DELIVERED,
+    TOPIC_FLOW_START,
+    TOPIC_FLOW_COMPLETE,
+    TOPIC_THRESHOLD_CHANGE,
+    TOPIC_VICTIM_STEAL,
+)

@@ -1,0 +1,45 @@
+"""Simulation telemetry: structured traces, flight recorder, profiler.
+
+Layered on :class:`repro.sim.trace.TraceBus`; see
+``docs/observability.md`` for the topic table and usage recipes.
+"""
+
+from .flight_recorder import (
+    ANOMALY_DROP_BURST,
+    ANOMALY_SIMULATION_ERROR,
+    ANOMALY_THRESHOLD_INVARIANT,
+    FlightRecorder,
+)
+from .profiler import CallbackStats, RunProfiler
+from .recorder import TraceRecorder
+from .records import (
+    META_TOPIC_DUMP,
+    OPTIONAL_FIELDS,
+    RECORD_FIELDS,
+    normalize,
+    validate_record,
+    validate_trace_file,
+)
+from .session import TelemetrySession
+from .sinks import JsonlSink, MemorySink
+from .timeline import ThresholdTimeline
+
+__all__ = [
+    "ANOMALY_DROP_BURST",
+    "ANOMALY_SIMULATION_ERROR",
+    "ANOMALY_THRESHOLD_INVARIANT",
+    "CallbackStats",
+    "FlightRecorder",
+    "JsonlSink",
+    "META_TOPIC_DUMP",
+    "MemorySink",
+    "OPTIONAL_FIELDS",
+    "RECORD_FIELDS",
+    "RunProfiler",
+    "TelemetrySession",
+    "ThresholdTimeline",
+    "TraceRecorder",
+    "normalize",
+    "validate_record",
+    "validate_trace_file",
+]

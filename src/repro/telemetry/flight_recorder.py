@@ -1,0 +1,199 @@
+"""Flight recorder: last-N events per port, dumped on anomalies.
+
+Aggregate counters tell you *that* something went wrong; the flight
+recorder tells you *what happened just before*.  It keeps a bounded ring
+buffer of normalised records per port (O(1) per event) and dumps the
+pre-anomaly window when one of three triggers fires:
+
+* **drop burst** — ``drop_burst_count`` drops on one port within
+  ``drop_burst_window_ns`` of simulated time;
+* **invariant violation** — DynaQ's ``sum(T_i)`` drifting from the value
+  of the port's baseline snapshot (the ``sum(T) == B`` equality of
+  paper §III-B);
+* **simulation error** — wrap the run in :meth:`guard` and any
+  :class:`~repro.sim.errors.SimulationError` dumps before re-raising.
+
+A dump is a JSONL file whose first line is a ``telemetry.dump`` marker
+record naming the anomaly; the rest is the ring content, oldest first.
+Only the first anomaly per arm dumps (call :meth:`rearm` to re-enable),
+so a drop storm produces one useful file instead of thousands.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..sim.errors import SimulationError
+from ..sim.trace import (
+    ALL_TOPICS,
+    TOPIC_PACKET_DROP,
+    TOPIC_THRESHOLD_CHANGE,
+    TraceBus,
+)
+from .records import META_TOPIC_DUMP, normalize
+from .sinks import JsonlSink
+
+PathLike = Union[str, Path]
+
+#: (reason, port, time_ns) triple describing one detected anomaly.
+Anomaly = Tuple[str, str, int]
+
+ANOMALY_DROP_BURST = "drop-burst"
+ANOMALY_THRESHOLD_INVARIANT = "threshold-invariant"
+ANOMALY_SIMULATION_ERROR = "simulation-error"
+
+
+class FlightRecorder:
+    """Bounded per-port event ring with anomaly-triggered dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Events retained per port (the "last N" window).
+    drop_burst_count / drop_burst_window_ns:
+        Fire when ``count`` drops land on one port within ``window_ns``
+        of simulated time.  ``count=0`` disables the trigger.
+    dump_path:
+        Where dumps are written.  ``None`` keeps dumps in memory only
+        (``dump`` still returns the records).  Subsequent dumps after a
+        :meth:`rearm` overwrite the file.
+    check_threshold_invariant:
+        Watch ``dynaq.threshold`` events for ``sum(T_i)`` drifting from
+        the port's baseline snapshot.
+    """
+
+    def __init__(self, trace: TraceBus, *, capacity: int = 512,
+                 topics: Optional[Iterable[str]] = None,
+                 drop_burst_count: int = 32,
+                 drop_burst_window_ns: int = 1_000_000,
+                 dump_path: Optional[PathLike] = None,
+                 check_threshold_invariant: bool = True) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._trace = trace
+        self.capacity = capacity
+        self.drop_burst_count = drop_burst_count
+        self.drop_burst_window_ns = drop_burst_window_ns
+        self.dump_path = Path(dump_path) if dump_path is not None else None
+        self.check_threshold_invariant = check_threshold_invariant
+
+        self._rings: Dict[str, Deque[Dict[str, Any]]] = defaultdict(
+            lambda: deque(maxlen=capacity))
+        self._drop_times: Dict[str, Deque[int]] = defaultdict(
+            lambda: deque(maxlen=max(drop_burst_count, 1)))
+        self._baseline_sum: Dict[str, int] = {}
+        self.anomalies: List[Anomaly] = []
+        self.dumps_written: List[Path] = []
+        self.events_seen = 0
+        self._armed = True
+
+        self._handlers: List[Tuple[str, Any]] = []
+        for topic in (tuple(topics) if topics is not None else ALL_TOPICS):
+            def handler(topic=topic, **payload):
+                self._on_event(topic, payload)
+            trace.subscribe(topic, handler)
+            self._handlers.append((topic, handler))
+
+    # -- event path -----------------------------------------------------------
+
+    def _on_event(self, topic: str, payload: Dict[str, Any]) -> None:
+        record = normalize(topic, payload)
+        port = record["port"]
+        time_ns = record["time_ns"]
+        self._rings[port].append(record)
+        self.events_seen += 1
+        if topic == TOPIC_PACKET_DROP and self.drop_burst_count > 0:
+            times = self._drop_times[port]
+            times.append(time_ns)
+            if (len(times) == self.drop_burst_count
+                    and time_ns - times[0] <= self.drop_burst_window_ns):
+                times.clear()  # one anomaly per burst, not per drop
+                self._anomaly(ANOMALY_DROP_BURST, port, time_ns)
+        elif topic == TOPIC_THRESHOLD_CHANGE and self.check_threshold_invariant:
+            thresholds = record.get("threshold")
+            if thresholds:
+                total = sum(thresholds)
+                baseline = self._baseline_sum.setdefault(port, total)
+                if total != baseline:
+                    self._anomaly(ANOMALY_THRESHOLD_INVARIANT, port, time_ns)
+
+    def _anomaly(self, reason: str, port: str, time_ns: int) -> None:
+        self.anomalies.append((reason, port, time_ns))
+        if self._armed:
+            self._armed = False
+            self.dump(reason, port=port, time_ns=time_ns)
+
+    # -- dumping --------------------------------------------------------------
+
+    def dump(self, reason: str, *, port: Optional[str] = None,
+             time_ns: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Dump the ring (one port's, or all ports merged by time).
+
+        Returns the dumped records (marker first); also writes them to
+        :attr:`dump_path` when one was configured.
+        """
+        if port is not None and port in self._rings:
+            window = list(self._rings[port])
+        else:
+            merged: List[Dict[str, Any]] = []
+            for ring in self._rings.values():
+                merged.extend(ring)
+            merged.sort(key=lambda rec: rec["time_ns"])
+            window = merged
+        marker = {
+            "time_ns": int(time_ns if time_ns is not None
+                           else (window[-1]["time_ns"] if window else 0)),
+            "topic": META_TOPIC_DUMP,
+            "port": port or "",
+            "queue": None,
+            "flow": None,
+            "detail": reason,
+            "queue_bytes": None,
+            "threshold": None,
+        }
+        records = [marker] + window
+        if self.dump_path is not None:
+            with JsonlSink(self.dump_path) as sink:
+                for record in records:
+                    sink.write(record)
+            self.dumps_written.append(self.dump_path)
+        return records
+
+    def rearm(self) -> None:
+        """Allow the next anomaly to dump again."""
+        self._armed = True
+
+    @contextmanager
+    def guard(self):
+        """Context manager: dump on :class:`SimulationError`, re-raise."""
+        try:
+            yield self
+        except SimulationError:
+            self._anomaly(ANOMALY_SIMULATION_ERROR, "", 0)
+            raise
+
+    # -- introspection --------------------------------------------------------
+
+    def ring(self, port: str) -> List[Dict[str, Any]]:
+        """Snapshot of one port's retained events, oldest first."""
+        return list(self._rings.get(port, ()))
+
+    def ports(self) -> List[str]:
+        return sorted(self._rings)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unsubscribe from the bus (idempotent)."""
+        for topic, handler in self._handlers:
+            self._trace.unsubscribe(topic, handler)
+        self._handlers.clear()
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

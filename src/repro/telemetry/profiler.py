@@ -1,0 +1,130 @@
+"""Run profiler: where does simulator wall-clock time go?
+
+:class:`RunProfiler` hooks the :class:`~repro.sim.engine.Simulator` loop
+(``sim.profiler = profiler`` — :meth:`attach` does this) and measures
+
+* events/second of wall time,
+* callback time bucketed by ``callback.__qualname__``,
+* the heap-depth high-water mark (sampled after every event, so exact to
+  within the pushes of a single callback),
+* the cancelled-event ratio (cancelled / scheduled).
+
+This is the measurement baseline for hot-path optimisation work: run
+``repro profile <scenario>`` before and after a change and compare the
+per-callback table.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import Simulator
+
+
+class CallbackStats:
+    """Aggregated wall-clock cost of one callback qualname."""
+
+    __slots__ = ("count", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_s / self.count * 1e6 if self.count else 0.0
+
+
+class RunProfiler:
+    """Collects per-callback timing and loop statistics for one run."""
+
+    def __init__(self) -> None:
+        self.callbacks: Dict[str, CallbackStats] = {}
+        self.events = 0
+        self.heap_high_water = 0
+        self._first_ts: Optional[float] = None
+        self._last_ts: Optional[float] = None
+        self._sim: Optional[Simulator] = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, sim: Simulator) -> "RunProfiler":
+        """Install on a simulator; returns self for chaining."""
+        sim.profiler = self
+        self._sim = sim
+        return self
+
+    def detach(self) -> None:
+        if self._sim is not None and self._sim.profiler is self:
+            self._sim.profiler = None
+
+    # -- hot path (called by Simulator.run) -----------------------------------
+
+    def record(self, callback: Callable[..., Any], elapsed_s: float,
+               heap_len: int) -> None:
+        name = getattr(callback, "__qualname__", None) or repr(callback)
+        stats = self.callbacks.get(name)
+        if stats is None:
+            stats = self.callbacks[name] = CallbackStats()
+        stats.count += 1
+        stats.total_s += elapsed_s
+        if elapsed_s > stats.max_s:
+            stats.max_s = elapsed_s
+        self.events += 1
+        if heap_len > self.heap_high_water:
+            self.heap_high_water = heap_len
+        now = perf_counter()
+        if self._first_ts is None:
+            self._first_ts = now - elapsed_s
+        self._last_ts = now
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def wall_s(self) -> float:
+        """Wall-clock span from the first to the last profiled event."""
+        if self._first_ts is None or self._last_ts is None:
+            return 0.0
+        return self._last_ts - self._first_ts
+
+    @property
+    def callback_s(self) -> float:
+        """Total time spent inside event callbacks."""
+        return sum(stats.total_s for stats in self.callbacks.values())
+
+    @property
+    def events_per_sec(self) -> float:
+        wall = self.wall_s
+        return self.events / wall if wall > 0 else 0.0
+
+    @property
+    def cancelled_ratio(self) -> float:
+        """Cancelled events / scheduled events (wasted heap traffic)."""
+        if self._sim is None or self._sim.events_scheduled == 0:
+            return 0.0
+        return self._sim.events_cancelled / self._sim.events_scheduled
+
+    def top_callbacks(self, limit: int = 12
+                      ) -> List[Tuple[str, CallbackStats]]:
+        """Heaviest callbacks by total wall time, descending."""
+        ranked = sorted(self.callbacks.items(),
+                        key=lambda item: item[1].total_s, reverse=True)
+        return ranked[:limit]
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat summary dict (for reports and JSON export)."""
+        return {
+            "events": self.events,
+            "wall_s": self.wall_s,
+            "events_per_sec": self.events_per_sec,
+            "callback_s": self.callback_s,
+            "heap_high_water": self.heap_high_water,
+            "cancelled_ratio": self.cancelled_ratio,
+            "events_scheduled": (self._sim.events_scheduled
+                                 if self._sim is not None else 0),
+            "events_cancelled": (self._sim.events_cancelled
+                                 if self._sim is not None else 0),
+            "sim_time_ns": self._sim.now if self._sim is not None else 0,
+        }

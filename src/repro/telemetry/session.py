@@ -1,0 +1,89 @@
+"""One run's telemetry wiring, bundled.
+
+:class:`TelemetrySession` turns CLI-style options into a connected set
+of collectors on one :class:`~repro.sim.trace.TraceBus`: a JSONL
+:class:`~repro.telemetry.recorder.TraceRecorder`, a
+:class:`~repro.telemetry.flight_recorder.FlightRecorder`, and a
+:class:`~repro.telemetry.timeline.ThresholdTimeline`.  Experiment
+runners pass ``session.trace`` into the topology builder and close the
+session when the run ends; exiting the ``with`` block on a
+:class:`~repro.sim.errors.SimulationError` dumps the flight recorder
+before propagating.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from ..sim.errors import SimulationError
+from ..sim.trace import TraceBus
+from .flight_recorder import ANOMALY_SIMULATION_ERROR, FlightRecorder
+from .recorder import TraceRecorder
+from .sinks import JsonlSink
+from .timeline import ThresholdTimeline
+
+PathLike = Union[str, Path]
+
+
+class TelemetrySession:
+    """Bundle of trace bus + optional recorder / flight recorder / timeline.
+
+    All collectors are optional; with none requested the session is just
+    a fresh (or caller-provided) bus and costs nothing.
+    """
+
+    def __init__(self, *, trace: Optional[TraceBus] = None,
+                 trace_out: Optional[PathLike] = None,
+                 topics: Optional[Iterable[str]] = None,
+                 start_ns: Optional[int] = None,
+                 end_ns: Optional[int] = None,
+                 flight_dump: Optional[PathLike] = None,
+                 flight_capacity: int = 512,
+                 drop_burst_count: int = 32,
+                 drop_burst_window_ns: int = 1_000_000,
+                 timeline: bool = False) -> None:
+        self.trace = trace if trace is not None else TraceBus()
+        self.recorder: Optional[TraceRecorder] = None
+        self.flight: Optional[FlightRecorder] = None
+        self.timeline: Optional[ThresholdTimeline] = None
+        if trace_out is not None:
+            self.recorder = TraceRecorder(
+                self.trace, JsonlSink(trace_out), topics=topics,
+                start_ns=start_ns, end_ns=end_ns)
+        if flight_dump is not None:
+            self.flight = FlightRecorder(
+                self.trace, capacity=flight_capacity,
+                drop_burst_count=drop_burst_count,
+                drop_burst_window_ns=drop_burst_window_ns,
+                dump_path=flight_dump)
+        if timeline:
+            self.timeline = ThresholdTimeline(self.trace)
+        self._closed = False
+
+    @property
+    def active(self) -> bool:
+        """True when at least one collector is attached."""
+        return any((self.recorder, self.flight, self.timeline))
+
+    def close(self) -> None:
+        """Detach every collector and flush sinks (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.recorder is not None:
+            self.recorder.close()
+        if self.flight is not None:
+            self.flight.close()
+        if self.timeline is not None:
+            self.timeline.close()
+
+    def __enter__(self) -> "TelemetrySession":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        if (self.flight is not None
+                and exc_type is not None
+                and issubclass(exc_type, SimulationError)):
+            self.flight.dump(ANOMALY_SIMULATION_ERROR)
+        self.close()

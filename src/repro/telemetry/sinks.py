@@ -1,0 +1,59 @@
+"""Record sinks: where normalised trace records go.
+
+A sink is anything with ``write(record: dict)`` and ``close()``.  The two
+stdlib implementations cover the practical cases: stream to a JSONL file
+(:class:`JsonlSink`) or keep records in memory for tests and interactive
+analysis (:class:`MemorySink`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+PathLike = Union[str, Path]
+
+
+class JsonlSink:
+    """Streams records to a JSON-lines file, one object per line.
+
+    Keys are sorted so files diff cleanly; the file is created eagerly so
+    a bad path fails at construction, not mid-run.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("w")
+        self.records_written = 0
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True))
+        self._handle.write("\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MemorySink:
+    """Collects records in a list (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.records)

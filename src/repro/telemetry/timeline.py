@@ -1,0 +1,110 @@
+"""Threshold/steal timeline: DynaQ's queue evolution over time.
+
+Collects ``dynaq.threshold`` and ``dynaq.steal`` events into
+
+* per-queue ``T_i(t)`` series (plus the ``S_i`` satisfaction values from
+  the baseline snapshot) — the data behind the paper's Fig. 4-style
+  queue-evolution plots, and
+* a **steal matrix** per port: how many bytes (and moves) queue *g*
+  took from queue *v* over the run.
+
+Exportable via :func:`repro.metrics.export.write_threshold_series_csv`
+and :func:`~repro.metrics.export.write_steal_matrix_csv`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.trace import TOPIC_THRESHOLD_CHANGE, TOPIC_VICTIM_STEAL, TraceBus
+
+#: One timeline point: (time_ns, per-queue values).
+Point = Tuple[int, Tuple[int, ...]]
+
+
+class ThresholdTimeline:
+    """Per-port T_i(t)/S_i series and who-stole-from-whom accounting."""
+
+    def __init__(self, trace: TraceBus) -> None:
+        self._trace = trace
+        self._series: Dict[str, List[Point]] = defaultdict(list)
+        self._satisfaction: Dict[str, Tuple[int, ...]] = {}
+        self._steal_bytes: Dict[str, Dict[Tuple[int, int], int]] = (
+            defaultdict(lambda: defaultdict(int)))
+        self._steal_moves: Dict[str, Dict[Tuple[int, int], int]] = (
+            defaultdict(lambda: defaultdict(int)))
+        trace.subscribe(TOPIC_THRESHOLD_CHANGE, self._on_threshold)
+        trace.subscribe(TOPIC_VICTIM_STEAL, self._on_steal)
+
+    # -- event path -----------------------------------------------------------
+
+    def _on_threshold(self, *, port: str, time: int, victim: int,
+                      gainer: int, size: int, thresholds,
+                      satisfaction=None, **_ignored) -> None:
+        self._series[port].append((time, tuple(thresholds)))
+        if satisfaction is not None:
+            self._satisfaction[port] = tuple(satisfaction)
+
+    def _on_steal(self, *, port: str, time: int, victim: int, gainer: int,
+                  size: int, **_ignored) -> None:
+        self._steal_bytes[port][(victim, gainer)] += size
+        self._steal_moves[port][(victim, gainer)] += 1
+
+    # -- series ---------------------------------------------------------------
+
+    def ports(self) -> List[str]:
+        return sorted(set(self._series) | set(self._steal_bytes))
+
+    def num_queues(self, port: str) -> int:
+        series = self._series.get(port)
+        return len(series[0][1]) if series else 0
+
+    def series(self, port: str) -> List[Point]:
+        """All ``(time_ns, (T_0..T_{M-1}))`` points for a port."""
+        return list(self._series.get(port, ()))
+
+    def threshold_series(self, port: str, queue: int) -> List[Tuple[int, int]]:
+        """``T_queue(t)`` as ``(time_ns, threshold_bytes)`` pairs."""
+        return [(time, values[queue])
+                for time, values in self._series.get(port, ())]
+
+    def satisfaction(self, port: str) -> Optional[Tuple[int, ...]]:
+        """The port's ``S_i`` values (from the baseline snapshot)."""
+        return self._satisfaction.get(port)
+
+    # -- steal accounting -----------------------------------------------------
+
+    def steal_matrix(self, port: str) -> List[List[int]]:
+        """Bytes stolen, indexed ``[victim][gainer]``."""
+        size = self.num_queues(port)
+        if not size:
+            pairs = self._steal_bytes.get(port, {})
+            size = 1 + max((max(pair) for pair in pairs), default=-1)
+        matrix = [[0] * size for _ in range(size)]
+        for (victim, gainer), stolen in self._steal_bytes.get(port,
+                                                              {}).items():
+            matrix[victim][gainer] = stolen
+        return matrix
+
+    def steal_moves(self, port: str,
+                    victim: Optional[int] = None,
+                    gainer: Optional[int] = None) -> int:
+        """Number of threshold moves, optionally filtered by endpoint."""
+        total = 0
+        for (from_q, to_q), count in self._steal_moves.get(port, {}).items():
+            if victim is not None and from_q != victim:
+                continue
+            if gainer is not None and to_q != gainer:
+                continue
+            total += count
+        return total
+
+    def total_stolen_bytes(self, port: str) -> int:
+        return sum(self._steal_bytes.get(port, {}).values())
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        self._trace.unsubscribe(TOPIC_THRESHOLD_CHANGE, self._on_threshold)
+        self._trace.unsubscribe(TOPIC_VICTIM_STEAL, self._on_steal)

@@ -83,8 +83,86 @@ def test_parser_structure():
     subparsers = parser._subparsers._group_actions[0].choices
     for command in ("list-schemes", "workloads", "hw-cost", "convergence",
                     "motivation", "fair-sharing", "weighted",
-                    "protocol-mix", "fct", "static-sim", "incast"):
+                    "protocol-mix", "fct", "static-sim", "incast",
+                    "profile", "trace-validate"):
         assert command in subparsers
+
+
+def test_convergence_trace_out_end_to_end(capsys, tmp_path):
+    """Acceptance: --trace-out emits a schema-valid JSONL trace with
+    dynaq.threshold and dynaq.steal events."""
+    import json
+
+    from repro.telemetry import validate_trace_file
+
+    path = tmp_path / "trace.jsonl"
+    code, out = run_cli(capsys, "convergence", "--schemes", "dynaq",
+                        "--duration", "0.05", "--trace-out", str(path))
+    assert code == 0
+    assert f"wrote {path}" in out
+    count, errors = validate_trace_file(path)
+    assert errors == []
+    assert count > 0
+    topics = {json.loads(line)["topic"] for line in path.open()}
+    assert "dynaq.threshold" in topics
+    assert "dynaq.steal" in topics
+    # And the CLI validator agrees.
+    code, out = run_cli(capsys, "trace-validate", str(path))
+    assert code == 0
+    assert "OK" in out
+
+
+def test_trace_out_topic_filter(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "drops.jsonl"
+    code, _ = run_cli(capsys, "convergence", "--schemes", "dynaq",
+                      "--duration", "0.05", "--trace-out", str(path),
+                      "--trace-topics", "packet.drop")
+    assert code == 0
+    topics = {json.loads(line)["topic"] for line in path.open()}
+    assert topics <= {"packet.drop"}
+
+
+def test_timeline_csv_flag(capsys, tmp_path):
+    prefix = str(tmp_path / "tl")
+    code, out = run_cli(capsys, "convergence", "--schemes", "dynaq",
+                        "--duration", "0.05", "--timeline-csv", prefix)
+    assert code == 0
+    assert ".thresholds.csv" in out
+    written = list(tmp_path.glob("tl.*.thresholds.csv"))
+    assert written
+    header = written[0].read_text().splitlines()[0]
+    assert header.startswith("time_s,T1_bytes")
+
+
+def test_profile_subcommand(capsys):
+    """Acceptance: `repro profile convergence` prints events/sec and a
+    per-callback time table."""
+    code, out = run_cli(capsys, "profile", "convergence",
+                        "--scheme", "dynaq", "--duration", "0.05")
+    assert code == 0
+    assert "events/sec" in out
+    assert "callback" in out
+    assert "EgressPort" in out  # at least one real callback row
+
+
+def test_trace_validate_rejects_bad_file(capsys, tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"topic": "nope"}\n')
+    code, out = run_cli(capsys, "trace-validate", str(path))
+    assert code == 1
+    assert "error:" in out
+
+
+def test_trace_window_parsing():
+    parser = build_parser()
+    args = parser.parse_args(["convergence", "--trace-window", "100:200"])
+    assert args.trace_window == (100, 200)
+    args = parser.parse_args(["convergence", "--trace-window", ":500"])
+    assert args.trace_window == (None, 500)
+    with pytest.raises(SystemExit):
+        parser.parse_args(["convergence", "--trace-window", "42"])
 
 
 def test_incast_runs_tiny(capsys):

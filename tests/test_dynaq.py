@@ -189,12 +189,17 @@ def test_threshold_trace_published():
     port = FakePort(buffer_bytes=100_000, num_queues=2)
     manager = DynaQBuffer(trace=trace, port_name="p0")
     manager.attach(port)
+    # attach publishes a baseline snapshot (victim/gainer = -1) ...
+    assert len(events) == 1
+    assert events[0]["victim"] == -1 and events[0]["gainer"] == -1
+    assert sum(events[0]["satisfaction"]) <= 100_000
     port.fill(0, 50_000)
     manager.admit(make_packet(MTU), 0)
-    assert len(events) == 1
-    assert events[0]["gainer"] == 0
-    assert events[0]["port"] == "p0"
-    assert sum(events[0]["thresholds"]) == 100_000
+    # ... and every threshold move publishes one change event.
+    assert len(events) == 2
+    assert events[1]["gainer"] == 0
+    assert events[1]["port"] == "p0"
+    assert sum(events[1]["thresholds"]) == 100_000
 
 
 def test_extra_buffer_accessor():

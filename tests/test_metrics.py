@@ -217,4 +217,8 @@ def test_drop_mark_collector():
                   queue_bytes=(0,))
     assert collector.total_drops == 1
     assert collector.drops_by_reason["port buffer full"] == 1
-    assert collector.as_dict() == {"drops": 1, "marks": 0}
+    summary = collector.as_dict()
+    assert summary["drops"] == 1 and summary["marks"] == 0
+    assert summary["drops_by_reason"] == {"port buffer full": 1}
+    assert summary["drops_by_port"] == {"p0": 1}
+    assert summary["marks_by_port"] == {}

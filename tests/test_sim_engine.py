@@ -164,6 +164,61 @@ def test_events_executed_counter():
     assert sim.events_executed == 5
 
 
+def test_cancel_after_execution_keeps_pending_exact():
+    # The O(1) live counter must not double-decrement when an already
+    # executed event is cancelled.
+    sim = Simulator()
+    executed = sim.schedule(1, lambda: None)
+    sim.run()
+    survivor = sim.schedule(5, lambda: None)
+    assert sim.pending() == 1
+    sim.cancel(executed)  # no-op: already consumed by the run loop
+    assert sim.pending() == 1
+    sim.cancel(survivor)
+    assert sim.pending() == 0
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    event = sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    sim.cancel(event)
+    sim.cancel(event)
+    assert sim.pending() == 1
+    assert sim.events_cancelled == 1
+
+
+def test_scheduled_and_cancelled_counters():
+    sim = Simulator()
+    events = [sim.schedule(i + 1, lambda: None) for i in range(4)]
+    sim.cancel(events[0])
+    sim.cancel(events[2])
+    sim.run()
+    assert sim.events_scheduled == 4
+    assert sim.events_cancelled == 2
+    assert sim.events_executed == 2
+    assert sim.pending() == 0
+
+
+def test_profiler_hook_records_each_event():
+    sim = Simulator()
+
+    class Probe:
+        def __init__(self):
+            self.calls = []
+
+        def record(self, callback, elapsed_s, heap_len):
+            self.calls.append((callback, elapsed_s, heap_len))
+
+    probe = Probe()
+    sim.profiler = probe
+    sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    sim.run()
+    assert len(probe.calls) == 2
+    assert all(elapsed >= 0 for _, elapsed, _ in probe.calls)
+
+
 def test_reentrant_run_raises():
     sim = Simulator()
     caught = []

@@ -1,0 +1,465 @@
+"""Tests for the telemetry layer: recorder, flight recorder, timeline,
+profiler, record schema, and the bundled session."""
+
+import json
+
+import pytest
+
+from repro.core.dynaq import DynaQBuffer
+from repro.metrics.export import (
+    write_steal_matrix_csv,
+    write_threshold_series_csv,
+)
+from repro.net.port import EgressPort
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError
+from repro.sim.trace import (
+    ALL_TOPICS,
+    TOPIC_PACKET_DROP,
+    TOPIC_PACKET_ENQUEUE,
+    TOPIC_THRESHOLD_CHANGE,
+    TOPIC_VICTIM_STEAL,
+    TraceBus,
+)
+from repro.telemetry import (
+    ANOMALY_DROP_BURST,
+    ANOMALY_SIMULATION_ERROR,
+    ANOMALY_THRESHOLD_INVARIANT,
+    FlightRecorder,
+    JsonlSink,
+    MemorySink,
+    META_TOPIC_DUMP,
+    RunProfiler,
+    TelemetrySession,
+    ThresholdTimeline,
+    TraceRecorder,
+    normalize,
+    validate_record,
+    validate_trace_file,
+)
+
+from conftest import FakePort, make_packet
+
+MTU = 1500
+
+
+def dynaq_port(sim, trace, *, buffer_bytes=12_000, num_queues=4):
+    """A real egress port with DynaQ, small enough to overflow quickly."""
+    port = EgressPort(
+        sim, "p0", rate_bps=10 ** 9, prop_delay_ns=0,
+        buffer_bytes=buffer_bytes,
+        scheduler=DRRScheduler([MTU] * num_queues),
+        buffer_manager=DynaQBuffer(), trace=trace)
+
+    class Sink:
+        def receive(self, packet):
+            pass
+
+    port.connect(Sink())
+    return port
+
+
+def flood(sim, port, *, packets=40, queue=0):
+    """Inject a burst far above what the port can drain."""
+    for i in range(packets):
+        sim.schedule(i, port.send, make_packet(MTU, flow_id=i % 3,
+                                               service_class=queue))
+    sim.run()
+
+
+# -- TraceRecorder -----------------------------------------------------------
+
+def test_recorder_jsonl_round_trip(tmp_path):
+    path = tmp_path / "run.jsonl"
+    sim = Simulator()
+    trace = TraceBus()
+    with TraceRecorder(trace, JsonlSink(path)) as recorder:
+        port = dynaq_port(sim, trace)
+        flood(sim, port)
+    assert recorder.records_written > 0
+
+    count, errors = validate_trace_file(path)
+    assert errors == []
+    assert count == recorder.records_written
+
+    records = [json.loads(line) for line in path.open()]
+    topics = {record["topic"] for record in records}
+    # Port lifecycle + DynaQ internals all present in one trace.
+    assert TOPIC_PACKET_ENQUEUE in topics
+    assert TOPIC_THRESHOLD_CHANGE in topics
+    assert TOPIC_VICTIM_STEAL in topics
+    # The baseline snapshot is first among the threshold records.
+    baseline = next(r for r in records
+                    if r["topic"] == TOPIC_THRESHOLD_CHANGE)
+    assert baseline["victim"] == -1 and baseline["gainer"] == -1
+    assert sum(baseline["threshold"]) == 12_000
+
+
+def test_recorder_topic_filter():
+    trace = TraceBus()
+    sink = MemorySink()
+    recorder = TraceRecorder(trace, sink, topics=[TOPIC_PACKET_DROP])
+    trace.publish(TOPIC_PACKET_DROP, port="p", time=1,
+                  packet=make_packet(), queue=0, detail="full",
+                  queue_bytes=(0,))
+    trace.publish(TOPIC_PACKET_ENQUEUE, port="p", time=2,
+                  packet=make_packet(), queue=0, detail="",
+                  queue_bytes=(MTU,))
+    recorder.close()
+    assert [record["topic"] for record in sink.records] == [TOPIC_PACKET_DROP]
+
+
+def test_recorder_rejects_unknown_topic():
+    with pytest.raises(ValueError, match="unknown trace topics"):
+        TraceRecorder(TraceBus(), MemorySink(), topics=["packet.dorp"])
+
+
+def test_recorder_time_window():
+    trace = TraceBus()
+    sink = MemorySink()
+    recorder = TraceRecorder(trace, sink, topics=[TOPIC_PACKET_DROP],
+                             start_ns=10, end_ns=20)
+    for time in (5, 10, 15, 20, 25):
+        trace.publish(TOPIC_PACKET_DROP, port="p", time=time,
+                      packet=make_packet(), queue=0, detail="full",
+                      queue_bytes=(0,))
+    recorder.close()
+    assert [record["time_ns"] for record in sink.records] == [10, 15, 20]
+    assert recorder.records_written == 3
+    assert recorder.records_skipped == 2
+
+
+def test_recorder_close_unsubscribes_and_is_idempotent():
+    trace = TraceBus()
+    sink = MemorySink()
+    recorder = TraceRecorder(trace, sink)
+    recorder.close()
+    recorder.close()
+    trace.publish(TOPIC_PACKET_DROP, port="p", time=1,
+                  packet=make_packet(), queue=0, detail="full",
+                  queue_bytes=(0,))
+    assert sink.records == []
+
+
+# -- FlightRecorder ----------------------------------------------------------
+
+def drop(trace, *, port="p0", time):
+    trace.publish(TOPIC_PACKET_DROP, port=port, time=time,
+                  packet=make_packet(), queue=0, detail="port buffer full",
+                  queue_bytes=(0,))
+
+
+def test_flight_recorder_dumps_on_drop_burst(tmp_path):
+    path = tmp_path / "flight.jsonl"
+    trace = TraceBus()
+    recorder = FlightRecorder(trace, capacity=64, drop_burst_count=8,
+                              drop_burst_window_ns=1_000, dump_path=path)
+    # 7 slow drops: no burst (window exceeded by the time #8 arrives).
+    for i in range(7):
+        drop(trace, time=i * 10_000)
+    assert recorder.anomalies == []
+    # 8 drops inside one window: burst fires once.
+    for i in range(8):
+        drop(trace, time=100_000 + i)
+    assert len(recorder.anomalies) == 1
+    reason, port, _ = recorder.anomalies[0]
+    assert reason == ANOMALY_DROP_BURST
+    assert port == "p0"
+    assert recorder.dumps_written == [path]
+
+    lines = [json.loads(line) for line in path.open()]
+    assert lines[0]["topic"] == META_TOPIC_DUMP
+    assert lines[0]["detail"] == ANOMALY_DROP_BURST
+    assert len(lines) == 1 + 15  # marker + every event retained
+    count, errors = validate_trace_file(path)
+    assert errors == [] and count == 16
+    recorder.close()
+
+
+def test_flight_recorder_one_dump_per_arm(tmp_path):
+    trace = TraceBus()
+    recorder = FlightRecorder(trace, drop_burst_count=2,
+                              drop_burst_window_ns=1_000,
+                              dump_path=tmp_path / "f.jsonl")
+    for i in range(8):
+        drop(trace, time=i)
+    # 4 bursts detected, but only the first dumped.
+    assert len(recorder.anomalies) == 4
+    assert len(recorder.dumps_written) == 1
+    recorder.rearm()
+    for i in range(2):
+        drop(trace, time=1_000_000 + i)
+    assert len(recorder.dumps_written) == 2
+    recorder.close()
+
+
+def test_flight_recorder_ring_is_bounded():
+    trace = TraceBus()
+    recorder = FlightRecorder(trace, capacity=4, drop_burst_count=0)
+    for i in range(10):
+        drop(trace, time=i)
+    ring = recorder.ring("p0")
+    assert len(ring) == 4
+    assert [record["time_ns"] for record in ring] == [6, 7, 8, 9]
+    assert recorder.events_seen == 10
+    assert recorder.ports() == ["p0"]
+    recorder.close()
+
+
+def test_flight_recorder_threshold_invariant():
+    trace = TraceBus()
+    recorder = FlightRecorder(trace, drop_burst_count=0)
+
+    def publish_thresholds(thresholds, time):
+        trace.publish(TOPIC_THRESHOLD_CHANGE, port="p0", time=time,
+                      victim=1, gainer=0, size=MTU,
+                      thresholds=tuple(thresholds))
+
+    publish_thresholds([25_000] * 4, 0)         # baseline: sum = 100k
+    publish_thresholds([26_500, 23_500, 25_000, 25_000], 10)  # still 100k
+    assert recorder.anomalies == []
+    publish_thresholds([26_500, 25_000, 25_000, 25_000], 20)  # leak!
+    assert recorder.anomalies == [
+        (ANOMALY_THRESHOLD_INVARIANT, "p0", 20)]
+    recorder.close()
+
+
+def test_flight_recorder_guard_dumps_on_simulation_error():
+    trace = TraceBus()
+    recorder = FlightRecorder(trace, drop_burst_count=0)
+    drop(trace, time=5)
+    with pytest.raises(SimulationError):
+        with recorder.guard():
+            raise SimulationError("boom")
+    assert recorder.anomalies[0][0] == ANOMALY_SIMULATION_ERROR
+    recorder.close()
+
+
+def test_flight_recorder_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        FlightRecorder(TraceBus(), capacity=0)
+
+
+# -- ThresholdTimeline -------------------------------------------------------
+
+def test_timeline_collects_series_and_steals():
+    trace = TraceBus()
+    timeline = ThresholdTimeline(trace)
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = DynaQBuffer(trace=trace, port_name="p0")
+    manager.attach(port)  # publishes the baseline snapshot
+    port.fill(0, 25_000)
+    manager.admit(make_packet(MTU), 0)  # steal: q0 takes from a victim
+
+    assert timeline.ports() == ["p0"]
+    assert timeline.num_queues("p0") == 4
+    series = timeline.series("p0")
+    assert len(series) == 2
+    assert series[0][1] == (25_000,) * 4
+    assert series[1][1][0] == 25_000 + MTU
+    assert timeline.threshold_series("p0", 0) == [
+        (0, 25_000), (0, 25_000 + MTU)]
+    assert timeline.satisfaction("p0") == (25_000,) * 4
+
+    assert timeline.total_stolen_bytes("p0") == MTU
+    assert timeline.steal_moves("p0") == 1
+    assert timeline.steal_moves("p0", gainer=0) == 1
+    assert timeline.steal_moves("p0", gainer=1) == 0
+    matrix = timeline.steal_matrix("p0")
+    assert sum(sum(row) for row in matrix) == MTU
+    assert sum(matrix[0]) == 0  # the gainer stole, nobody stole from it
+    timeline.close()
+
+
+def test_timeline_csv_export(tmp_path):
+    trace = TraceBus()
+    timeline = ThresholdTimeline(trace)
+    manager = DynaQBuffer(trace=trace, port_name="p0")
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager.attach(port)
+    port.fill(0, 25_000)
+    manager.admit(make_packet(MTU), 0)
+
+    series_path = tmp_path / "series.csv"
+    rows = write_threshold_series_csv(series_path, timeline, "p0")
+    assert rows == 2
+    lines = series_path.read_text().splitlines()
+    assert lines[0] == "time_s,T1_bytes,T2_bytes,T3_bytes,T4_bytes"
+    assert len(lines) == 3
+
+    matrix_path = tmp_path / "matrix.csv"
+    size = write_steal_matrix_csv(matrix_path, timeline, "p0")
+    assert size == 4
+    lines = matrix_path.read_text().splitlines()
+    assert lines[0].startswith("victim\\gainer,q1,q2,q3,q4")
+    assert len(lines) == 5
+    timeline.close()
+
+
+def test_timeline_empty_port_exports_nothing(tmp_path):
+    timeline = ThresholdTimeline(TraceBus())
+    assert write_threshold_series_csv(tmp_path / "s.csv", timeline, "p") == 0
+    assert write_steal_matrix_csv(tmp_path / "m.csv", timeline, "p") == 0
+
+
+# -- RunProfiler -------------------------------------------------------------
+
+def test_profiler_counters_monotonic():
+    sim = Simulator()
+    profiler = RunProfiler().attach(sim)
+    seen = []
+
+    def tick(n):
+        seen.append((profiler.events, profiler.heap_high_water))
+        if n < 5:
+            sim.schedule(10, tick, n + 1)
+
+    sim.schedule(1, tick, 0)
+    sim.run()
+    profiler.detach()
+    # events counts every executed event and never decreases.
+    assert [events for events, _ in seen] == list(range(6))
+    assert profiler.events == sim.events_executed == 6
+    # high-water mark only ratchets up.
+    marks = [mark for _, mark in seen]
+    assert all(b >= a for a, b in zip(marks, marks[1:]))
+    assert profiler.callback_s >= 0.0
+    assert profiler.wall_s >= 0.0
+
+
+def test_profiler_buckets_by_qualname():
+    sim = Simulator()
+    profiler = RunProfiler().attach(sim)
+
+    def alpha():
+        pass
+
+    def beta():
+        pass
+
+    for _ in range(3):
+        sim.schedule(1, alpha)
+    sim.schedule(2, beta)
+    sim.run()
+    stats = dict(profiler.top_callbacks())
+    assert stats[alpha.__qualname__].count == 3
+    assert stats[beta.__qualname__].count == 1
+    assert stats[alpha.__qualname__].max_s >= 0.0
+    assert stats[alpha.__qualname__].mean_us >= 0.0
+
+
+def test_profiler_cancelled_ratio_and_summary():
+    sim = Simulator()
+    profiler = RunProfiler().attach(sim)
+    events = [sim.schedule(i + 1, lambda: None) for i in range(4)]
+    sim.cancel(events[0])
+    sim.run()
+    summary = profiler.summary()
+    assert summary["events"] == 3
+    assert summary["events_scheduled"] == 4
+    assert summary["events_cancelled"] == 1
+    assert profiler.cancelled_ratio == pytest.approx(0.25)
+    assert summary["sim_time_ns"] == sim.now
+    profiler.detach()
+    assert sim.profiler is None
+
+
+def test_profiler_untraced_sim_unaffected():
+    # No profiler attached: the loop must not try to call one.
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 1
+
+
+# -- record schema -----------------------------------------------------------
+
+def test_normalize_threshold_records():
+    baseline = normalize(TOPIC_THRESHOLD_CHANGE, dict(
+        port="p0", time=0, victim=-1, gainer=-1, size=0,
+        thresholds=(10, 10), satisfaction=(5, 5)))
+    assert baseline["detail"] == "init"
+    assert baseline["queue"] is None
+    assert baseline["threshold"] == [10, 10]
+    assert baseline["satisfaction"] == [5, 5]
+
+    steal = normalize(TOPIC_VICTIM_STEAL, dict(
+        port="p0", time=7, victim=2, gainer=0, size=MTU))
+    assert steal["detail"] == f"q0 took {MTU}B from q2"
+    assert steal["queue"] == 0
+    assert validate_record(steal) == []
+
+
+def test_validate_record_rejects_bad_shapes():
+    good = normalize(TOPIC_PACKET_DROP, dict(
+        port="p", time=3, packet=make_packet(), queue=1, detail="full",
+        queue_bytes=(0, MTU)))
+    assert validate_record(good) == []
+
+    assert validate_record("not a dict")
+    assert any("missing field" in e for e in validate_record({}))
+    bad_topic = dict(good, topic="packet.dorp")
+    assert any("unknown topic" in e for e in validate_record(bad_topic))
+    bad_time = dict(good, time_ns="late")
+    assert any("time_ns" in e for e in validate_record(bad_time))
+    extra = dict(good, surprise=1)
+    assert any("unknown fields" in e for e in validate_record(extra))
+
+
+def test_validate_trace_file_flags_problems(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    good = normalize(TOPIC_PACKET_DROP, dict(
+        port="p", time=3, packet=make_packet(), queue=1, detail="full",
+        queue_bytes=(0,)))
+    path.write_text(json.dumps(good) + "\n"
+                    + "{not json\n"
+                    + json.dumps(dict(good, topic="bogus")) + "\n")
+    count, errors = validate_trace_file(path)
+    assert count == 3
+    assert len(errors) == 2
+    assert "invalid JSON" in errors[0]
+    assert "unknown topic" in errors[1]
+
+
+# -- TelemetrySession --------------------------------------------------------
+
+def test_session_inert_without_flags():
+    session = TelemetrySession()
+    assert not session.active
+    assert not session.trace.has_subscribers(TOPIC_PACKET_DROP)
+    session.close()
+
+
+def test_session_wires_collectors(tmp_path):
+    session = TelemetrySession(trace_out=tmp_path / "t.jsonl",
+                               flight_dump=tmp_path / "f.jsonl",
+                               timeline=True)
+    assert session.active
+    assert session.recorder is not None
+    assert session.flight is not None
+    assert session.timeline is not None
+    with session:
+        sim = Simulator()
+        port = dynaq_port(sim, session.trace)
+        flood(sim, port, packets=10)
+    assert session.recorder.records_written > 0
+    assert (tmp_path / "t.jsonl").exists()
+    session.close()  # idempotent
+
+
+def test_session_dumps_flight_on_simulation_error(tmp_path):
+    path = tmp_path / "f.jsonl"
+    with pytest.raises(SimulationError):
+        with TelemetrySession(flight_dump=path) as session:
+            drop(session.trace, time=1)
+            raise SimulationError("boom")
+    lines = [json.loads(line) for line in path.open()]
+    assert lines[0]["detail"] == ANOMALY_SIMULATION_ERROR
+    assert len(lines) == 2
+
+
+def test_all_topics_cover_port_and_dynaq():
+    assert TOPIC_THRESHOLD_CHANGE in ALL_TOPICS
+    assert TOPIC_VICTIM_STEAL in ALL_TOPICS
+    assert TOPIC_PACKET_DROP in ALL_TOPICS

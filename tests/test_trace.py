@@ -61,3 +61,71 @@ def test_positional_payload_supported():
     bus.subscribe("t", lambda x, y: seen.append(x + y))
     bus.publish("t", 2, 3)
     assert seen == [5]
+
+
+def test_unsubscribe_during_publish_still_delivers_snapshot():
+    # Publish iterates a snapshot: a callback that unsubscribes its
+    # sibling mid-delivery must not starve that sibling for the current
+    # publish (it does stop future ones).
+    bus = TraceBus()
+    seen = []
+
+    def second(**kw):
+        seen.append("second")
+
+    def first(**kw):
+        seen.append("first")
+        bus.unsubscribe("t", second)
+
+    bus.subscribe("t", first)
+    bus.subscribe("t", second)
+    bus.publish("t")
+    assert seen == ["first", "second"]
+    bus.publish("t")
+    assert seen == ["first", "second", "first"]
+
+
+def test_self_unsubscribe_during_publish():
+    bus = TraceBus()
+    seen = []
+
+    def once(**kw):
+        seen.append(1)
+        bus.unsubscribe("t", once)
+
+    bus.subscribe("t", once)
+    bus.publish("t")
+    bus.publish("t")
+    assert seen == [1]
+
+
+def test_duplicate_subscribe_delivers_twice():
+    bus = TraceBus()
+    seen = []
+    callback = lambda **kw: seen.append(1)  # noqa: E731
+    bus.subscribe("t", callback)
+    bus.subscribe("t", callback)
+    bus.publish("t")
+    assert seen == [1, 1]
+    # One unsubscribe removes one registration, not both.
+    bus.unsubscribe("t", callback)
+    bus.publish("t")
+    assert seen == [1, 1, 1]
+
+
+def test_emit_skips_payload_without_subscribers():
+    bus = TraceBus()
+    built = []
+
+    def payload():
+        built.append(1)
+        return {"value": 7}
+
+    bus.emit("t", payload)
+    assert built == []  # factory never invoked: zero-cost when untraced
+
+    seen = []
+    bus.subscribe("t", lambda **kw: seen.append(kw))
+    bus.emit("t", payload)
+    assert built == [1]
+    assert seen == [{"value": 7}]
