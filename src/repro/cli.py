@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from .core.hardware import cost_table
 from .experiments import report
+from .experiments.chaos import ChaosResult, run_chaos_sweep
 from .experiments.simulation import SIM_10G, SIM_100G, run_static_sim
 from .experiments.testbed import (
     fct_load_sweep,
@@ -42,7 +43,9 @@ from .metrics.export import (
     write_throughput_csv,
 )
 from .experiments.runner import run_scenario, scenario_names, scheme_names
+from .faults import FaultSchedule
 from .sim.engine import Simulator
+from .sim.errors import ReproError, SimulationError
 from .telemetry import RunProfiler, TelemetrySession, validate_trace_file
 from .workloads.datasets import workload, workload_names
 
@@ -115,15 +118,40 @@ def _finish_telemetry(session: TelemetrySession, args) -> None:
                 print(f"wrote {path}")
 
 
+def _report_partial(completed, schemes) -> None:
+    """Print what survived an aborted multi-scheme run."""
+    print(f"\naborted after {len(completed)}/{len(schemes)} schemes")
+    for result in completed:
+        samples = getattr(result, "samples", None)
+        extra = f" ({len(samples)} samples)" if samples is not None else ""
+        print(f"  completed: {getattr(result, 'scheme', result)}{extra}")
+
+
 def _run_traced(args, run_one):
-    """Run ``run_one(scheme, trace)`` per scheme under one session."""
+    """Run ``run_one(scheme, trace)`` per scheme under one session.
+
+    An abort (simulation error, watchdog trip, Ctrl-C) reports the
+    schemes that *did* finish before re-raising; the telemetry session's
+    exit hook has already dumped the flight recorder at that point.
+    """
     session = _telemetry_session(args)
     trace = session.trace if session.active else None
+    completed = []
     try:
         with session:
-            return [run_one(name, trace) for name in args.schemes]
+            for name in args.schemes:
+                completed.append(run_one(name, trace))
+            return completed
+    except (SimulationError, KeyboardInterrupt):
+        _report_partial(completed, args.schemes)
+        raise
     finally:
         _finish_telemetry(session, args)
+
+
+def _load_faults(args) -> Optional[FaultSchedule]:
+    path = getattr(args, "faults", None)
+    return FaultSchedule.from_file(path) if path else None
 
 
 def _cmd_list_schemes(args) -> int:
@@ -153,9 +181,10 @@ def _cmd_hw_cost(args) -> int:
 
 
 def _cmd_convergence(args) -> int:
+    faults = _load_faults(args)
     results = _run_traced(args, lambda name, trace: run_convergence(
         name, duration_s=args.duration,
-        sample_interval_s=args.duration / 10, trace=trace))
+        sample_interval_s=args.duration / 10, trace=trace, faults=faults))
     print(report.timeseries_table(
         results, title="Throughput convergence (2 vs 16 flows)",
         queues=[0, 1]))
@@ -164,9 +193,10 @@ def _cmd_convergence(args) -> int:
 
 
 def _cmd_motivation(args) -> int:
+    faults = _load_faults(args)
     results = _run_traced(args, lambda name, trace: run_motivation(
         name, duration_s=args.duration,
-        sample_interval_s=args.duration / 8, trace=trace))
+        sample_interval_s=args.duration / 8, trace=trace, faults=faults))
     print(report.throughput_table(
         results, title="Motivation: 1-sender queue vs 3-sender queue"))
     _maybe_export(results, args.csv)
@@ -174,9 +204,10 @@ def _cmd_motivation(args) -> int:
 
 
 def _cmd_fair_sharing(args) -> int:
+    faults = _load_faults(args)
     results = _run_traced(args, lambda name, trace: run_fair_sharing(
         name, time_unit_s=args.time_unit,
-        sample_interval_s=args.time_unit / 4, trace=trace))
+        sample_interval_s=args.time_unit / 4, trace=trace, faults=faults))
     print(report.timeseries_table(
         results, title="Fair sharing with staggered queue stops",
         queues=[0, 1, 2, 3]))
@@ -186,9 +217,10 @@ def _cmd_fair_sharing(args) -> int:
 
 def _cmd_weighted(args) -> int:
     weights = _split_floats(args.weights)
+    faults = _load_faults(args)
     results = _run_traced(args, lambda name, trace: run_weighted_sharing(
         name, weights=weights, duration_s=args.duration,
-        sample_interval_s=args.duration / 10, trace=trace))
+        sample_interval_s=args.duration / 10, trace=trace, faults=faults))
     total = sum(weights)
     print(report.share_table(
         results, title=f"Throughput shares, weights {args.weights}",
@@ -198,9 +230,10 @@ def _cmd_weighted(args) -> int:
 
 
 def _cmd_protocol_mix(args) -> int:
+    faults = _load_faults(args)
     results = _run_traced(args, lambda name, trace: run_protocol_mix(
         name, time_unit_s=args.time_unit,
-        sample_interval_s=args.time_unit / 4, trace=trace))
+        sample_interval_s=args.time_unit / 4, trace=trace, faults=faults))
     print(report.timeseries_table(
         results, title="TCP (q1-2) vs CUBIC (q3-4)", queues=[0, 1, 2, 3]))
     _maybe_export(results, args.csv)
@@ -280,6 +313,58 @@ def _cmd_static_sim(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    schedule = FaultSchedule.from_file(args.faults)
+    session = _telemetry_session(args)
+    trace = session.trace if session.active else None
+    try:
+        with session:
+            outcomes = run_chaos_sweep(
+                args.schemes, schedule, seed=args.seed,
+                retries=args.retries, num_queues=args.queues,
+                flows_per_queue=args.flows_per_queue,
+                duration_s=args.duration,
+                sample_interval_s=args.duration / 20,
+                wall_budget_s=args.wall_budget, trace=trace)
+    finally:
+        _finish_telemetry(session, args)
+    print(f"chaos: schedule {schedule.name!r} ({len(schedule)} events) "
+          f"across {len(args.schemes)} scheme(s)")
+    print("scheme".ljust(16) + "inj".rjust(4) + "rec".rjust(4)
+          + "viol".rjust(6) + "J(pre)".rjust(8) + "J(fault)".rjust(9)
+          + "J(post)".rjust(8) + "  status")
+    failed = False
+    for outcome in outcomes:
+        if not outcome.ok:
+            failed = True
+            print(outcome.scheme.ljust(16)
+                  + f"failed after {outcome.attempts} attempt(s): "
+                  + str(outcome.error))
+            continue
+        result: ChaosResult = outcome.result
+        status = ("ok" if outcome.attempts == 1
+                  else f"ok (attempt {outcome.attempts})")
+        if result.aborted is not None:
+            failed = True
+            status = f"aborted: {result.aborted}"
+        if result.violations:
+            failed = True
+            status = "INVARIANT VIOLATED"
+        print(result.scheme.ljust(16)
+              + str(result.injected).rjust(4)
+              + str(result.recovered).rjust(4)
+              + str(result.violations).rjust(6)
+              + f"{result.jain_before:.3f}".rjust(8)
+              + f"{result.jain_during:.3f}".rjust(9)
+              + f"{result.jain_after:.3f}".rjust(8)
+              + f"  {status}")
+    _maybe_export([outcome.result.result for outcome in outcomes
+                   if outcome.ok and outcome.result.result is not None],
+                  args.csv)
+    # Non-zero on any violation or abort: CI gates on this exit code.
+    return 1 if failed else 0
+
+
 def _cmd_profile(args) -> int:
     sim = Simulator()
     profiler = RunProfiler()
@@ -342,31 +427,63 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export per-port threshold/steal series to "
                             "PREFIX.<port>.*.csv")
 
+    def add_faults(p):
+        p.add_argument("--faults", default=None, metavar="PATH",
+                       help="inject faults from this JSON schedule "
+                            "(see docs/robustness.md)")
+
     p = sub.add_parser("convergence", help="Fig. 3 scenario")
     add_common(p)
+    add_faults(p)
     p.add_argument("--duration", type=float, default=0.5)
     p.set_defaults(func=_cmd_convergence)
 
     p = sub.add_parser("motivation", help="Fig. 1 scenario")
     add_common(p, default_schemes="besteffort,dynaq")
+    add_faults(p)
     p.add_argument("--duration", type=float, default=0.5)
     p.set_defaults(func=_cmd_motivation)
 
     p = sub.add_parser("fair-sharing", help="Fig. 5 scenario")
     add_common(p)
+    add_faults(p)
     p.add_argument("--time-unit", type=float, default=0.12)
     p.set_defaults(func=_cmd_fair_sharing)
 
     p = sub.add_parser("weighted", help="Fig. 6 scenario")
     add_common(p)
+    add_faults(p)
     p.add_argument("--weights", default="4,3,2,1")
     p.add_argument("--duration", type=float, default=0.5)
     p.set_defaults(func=_cmd_weighted)
 
     p = sub.add_parser("protocol-mix", help="Fig. 7 scenario")
     add_common(p, default_schemes="dynaq")
+    add_faults(p)
     p.add_argument("--time-unit", type=float, default=0.12)
     p.set_defaults(func=_cmd_protocol_mix)
+
+    p = sub.add_parser(
+        "chaos", help="replay a fault schedule, report isolation "
+                      "degradation and invariant violations")
+    add_common(p, default_schemes="dynaq")
+    p.add_argument("--scheme", dest="schemes", type=_split_schemes,
+                   help="alias for --schemes")
+    p.add_argument("--faults", required=True, metavar="PATH",
+                   help="JSON fault schedule (see docs/robustness.md)")
+    p.add_argument("--queues", type=int, default=4)
+    p.add_argument("--flows-per-queue", type=int, default=4)
+    p.add_argument("--duration", type=float, default=0.4,
+                   help="measured window in seconds (stretched to cover "
+                        "the schedule)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--retries", type=int, default=1,
+                   help="re-runs with a derived seed after a "
+                        "simulation error")
+    p.add_argument("--wall-budget", type=float, default=120.0,
+                   help="abort a scheme's run after this many real "
+                        "seconds (partial metrics are kept)")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("fct", help="Figs. 8-9 scenario")
     add_common(p, default_schemes="dynaq,besteffort,pql")
@@ -416,4 +533,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # The telemetry session has already dumped the flight recorder
+        # and _run_traced has reported partial results on the way up.
+        print("\ninterrupted")
+        return 2
+    except ReproError as exc:
+        kind = type(exc).__name__
+        print(f"error ({kind}): {exc}")
+        return 2

@@ -25,7 +25,12 @@ from typing import Callable, List, Optional
 
 from ..net.packet import Packet
 from ..queueing.base import BufferManager, Decision, PortView
-from ..sim.trace import TOPIC_THRESHOLD_CHANGE, TraceBus
+from ..sim.errors import ConfigurationError
+from ..sim.trace import (
+    TOPIC_DYNAQ_RECONFIGURE,
+    TOPIC_THRESHOLD_CHANGE,
+    TraceBus,
+)
 from .thresholds import initial_thresholds, satisfaction_thresholds
 from .victim import linear_victim, publish_steal, tournament_victim
 
@@ -95,14 +100,7 @@ class DynaQBuffer(BufferManager):
         """
         weights = self.port.queue_weights()
         self.thresholds = initial_thresholds(self.port.buffer_bytes, weights)
-        if self._satisfaction_override is not None:
-            if len(self._satisfaction_override) != len(self.thresholds):
-                raise ValueError(
-                    "satisfaction_override must have one entry per queue")
-            self.satisfaction = list(self._satisfaction_override)
-        else:
-            self.satisfaction = satisfaction_thresholds(
-                self.port.buffer_bytes, weights)
+        self.satisfaction = self._derive_satisfaction(weights)
         trace = self._trace
         if trace is not None:
             # Baseline snapshot (victim/gainer = -1): gives timeline
@@ -111,6 +109,45 @@ class DynaQBuffer(BufferManager):
                 port=self._port_name, time=self.port.now(), victim=-1,
                 gainer=-1, size=0, thresholds=tuple(self.thresholds),
                 satisfaction=tuple(self.satisfaction)))
+
+    def reconfigure(self, weights: Optional[List[float]] = None) -> None:
+        """Mid-run weight reconfiguration (the operator-action fault).
+
+        Re-derives the satisfaction thresholds ``S_i`` from the new
+        weights and re-normalises the dropping thresholds to the Eq. 1
+        split, so ``sum(T_i) == B`` holds exactly across the transition
+        (the accumulated steals are discarded — the dynamics re-adapt
+        within an RTT, exactly as after the §III-B3 buffer resize).
+        ``weights=None`` re-reads the port's (already updated) scheduler
+        weights; :meth:`repro.net.port.EgressPort.reconfigure_weights`
+        is the usual caller.  Published to ``dynaq.reconfigure``.
+        """
+        if weights is not None and len(weights) != len(self.thresholds):
+            raise ConfigurationError(
+                f"expected {len(self.thresholds)} weights, "
+                f"got {len(weights)}")
+        new_weights = (list(weights) if weights is not None
+                       else self.port.queue_weights())
+        previous = list(self.thresholds)
+        self.thresholds = initial_thresholds(
+            self.port.buffer_bytes, new_weights)
+        self.satisfaction = self._derive_satisfaction(new_weights)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(TOPIC_DYNAQ_RECONFIGURE, lambda: dict(
+                port=self._port_name, time=self.port.now(),
+                thresholds=tuple(self.thresholds),
+                satisfaction=tuple(self.satisfaction),
+                detail=f"reconfigure from {previous}"))
+
+    def _derive_satisfaction(self, weights: List[float]) -> List[int]:
+        """Eq. 3 values (or the ablation override) for ``weights``."""
+        if self._satisfaction_override is not None:
+            if len(self._satisfaction_override) != len(self.thresholds):
+                raise ConfigurationError(
+                    "satisfaction_override must have one entry per queue")
+            return list(self._satisfaction_override)
+        return satisfaction_thresholds(self.port.buffer_bytes, weights)
 
     # -- Algorithm 1 ---------------------------------------------------------------
 

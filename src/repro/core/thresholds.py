@@ -18,15 +18,29 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..sim.errors import ConfigurationError
 from ..sim.units import SECOND
 
 
 def normalized_weights(weights: Sequence[float]) -> List[float]:
-    """Return ``w_i / sum(w)`` for each queue."""
-    total = sum(weights)
+    """Return ``w_i / sum(w)`` for each queue.
+
+    Zero, negative, or all-zero weights raise
+    :class:`~repro.sim.errors.ConfigurationError` (a ``ValueError``) here,
+    at configuration time, instead of dividing by zero at the first
+    enqueue admission check.
+    """
+    weight_list = list(weights)
+    if not weight_list:
+        raise ConfigurationError("weights must be non-empty")
+    if any(weight < 0 for weight in weight_list):
+        raise ConfigurationError(
+            f"weights must be non-negative: {weight_list}")
+    total = sum(weight_list)
     if total <= 0:
-        raise ValueError(f"weights must sum to a positive value: {weights}")
-    return [weight / total for weight in weights]
+        raise ConfigurationError(
+            f"weights must sum to a positive value: {weight_list}")
+    return [weight / total for weight in weight_list]
 
 
 def initial_thresholds(buffer_bytes: int,

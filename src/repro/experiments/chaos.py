@@ -1,0 +1,143 @@
+"""Chaos runs: isolation under injected faults (``repro chaos``).
+
+A chaos run replays one :class:`~repro.faults.FaultSchedule` against the
+standard testbed bulk-flow scenario and reports how much isolation a
+scheme loses while the faults are active.  The headline numbers per
+scheme:
+
+* **invariant violations** — ``sum(T_i) != B`` occurrences recorded by
+  the :class:`~repro.faults.ThresholdInvariantMonitor` (the paper's
+  §III-B equality must hold across flaps, crashes, and
+  reconfigurations; any violation fails the run);
+* **Jain fairness before / during / after** the fault window — the
+  isolation-degradation measure (a protocol-independent scheme should
+  recover its pre-fault fairness after the last recovery).
+
+Runs are hardened: a :class:`~repro.faults.ScenarioWatchdog` bounds the
+wall clock, and a tripped watchdog yields a *partial* result (metrics up
+to the abort) rather than an exception, so a sweep across schemes always
+completes.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+from ..faults import (
+    FaultController,
+    FaultSchedule,
+    ScenarioWatchdog,
+    ThresholdInvariantMonitor,
+)
+from ..sim.randomness import RandomStreams
+from ..sim.trace import TraceBus
+from ..sim.units import seconds
+from .runner import RunOutcome, run_resilient
+from .testbed import (
+    DEFAULT_CONFIG,
+    TestbedConfig,
+    ThroughputResult,
+    _bulk_throughput_run,
+)
+
+
+class ChaosResult(NamedTuple):
+    """One scheme's behaviour under one fault schedule."""
+
+    scheme: str
+    schedule: str
+    result: Optional[ThroughputResult]  # partial when aborted
+    aborted: Optional[str]              # watchdog reason, None = clean run
+    injected: int                       # fault actions fired
+    recovered: int                      # recovery actions fired
+    checks: int                         # threshold events examined
+    violations: int                     # sum(T_i) != B occurrences
+    jain_before: float                  # fairness before the first fault
+    jain_during: float                  # fairness inside the fault window
+    jain_after: float                   # fairness after the last recovery
+
+    @property
+    def ok(self) -> bool:
+        """Clean completion with the invariant intact."""
+        return self.aborted is None and self.violations == 0
+
+    @property
+    def degradation(self) -> float:
+        """Fairness lost while the faults were active (0 = none)."""
+        return max(0.0, self.jain_before - self.jain_during)
+
+
+def run_chaos(scheme_name: str, schedule: FaultSchedule, *,
+              num_queues: int = 4, flows_per_queue: int = 4,
+              duration_s: float = 0.5, sample_interval_s: float = 0.025,
+              seed: int = 1, wall_budget_s: Optional[float] = 120.0,
+              config: TestbedConfig = DEFAULT_CONFIG,
+              trace: Optional[TraceBus] = None) -> ChaosResult:
+    """Run the bulk-flow testbed scenario under ``schedule``.
+
+    Every queue carries ``flows_per_queue`` TCP flows from its own sender
+    host toward h0, so queue-level fairness is meaningful before, during,
+    and after the fault window.  The run is stretched automatically if
+    the schedule outlasts ``duration_s`` (faults must finish inside the
+    measured window, with slack to observe the recovery).
+    """
+    duration_ns = max(seconds(duration_s),
+                      int(schedule.last_event_ns() * 1.25))
+    streams = RandomStreams(seed)
+    holder = {}
+
+    def attach(net):
+        controller = FaultController(
+            net, schedule, rng=streams.stream("faults"))
+        controller.arm()
+        monitor = ThresholdInvariantMonitor(
+            net.trace, expected=config.buffer_bytes)
+        watchdog = ScenarioWatchdog(net.sim, wall_budget_s=wall_budget_s)
+        watchdog.start()
+        holder.update(controller=controller, monitor=monitor,
+                      watchdog=watchdog)
+
+    result = _bulk_throughput_run(
+        scheme_name,
+        flows_per_queue=[flows_per_queue] * num_queues,
+        quanta=[config.quantum_bytes] * num_queues,
+        stop_times_ns=None, duration_ns=duration_ns,
+        sample_interval_ns=seconds(sample_interval_s), config=config,
+        trace=trace, on_network=attach)
+
+    controller: FaultController = holder["controller"]
+    monitor: ThresholdInvariantMonitor = holder["monitor"]
+    watchdog: ScenarioWatchdog = holder["watchdog"]
+    monitor.close()
+    watchdog.cancel()
+
+    active = list(range(num_queues))
+    events = schedule.events
+    window_start = events[0].time_ns if events else duration_ns
+    window_end = min(schedule.last_event_ns(), duration_ns)
+    return ChaosResult(
+        scheme=result.scheme, schedule=schedule.name or "faults",
+        result=result, aborted=watchdog.tripped,
+        injected=controller.injected, recovered=controller.recovered,
+        checks=monitor.checked, violations=monitor.violation_count,
+        jain_before=result.jain(active, 0, window_start),
+        jain_during=result.jain(active, window_start, window_end),
+        jain_after=result.jain(active, window_end, None))
+
+
+def run_chaos_sweep(scheme_names: Sequence[str],
+                    schedule: FaultSchedule, *, seed: int = 1,
+                    retries: int = 1,
+                    **kwargs) -> List[RunOutcome]:
+    """:func:`run_chaos` per scheme with retry-with-reseed hardening.
+
+    Returns one :class:`~repro.experiments.runner.RunOutcome` per scheme;
+    an outcome's ``result`` is the :class:`ChaosResult` (or ``None`` when
+    every attempt died with a :class:`~repro.sim.errors.SimulationError`).
+    Watchdog trips do *not* raise — they surface as partial
+    ``ChaosResult``s — so retries only happen on genuine errors.
+    """
+    return run_resilient(
+        lambda name, attempt_seed: run_chaos(
+            name, schedule, seed=attempt_seed, **kwargs),
+        scheme_names, seed=seed, retries=retries)

@@ -8,7 +8,7 @@ schemes, DCTCP for ECN-based ones).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence
 
 from ..core.dynaq import DynaQBuffer
 from ..core.ecn_mode import DynaQECNBuffer
@@ -23,6 +23,7 @@ from ..queueing.pmsb import PMSBBuffer
 from ..queueing.pql import PQLBuffer
 from ..queueing.red import REDBuffer
 from ..queueing.tcn import TCNBuffer
+from ..sim.errors import SimulationError
 from ..transport.registry import sender_class
 
 
@@ -161,3 +162,69 @@ def run_scenario(name: str, scheme_name: str, *, duration_s: float = 0.2,
             sim=sim, trace=trace, **kwargs)
     raise KeyError(
         f"unknown scenario {name!r}; known: {list(SCENARIO_NAMES)}")
+
+
+# ---------------------------------------------------------------------------
+# Resilient sweeps: retry-with-reseed plus graceful partial results, so one
+# wedged scheme cannot take a whole comparison run down with it.
+# ---------------------------------------------------------------------------
+
+class RunOutcome(NamedTuple):
+    """One scheme's result (or failure) from a resilient sweep."""
+
+    scheme: str
+    result: Any                 # the experiment's result, or None on failure
+    error: Optional[str]        # str(exception) when every attempt failed
+    attempts: int               # 1 = first try succeeded
+    seed: int                   # seed of the last attempt
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def reseed(seed: int, attempt: int) -> int:
+    """The deterministic retry seed for ``attempt`` (attempt 1 = ``seed``).
+
+    A fixed affine step rather than anything random: two operators
+    retrying the same failing run must land on the same replacement
+    seeds, or "it passed on retry" stops being a reproducible statement.
+    """
+    return seed + 7919 * (attempt - 1)
+
+
+def run_resilient(run_one: Callable[[str, int], Any],
+                  names: Sequence[str], *, seed: int = 1,
+                  retries: int = 1,
+                  on_attempt: Optional[Callable[[str, int, int], None]]
+                  = None) -> List[RunOutcome]:
+    """Run ``run_one(scheme, seed)`` per scheme, retrying on failure.
+
+    A :class:`SimulationError` (watchdog trips included) triggers up to
+    ``retries`` re-runs with :func:`reseed`-derived seeds; if they all
+    fail, the sweep *records* the failure and moves on to the next scheme
+    instead of raising, so callers always get one outcome per name.
+    ``on_attempt(scheme, attempt, seed)`` is called before each try
+    (progress reporting).
+    """
+    outcomes: List[RunOutcome] = []
+    for name in names:
+        attempt = 0
+        last_error = ""
+        while attempt <= retries:
+            attempt += 1
+            attempt_seed = reseed(seed, attempt)
+            if on_attempt is not None:
+                on_attempt(name, attempt, attempt_seed)
+            try:
+                result = run_one(name, attempt_seed)
+            except SimulationError as exc:
+                last_error = str(exc) or type(exc).__name__
+                continue
+            outcomes.append(RunOutcome(name, result, None, attempt,
+                                       attempt_seed))
+            break
+        else:
+            outcomes.append(RunOutcome(name, None, last_error, attempt,
+                                       reseed(seed, attempt)))
+    return outcomes

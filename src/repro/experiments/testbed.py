@@ -20,6 +20,7 @@ from ..apps.client_server import (
     random_many_to_one_placement,
 )
 from ..apps.iperf import IperfApp
+from ..faults import FaultController, FaultSchedule
 from ..metrics.fairness import jain_index, throughput_shares
 from ..metrics.fct import FCTCollector
 from ..metrics.queuelen import QueueLengthSampler
@@ -120,8 +121,10 @@ def _bulk_throughput_run(scheme_name: str, *,
                          queue_samples: int = 0,
                          senders_per_queue=1,
                          sim: Optional[Simulator] = None,
-                         trace: Optional[TraceBus] = None
-                         ) -> ThroughputResult:
+                         trace: Optional[TraceBus] = None,
+                         faults: Optional[FaultSchedule] = None,
+                         on_network: Optional[Callable[[Network], None]]
+                         = None) -> ThroughputResult:
     """Shared machinery of the static-flow experiments.
 
     Queue *k* (0-based) gets ``flows_per_queue[k]`` bulk flows, split over
@@ -133,6 +136,11 @@ def _bulk_throughput_run(scheme_name: str, *,
     line-rate NIC, so queues backed by several hosts present a higher
     aggregate arrival rate at the bottleneck (Fig. 1's setup relies on
     exactly this).
+
+    ``faults`` arms a :class:`FaultController` for the run; ``on_network``
+    is a hook called with the built network right before the simulation
+    starts (the chaos harness attaches its controller, invariant monitor,
+    and watchdog through it).
     """
     num_queues = len(flows_per_queue)
     if isinstance(senders_per_queue, int):
@@ -176,6 +184,10 @@ def _bulk_throughput_run(scheme_name: str, *,
             if stop_times_ns and stop_times_ns[queue] is not None:
                 app.stop_at(stop_times_ns[queue])
             host_index += 1
+    if faults is not None:
+        FaultController(net, faults).arm()
+    if on_network is not None:
+        on_network(net)
     net.sim.run(until=duration_ns)
     return ThroughputResult(scheme(scheme_name).name, meter.samples,
                             lengths, config, num_queues)
@@ -197,7 +209,9 @@ def run_motivation(scheme_name: str = "besteffort", *,
                    queue_samples: int = 1000,
                    config: TestbedConfig = DEFAULT_CONFIG,
                    sim: Optional[Simulator] = None,
-                   trace: Optional[TraceBus] = None) -> ThroughputResult:
+                   trace: Optional[TraceBus] = None,
+                   faults: Optional[FaultSchedule] = None
+                   ) -> ThroughputResult:
     """Fig. 1: 4 senders, 8 flows each; 3 senders share queue 2.
 
     Queue 1 (one sender) should get half the link under equal-weight DRR
@@ -210,7 +224,7 @@ def run_motivation(scheme_name: str = "besteffort", *,
         stop_times_ns=None, duration_ns=seconds(duration_s),
         sample_interval_ns=seconds(sample_interval_s), config=config,
         queue_samples=queue_samples,
-        senders_per_queue=[1, 3], sim=sim, trace=trace)
+        senders_per_queue=[1, 3], sim=sim, trace=trace, faults=faults)
 
 
 # ---------------------------------------------------------------------------
@@ -222,7 +236,9 @@ def run_convergence(scheme_name: str, *, duration_s: float = 10.0,
                     queue_samples: int = 1000,
                     config: TestbedConfig = DEFAULT_CONFIG,
                     sim: Optional[Simulator] = None,
-                    trace: Optional[TraceBus] = None) -> ThroughputResult:
+                    trace: Optional[TraceBus] = None,
+                    faults: Optional[FaultSchedule] = None
+                    ) -> ThroughputResult:
     """Figs. 3-4: queue 1 carries 2 flows, queue 2 carries 16.
 
     4 DRR queues with equal quanta are configured; queues 3-4 stay idle.
@@ -234,7 +250,7 @@ def run_convergence(scheme_name: str, *, duration_s: float = 10.0,
         quanta=[config.quantum_bytes] * 4, stop_times_ns=None,
         duration_ns=seconds(duration_s),
         sample_interval_ns=seconds(sample_interval_s), config=config,
-        queue_samples=queue_samples, sim=sim, trace=trace)
+        queue_samples=queue_samples, sim=sim, trace=trace, faults=faults)
 
 
 # ---------------------------------------------------------------------------
@@ -251,7 +267,9 @@ def run_fair_sharing(scheme_name: str, *, time_unit_s: float = 5.0,
                      config: TestbedConfig = DEFAULT_CONFIG,
                      protocols: Optional[Sequence[str]] = None,
                      sim: Optional[Simulator] = None,
-                     trace: Optional[TraceBus] = None) -> ThroughputResult:
+                     trace: Optional[TraceBus] = None,
+                     faults: Optional[FaultSchedule] = None
+                     ) -> ThroughputResult:
     """Fig. 5: queue k holds 2^k flows; queues stop 4, 3, 2, 1 in turn.
 
     With the paper's ``time_unit_s = 5``: queue 4 stops at 10 s, queue 3
@@ -263,7 +281,7 @@ def run_fair_sharing(scheme_name: str, *, time_unit_s: float = 5.0,
         quanta=[config.quantum_bytes] * 4, stop_times_ns=stops,
         duration_ns=seconds(time_unit_s * 5.5),
         sample_interval_ns=seconds(sample_interval_s), config=config,
-        protocols=protocols, sim=sim, trace=trace)
+        protocols=protocols, sim=sim, trace=trace, faults=faults)
 
 
 # ---------------------------------------------------------------------------
@@ -276,7 +294,8 @@ def run_weighted_sharing(scheme_name: str, *,
                          sample_interval_s: float = 0.5,
                          config: TestbedConfig = DEFAULT_CONFIG,
                          sim: Optional[Simulator] = None,
-                         trace: Optional[TraceBus] = None
+                         trace: Optional[TraceBus] = None,
+                         faults: Optional[FaultSchedule] = None
                          ) -> ThroughputResult:
     """Fig. 6: DRR quanta 6/4.5/3/1.5 KB; all queues active.
 
@@ -289,7 +308,7 @@ def run_weighted_sharing(scheme_name: str, *,
         scheme_name, flows_per_queue=flows, quanta=quanta,
         stop_times_ns=None, duration_ns=seconds(duration_s),
         sample_interval_ns=seconds(sample_interval_s), config=config,
-        sim=sim, trace=trace)
+        sim=sim, trace=trace, faults=faults)
 
 
 # ---------------------------------------------------------------------------
@@ -300,7 +319,9 @@ def run_protocol_mix(scheme_name: str, *, time_unit_s: float = 5.0,
                      sample_interval_s: float = 0.5,
                      config: TestbedConfig = DEFAULT_CONFIG,
                      sim: Optional[Simulator] = None,
-                     trace: Optional[TraceBus] = None) -> ThroughputResult:
+                     trace: Optional[TraceBus] = None,
+                     faults: Optional[FaultSchedule] = None
+                     ) -> ThroughputResult:
     """Fig. 7: queues 1-2 run TCP(Reno), queues 3-4 run CUBIC.
 
     Same flow counts and stop schedule as Fig. 5; a protocol-independent
@@ -310,7 +331,7 @@ def run_protocol_mix(scheme_name: str, *, time_unit_s: float = 5.0,
         scheme_name, time_unit_s=time_unit_s,
         sample_interval_s=sample_interval_s, config=config,
         protocols=["tcp", "tcp", "cubic", "cubic"],
-        sim=sim, trace=trace)
+        sim=sim, trace=trace, faults=faults)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,29 @@
+"""Deterministic fault injection (``repro.faults``).
+
+The paper argues DynaQ stays work-conserving and isolated under *dynamic*
+conditions; this package is how the reproduction probes that claim.  A
+declarative, seed-reproducible :class:`FaultSchedule` (Python dict or
+JSON file) names timed events — link flaps with in-flight loss, port
+drain stalls, packet corruption, host crash/restart, and mid-run DynaQ
+weight reconfiguration — and a :class:`FaultController` replays them
+against a built :class:`~repro.net.topology.Network` through hooks on
+ports, hosts, and buffer managers.  A :class:`ScenarioWatchdog` bounds
+runs in wall-clock and simulated time so a faulted experiment aborts
+cleanly with partial metrics instead of hanging.
+
+See ``docs/robustness.md`` for the schedule format and recovery
+semantics.
+"""
+
+from .controller import FaultController, ThresholdInvariantMonitor
+from .schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+from .watchdog import ScenarioWatchdog
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultController",
+    "FaultEvent",
+    "FaultSchedule",
+    "ScenarioWatchdog",
+    "ThresholdInvariantMonitor",
+]

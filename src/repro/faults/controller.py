@@ -1,0 +1,213 @@
+"""Fault controller: replays a schedule against a built network.
+
+:class:`FaultController` resolves each :class:`~.schedule.FaultEvent`
+target to a port or host of the :class:`~repro.net.topology.Network`,
+schedules the injection on the simulator's event loop, and — for events
+with a ``duration`` — schedules the matching recovery.  Every action is
+published to ``fault.inject`` / ``fault.recover`` so traces and flight
+dumps show faults inline with the packet events they caused.
+
+Resolution happens eagerly in :meth:`arm` so a schedule naming a port
+that does not exist in this topology fails before the run starts.
+
+:class:`ThresholdInvariantMonitor` is the chaos-run safety net: it
+watches every ``dynaq.threshold`` / ``dynaq.reconfigure`` event and
+counts violations of the paper's ``sum(T_i) == B`` equality, which must
+hold across link flaps, crashes, and reconfigurations alike.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..net.host import Host
+from ..net.port import EgressPort
+from ..net.topology import Network
+from ..sim.errors import ConfigurationError
+from ..sim.trace import (
+    TOPIC_DYNAQ_RECONFIGURE,
+    TOPIC_FAULT_INJECT,
+    TOPIC_FAULT_RECOVER,
+    TOPIC_THRESHOLD_CHANGE,
+    TraceBus,
+)
+from .schedule import HOST_KINDS, FaultEvent, FaultSchedule
+
+#: (time_ns, phase, kind, target) — one line of the controller's log.
+FaultAction = Tuple[int, str, str, str]
+
+PHASE_INJECT = "inject"
+PHASE_RECOVER = "recover"
+
+
+class FaultController:
+    """Drives one :class:`FaultSchedule` against one network."""
+
+    def __init__(self, net: Network, schedule: FaultSchedule,
+                 rng: Optional[random.Random] = None) -> None:
+        self.net = net
+        self.sim = net.sim
+        self.trace: TraceBus = net.trace
+        self.schedule = schedule
+        # Corruption needs randomness; a fixed default seed keeps runs
+        # reproducible even when the caller forgets to pass a stream.
+        self._rng = rng if rng is not None else random.Random(0)
+        self.injected = 0
+        self.recovered = 0
+        self.log: List[FaultAction] = []
+        self._armed = False
+
+    # -- target resolution ----------------------------------------------------
+
+    def _resolve_port(self, name: str) -> EgressPort:
+        for switch in self.net.switches.values():
+            port = switch.ports.get(name)
+            if port is not None:
+                return port
+        for host in self.net.hosts.values():
+            if host.nic is not None and host.nic.name == name:
+                return host.nic
+        known = sorted(
+            [port.name for switch in self.net.switches.values()
+             for port in switch.port_list()]
+            + [host.nic.name for host in self.net.hosts.values()
+               if host.nic is not None])
+        raise ConfigurationError(
+            f"fault target {name!r} is not a port of this topology; "
+            f"known ports: {known}")
+
+    def _resolve_host(self, name: str) -> Host:
+        host = self.net.hosts.get(name)
+        if host is None:
+            raise ConfigurationError(
+                f"fault target {name!r} is not a host of this topology; "
+                f"known hosts: {self.net.host_names()}")
+        return host
+
+    # -- arming ----------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Resolve all targets and schedule every injection (idempotent)."""
+        if self._armed:
+            return
+        self._armed = True
+        for event in self.schedule:
+            target: Any = (self._resolve_host(event.target)
+                           if event.kind in HOST_KINDS
+                           else self._resolve_port(event.target))
+            delay = event.time_ns - self.sim.now
+            if delay < 0:
+                raise ConfigurationError(
+                    f"fault at t={event.time_ns} is in the past "
+                    f"(now={self.sim.now}); arm the controller before "
+                    "running the simulation")
+            self.sim.schedule(delay, self._fire, event, target)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _fire(self, event: FaultEvent, target: Any) -> None:
+        kind = event.kind
+        if kind in ("link_down", "link_flap"):
+            target.set_link_down()
+        elif kind == "link_up":
+            target.set_link_up()
+        elif kind == "stall":
+            target.stall()
+        elif kind == "resume":
+            target.resume()
+        elif kind == "corrupt":
+            target.set_corruption(event.rate, rng=self._rng)
+        elif kind == "host_crash":
+            target.crash()
+        elif kind == "host_restart":
+            target.restart()
+        elif kind == "reconfigure":
+            target.reconfigure_weights(event.weights)
+        else:  # pragma: no cover - schedule validation rejects these
+            raise ConfigurationError(f"unhandled fault kind {kind!r}")
+        recovering = kind in ("link_up", "resume", "host_restart") or (
+            kind == "corrupt" and event.rate == 0.0)
+        self._record(PHASE_RECOVER if recovering else PHASE_INJECT,
+                     event, detail=kind)
+        if event.duration_ns is not None and not recovering:
+            self.sim.schedule(event.duration_ns, self._recover,
+                              event, target)
+
+    def _recover(self, event: FaultEvent, target: Any) -> None:
+        kind = event.kind
+        if kind in ("link_down", "link_flap"):
+            target.set_link_up()
+        elif kind == "stall":
+            target.resume()
+        elif kind == "corrupt":
+            target.set_corruption(0.0)
+        elif kind == "host_crash":
+            target.restart()
+        self._record(PHASE_RECOVER, event, detail=f"{kind} over")
+
+    def _record(self, phase: str, event: FaultEvent, detail: str) -> None:
+        if phase == PHASE_INJECT:
+            self.injected += 1
+            topic = TOPIC_FAULT_INJECT
+        else:
+            self.recovered += 1
+            topic = TOPIC_FAULT_RECOVER
+        self.log.append((self.sim.now, phase, event.kind, event.target))
+        self.trace.emit(topic, lambda: dict(
+            port=event.target, time=self.sim.now, detail=detail))
+
+
+class ThresholdInvariantMonitor:
+    """Counts ``sum(T_i) != B`` violations across a (faulted) run.
+
+    Subscribes to both threshold topics; each event's threshold vector is
+    summed and compared against ``expected`` (pass the port buffer size
+    ``B``) or, when ``expected`` is ``None``, against the first sum seen
+    on that port.  Chaos runs fail their invariant gate when
+    :attr:`violations` is non-empty at the end.
+    """
+
+    def __init__(self, trace: TraceBus,
+                 expected: Optional[int] = None) -> None:
+        self._trace = trace
+        self.expected = expected
+        self.checked = 0
+        self.violations: List[Dict[str, Any]] = []
+        self._baselines: Dict[str, int] = {}
+        self._handlers = []
+        for topic in (TOPIC_THRESHOLD_CHANGE, TOPIC_DYNAQ_RECONFIGURE):
+            def handler(**payload):
+                self._on_event(payload)
+            trace.subscribe(topic, handler)
+            self._handlers.append((topic, handler))
+
+    def _on_event(self, payload: Dict[str, Any]) -> None:
+        thresholds = payload.get("thresholds")
+        if not thresholds:
+            return
+        self.checked += 1
+        port = str(payload.get("port", ""))
+        total = sum(thresholds)
+        expected = (self.expected if self.expected is not None
+                    else self._baselines.setdefault(port, total))
+        if total != expected:
+            self.violations.append({
+                "time_ns": int(payload.get("time", 0)), "port": port,
+                "sum": total, "expected": expected,
+            })
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    def close(self) -> None:
+        for topic, handler in self._handlers:
+            self._trace.unsubscribe(topic, handler)
+        self._handlers = []
+
+    def __enter__(self) -> "ThresholdInvariantMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,260 @@
+"""Declarative fault schedules.
+
+A schedule is a list of timed :class:`FaultEvent` entries, written either
+as a Python dict or as a JSON file::
+
+    {
+      "name": "linkflap",
+      "events": [
+        {"time_ms": 40, "kind": "link_down", "target": "s0->h0",
+         "duration_ms": 10},
+        {"time_ms": 120, "kind": "reconfigure", "target": "s0->h0",
+         "weights": [3, 1, 1, 1]}
+      ]
+    }
+
+Times are simulated time.  ``time_ns`` / ``duration_ns`` are the
+canonical fields; ``time_ms`` / ``duration_ms`` are sugar (milliseconds,
+floats allowed).  A ``duration`` on a down-type fault schedules the
+matching recovery automatically: ``link_down`` -> ``link_up``,
+``stall`` -> ``resume``, ``corrupt`` -> corruption cleared,
+``host_crash`` -> ``host_restart``.  ``link_flap`` is ``link_down`` with
+a *required* duration.
+
+Everything is validated eagerly with
+:class:`~repro.sim.errors.ConfigurationError` so a typo in a schedule
+file fails before the simulation starts, not 40 simulated milliseconds
+into it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..sim.errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+#: Fault kinds a schedule may contain, and what they act on.
+#: Port kinds target an egress port by name (``s0->h0``, ``h1.nic``);
+#: host kinds target a host by name (``h0``).
+PORT_KINDS = frozenset({
+    "link_down", "link_up", "link_flap",
+    "stall", "resume",
+    "corrupt",
+    "reconfigure",
+})
+HOST_KINDS = frozenset({"host_crash", "host_restart"})
+FAULT_KINDS = PORT_KINDS | HOST_KINDS
+
+#: Kinds whose ``duration`` sugar expands into an automatic recovery.
+#: (``corrupt`` recovers by setting the rate back to zero.)
+RECOVERABLE_KINDS = frozenset({
+    "link_down", "link_flap", "stall", "corrupt", "host_crash",
+})
+
+_EVENT_KEYS = frozenset({
+    "time_ns", "time_ms", "kind", "target",
+    "duration_ns", "duration_ms", "rate", "weights",
+})
+
+
+def _time_field(spec: Dict[str, Any], ns_key: str, ms_key: str,
+                context: str) -> Optional[int]:
+    """Resolve the ``*_ns`` / ``*_ms`` pair of one spec to integer ns."""
+    if ns_key in spec and ms_key in spec:
+        raise ConfigurationError(
+            f"{context}: give {ns_key} or {ms_key}, not both")
+    if ns_key in spec:
+        value = spec[ns_key]
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ConfigurationError(
+                f"{context}: {ns_key} must be an integer, got {value!r}")
+        return value
+    if ms_key in spec:
+        value = spec[ms_key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"{context}: {ms_key} must be a number, got {value!r}")
+        return int(round(value * 1_000_000))
+    return None
+
+
+class FaultEvent:
+    """One timed fault: *when*, *what kind*, *on which target*."""
+
+    __slots__ = ("time_ns", "kind", "target", "duration_ns", "rate",
+                 "weights")
+
+    def __init__(self, time_ns: int, kind: str, target: str, *,
+                 duration_ns: Optional[int] = None,
+                 rate: Optional[float] = None,
+                 weights: Optional[Sequence[float]] = None) -> None:
+        self.time_ns = time_ns
+        self.kind = kind
+        self.target = target
+        self.duration_ns = duration_ns
+        self.rate = rate
+        self.weights = list(weights) if weights is not None else None
+        self._validate()
+
+    def _validate(self) -> None:
+        what = f"fault {self.kind!r} at t={self.time_ns}"
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {sorted(FAULT_KINDS)}")
+        if not isinstance(self.time_ns, int) or self.time_ns < 0:
+            raise ConfigurationError(
+                f"{what}: time must be a non-negative integer ns")
+        if not self.target or not isinstance(self.target, str):
+            raise ConfigurationError(f"{what}: target must be a non-empty "
+                                     f"string, got {self.target!r}")
+        if self.duration_ns is not None:
+            if self.kind not in RECOVERABLE_KINDS:
+                raise ConfigurationError(
+                    f"{what}: duration is only valid on "
+                    f"{sorted(RECOVERABLE_KINDS)}")
+            if self.duration_ns <= 0:
+                raise ConfigurationError(
+                    f"{what}: duration must be positive, "
+                    f"got {self.duration_ns}")
+        if self.kind == "link_flap" and self.duration_ns is None:
+            raise ConfigurationError(
+                f"{what}: link_flap requires a duration "
+                "(use link_down for a permanent failure)")
+        if self.kind == "corrupt":
+            if self.rate is None:
+                raise ConfigurationError(f"{what}: corrupt requires a rate")
+            if not 0.0 <= self.rate <= 1.0:
+                raise ConfigurationError(
+                    f"{what}: rate must be in [0, 1], got {self.rate}")
+        elif self.rate is not None:
+            raise ConfigurationError(f"{what}: rate is only valid on corrupt")
+        if self.kind == "reconfigure":
+            if not self.weights:
+                raise ConfigurationError(
+                    f"{what}: reconfigure requires a weights list")
+            for weight in self.weights:
+                if isinstance(weight, bool) or not isinstance(
+                        weight, (int, float)) or weight <= 0:
+                    raise ConfigurationError(
+                        f"{what}: weights must be positive numbers, "
+                        f"got {self.weights}")
+        elif self.weights is not None:
+            raise ConfigurationError(
+                f"{what}: weights is only valid on reconfigure")
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Any]) -> "FaultEvent":
+        if not isinstance(spec, dict):
+            raise ConfigurationError(
+                f"fault event must be an object, got {spec!r}")
+        unknown = set(spec) - _EVENT_KEYS
+        if unknown:
+            raise ConfigurationError(
+                f"fault event has unknown keys {sorted(unknown)}")
+        kind = spec.get("kind")
+        context = f"fault {kind!r}" if kind else "fault event"
+        time_ns = _time_field(spec, "time_ns", "time_ms", context)
+        if time_ns is None:
+            raise ConfigurationError(f"{context}: missing time_ns / time_ms")
+        duration_ns = _time_field(spec, "duration_ns", "duration_ms",
+                                  context)
+        return cls(time_ns, str(kind), str(spec.get("target", "")),
+                   duration_ns=duration_ns, rate=spec.get("rate"),
+                   weights=spec.get("weights"))
+
+    def to_dict(self) -> Dict[str, Any]:
+        spec: Dict[str, Any] = {
+            "time_ns": self.time_ns, "kind": self.kind,
+            "target": self.target,
+        }
+        if self.duration_ns is not None:
+            spec["duration_ns"] = self.duration_ns
+        if self.rate is not None:
+            spec["rate"] = self.rate
+        if self.weights is not None:
+            spec["weights"] = self.weights
+        return spec
+
+    @property
+    def end_ns(self) -> int:
+        """When the fault's effect ends (injection time if permanent)."""
+        return self.time_ns + (self.duration_ns or 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" for {self.duration_ns}ns" if self.duration_ns else ""
+        return (f"<FaultEvent t={self.time_ns} {self.kind} "
+                f"{self.target}{extra}>")
+
+
+class FaultSchedule:
+    """An ordered collection of :class:`FaultEvent` entries."""
+
+    def __init__(self, events: Sequence[FaultEvent],
+                 name: str = "") -> None:
+        self.name = name
+        self.events: List[FaultEvent] = sorted(
+            events, key=lambda event: event.time_ns)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def last_event_ns(self) -> int:
+        """End time of the latest fault effect (0 for an empty schedule).
+
+        Chaos runs use this to make sure the measured window covers the
+        whole schedule including recoveries.
+        """
+        return max((event.end_ns for event in self.events), default=0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        spec: Dict[str, Any] = {
+            "events": [event.to_dict() for event in self.events]}
+        if self.name:
+            spec["name"] = self.name
+        return spec
+
+    @classmethod
+    def from_dict(cls, spec: Any) -> "FaultSchedule":
+        """Parse ``{"name": ..., "events": [...]}`` (or a bare list)."""
+        if isinstance(spec, list):
+            spec = {"events": spec}
+        if not isinstance(spec, dict):
+            raise ConfigurationError(
+                f"fault schedule must be an object or list, got {spec!r}")
+        unknown = set(spec) - {"name", "events"}
+        if unknown:
+            raise ConfigurationError(
+                f"fault schedule has unknown keys {sorted(unknown)}")
+        events_spec = spec.get("events")
+        if not isinstance(events_spec, list):
+            raise ConfigurationError(
+                "fault schedule needs an 'events' list")
+        events = [FaultEvent.from_dict(entry) for entry in events_spec]
+        return cls(events, name=str(spec.get("name", "")))
+
+    @classmethod
+    def from_file(cls, path: PathLike) -> "FaultSchedule":
+        """Load a JSON schedule file (the CLI's ``--faults`` argument)."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read fault schedule {path}: {exc}") from exc
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"fault schedule {path} is not valid JSON: {exc}") from exc
+        schedule = cls.from_dict(spec)
+        if not schedule.name:
+            schedule.name = path.stem
+        return schedule

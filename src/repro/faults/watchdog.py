@@ -1,0 +1,118 @@
+"""Scenario watchdog: wall-clock and simulated-time budgets.
+
+A faulted run can wedge in ways a healthy run cannot — a transport stuck
+in RTO backoff against a link that never came back, or a pathological
+schedule that makes the event loop grind.  The watchdog bounds both
+axes:
+
+* **simulated time** — a single event scheduled at the budget calls
+  :meth:`~repro.sim.engine.Simulator.stop`;
+* **wall clock** — a periodic check event compares ``perf_counter``
+  against the budget and stops the loop when exceeded.
+
+Either trip stops the simulator *cleanly* (after the current callback),
+so partial metrics and the flight recorder's pre-abort window survive.
+The runner then calls :meth:`raise_if_tripped` to turn the trip into a
+:class:`~repro.sim.errors.WatchdogTimeout` once partial results are
+safely collected — or inspects :attr:`tripped` to report and continue.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+from ..sim.engine import Simulator
+from ..sim.errors import WatchdogTimeout
+from ..sim.units import milliseconds
+
+
+class ScenarioWatchdog:
+    """Budgets one simulation run in wall-clock and simulated time.
+
+    Parameters
+    ----------
+    wall_budget_s:
+        Real-time budget in seconds (``None`` disables the check).
+    sim_budget_ns:
+        Simulated-time budget (``None`` disables the check).
+    check_interval_ns:
+        How often (simulated time) the wall clock is sampled.  The
+        default of 10 ms keeps the overhead to a few hundred events per
+        simulated second.
+    """
+
+    def __init__(self, sim: Simulator, *,
+                 wall_budget_s: Optional[float] = None,
+                 sim_budget_ns: Optional[int] = None,
+                 check_interval_ns: int = milliseconds(10)) -> None:
+        if wall_budget_s is not None and wall_budget_s <= 0:
+            raise ValueError(
+                f"wall budget must be positive, got {wall_budget_s}")
+        if sim_budget_ns is not None and sim_budget_ns <= 0:
+            raise ValueError(
+                f"sim budget must be positive, got {sim_budget_ns}")
+        if check_interval_ns <= 0:
+            raise ValueError(
+                f"check interval must be positive, got {check_interval_ns}")
+        self.sim = sim
+        self.wall_budget_s = wall_budget_s
+        self.sim_budget_ns = sim_budget_ns
+        self.check_interval_ns = check_interval_ns
+        self.tripped: Optional[str] = None
+        self._started_at: Optional[float] = None
+        self._check_event = None
+        self._budget_event = None
+
+    @property
+    def active(self) -> bool:
+        return self.wall_budget_s is not None or self.sim_budget_ns is not None
+
+    def start(self) -> None:
+        """Arm the budgets (call right before ``sim.run``)."""
+        self._started_at = perf_counter()
+        if self.sim_budget_ns is not None:
+            self._budget_event = self.sim.schedule(
+                self.sim_budget_ns, self._trip_sim_budget)
+        if self.wall_budget_s is not None:
+            self._check_event = self.sim.schedule(
+                self.check_interval_ns, self._check_wall)
+
+    def _trip_sim_budget(self) -> None:
+        self._trip(f"simulated-time budget exceeded "
+                   f"({self.sim_budget_ns} ns)")
+
+    def _check_wall(self) -> None:
+        elapsed = perf_counter() - (self._started_at or perf_counter())
+        if elapsed > self.wall_budget_s:
+            self._trip(f"wall-clock budget exceeded "
+                       f"({elapsed:.1f}s > {self.wall_budget_s:.1f}s "
+                       f"at sim t={self.sim.now} ns)")
+            return
+        self._check_event = self.sim.schedule(
+            self.check_interval_ns, self._check_wall)
+
+    def _trip(self, reason: str) -> None:
+        if self.tripped is None:
+            self.tripped = reason
+        self.cancel()
+        self.sim.stop()
+
+    def cancel(self) -> None:
+        """Disarm pending watchdog events (safe to call repeatedly)."""
+        self.sim.cancel(self._check_event)
+        self.sim.cancel(self._budget_event)
+        self._check_event = None
+        self._budget_event = None
+
+    def raise_if_tripped(self) -> None:
+        """Re-raise a trip as :class:`WatchdogTimeout` (no-op otherwise)."""
+        if self.tripped is not None:
+            raise WatchdogTimeout(self.tripped)
+
+    def __enter__(self) -> "ScenarioWatchdog":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cancel()

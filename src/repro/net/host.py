@@ -40,8 +40,12 @@ class Host:
         self.nic: Optional[EgressPort] = None
         self.senders: Dict[int, TransportSender] = {}
         self.receivers: Dict[int, FlowReceiver] = {}
+        self.alive = True
         self.received_packets = 0
         self.received_bytes = 0
+        self.dropped_while_down = 0
+        self.checksum_drops = 0
+        self.crashes = 0
 
     # -- wiring -----------------------------------------------------------------
 
@@ -69,10 +73,20 @@ class Host:
         """Transmit a packet out of the NIC (transports call this)."""
         if self.nic is None:
             raise ConfigurationError(f"{self.name} has no NIC attached")
+        if not self.alive:
+            return
         self.nic.send(packet)
 
     def receive(self, packet: Packet) -> None:
         """Deliver an arriving packet to the right endpoint."""
+        if not self.alive:
+            self.dropped_while_down += 1
+            return
+        if packet.corrupted:
+            # Checksum failure: the NIC discards the frame silently; the
+            # sender only learns via the missing ACK (loss recovery).
+            self.checksum_drops += 1
+            return
         self.received_packets += 1
         self.received_bytes += packet.size
         if packet.is_ack:
@@ -86,3 +100,38 @@ class Host:
                                     delayed_ack=self.delayed_ack)
             self.receivers[packet.flow_id] = receiver
         receiver.on_data(packet)
+
+    # -- fault hooks (driven by repro.faults.FaultController) ---------------------
+
+    def crash(self) -> None:
+        """Take the host down: stop all transports, drop arrivals.
+
+        Sender transports are suspended (their RTO timers cancelled) and
+        incoming packets are discarded, so peers talking *to* this host
+        lose their ACK clock and walk the RFC 6298 exponential-backoff
+        path until :meth:`restart`.  Receiver reassembly state survives
+        the crash (modelling a fast reboot that restores connection
+        state), which is what lets in-progress flows complete after the
+        restart instead of hanging forever.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        for sender in self.senders.values():
+            sender.on_host_down()
+        for receiver in self.receivers.values():
+            receiver.on_host_down()
+
+    def restart(self) -> None:
+        """Bring a crashed host back; transports reset and resume.
+
+        Each incomplete sender restarts from its last cumulative ACK with
+        a one-segment window — the transport-state reset of a reboot —
+        and re-arms its retransmission timer.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        for sender in self.senders.values():
+            sender.restart_after_crash()

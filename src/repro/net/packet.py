@@ -30,7 +30,7 @@ class Packet:
         "flow_id", "src", "dst", "size", "seq", "end_seq",
         "service_class", "priority", "ecn_capable", "ecn_ce",
         "is_ack", "ack_seq", "ece", "ts_echo",
-        "retransmitted", "created_at", "enqueued_at",
+        "retransmitted", "created_at", "enqueued_at", "corrupted",
     )
 
     def __init__(self, flow_id: int, src: str, dst: str, size: int, *,
@@ -54,6 +54,7 @@ class Packet:
         self.retransmitted = False
         self.created_at = created_at
         self.enqueued_at = 0              # set by the port at enqueue time
+        self.corrupted = False            # set by a corruption fault in flight
 
     @property
     def payload(self) -> int:

@@ -17,11 +17,11 @@ It implements both observation protocols:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, List, Optional, Sequence
 
 from ..queueing.base import BufferManager
 from ..queueing.schedulers.base import Scheduler
-from ..sim.engine import Simulator
+from ..sim.engine import Event, Simulator
 from ..sim.errors import ConfigurationError
 from ..sim.trace import (
     TOPIC_PACKET_DEQUEUE,
@@ -66,11 +66,22 @@ class EgressPort:
         self._total_bytes = 0
         self._busy = False
 
+        # Fault-injection state (see repro.faults): a downed link drops
+        # arrivals and in-flight packets, a stalled port stops draining,
+        # and a positive corruption rate flips packets to checksum-fail.
+        self.link_up = True
+        self.stalled = False
+        self.corrupt_rate = 0.0
+        self._corrupt_rng = None
+        self._in_flight: Deque[Event] = deque()
+
         # Counters for experiments and assertions.
         self.enqueued_packets = 0
         self.dropped_packets = 0
         self.transmitted_packets = 0
         self.transmitted_bytes = 0
+        self.inflight_losses = 0
+        self.corrupted_packets = 0
 
         bind_clock = getattr(scheduler, "bind_clock", None)
         if bind_clock is not None:
@@ -117,6 +128,11 @@ class EgressPort:
         if self.peer is None:
             raise ConfigurationError(f"port {self.name} is not connected")
         queue_index = self._classifier(packet)
+        if not self.link_up:
+            self.dropped_packets += 1
+            self._publish(TOPIC_PACKET_DROP, packet, queue_index,
+                          "link down")
+            return
         decision = self.buffer_manager.admit(packet, queue_index)
         if not decision.accept:
             self.dropped_packets += 1
@@ -138,6 +154,11 @@ class EgressPort:
             self._transmit_next()
 
     def _transmit_next(self) -> None:
+        if self.stalled or not self.link_up:
+            # Drain stall or downed link: park the port.  set_link_up() /
+            # resume() restart the transmit loop.
+            self._busy = False
+            return
         queue_index = self.scheduler.select(self)
         if queue_index is None:
             self._busy = False
@@ -163,9 +184,14 @@ class EgressPort:
         self._publish(TOPIC_PACKET_DEQUEUE, packet, queue_index, "")
         self.transmitted_packets += 1
         self.transmitted_bytes += packet.size
+        if (self.corrupt_rate > 0.0 and self._corrupt_rng is not None
+                and self._corrupt_rng.random() < self.corrupt_rate):
+            packet.corrupted = True
+            self.corrupted_packets += 1
         self.sim.schedule(tx_ns, self._on_transmit_complete)
-        self.sim.schedule(tx_ns + self.prop_delay_ns,
-                          self.peer.receive, packet)
+        delivery = self.sim.schedule(tx_ns + self.prop_delay_ns,
+                                     self.peer.receive, packet)
+        self._track_in_flight(delivery)
 
     def _on_transmit_complete(self) -> None:
         self._transmit_next()
@@ -208,10 +234,106 @@ class EgressPort:
         if reinitialize is not None:
             reinitialize()
 
+    def reconfigure_weights(self, weights: Sequence[float]) -> None:
+        """Change the scheduler weights at runtime (operator action).
+
+        Forwards to the scheduler's ``set_weights`` and then lets the
+        buffer manager re-derive its weight-dependent state: DynaQ's
+        ``reconfigure`` re-normalises ``T_i``/``S_i`` so ``sum(T) == B``
+        holds across the transition; managers without a dedicated
+        reconfigure path fall back to ``reinitialize``.
+        """
+        self.scheduler.set_weights(weights)
+        reconfigure = getattr(self.buffer_manager, "reconfigure", None)
+        if reconfigure is not None:
+            reconfigure()
+            return
+        reinitialize = getattr(self.buffer_manager, "reinitialize", None)
+        if reinitialize is not None:
+            reinitialize()
+
+    # -- fault hooks (driven by repro.faults.FaultController) ---------------------
+
+    def set_link_down(self) -> None:
+        """Take the link down: drop in-flight packets, refuse arrivals.
+
+        Packets already on the wire (transmitted but not yet received)
+        are lost — their delivery events are cancelled and accounted as
+        drops, which is what makes a flap visible to transports as loss
+        rather than as a silent pause.
+        """
+        if not self.link_up:
+            return
+        self.link_up = False
+        while self._in_flight:
+            delivery = self._in_flight.popleft()
+            if delivery.cancelled:  # already delivered
+                continue
+            self.sim.cancel(delivery)
+            packet = delivery.args[0]
+            self.dropped_packets += 1
+            self.inflight_losses += 1
+            self._publish(TOPIC_PACKET_DROP, packet, None, "lost in flight")
+
+    def set_link_up(self) -> None:
+        """Bring the link back; resume draining queued packets."""
+        if self.link_up:
+            return
+        self.link_up = True
+        if not self._busy:
+            self._transmit_next()
+
+    def stall(self) -> None:
+        """Pause the scheduler (drain stall): queued packets sit still.
+
+        Unlike a downed link, arrivals are still admitted and buffered,
+        so a stall fills the port buffer and exercises admission-control
+        behaviour under sustained occupancy.
+        """
+        self.stalled = True
+
+    def resume(self) -> None:
+        """Resume draining after a :meth:`stall`."""
+        if not self.stalled:
+            return
+        self.stalled = False
+        if not self._busy:
+            self._transmit_next()
+
+    def set_corruption(self, rate: float, rng=None) -> None:
+        """Corrupt a fraction of departing packets (checksum-drop later).
+
+        Corrupted packets traverse the wire normally but fail the
+        checksum at the end host and are discarded there, so the sender
+        sees loss only via missing ACKs.  ``rate = 0`` clears the fault.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"corruption rate must be in [0, 1], got {rate}")
+        self.corrupt_rate = rate
+        if rng is not None:
+            self._corrupt_rng = rng
+        if rate > 0.0 and self._corrupt_rng is None:
+            raise ConfigurationError(
+                f"port {self.name}: corruption needs an rng for "
+                "deterministic replay")
+
+    def _track_in_flight(self, delivery: Event) -> None:
+        """Remember a scheduled delivery so link-down can lose it.
+
+        Executed events are marked cancelled by the simulator, so pruning
+        the head of the deque keeps it bounded by the propagation-delay
+        pipe depth without a separate completion callback.
+        """
+        in_flight = self._in_flight
+        while in_flight and in_flight[0].cancelled:
+            in_flight.popleft()
+        in_flight.append(delivery)
+
     # -- tracing -----------------------------------------------------------------
 
-    def _publish(self, topic: str, packet: Packet, queue_index: int,
-                 detail: str) -> None:
+    def _publish(self, topic: str, packet: Packet,
+                 queue_index: Optional[int], detail: str) -> None:
         trace = self.trace
         if trace is not None:
             trace.emit(topic, lambda: dict(

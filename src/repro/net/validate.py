@@ -66,6 +66,16 @@ def validate_network(net: Network) -> List[ValidationIssue]:
                     ValidationIssue.ERROR,
                     f"{switch_name} port {port.name} is not connected"))
             queue_counts.add(port.num_queues)
+            weights = port.queue_weights()
+            if not weights or any(weight <= 0 for weight in weights):
+                # Zero/negative weights poison every weight-derived
+                # quantity (DRR quanta, DynaQ S_i) the first time a
+                # packet arrives; catch them while the stack trace still
+                # points at configuration.
+                issues.append(ValidationIssue(
+                    ValidationIssue.ERROR,
+                    f"{switch_name} port {port.name} has non-positive "
+                    f"scheduler weights {weights}"))
         if len(queue_counts) > 1:
             issues.append(ValidationIssue(
                 ValidationIssue.WARNING,

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Protocol, Sequence
 
+from ...sim.errors import ConfigurationError
+
 
 class QueueView(Protocol):
     """What a scheduler is allowed to observe about the port's queues."""
@@ -34,7 +36,8 @@ class Scheduler:
 
     def __init__(self, num_queues: int) -> None:
         if num_queues <= 0:
-            raise ValueError(f"need at least one queue, got {num_queues}")
+            raise ConfigurationError(
+                f"need at least one queue, got {num_queues}")
         self.num_queues = num_queues
 
     def on_enqueue(self, index: int) -> None:
@@ -53,13 +56,38 @@ class Scheduler:
         """
         return [1.0] * self.num_queues
 
+    def set_weights(self, weights: Sequence[float]) -> None:
+        """Replace the per-queue weights at runtime.
+
+        Supports the mid-run reconfiguration fault (an operator changing
+        queue weights on a live switch).  Weighted schedulers override
+        this; the base class refuses because it has no weights to change.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} does not support runtime weight "
+            "reconfiguration")
+
+    def _check_weight_count(self, weights: List[float]) -> List[float]:
+        """Shared ``set_weights`` guard: one weight per existing queue."""
+        if len(weights) != self.num_queues:
+            raise ConfigurationError(
+                f"expected {self.num_queues} weights, got {len(weights)}")
+        return weights
+
 
 def validate_weights(weights: Sequence[float]) -> List[float]:
-    """Check that ``weights`` are positive and return them as a list."""
+    """Check that ``weights`` are positive and return them as a list.
+
+    Raises :class:`~repro.sim.errors.ConfigurationError` (a
+    ``ValueError`` subclass) so that a zero, negative, or all-zero weight
+    vector fails loudly at configuration time instead of surfacing as a
+    ``ZeroDivisionError`` at the first enqueue.
+    """
     result = list(weights)
     if not result:
-        raise ValueError("weights must be non-empty")
+        raise ConfigurationError("weights must be non-empty")
     for weight in result:
         if weight <= 0:
-            raise ValueError(f"weights must be positive, got {result}")
+            raise ConfigurationError(
+                f"weights must be positive, got {result}")
     return result

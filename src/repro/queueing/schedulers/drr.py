@@ -50,6 +50,15 @@ class DRRScheduler(Scheduler):
     def weights(self) -> List[float]:
         return list(self.quanta)
 
+    def set_weights(self, quanta) -> None:
+        """Swap the quanta mid-run (operator reconfiguration fault).
+
+        Deficits are preserved: a queue mid-round keeps the credit it has
+        already earned and simply accumulates at the new rate from the
+        next visit on.
+        """
+        self.quanta = self._check_weight_count(validate_weights(quanta))
+
     def on_enqueue(self, index: int) -> None:
         if not self._in_active[index]:
             self._in_active[index] = True

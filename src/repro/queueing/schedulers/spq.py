@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ...sim.errors import ConfigurationError
 from .base import QueueView, Scheduler, validate_weights
 from .drr import DRRScheduler
 
@@ -26,11 +27,16 @@ class SPQScheduler(Scheduler):
         else:
             self._weights = validate_weights(weights)
             if len(self._weights) != num_queues:
-                raise ValueError("weights length must equal num_queues")
+                raise ConfigurationError(
+                    "weights length must equal num_queues")
 
     @property
     def weights(self) -> List[float]:
         return list(self._weights)
+
+    def set_weights(self, weights: Sequence[float]) -> None:
+        """Swap the nominal weights (SPQ service order is unaffected)."""
+        self._weights = self._check_weight_count(validate_weights(weights))
 
     def select(self, queues: QueueView) -> Optional[int]:
         for index in range(self.num_queues):
@@ -68,7 +74,8 @@ class SPQDRRScheduler(Scheduler):
 
     def __init__(self, num_high: int, drr_quanta: Sequence[float]) -> None:
         if num_high < 1:
-            raise ValueError("need at least one strict-priority queue")
+            raise ConfigurationError(
+                "need at least one strict-priority queue")
         quanta = validate_weights(drr_quanta)
         super().__init__(num_queues=num_high + len(quanta))
         self.num_high = num_high
@@ -84,6 +91,12 @@ class SPQDRRScheduler(Scheduler):
         # like any other queue, so give it one quantum's worth of weight.
         high = [max(self.drr.quanta)] * self.num_high
         return high + list(self.drr.quanta)
+
+    def set_weights(self, weights: Sequence[float]) -> None:
+        """Reconfigure the DRR quanta; the SPQ entries are positional
+        placeholders (strict-priority service ignores weights)."""
+        self._check_weight_count(validate_weights(weights))
+        self.drr.set_weights(weights[self.num_high:])
 
     def on_enqueue(self, index: int) -> None:
         if index >= self.num_high:

@@ -41,6 +41,11 @@ class WFQScheduler(Scheduler):
     def weights(self) -> List[float]:
         return list(self._weights)
 
+    def set_weights(self, weights: Sequence[float]) -> None:
+        """Swap the weights mid-run; already-tagged packets keep their
+        finish times (they were priced under the old weights)."""
+        self._weights = self._check_weight_count(validate_weights(weights))
+
     def on_enqueue(self, index: int) -> None:
         # The packet's size is not visible at on_enqueue time through the
         # scheduler interface; tag lazily in select() instead.

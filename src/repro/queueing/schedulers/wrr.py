@@ -32,6 +32,10 @@ class WRRScheduler(Scheduler):
     def weights(self) -> List[float]:
         return list(self._weights)
 
+    def set_weights(self, weights: Sequence[float]) -> None:
+        """Swap the per-round packet budgets mid-run."""
+        self._weights = self._check_weight_count(validate_weights(weights))
+
     def on_enqueue(self, index: int) -> None:
         if not self._in_active[index]:
             self._in_active[index] = True

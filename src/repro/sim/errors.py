@@ -15,8 +15,24 @@ class SimulationError(ReproError):
     """The event loop was used incorrectly (e.g. scheduling in the past)."""
 
 
-class ConfigurationError(ReproError):
-    """An experiment, device, or scheme was configured inconsistently."""
+class WatchdogTimeout(SimulationError):
+    """A scenario exceeded its wall-clock or simulated-time budget.
+
+    Raised by :class:`repro.faults.ScenarioWatchdog` after it has stopped
+    the event loop; catching :class:`SimulationError` therefore also
+    covers watchdog aborts (the CLI and the flight recorder rely on
+    this).
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment, device, or scheme was configured inconsistently.
+
+    Also a :class:`ValueError`: configuration mistakes are bad values, and
+    the double parentage lets old call sites that catch ``ValueError``
+    keep working while new code catches the precise type (or
+    :class:`ReproError` for anything raised by this library).
+    """
 
 
 class RoutingError(ReproError):

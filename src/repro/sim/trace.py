@@ -81,6 +81,9 @@ TOPIC_FLOW_START = "flow.start"
 TOPIC_FLOW_COMPLETE = "flow.complete"
 TOPIC_THRESHOLD_CHANGE = "dynaq.threshold"
 TOPIC_VICTIM_STEAL = "dynaq.steal"
+TOPIC_DYNAQ_RECONFIGURE = "dynaq.reconfigure"
+TOPIC_FAULT_INJECT = "fault.inject"
+TOPIC_FAULT_RECOVER = "fault.recover"
 
 #: Every well-known topic, in a stable order.  The telemetry recorder
 #: subscribes to all of these by default, and the trace-file schema
@@ -95,4 +98,7 @@ ALL_TOPICS = (
     TOPIC_FLOW_COMPLETE,
     TOPIC_THRESHOLD_CHANGE,
     TOPIC_VICTIM_STEAL,
+    TOPIC_DYNAQ_RECONFIGURE,
+    TOPIC_FAULT_INJECT,
+    TOPIC_FAULT_RECOVER,
 )

@@ -29,6 +29,7 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, Union
 from ..sim.errors import SimulationError
 from ..sim.trace import (
     ALL_TOPICS,
+    TOPIC_DYNAQ_RECONFIGURE,
     TOPIC_PACKET_DROP,
     TOPIC_THRESHOLD_CHANGE,
     TraceBus,
@@ -112,7 +113,8 @@ class FlightRecorder:
                     and time_ns - times[0] <= self.drop_burst_window_ns):
                 times.clear()  # one anomaly per burst, not per drop
                 self._anomaly(ANOMALY_DROP_BURST, port, time_ns)
-        elif topic == TOPIC_THRESHOLD_CHANGE and self.check_threshold_invariant:
+        elif (topic in (TOPIC_THRESHOLD_CHANGE, TOPIC_DYNAQ_RECONFIGURE)
+                and self.check_threshold_invariant):
             thresholds = record.get("threshold")
             if thresholds:
                 total = sum(thresholds)

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..sim.trace import (
     ALL_TOPICS,
+    TOPIC_DYNAQ_RECONFIGURE,
     TOPIC_THRESHOLD_CHANGE,
     TOPIC_VICTIM_STEAL,
 )
@@ -78,7 +79,14 @@ def normalize(topic: str, payload: Dict[str, Any]) -> Dict[str, Any]:
         record["queue"] = payload["queue"]
     if payload.get("queue_bytes") is not None:
         record["queue_bytes"] = list(payload["queue_bytes"])
-    if topic in (TOPIC_THRESHOLD_CHANGE, TOPIC_VICTIM_STEAL):
+    if topic == TOPIC_DYNAQ_RECONFIGURE:
+        if payload.get("thresholds") is not None:
+            record["threshold"] = list(payload["thresholds"])
+        if payload.get("satisfaction") is not None:
+            record["satisfaction"] = list(payload["satisfaction"])
+        if not record["detail"]:
+            record["detail"] = "reconfigure"
+    elif topic in (TOPIC_THRESHOLD_CHANGE, TOPIC_VICTIM_STEAL):
         victim = payload.get("victim", -1)
         gainer = payload.get("gainer", -1)
         size = payload.get("size", 0)

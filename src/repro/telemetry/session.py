@@ -82,8 +82,12 @@ class TelemetrySession:
         return self
 
     def __exit__(self, exc_type, exc, traceback) -> None:
+        # A Ctrl-C mid-run is an anomaly worth a dump too: the last events
+        # before the interrupt are exactly what a hung run's operator
+        # wants to see.
         if (self.flight is not None
                 and exc_type is not None
-                and issubclass(exc_type, SimulationError)):
+                and issubclass(exc_type, (SimulationError,
+                                          KeyboardInterrupt))):
             self.flight.dump(ANOMALY_SIMULATION_ERROR)
         self.close()

@@ -124,6 +124,18 @@ class FlowReceiver:
         self.sim.cancel(self._delack_event)
         self._delack_event = None
 
+    def on_host_down(self) -> None:
+        """Host-crash hook: cancel the pending delayed-ACK timer.
+
+        Reassembly state (``next_expected``, out-of-order segments) is
+        kept — see :meth:`repro.net.host.Host.crash` for the recovery
+        semantics this models.
+        """
+        self.sim.cancel(self._delack_event)
+        self._delack_event = None
+        self._unacked_segments = 0
+        self._last_data = None
+
     def _send_ack(self, data_packet: Packet) -> None:
         ack = Packet(
             flow_id=self.flow_id, src=self.host.name, dst=data_packet.src,
@@ -156,6 +168,12 @@ class TransportSender:
     def on_ack(self, packet: Packet) -> None:
         """Handle an arriving ACK."""
         raise NotImplementedError
+
+    def on_host_down(self) -> None:
+        """Host-crash hook: suspend timers and sending (default no-op)."""
+
+    def restart_after_crash(self) -> None:
+        """Host-restart hook: reset transport state, resume (default no-op)."""
 
     @property
     def complete(self) -> bool:

@@ -79,6 +79,37 @@ class TCPSender(TransportSender):
             self.sim.cancel(self._rto_event)
             self._rto_event = None
 
+    def on_host_down(self) -> None:
+        """Host crash: silence the retransmission timer.
+
+        The host drops all packets while down, so no ACK can arrive and
+        no state changes until :meth:`restart_after_crash`.
+        """
+        if self._rto_event is not None:
+            self.sim.cancel(self._rto_event)
+            self._rto_event = None
+
+    def restart_after_crash(self) -> None:
+        """Host restart: RFC 5681 §4.1 restart-after-idle semantics.
+
+        Congestion state is reset to a one-segment window (the crash lost
+        it), recovery bookkeeping is cleared, and transmission resumes
+        go-back-N from the last cumulative ACK under a freshly armed RTO
+        timer.  The RTT estimate survives (it is history, not state the
+        crash invalidated); accumulated RTO backoff is kept until the
+        first post-restart sample resets it.
+        """
+        if self.complete or self.started_at is None:
+            return
+        self.ssthresh = max(self._bytes_in_flight() / 2,
+                            float(2 * self.mss))
+        self.cwnd = float(self.mss)
+        self.in_recovery = False
+        self.dup_acks = 0
+        self.next_seq = self.high_ack
+        self._fill_window()
+        self._arm_rto()
+
     # -- sending -----------------------------------------------------------------
 
     def _bytes_in_flight(self) -> int:

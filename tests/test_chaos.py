@@ -1,0 +1,199 @@
+"""Hardened-run plumbing: resilient sweeps, chaos runs, CLI exit codes."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.chaos import run_chaos, run_chaos_sweep
+from repro.experiments.runner import RunOutcome, reseed, run_resilient
+from repro.faults import FaultSchedule
+from repro.sim.errors import SimulationError
+
+
+def write_schedule(tmp_path, events, name="chaos-test"):
+    path = tmp_path / "faults.json"
+    path.write_text(json.dumps({"name": name, "events": events}))
+    return path
+
+
+TINY_EVENTS = [
+    {"time_ms": 5, "kind": "stall", "target": "s0->h0", "duration_ms": 3},
+    {"time_ms": 12, "kind": "reconfigure", "target": "s0->h0",
+     "weights": [3000, 1500]},
+]
+
+
+# -- run_resilient ------------------------------------------------------------
+
+def test_reseed_is_affine_and_stable():
+    assert reseed(1, 1) == 1
+    assert reseed(1, 2) == 1 + 7919
+    assert reseed(40, 3) == 40 + 2 * 7919
+
+
+def test_run_resilient_retries_then_succeeds():
+    calls = []
+
+    def run_one(name, seed):
+        calls.append((name, seed))
+        if len(calls) == 1:
+            raise SimulationError("transient")
+        return f"{name}:{seed}"
+
+    outcomes = run_resilient(run_one, ["dynaq"], seed=5, retries=2)
+    assert len(outcomes) == 1
+    outcome = outcomes[0]
+    assert outcome.ok
+    assert outcome.attempts == 2
+    assert outcome.seed == reseed(5, 2)
+    assert calls == [("dynaq", 5), ("dynaq", 5 + 7919)]
+
+
+def test_run_resilient_records_exhausted_failure_and_moves_on():
+    def run_one(name, seed):
+        if name == "bad":
+            raise SimulationError("always broken")
+        return name
+
+    outcomes = run_resilient(run_one, ["bad", "good"], seed=1, retries=1)
+    assert [outcome.scheme for outcome in outcomes] == ["bad", "good"]
+    bad, good = outcomes
+    assert not bad.ok
+    assert bad.result is None
+    assert bad.error == "always broken"
+    assert bad.attempts == 2            # initial try + 1 retry
+    assert good.ok and good.result == "good"
+
+
+def test_run_resilient_reports_attempts():
+    seen = []
+    run_resilient(lambda name, seed: name, ["a", "b"], seed=3,
+                  on_attempt=lambda *call: seen.append(call))
+    assert seen == [("a", 1, 3), ("b", 1, 3)]
+
+
+def test_run_resilient_does_not_catch_other_errors():
+    def run_one(name, seed):
+        raise ValueError("a bug, not a flaky run")
+
+    with pytest.raises(ValueError):
+        run_resilient(run_one, ["dynaq"])
+
+
+# -- run_chaos ----------------------------------------------------------------
+
+def test_run_chaos_clean_schedule(tmp_path):
+    schedule = FaultSchedule.from_file(
+        write_schedule(tmp_path, TINY_EVENTS))
+    result = run_chaos("dynaq", schedule, num_queues=2, flows_per_queue=2,
+                       duration_s=0.05, sample_interval_s=0.005)
+    assert result.ok
+    assert result.aborted is None
+    assert result.injected == 2
+    assert result.recovered == 1        # the stall auto-resumes
+    assert result.violations == 0
+    assert result.checks > 0            # the monitor saw threshold events
+    assert result.result is not None and result.result.samples
+    assert 0.0 <= result.degradation <= 1.0
+
+
+def test_run_chaos_wall_budget_abort_keeps_partial_metrics(tmp_path):
+    schedule = FaultSchedule.from_file(
+        write_schedule(tmp_path, TINY_EVENTS))
+    result = run_chaos("dynaq", schedule, num_queues=2, flows_per_queue=2,
+                       duration_s=0.05, sample_interval_s=0.005,
+                       wall_budget_s=1e-9)
+    assert result.aborted is not None
+    assert "wall-clock" in result.aborted
+    assert not result.ok
+    assert result.result is not None    # partial metrics survive the abort
+
+
+def test_run_chaos_sweep_wraps_outcomes(tmp_path):
+    schedule = FaultSchedule.from_file(
+        write_schedule(tmp_path, TINY_EVENTS))
+    outcomes = run_chaos_sweep(["dynaq"], schedule, num_queues=2,
+                               flows_per_queue=2, duration_s=0.05,
+                               sample_interval_s=0.005)
+    assert len(outcomes) == 1
+    assert isinstance(outcomes[0], RunOutcome)
+    assert outcomes[0].ok
+    assert outcomes[0].result.scheme == "DynaQ"
+
+
+# -- chaos CLI ----------------------------------------------------------------
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_chaos_cli_end_to_end(capsys, tmp_path):
+    path = write_schedule(tmp_path, TINY_EVENTS)
+    code, out = run_cli(capsys, "chaos", "--faults", str(path),
+                        "--scheme", "dynaq", "--queues", "2",
+                        "--flows-per-queue", "2", "--duration", "0.05")
+    assert code == 0
+    assert "chaos: schedule 'chaos-test' (2 events)" in out
+    assert "DynaQ" in out
+    assert "ok" in out
+
+
+def test_example_linkflap_schedule_parses():
+    schedule = FaultSchedule.from_file("examples/linkflap.json")
+    assert schedule.name == "linkflap"
+    assert len(schedule) == 3
+    assert schedule.events[0].kind == "link_flap"
+
+
+def test_chaos_cli_missing_schedule_exits_2(capsys):
+    code, out = run_cli(capsys, "chaos", "--faults", "/no/such/file.json",
+                        "--scheme", "dynaq")
+    assert code == 2
+    assert "error (ConfigurationError)" in out
+
+
+def test_chaos_cli_bad_schedule_exits_2(capsys, tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"events": [{"time_ms": 1, "kind": "warp-core-breach",'
+                    ' "target": "s0->h0"}]}')
+    code, out = run_cli(capsys, "chaos", "--faults", str(path))
+    assert code == 2
+    assert "error (ConfigurationError)" in out
+    assert "warp-core-breach" in out
+
+
+# -- hardened CLI error paths -------------------------------------------------
+
+def test_cli_simulation_error_reports_partial_and_exits_2(
+        capsys, monkeypatch, tmp_path):
+    """A mid-sweep SimulationError: the schemes that finished are listed,
+    the exit code is 2, and nothing escapes as a traceback."""
+    fake = SimpleNamespace(scheme="FakeScheme", samples=[1, 2, 3])
+
+    def flaky(name, **kwargs):
+        if name == "besteffort":
+            raise SimulationError("injected mid-sweep failure")
+        return fake
+
+    monkeypatch.setattr("repro.cli.run_convergence", flaky)
+    code, out = run_cli(capsys, "convergence",
+                        "--schemes", "dynaq,besteffort")
+    assert code == 2
+    assert "aborted after 1/2 schemes" in out
+    assert "FakeScheme (3 samples)" in out
+    assert "error (SimulationError)" in out
+
+
+def test_cli_keyboard_interrupt_exits_2(capsys, monkeypatch):
+    def interrupted(name, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.cli.run_convergence", interrupted)
+    code, out = run_cli(capsys, "convergence", "--schemes", "dynaq")
+    assert code == 2
+    assert "aborted after 0/1 schemes" in out
+    assert "interrupted" in out

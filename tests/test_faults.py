@@ -1,0 +1,483 @@
+"""Fault-injection subsystem tests: schedules, controller, recovery."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.dynaq import DynaQBuffer
+from repro.faults import (
+    FaultController,
+    FaultEvent,
+    FaultSchedule,
+    ScenarioWatchdog,
+    ThresholdInvariantMonitor,
+)
+from repro.net.topology import build_star
+from repro.net.validate import ValidationIssue, validate_network
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.queueing.schedulers.wrr import WRRScheduler
+from repro.sim.engine import Simulator
+from repro.sim.errors import ConfigurationError, WatchdogTimeout
+from repro.sim.trace import (
+    TOPIC_DYNAQ_RECONFIGURE,
+    TOPIC_FAULT_INJECT,
+    TOPIC_FAULT_RECOVER,
+)
+from repro.sim.units import (
+    gbps,
+    kilobytes,
+    microseconds,
+    milliseconds,
+    seconds,
+)
+from repro.transport.base import Flow
+from repro.transport.tcp import TCPSender
+
+RTT = microseconds(500)
+BUFFER = kilobytes(85)
+
+
+def make_net(buffer_factory=BestEffortBuffer, num_hosts=3, num_queues=4,
+             trace=None, buffer_bytes=BUFFER):
+    return build_star(
+        num_hosts=num_hosts, rate_bps=gbps(1), rtt_ns=RTT,
+        buffer_bytes=buffer_bytes,
+        scheduler_factory=lambda: DRRScheduler([1500.0] * num_queues),
+        buffer_factory=buffer_factory, trace=trace)
+
+
+def start_flow(net, size, src="h1", dst="h2", flow_id=0, service_class=0):
+    flow = Flow(flow_id=flow_id, src=src, dst=dst, size=size,
+                service_class=service_class)
+    sender = TCPSender(net.sim, net.host(src), flow)
+    net.host(src).register_sender(sender)
+    sender.start()
+    return sender
+
+
+# -- schedule parsing ---------------------------------------------------------
+
+def test_schedule_parses_ms_sugar_and_sorts():
+    schedule = FaultSchedule.from_dict({"events": [
+        {"time_ms": 2, "kind": "link_up", "target": "p"},
+        {"time_ns": 500, "kind": "stall", "target": "p"},
+    ]})
+    assert [event.kind for event in schedule] == ["stall", "link_up"]
+    assert schedule.events[1].time_ns == 2_000_000
+
+
+def test_schedule_accepts_bare_list_and_roundtrips():
+    spec = [{"time_ns": 10, "kind": "corrupt", "target": "p", "rate": 0.5,
+             "duration_ns": 5}]
+    schedule = FaultSchedule.from_dict(spec)
+    assert schedule.to_dict()["events"] == [
+        {"time_ns": 10, "kind": "corrupt", "target": "p", "rate": 0.5,
+         "duration_ns": 5}]
+    assert schedule.last_event_ns() == 15
+
+
+def test_schedule_from_file_names_after_stem(tmp_path):
+    path = tmp_path / "flaky.json"
+    path.write_text(json.dumps({"events": [
+        {"time_ms": 1, "kind": "host_crash", "target": "h1"}]}))
+    schedule = FaultSchedule.from_file(path)
+    assert schedule.name == "flaky"
+    assert len(schedule) == 1
+
+
+@pytest.mark.parametrize("spec", [
+    {"time_ns": 0, "kind": "meteor", "target": "p"},
+    {"time_ns": 0, "time_ms": 1, "kind": "stall", "target": "p"},
+    {"time_ns": -5, "kind": "stall", "target": "p"},
+    {"kind": "stall", "target": "p"},
+    {"time_ns": 0, "kind": "stall"},
+    {"time_ns": 0, "kind": "link_flap", "target": "p"},
+    {"time_ns": 0, "kind": "link_up", "target": "p", "duration_ns": 5},
+    {"time_ns": 0, "kind": "stall", "target": "p", "duration_ns": 0},
+    {"time_ns": 0, "kind": "corrupt", "target": "p"},
+    {"time_ns": 0, "kind": "corrupt", "target": "p", "rate": 1.5},
+    {"time_ns": 0, "kind": "stall", "target": "p", "rate": 0.5},
+    {"time_ns": 0, "kind": "reconfigure", "target": "p"},
+    {"time_ns": 0, "kind": "reconfigure", "target": "p",
+     "weights": [1, 0]},
+    {"time_ns": 0, "kind": "stall", "target": "p", "weights": [1]},
+    {"time_ns": 0, "kind": "stall", "target": "p", "typo": True},
+])
+def test_schedule_rejects_bad_events(spec):
+    with pytest.raises(ConfigurationError):
+        FaultSchedule.from_dict([spec])
+
+
+def test_schedule_file_errors(tmp_path):
+    with pytest.raises(ConfigurationError):
+        FaultSchedule.from_file(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ConfigurationError):
+        FaultSchedule.from_file(bad)
+
+
+# -- controller target resolution ---------------------------------------------
+
+def test_controller_rejects_unknown_targets():
+    net = make_net()
+    schedule = FaultSchedule([FaultEvent(0, "stall", "s0->h9")])
+    with pytest.raises(ConfigurationError):
+        FaultController(net, schedule).arm()
+    schedule = FaultSchedule([FaultEvent(0, "host_crash", "h9")])
+    with pytest.raises(ConfigurationError):
+        FaultController(net, schedule).arm()
+
+
+def test_controller_publishes_inject_and_recover():
+    net = make_net()
+    seen = []
+    net.trace.subscribe(TOPIC_FAULT_INJECT,
+                        lambda **kw: seen.append(("inject", kw["detail"])))
+    net.trace.subscribe(TOPIC_FAULT_RECOVER,
+                        lambda **kw: seen.append(("recover", kw["detail"])))
+    schedule = FaultSchedule([
+        FaultEvent(1000, "stall", "s0->h2",
+                   duration_ns=microseconds(10))])
+    controller = FaultController(net, schedule)
+    controller.arm()
+    net.sim.run(until=milliseconds(1))
+    assert seen == [("inject", "stall"), ("recover", "stall over")]
+    assert controller.injected == 1 and controller.recovered == 1
+
+
+# -- link flap: in-flight loss and recovery -------------------------------------
+
+def test_link_down_kills_packets_already_on_the_wire():
+    net = make_net()
+    start_flow(net, 400_000)
+    nic = net.host("h1").nic
+    # 1500 B at 1 Gbps is ~12 us on the wire against a 125 us hop, so a
+    # few packets from the initial burst are mid-flight at t=50 us.
+    net.sim.run(until=microseconds(50))
+    live = [event for event in nic._in_flight if not event.cancelled]
+    assert live                             # wire is busy right now
+    nic.set_link_down()
+    assert nic.inflight_losses == len(live)
+    assert not nic.link_up
+
+
+def test_link_flap_drops_traffic_and_flow_recovers():
+    net = make_net()
+    sender = start_flow(net, 400_000)
+    schedule = FaultSchedule([
+        FaultEvent(milliseconds(1), "link_flap", "h1.nic",
+                   duration_ns=milliseconds(15))])
+    FaultController(net, schedule).arm()
+    net.sim.run(until=seconds(1))
+    nic = net.host("h1").nic
+    assert nic.link_up                      # flap ended
+    assert nic.dropped_packets > 0          # sends during the outage died
+    assert sender.timeouts > 0              # loss surfaced as RTO
+    assert sender.complete                  # ...and the flow still finished
+
+
+def test_stall_parks_port_and_resume_drains():
+    net = make_net()
+    sender = start_flow(net, 200_000)
+    port = net.switch("s0").ports["s0->h2"]
+    schedule = FaultSchedule([
+        FaultEvent(milliseconds(1), "stall", "s0->h2",
+                   duration_ns=milliseconds(5))])
+    FaultController(net, schedule).arm()
+    net.sim.run(until=milliseconds(3))
+    transmitted_during_stall = port.transmitted_packets
+    assert port.stalled
+    net.sim.run(until=milliseconds(4))
+    # Parked: nothing leaves the port while stalled.
+    assert port.transmitted_packets == transmitted_during_stall
+    net.sim.run(until=seconds(1))
+    assert not port.stalled
+    assert sender.complete
+
+
+def test_corruption_checksum_drops_then_retransmit_completes():
+    net = make_net()
+    sender = start_flow(net, 150_000)
+    schedule = FaultSchedule([
+        FaultEvent(microseconds(100), "corrupt", "s0->h2", rate=0.3,
+                   duration_ns=milliseconds(5))])
+    FaultController(net, schedule).arm()
+    net.sim.run(until=seconds(2))
+    port = net.switch("s0").ports["s0->h2"]
+    assert port.corrupt_rate == 0.0          # fault cleared
+    assert port.corrupted_packets > 0
+    assert net.host("h2").checksum_drops > 0
+    assert sender.retransmissions > 0
+    assert sender.complete
+
+
+def test_corruption_is_seed_deterministic():
+    def corrupted_count(seed):
+        import random
+        net = make_net()
+        start_flow(net, 150_000)
+        schedule = FaultSchedule([
+            FaultEvent(0, "corrupt", "s0->h2", rate=0.2)])
+        FaultController(net, schedule, rng=random.Random(seed)).arm()
+        net.sim.run(until=milliseconds(20))
+        return net.switch("s0").ports["s0->h2"].corrupted_packets
+
+    assert corrupted_count(7) == corrupted_count(7)
+
+
+# -- host crash / restart -------------------------------------------------------
+
+def test_host_crash_triggers_backoff_and_restart_completes():
+    net = make_net()
+    sender = start_flow(net, 300_000)
+    receiver = net.host("h2")
+    schedule = FaultSchedule([
+        FaultEvent(milliseconds(1), "host_crash", "h2",
+                   duration_ns=milliseconds(60))])
+    FaultController(net, schedule).arm()
+    net.sim.run(until=milliseconds(55))
+    assert not receiver.alive
+    assert receiver.dropped_while_down > 0
+    # 60 ms dead against a 10 ms RTO_min: several expiries, so the
+    # RFC 6298 exponential backoff must have engaged.
+    assert sender.timeouts >= 2
+    assert sender.rto.rto_ns > sender.rto.min_rto_ns
+    net.sim.run(until=seconds(2))
+    assert receiver.alive
+    assert receiver.crashes == 1
+    assert sender.complete
+
+
+def test_crashed_sender_host_restarts_its_own_flows():
+    net = make_net()
+    sender = start_flow(net, 300_000)
+    schedule = FaultSchedule([
+        FaultEvent(milliseconds(1), "host_crash", "h1",
+                   duration_ns=milliseconds(20))])
+    FaultController(net, schedule).arm()
+    net.sim.run(until=milliseconds(10))
+    # Crashed: transport suspended, no retransmission timer pending.
+    assert sender._rto_event is None
+    net.sim.run(until=seconds(2))
+    assert sender.complete
+
+
+# -- DynaQ reconfiguration ------------------------------------------------------
+
+def test_reconfigure_keeps_threshold_sum_and_publishes():
+    net = make_net(buffer_factory=DynaQBuffer)
+    start_flow(net, 100_000, dst="h0")
+    seen = []
+    net.trace.subscribe(TOPIC_DYNAQ_RECONFIGURE,
+                        lambda **kw: seen.append(kw))
+    port = net.switch("s0").ports["s0->h0"]
+    net.sim.run(until=milliseconds(2))
+    port.reconfigure_weights([6000.0, 4500.0, 3000.0, 1500.0])
+    manager = port.buffer_manager
+    assert sum(manager.thresholds) == BUFFER
+    # Eq. 1 split for 4:3:2:1 weights.
+    assert manager.thresholds[0] > manager.thresholds[3]
+    assert len(seen) == 1
+    assert sum(seen[0]["thresholds"]) == BUFFER
+    assert port.queue_weights() == [6000.0, 4500.0, 3000.0, 1500.0]
+
+
+def test_reconfigure_fault_event_end_to_end():
+    net = make_net(buffer_factory=DynaQBuffer)
+    start_flow(net, 200_000, dst="h0")
+    schedule = FaultSchedule([
+        FaultEvent(milliseconds(1), "reconfigure", "s0->h0",
+                   weights=[3000.0, 1500.0, 1500.0, 1500.0])])
+    FaultController(net, schedule).arm()
+    monitor = ThresholdInvariantMonitor(net.trace, expected=BUFFER)
+    net.sim.run(until=milliseconds(5))
+    manager = net.switch("s0").ports["s0->h0"].buffer_manager
+    assert sum(manager.thresholds) == BUFFER
+    assert monitor.checked > 0
+    assert monitor.violation_count == 0
+
+
+def test_reconfigure_rejects_wrong_weight_count():
+    net = make_net(buffer_factory=DynaQBuffer)
+    port = net.switch("s0").ports["s0->h0"]
+    with pytest.raises(ConfigurationError):
+        port.reconfigure_weights([1.0, 1.0])
+    with pytest.raises(ConfigurationError):
+        port.buffer_manager.reconfigure([1.0, 1.0])
+
+
+# -- acceptance: killing a queue redistributes its threshold fast --------------
+
+def test_queue_kill_redistributes_threshold_within_one_rtt():
+    """Crash the host feeding queue 0; DynaQ must hand its threshold to
+    the surviving queue within one RTT of simulated time.
+
+    Algorithm 1 only lifts victim protection once the victim queue is
+    empty, so the buffer must be shallow enough that queue 0 can drain
+    its threshold's worth of bytes well inside one RTT at its DRR share
+    of the link (20 KB -> ~10 KB at ~0.5 Gbps is ~160 us of the 500 us
+    RTT, leaving the rest of the window for the survivor to steal).
+    """
+    from repro.net.packet import Packet
+
+    buffer_bytes = kilobytes(20)
+    net = make_net(buffer_factory=DynaQBuffer, num_hosts=4, num_queues=2,
+                   buffer_bytes=buffer_bytes)
+
+    # Constant-rate sources instead of TCP: the assertion is about DynaQ's
+    # threshold dynamics, not congestion control, and TCP's synchronized
+    # RTO collapse around the crash would leave both queues empty.  Each
+    # host offers its NIC line rate (1500 B / 12 us = 1 Gbps); queue 1 is
+    # fed by BOTH h2 and h3 so the bottleneck stays oversubscribed — and
+    # queue 1 keeps producing over-threshold arrivals — after h1 dies.
+    # host.send_packet() already drops traffic from a crashed host, so
+    # the host_crash fault silences queue 0's source on its own.
+    def constant_rate(src, flow_id, service_class):
+        host = net.host(src)
+        state = {"seq": 0}
+
+        def send():
+            packet = Packet(flow_id=flow_id, src=src, dst="h0", size=1500,
+                            seq=state["seq"], end_seq=state["seq"] + 1500,
+                            service_class=service_class)
+            state["seq"] += 1500
+            host.send_packet(packet)
+            net.sim.schedule(microseconds(12), send)
+
+        net.sim.schedule(0, send)
+
+    constant_rate("h1", flow_id=1, service_class=0)
+    constant_rate("h2", flow_id=2, service_class=1)
+    constant_rate("h3", flow_id=3, service_class=1)
+    kill_ns = milliseconds(20)
+    schedule = FaultSchedule([FaultEvent(kill_ns, "host_crash", "h1")])
+    FaultController(net, schedule).arm()
+    manager = net.switch("s0").ports["s0->h0"].buffer_manager
+    net.sim.run(until=kill_ns)
+    before = list(manager.thresholds)
+    net.sim.run(until=kill_ns + RTT)
+    after = list(manager.thresholds)
+    assert sum(after) == buffer_bytes            # invariant held throughout
+    assert after[0] < before[0]                  # victim's share moved...
+    assert after[1] > before[1]                  # ...to the survivor
+
+
+# -- invariant monitor ----------------------------------------------------------
+
+def test_monitor_counts_violations_against_expected():
+    from repro.sim.trace import TOPIC_THRESHOLD_CHANGE, TraceBus
+    trace = TraceBus()
+    monitor = ThresholdInvariantMonitor(trace, expected=100)
+    trace.publish(TOPIC_THRESHOLD_CHANGE, port="p", time=1,
+                  thresholds=(60, 40))
+    trace.publish(TOPIC_THRESHOLD_CHANGE, port="p", time=2,
+                  thresholds=(60, 39))
+    assert monitor.checked == 2
+    assert monitor.violation_count == 1
+    assert monitor.violations[0]["sum"] == 99
+    monitor.close()
+    trace.publish(TOPIC_THRESHOLD_CHANGE, port="p", time=3,
+                  thresholds=(1, 1))
+    assert monitor.checked == 2  # unsubscribed
+
+
+# -- watchdog -------------------------------------------------------------------
+
+def test_watchdog_sim_budget_stops_cleanly():
+    sim = Simulator()
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        sim.schedule(milliseconds(1), tick)
+
+    sim.schedule(0, tick)
+    watchdog = ScenarioWatchdog(sim, sim_budget_ns=milliseconds(5))
+    watchdog.start()
+    sim.run(until=seconds(1))
+    assert sim.now == milliseconds(5)
+    assert watchdog.tripped is not None
+    assert "simulated-time" in watchdog.tripped
+    with pytest.raises(WatchdogTimeout):
+        watchdog.raise_if_tripped()
+
+
+def test_watchdog_wall_budget_trips():
+    sim = Simulator()
+
+    def tick():
+        sim.schedule(milliseconds(1), tick)
+
+    sim.schedule(0, tick)
+    watchdog = ScenarioWatchdog(sim, wall_budget_s=1e-9,
+                                check_interval_ns=milliseconds(1))
+    watchdog.start()
+    sim.run(until=seconds(1))
+    assert watchdog.tripped is not None
+    assert "wall-clock" in watchdog.tripped
+    assert sim.now < seconds(1)
+
+
+def test_watchdog_untripped_is_quiet():
+    sim = Simulator()
+    watchdog = ScenarioWatchdog(sim, sim_budget_ns=seconds(10))
+    watchdog.start()
+    sim.run(until=milliseconds(1))
+    watchdog.cancel()
+    assert watchdog.tripped is None
+    watchdog.raise_if_tripped()  # no-op
+
+
+# -- configuration validation (zero/negative weights) ---------------------------
+
+def test_zero_and_negative_weights_raise_configuration_error():
+    for bad in ([0.0, 1.0], [-1.0, 1.0], [0.0, 0.0], []):
+        with pytest.raises(ConfigurationError):
+            DRRScheduler(bad)
+        with pytest.raises(ConfigurationError):
+            WRRScheduler(bad)
+    # ConfigurationError doubles as ValueError for legacy call sites.
+    with pytest.raises(ValueError):
+        DRRScheduler([0.0])
+
+
+def test_validate_network_flags_nonpositive_port_weights():
+    net = make_net()
+    port = net.switch("s0").ports["s0->h1"]
+    port.scheduler.quanta = [0.0] * port.num_queues  # simulate corruption
+    issues = validate_network(net)
+    errors = [issue for issue in issues
+              if issue.severity == ValidationIssue.ERROR]
+    assert any("non-positive" in issue.message for issue in errors)
+    assert all("non-positive" not in issue.message
+               or "s0->h1" in issue.message for issue in errors)
+
+
+# -- determinism under faults ---------------------------------------------------
+
+def test_chaos_trace_is_byte_identical_across_runs(tmp_path):
+    from repro.experiments.chaos import run_chaos
+    from repro.telemetry import TelemetrySession
+
+    schedule = FaultSchedule.from_dict({"name": "det", "events": [
+        {"time_ms": 3, "kind": "link_flap", "target": "h1.nic",
+         "duration_ms": 2},
+        {"time_ms": 4, "kind": "corrupt", "target": "s0->h0",
+         "rate": 0.2, "duration_ms": 2},
+    ]})
+
+    def run(path):
+        with TelemetrySession(trace_out=path) as session:
+            result = run_chaos("dynaq", schedule, duration_s=0.01,
+                               sample_interval_s=0.002, seed=42,
+                               trace=session.trace)
+        assert result.violations == 0
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+
+    first = run(tmp_path / "a.jsonl")
+    second = run(tmp_path / "b.jsonl")
+    assert (tmp_path / "a.jsonl").stat().st_size > 0
+    assert first == second

@@ -74,3 +74,81 @@ def test_negative_sample_rejected():
     rto = RTOEstimator()
     with pytest.raises(ValueError):
         rto.add_sample(-1)
+
+
+# -- property-style coverage (fault-recovery paths lean on these) -------------
+
+@pytest.mark.parametrize("base_rtt_ns", [
+    200_000, 2 * MILLISECOND, 9 * MILLISECOND, 47 * MILLISECOND])
+def test_backoff_is_clamped_doubling(base_rtt_ns):
+    """After k expiries the RTO equals clamp(base << k) exactly — the
+    RFC 6298 doubling never drifts or over/undershoots the bounds."""
+    min_rto = 10 * MILLISECOND
+    max_rto = 4_000 * MILLISECOND
+    rto = RTOEstimator(min_rto_ns=min_rto, max_rto_ns=max_rto)
+    rto.add_sample(base_rtt_ns)
+    base = rto._rto_ns
+    for k in range(1, 12):
+        rto.on_timeout()
+        expected = max(min_rto, min(base << k, max_rto))
+        assert rto.rto_ns == expected
+
+
+def test_rto_never_leaves_bounds():
+    """Whatever the sample/timeout history, min <= rto <= max."""
+    rto = RTOEstimator(min_rto_ns=5 * MILLISECOND,
+                       max_rto_ns=100 * MILLISECOND)
+    samples = [1_000, 500 * MILLISECOND, 3 * MILLISECOND, 0,
+               77 * MILLISECOND, 250_000]
+    for i, sample in enumerate(samples):
+        rto.add_sample(sample)
+        assert 5 * MILLISECOND <= rto.rto_ns <= 100 * MILLISECOND
+        for _ in range(i):
+            rto.on_timeout()
+            assert 5 * MILLISECOND <= rto.rto_ns <= 100 * MILLISECOND
+
+
+def test_sample_after_deep_backoff_recovers_fast():
+    """One fresh ACK sample collapses an arbitrarily deep backoff (Karn's
+    restart), so a recovered path is not stuck waiting seconds."""
+    rto = RTOEstimator(min_rto_ns=10 * MILLISECOND)
+    rto.add_sample(2 * MILLISECOND)
+    for _ in range(8):
+        rto.on_timeout()
+    assert rto.rto_ns > 10 * MILLISECOND
+    rto.add_sample(2 * MILLISECOND)
+    assert rto.rto_ns == 10 * MILLISECOND
+
+
+def test_rto_timer_restarts_after_host_crash_fault():
+    """End-to-end: a host_crash fault cancels the sender's RTO timer, the
+    restart re-arms it, and the estimator's backoff state carries the
+    outage (timer hygiene for repro.faults)."""
+    from repro.faults import FaultController, FaultEvent, FaultSchedule
+    from repro.net.topology import build_star
+    from repro.queueing.besteffort import BestEffortBuffer
+    from repro.queueing.schedulers.drr import DRRScheduler
+    from repro.sim.units import gbps, kilobytes, microseconds, milliseconds
+    from repro.transport.base import Flow
+    from repro.transport.tcp import TCPSender
+
+    net = build_star(num_hosts=3, rate_bps=gbps(1),
+                     rtt_ns=microseconds(500),
+                     buffer_bytes=kilobytes(85),
+                     scheduler_factory=lambda: DRRScheduler([1500.0] * 2),
+                     buffer_factory=BestEffortBuffer)
+    flow = Flow(flow_id=0, src="h1", dst="h2", size=300_000)
+    sender = TCPSender(net.sim, net.host("h1"), flow)
+    net.host("h1").register_sender(sender)
+    sender.start()
+    schedule = FaultSchedule([
+        FaultEvent(milliseconds(1), "host_crash", "h1",
+                   duration_ns=milliseconds(30))])
+    FaultController(net, schedule).arm()
+    net.sim.run(until=milliseconds(10))
+    assert sender._rto_event is None        # crash cancelled the timer
+    net.sim.run(until=milliseconds(32))
+    assert sender._rto_event is not None    # restart re-armed it
+    net.sim.run(until=2_000_000_000)
+    assert sender.complete                  # and the flow finished
+    assert sender._rto_event is None        # completed flows hold no timer
