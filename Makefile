@@ -1,0 +1,26 @@
+# Developer entry points.  Everything runs offline with the stdlib
+# toolchain; PYTHONPATH=src replaces an editable install.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench bench-quick perf-tier figures chaos
+
+test:            ## tier-1 suite (must always be green)
+	$(PY) -m pytest -x -q
+
+bench:           ## full microbenchmark suite -> BENCH_<date>.json
+	$(PY) -m repro bench
+
+bench-quick:     ## CI smoke: quick suite vs the committed baseline
+	$(PY) -m repro bench --quick \
+	    --baseline benchmarks/perf/baseline.json --budget 0.25
+
+perf-tier:       ## opt-in perf regression tier (ops + speedup floors)
+	$(PY) -m pytest -q benchmarks/perf/
+
+figures:         ## regenerate the paper-figure benchmarks
+	$(PY) -m pytest -q benchmarks/ --ignore=benchmarks/perf
+
+chaos:           ## fault-injection smoke (sum(T) == B under link flaps)
+	$(PY) -m repro chaos --faults examples/linkflap.json \
+	    --scheme dynaq --wall-budget 600

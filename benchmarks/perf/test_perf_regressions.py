@@ -1,0 +1,79 @@
+"""Opt-in perf regression tier (``pytest benchmarks/perf/``).
+
+Not part of tier-1 (``testpaths = tests``): timing assertions, however
+generous, do not belong in the always-green suite.  This tier splits the
+committed-baseline check (:mod:`repro.perf.baseline`) into its two
+halves so a failure says *what* regressed:
+
+* **determinism** — the quick suite's operation counters must equal the
+  committed ``baseline.json`` bit-for-bit on any machine.  This half is
+  exact and would be tier-1-safe; it lives here only to keep the bench
+  harness out of the fast test path.
+* **speed** — each bench's fast-vs-reference speedup must stay above the
+  baseline's floored ``min_speedup`` minus a generous budget.  The
+  default 40% budget (wider than the CI gate's 25%) tolerates loaded
+  laptops; override with ``REPRO_PERF_BUDGET``.
+
+Speedups are *ratios of two runs in the same process*, so they transfer
+across machines; absolute seconds are never asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perf import baseline as baseline_mod
+from repro.perf.bench import run_suite
+
+BASELINE_PATH = Path(__file__).with_name("baseline.json")
+BUDGET = float(os.environ.get("REPRO_PERF_BUDGET", "0.40"))
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_suite(quick=True, repeats=3)
+
+
+@pytest.fixture(scope="module")
+def committed_baseline():
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def test_baseline_file_is_current_schema(committed_baseline):
+    assert committed_baseline["schema"] == "repro.bench-baseline/1"
+    assert committed_baseline["quick"] is True
+    assert len(committed_baseline["benches"]) == 8
+
+
+def test_ops_match_committed_baseline(quick_report, committed_baseline):
+    """Machine-independent half: exact op-counter equality."""
+    by_name = {b["name"]: b for b in quick_report["benches"]}
+    mismatches = []
+    for name, expected in committed_baseline["benches"].items():
+        bench = by_name.get(name)
+        if bench is None:
+            mismatches.append(f"{name}: missing")
+        elif bench["fast"]["ops"] != expected["ops"]:
+            mismatches.append(
+                f"{name}: {bench['fast']['ops']} != {expected['ops']}")
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_speedups_within_budget(quick_report, committed_baseline):
+    """Timing half: floored speedup ratios with a generous budget."""
+    violations = baseline_mod.compare(
+        quick_report, committed_baseline, budget=BUDGET)
+    assert not violations, "\n".join(violations)
+
+
+def test_fig05_traced_speedup_floor(quick_report):
+    """The headline number: the traced fig. 5 workload must stay at
+    least 2x faster than the in-run reference baseline.  Min-of-3
+    repeats already strips scheduler noise; 1.5 here (not 2.0) leaves
+    the same headroom the budgeted check above gets."""
+    by_name = {b["name"]: b for b in quick_report["benches"]}
+    assert by_name["fig05_traced"]["speedup"] >= 1.5

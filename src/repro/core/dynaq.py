@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..net.packet import Packet
+from ..perf.config import active_config
 from ..queueing.base import BufferManager, Decision, PortView
 from ..sim.errors import ConfigurationError
 from ..sim.trace import (
@@ -32,7 +33,12 @@ from ..sim.trace import (
     TraceBus,
 )
 from .thresholds import initial_thresholds, satisfaction_thresholds
-from .victim import linear_victim, publish_steal, tournament_victim
+from .victim import (
+    IncrementalVictim,
+    linear_victim,
+    publish_steal,
+    tournament_victim,
+)
 
 VictimSearch = Callable[[List[int], Optional[int]], Optional[int]]
 
@@ -74,10 +80,57 @@ class DynaQBuffer(BufferManager):
         self._satisfaction_override = satisfaction_override
         self._trace = trace
         self._port_name = port_name
-        self.thresholds: List[int] = []
-        self.satisfaction: List[int] = []
         self.threshold_moves = 0
         self.protected_drops = 0
+        # Incremental victim tracker (fast path): T_i - S_i only changes
+        # on steals and reconfigurations, so keeping the argmax warm
+        # turns the per-arrival O(M) extra-vector rebuild + scan into an
+        # O(1) query.  None in reference mode — admit() then runs the
+        # configured search over a freshly built vector.  Created before
+        # the threshold lists: their property setters sync it.
+        self._tracker: Optional[IncrementalVictim] = (
+            IncrementalVictim() if active_config().incremental_victim
+            else None)
+        self._thresholds: List[int] = []
+        self._satisfaction: List[int] = []
+        # Recurring Algorithm-1 outcomes (see Decision's docstring);
+        # None (allocate fresh) in reference mode.
+        if self._accept is not None:
+            self._drop_no_victim = Decision.dropped(
+                "threshold exceeded, no victim")
+            self._drop_unsatisfied = Decision.dropped("victim unsatisfied")
+        else:
+            self._drop_no_victim = None
+            self._drop_unsatisfied = None
+
+    # -- threshold state ---------------------------------------------------------
+    #
+    # Exposed as properties because tests and operator tooling assign
+    # whole new lists (``manager.thresholds = [...]``) to set up
+    # scenarios; the setters re-sync the incremental victim tracker so
+    # the fast path can never observe a stale argmax.  Internal hot-path
+    # code reads the private lists directly.
+
+    @property
+    def thresholds(self) -> List[int]:
+        """Dropping thresholds ``T_i`` (assignment re-syncs the tracker)."""
+        return self._thresholds
+
+    @thresholds.setter
+    def thresholds(self, values) -> None:
+        self._thresholds = list(values)
+        self._sync_tracker()
+
+    @property
+    def satisfaction(self) -> List[int]:
+        """Satisfaction thresholds ``S_i`` (assignment re-syncs the
+        tracker)."""
+        return self._satisfaction
+
+    @satisfaction.setter
+    def satisfaction(self, values) -> None:
+        self._satisfaction = list(values)
+        self._sync_tracker()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -101,6 +154,7 @@ class DynaQBuffer(BufferManager):
         weights = self.port.queue_weights()
         self.thresholds = initial_thresholds(self.port.buffer_bytes, weights)
         self.satisfaction = self._derive_satisfaction(weights)
+        self._sync_tracker()
         trace = self._trace
         if trace is not None:
             # Baseline snapshot (victim/gainer = -1): gives timeline
@@ -132,6 +186,7 @@ class DynaQBuffer(BufferManager):
         self.thresholds = initial_thresholds(
             self.port.buffer_bytes, new_weights)
         self.satisfaction = self._derive_satisfaction(new_weights)
+        self._sync_tracker()
         trace = self._trace
         if trace is not None:
             trace.emit(TOPIC_DYNAQ_RECONFIGURE, lambda: dict(
@@ -151,43 +206,74 @@ class DynaQBuffer(BufferManager):
 
     # -- Algorithm 1 ---------------------------------------------------------------
 
+    def _sync_tracker(self) -> None:
+        """Rebuild the incremental tracker after a wholesale T/S change.
+
+        A length mismatch means the caller is mid-way through replacing
+        both lists (reinitialize assigns T then S); the second setter
+        runs the sync again with consistent state.
+        """
+        tracker = self._tracker
+        if (tracker is not None
+                and len(self._thresholds) == len(self._satisfaction)):
+            tracker.reset(
+                t - s for t, s in zip(self._thresholds, self._satisfaction))
+
     def admit(self, packet: Packet, queue_index: int) -> Decision:
         size = packet.size
-        if (self.port.queue_bytes(queue_index) + size
-                > self.thresholds[queue_index]):
-            extra = [t - s for t, s in zip(self.thresholds,
-                                           self.satisfaction)]
-            victim = self._search(extra, queue_index)
+        occupancy = self._queue_occupancy
+        queue_len = (occupancy[queue_index] if occupancy is not None
+                     else self.port.queue_bytes(queue_index))
+        if queue_len + size > self._thresholds[queue_index]:
+            tracker = self._tracker
+            if tracker is not None:
+                victim = tracker.query(queue_index)
+            else:
+                extra = [t - s for t, s in zip(self._thresholds,
+                                               self._satisfaction)]
+                victim = self._search(extra, queue_index)
             if victim is None:
                 # Single-queue port: no one to steal from.
                 self.drops += 1
-                return Decision.dropped("threshold exceeded, no victim")
+                return (self._drop_no_victim
+                        or Decision.dropped("threshold exceeded, no victim"))
             if self._victim_is_protected(victim, size):
                 self.drops += 1
                 self.protected_drops += 1
-                return Decision.dropped("victim unsatisfied")
+                return (self._drop_unsatisfied
+                        or Decision.dropped("victim unsatisfied"))
             self._move_threshold(victim, queue_index, size)
         drop = self._port_tail_drop(packet)
         if drop is not None:
             return drop
-        return Decision.accepted()
+        return self._accept or Decision.accepted()
 
     def _victim_is_protected(self, victim: int, size: int) -> bool:
         """Line 3 of Algorithm 1: drop instead of stealing when either
         the victim's threshold cannot give up ``size`` bytes (T_v would go
         negative) or the victim is an unsatisfied *active* queue."""
-        threshold = self.thresholds[victim]
+        threshold = self._thresholds[victim]
         if threshold < size:
             return True
-        active = self.port.queue_bytes(victim) > 0
-        return active and threshold - size < self.satisfaction[victim]
+        occupancy = self._queue_occupancy
+        active = (occupancy[victim] if occupancy is not None
+                  else self.port.queue_bytes(victim)) > 0
+        return active and threshold - size < self._satisfaction[victim]
 
     def _move_threshold(self, victim: int, gainer: int, size: int) -> None:
         # Decrease the victim before increasing the gainer, preserving
         # sum(T) == B at every intermediate step (§III-B2).
-        self.thresholds[victim] -= size
-        self.thresholds[gainer] += size
+        thresholds = self._thresholds
+        satisfaction = self._satisfaction
+        thresholds[victim] -= size
+        thresholds[gainer] += size
         self.threshold_moves += 1
+        tracker = self._tracker
+        if tracker is not None:
+            tracker.update(victim,
+                           thresholds[victim] - satisfaction[victim])
+            tracker.update(gainer,
+                           thresholds[gainer] - satisfaction[gainer])
         trace = self._trace
         if trace is not None:
             trace.emit(TOPIC_THRESHOLD_CHANGE, lambda: dict(

@@ -1,21 +1,26 @@
 """Victim-queue selection (paper §III-B2).
 
 The victim is the queue — other than the arriving packet's queue — with the
-largest *extra buffer* ``T_i - S_i``.  Two interchangeable implementations:
+largest *extra buffer* ``T_i - S_i``.  Three interchangeable implementations:
 
 * :func:`linear_victim` — straightforward argmax; the reference semantics.
 * :func:`tournament_victim` — the loop-free binary ``MaxIdx`` tournament the
   paper describes for switching ASICs, where loop instructions are
   forbidden and the comparison tree costs ``O(log M)`` pipeline stages
   (3 cycles for the 8 queues of a commodity switch).
+* :class:`IncrementalVictim` — a software fast path that maintains the
+  top-2 argmax under single-queue point updates, so the per-arrival
+  victim query is O(1) instead of an O(M) rescan (the simulator's
+  analogue of keeping the comparator tree's result registers warm).
 
-Both resolve ties toward the lower queue index, and the test suite proves
-them equivalent by exhaustion and by property testing.
+All resolve ties toward the lower queue index, and the test suite proves
+them equivalent by exhaustion and by property testing
+(``tests/test_perf_equivalence.py``, ``tests/test_victim.py``).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..sim.trace import TOPIC_VICTIM_STEAL, TraceBus
 
@@ -25,14 +30,18 @@ def linear_victim(extra: Sequence[int],
     """Index of the largest extra buffer, skipping ``exclude``.
 
     Returns ``None`` when every queue is excluded (i.e. a single-queue
-    port, where DynaQ degenerates to tail drop).
+    port, where DynaQ degenerates to tail drop).  The first candidate
+    seeds the running best unconditionally, so all-negative and
+    mixed-sign ``extra`` vectors (every queue over threshold, or a mix)
+    still yield the true argmax rather than favouring a sentinel value —
+    ``tests/test_victim.py`` pins this down.
     """
     best_index: Optional[int] = None
-    best_value = 0
+    best_value = None
     for index, value in enumerate(extra):
         if index == exclude:
             continue
-        if best_index is None or value > best_value:
+        if best_value is None or value > best_value:
             best_index = index
             best_value = value
     return best_index
@@ -68,6 +77,101 @@ def tournament_victim(extra: Sequence[int],
             next_round.append(candidates[-1])
         candidates = next_round
     return candidates[0]
+
+
+class IncrementalVictim:
+    """Top-2 argmax of the extra-buffer vector under point updates.
+
+    DynaQ's per-arrival victim search scans ``T_i - S_i`` even though the
+    vector only changes on threshold steals and reconfigurations.  This
+    structure keeps the best and second-best indices warm so the
+    per-arrival query is O(1); a point :meth:`update` is O(1) except when
+    the current best or second shrinks out of place, which falls back to
+    one O(M) rescan — amortised far below the reference's rescan on
+    *every* over-threshold arrival.
+
+    The total order matches :func:`linear_victim` exactly: larger value
+    wins, ties go to the lower index.  ``tests/test_perf_equivalence.py``
+    proves the equivalence on random update/query interleavings.
+    """
+
+    __slots__ = ("_values", "_best", "_second")
+
+    def __init__(self, values: Sequence[int] = ()) -> None:
+        self.reset(values)
+
+    def reset(self, values: Sequence[int]) -> None:
+        """Adopt a whole new vector (reinitialize / reconfigure)."""
+        self._values: List[int] = list(values)
+        self._rescan()
+
+    def _beats(self, i: int, j: int) -> bool:
+        """True if index ``i`` outranks ``j`` (higher value, lower-index
+        ties) — the strict total order all three implementations share."""
+        vi, vj = self._values[i], self._values[j]
+        return vi > vj or (vi == vj and i < j)
+
+    def _rescan(self) -> None:
+        best: Optional[int] = None
+        second: Optional[int] = None
+        values = self._values
+        for index, value in enumerate(values):
+            if best is None or value > values[best]:
+                second = best
+                best = index
+            elif second is None or value > values[second]:
+                second = index
+        self._best = best
+        self._second = second
+
+    def update(self, index: int, value: int) -> None:
+        """Point update ``extra[index] = value``."""
+        values = self._values
+        old = values[index]
+        values[index] = value
+        best, second = self._best, self._second
+        if index == best:
+            if value >= old or second is None or self._beats(best, second):
+                return  # grew, or still ahead of the runner-up
+            # The best fell behind the runner-up; the new second could be
+            # anyone (including a queue tied with the old runner-up), so
+            # recompute both rather than guessing.
+            self._rescan()
+        elif index == second:
+            if value < old:
+                # The runner-up shrank and may have fallen behind a third
+                # queue we never tracked.
+                self._rescan()
+            elif self._beats(second, best):
+                self._best, self._second = second, best
+        else:
+            if self._beats(index, best):
+                self._second = best
+                self._best = index
+            elif second is None or self._beats(index, second):
+                self._second = index
+
+    def query(self, exclude: Optional[int] = None) -> Optional[int]:
+        """Argmax index skipping ``exclude`` — O(1).
+
+        Equals ``linear_victim(values, exclude)`` at every point in time;
+        returns ``None`` on a single-queue port.
+        """
+        best = self._best
+        if best is None or best != exclude:
+            return best
+        return self._second
+
+    def value(self, index: int) -> int:
+        """Current tracked value of one queue."""
+        return self._values[index]
+
+    def as_list(self) -> List[int]:
+        """Snapshot of the tracked vector (for tests and debugging)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
 
 
 def publish_steal(trace: TraceBus, *, port: str, time: int, victim: int,

@@ -17,8 +17,9 @@ It implements both observation protocols:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..perf.config import active_config
 from ..queueing.base import BufferManager
 from ..queueing.schedulers.base import Scheduler
 from ..sim.engine import Event, Simulator
@@ -34,6 +35,11 @@ from ..sim.units import transmission_time
 from .packet import Packet
 
 Classifier = Callable[[Packet], int]
+
+#: Topics a port publishes per packet; the fast publish path caches one
+#: "anyone listening?" flag per entry against the bus version.
+_PORT_TOPICS = (TOPIC_PACKET_DROP, TOPIC_PACKET_ENQUEUE,
+                TOPIC_PACKET_DEQUEUE, TOPIC_PACKET_MARK)
 
 
 class EgressPort:
@@ -73,7 +79,11 @@ class EgressPort:
         self.stalled = False
         self.corrupt_rate = 0.0
         self._corrupt_rng = None
-        self._in_flight: Deque[Event] = deque()
+        # In-flight deliveries as (event, generation) pairs: with event
+        # pooling the simulator recycles executed events, so a retained
+        # handle is only trustworthy while its generation matches (see
+        # repro.sim.engine's module docstring).
+        self._in_flight: Deque[Tuple[Event, int]] = deque()
 
         # Counters for experiments and assertions.
         self.enqueued_packets = 0
@@ -82,6 +92,56 @@ class EgressPort:
         self.transmitted_bytes = 0
         self.inflight_losses = 0
         self.corrupted_packets = 0
+        # Batched per-queue transmit counters: stat collectors read these
+        # on sample boundaries instead of subscribing to every
+        # packet.dequeue event (see PortThroughputMeter).
+        self.queue_tx_bytes: List[int] = [0] * self.num_queues
+
+        # Publish-path selection (construction-time, never per packet):
+        # the fast path caches per-topic subscriber flags, refreshed by a
+        # bus watcher on every (un)subscribe, plus one all-silent flag
+        # (_quiet) that the hot call sites test inline; the reference
+        # path is the original lazy-lambda emit on every publish.
+        self._topic_live: Dict[str, bool] = {}
+        self._quiet = False
+        if active_config().lazy_trace:
+            self._publish = self._publish_cached
+            if trace is None:
+                self._quiet = True
+            else:
+                trace.add_watcher(self._refresh_topic_flags)
+                self._refresh_topic_flags()
+        # Memoised transmission_time per packet size (fast path): real
+        # traffic uses a handful of sizes (MTU, ACK), so the per-packet
+        # ceil division collapses to a dict hit.  None = compute fresh.
+        self._tx_cache: Optional[Dict[int, int]] = (
+            {} if active_config().tx_time_cache else None)
+        # Construction-time call elision (fast path): skip buffer-manager
+        # hooks that are provably the base-class no-ops, inline the
+        # default classifier, and let a DRR scheduler read the queue
+        # deques directly instead of through per-packet protocol calls.
+        inline = active_config().inline_hot_calls
+        manager_cls = type(buffer_manager)
+        self._on_enqueued = (
+            None if inline and manager_cls.on_enqueued
+            is BufferManager.on_enqueued else buffer_manager.on_enqueued)
+        self._on_dequeue = (
+            None if inline and manager_cls.on_dequeue
+            is BufferManager.on_dequeue else buffer_manager.on_dequeue)
+        self._inline_classify = inline and classifier is None
+        if inline:
+            bind_queues = getattr(scheduler, "bind_queues", None)
+            if bind_queues is not None:
+                bind_queues(self._queues)
+        # Per-packet in-flight tracking vs heap scan on (rare) link-down:
+        # see set_link_down.
+        self._scan_inflight = active_config().heap_scan_inflight
+        self._deliver = None  # cached peer.receive, set by connect()
+        # Transmit-completion callback, bound once: the fast path skips
+        # the _on_transmit_complete indirection (one Python call per
+        # packet) and hands the scheduler _transmit_next directly.
+        self._tx_complete = (self._transmit_next if inline
+                             else self._on_transmit_complete)
 
         bind_clock = getattr(scheduler, "bind_clock", None)
         if bind_clock is not None:
@@ -95,9 +155,25 @@ class EgressPort:
     def connect(self, peer) -> None:
         """Attach the downstream node (anything with ``receive(packet)``)."""
         self.peer = peer
+        # One bound method per port, reused for every delivery: saves the
+        # per-packet attribute chain + bound-method allocation, and gives
+        # the heap-scan fault path a unique identity to match on.
+        self._deliver = peer.receive
 
     def _default_classifier(self, packet: Packet) -> int:
         return min(packet.service_class, self.num_queues - 1)
+
+    def set_classifier(self, classifier: Optional[Classifier]) -> None:
+        """Swap the packet classifier at runtime (``None`` restores the
+        default service-class mapping).
+
+        The supported way to change classification after construction:
+        it also turns off the inlined default-classifier fast path so
+        the new function is actually consulted.
+        """
+        self._classifier = classifier or self._default_classifier
+        self._inline_classify = (classifier is None
+                                 and active_config().inline_hot_calls)
 
     # -- PortView protocol ---------------------------------------------------------
 
@@ -127,29 +203,42 @@ class EgressPort:
         """Offer ``packet`` to this port (classification + admission)."""
         if self.peer is None:
             raise ConfigurationError(f"port {self.name} is not connected")
-        queue_index = self._classifier(packet)
+        if self._inline_classify:
+            service_class = packet.service_class
+            last = self.num_queues - 1
+            queue_index = service_class if service_class < last else last
+        else:
+            queue_index = self._classifier(packet)
+        quiet = self._quiet
         if not self.link_up:
             self.dropped_packets += 1
-            self._publish(TOPIC_PACKET_DROP, packet, queue_index,
-                          "link down")
+            if not quiet:
+                self._publish(TOPIC_PACKET_DROP, packet, queue_index,
+                              "link down")
             return
         decision = self.buffer_manager.admit(packet, queue_index)
         if not decision.accept:
             self.dropped_packets += 1
-            self._publish(TOPIC_PACKET_DROP, packet, queue_index,
-                          decision.reason)
+            if not quiet:
+                self._publish(TOPIC_PACKET_DROP, packet, queue_index,
+                              decision.reason)
             return
         if decision.mark and packet.ecn_capable:
             packet.ecn_ce = True
-            self._publish(TOPIC_PACKET_MARK, packet, queue_index, "enqueue")
+            if not quiet:
+                self._publish(TOPIC_PACKET_MARK, packet, queue_index,
+                              "enqueue")
         packet.enqueued_at = self.sim.now
         self._queues[queue_index].append(packet)
         self._queue_bytes[queue_index] += packet.size
         self._total_bytes += packet.size
         self.enqueued_packets += 1
         self.scheduler.on_enqueue(queue_index)
-        self.buffer_manager.on_enqueued(packet, queue_index)
-        self._publish(TOPIC_PACKET_ENQUEUE, packet, queue_index, "")
+        on_enqueued = self._on_enqueued
+        if on_enqueued is not None:
+            on_enqueued(packet, queue_index)
+        if not quiet:
+            self._publish(TOPIC_PACKET_ENQUEUE, packet, queue_index, "")
         if not self._busy:
             self._transmit_next()
 
@@ -164,34 +253,57 @@ class EgressPort:
             self._busy = False
             return
         packet = self._queues[queue_index].popleft()
-        self._queue_bytes[queue_index] -= packet.size
-        self._total_bytes -= packet.size
-        decision = self.buffer_manager.on_dequeue(packet, queue_index)
-        tx_ns = transmission_time(packet.size, self.link_rate_bps)
+        size = packet.size
+        self._queue_bytes[queue_index] -= size
+        self._total_bytes -= size
+        on_dequeue = self._on_dequeue
+        # None means the manager's hook is the base-class unconditional
+        # accept (construction-time check), so the decision dance below
+        # can be skipped entirely.
+        decision = None if on_dequeue is None else on_dequeue(
+            packet, queue_index)
+        cache = self._tx_cache
+        if cache is not None:
+            tx_ns = cache.get(size)
+            if tx_ns is None:
+                tx_ns = transmission_time(size, self.link_rate_bps)
+                cache[size] = tx_ns
+        else:
+            tx_ns = transmission_time(size, self.link_rate_bps)
         self._busy = True
-        if not decision.accept:
-            # Dequeue-time drop (TCN drop variant): the scheduling slot is
-            # already committed, so the wire idles for the packet's
-            # transmission time — the very pathology §II-C describes.
-            self.dropped_packets += 1
-            self._publish(TOPIC_PACKET_DROP, packet, queue_index,
-                          decision.reason)
-            self.sim.schedule(tx_ns, self._on_transmit_complete)
-            return
-        if decision.mark and packet.ecn_capable:
-            packet.ecn_ce = True
-            self._publish(TOPIC_PACKET_MARK, packet, queue_index, "dequeue")
-        self._publish(TOPIC_PACKET_DEQUEUE, packet, queue_index, "")
+        quiet = self._quiet
+        if decision is not None:
+            if not decision.accept:
+                # Dequeue-time drop (TCN drop variant): the scheduling
+                # slot is already committed, so the wire idles for the
+                # packet's transmission time — the very pathology §II-C
+                # describes.
+                self.dropped_packets += 1
+                if not quiet:
+                    self._publish(TOPIC_PACKET_DROP, packet, queue_index,
+                                  decision.reason)
+                self.sim.schedule(tx_ns, self._tx_complete)
+                return
+            if decision.mark and packet.ecn_capable:
+                packet.ecn_ce = True
+                if not quiet:
+                    self._publish(TOPIC_PACKET_MARK, packet, queue_index,
+                                  "dequeue")
+        if not quiet:
+            self._publish(TOPIC_PACKET_DEQUEUE, packet, queue_index, "")
         self.transmitted_packets += 1
-        self.transmitted_bytes += packet.size
+        self.transmitted_bytes += size
+        self.queue_tx_bytes[queue_index] += size
         if (self.corrupt_rate > 0.0 and self._corrupt_rng is not None
                 and self._corrupt_rng.random() < self.corrupt_rate):
             packet.corrupted = True
             self.corrupted_packets += 1
-        self.sim.schedule(tx_ns, self._on_transmit_complete)
-        delivery = self.sim.schedule(tx_ns + self.prop_delay_ns,
-                                     self.peer.receive, packet)
-        self._track_in_flight(delivery)
+        sim = self.sim
+        sim.schedule(tx_ns, self._tx_complete)
+        delivery = sim.schedule(tx_ns + self.prop_delay_ns,
+                                self._deliver, packet)
+        if not self._scan_inflight:
+            self._track_in_flight(delivery)
 
     def _on_transmit_complete(self) -> None:
         self._transmit_next()
@@ -234,6 +346,20 @@ class EgressPort:
         if reinitialize is not None:
             reinitialize()
 
+    def set_link_rate(self, rate_bps: int) -> None:
+        """Change the link rate at runtime (shaping, §V prototype).
+
+        Invalidates the memoised per-size transmission times; in-flight
+        transmissions keep the duration they were scheduled with, which
+        matches how a real shaper only affects subsequent packets.
+        """
+        if rate_bps <= 0:
+            raise ConfigurationError(
+                f"port {self.name}: rate must be positive, got {rate_bps}")
+        self.link_rate_bps = rate_bps
+        if self._tx_cache is not None:
+            self._tx_cache.clear()
+
     def reconfigure_weights(self, weights: Sequence[float]) -> None:
         """Change the scheduler weights at runtime (operator action).
 
@@ -265,12 +391,27 @@ class EgressPort:
         if not self.link_up:
             return
         self.link_up = False
+        if self._scan_inflight:
+            # Fast-path bookkeeping trade: nothing was recorded per
+            # packet, so find the wire's contents by scanning the event
+            # heap for this port's delivery callback.  The scan returns
+            # events in schedule order — the same order the tracking
+            # deque would yield — so the published drop sequence is
+            # identical across modes.
+            for delivery in self.sim.pending_events_for(self._deliver):
+                packet = delivery.args[0]
+                self.sim.cancel(delivery)
+                self.dropped_packets += 1
+                self.inflight_losses += 1
+                self._publish(TOPIC_PACKET_DROP, packet, None,
+                              "lost in flight")
+            return
         while self._in_flight:
-            delivery = self._in_flight.popleft()
-            if delivery.cancelled:  # already delivered
-                continue
-            self.sim.cancel(delivery)
+            delivery, gen = self._in_flight.popleft()
+            if delivery.gen != gen or delivery.cancelled:
+                continue  # already delivered (and possibly recycled)
             packet = delivery.args[0]
+            self.sim.cancel_versioned(delivery, gen)
             self.dropped_packets += 1
             self.inflight_losses += 1
             self._publish(TOPIC_PACKET_DROP, packet, None, "lost in flight")
@@ -321,14 +462,20 @@ class EgressPort:
     def _track_in_flight(self, delivery: Event) -> None:
         """Remember a scheduled delivery so link-down can lose it.
 
-        Executed events are marked cancelled by the simulator, so pruning
-        the head of the deque keeps it bounded by the propagation-delay
-        pipe depth without a separate completion callback.
+        Executed events are marked cancelled by the simulator (and may
+        then be recycled under event pooling), so pruning entries whose
+        event is dead or whose generation moved on keeps the deque
+        bounded by the propagation-delay pipe depth without a separate
+        completion callback.
         """
         in_flight = self._in_flight
-        while in_flight and in_flight[0].cancelled:
-            in_flight.popleft()
-        in_flight.append(delivery)
+        while in_flight:
+            head, gen = in_flight[0]
+            if head.cancelled or head.gen != gen:
+                in_flight.popleft()
+            else:
+                break
+        in_flight.append((delivery, delivery.gen))
 
     # -- tracing -----------------------------------------------------------------
 
@@ -340,3 +487,29 @@ class EgressPort:
                 port=self.name, time=self.sim.now, packet=packet,
                 queue=queue_index, detail=detail,
                 queue_bytes=tuple(self._queue_bytes)))
+
+    def _refresh_topic_flags(self) -> None:
+        """Recompute the per-topic liveness flags (bus watcher target).
+
+        Runs on every (un)subscribe, never per packet, so the per-publish
+        fast path below — and the ``_quiet`` test inlined at the hot call
+        sites — needs no version bookkeeping at all.
+        """
+        has = self.trace.has_subscribers
+        self._topic_live = {t: has(t) for t in _PORT_TOPICS}
+        self._quiet = not any(self._topic_live.values())
+
+    def _publish_cached(self, topic: str, packet: Packet,
+                        queue_index: Optional[int], detail: str) -> None:
+        """Fast-path publish: watcher-maintained per-topic liveness flags.
+
+        Semantically identical to :meth:`_publish` — same topics, same
+        payload dict — but a publish to a silent topic costs one dict
+        lookup instead of allocating the payload closure, and mid-run
+        (un)subscribes are pushed into the flags by the bus watcher.
+        """
+        if self._topic_live.get(topic):
+            trace = self.trace
+            trace.publish(topic, port=self.name, time=self.sim.now,
+                          packet=packet, queue=queue_index, detail=detail,
+                          queue_bytes=tuple(self._queue_bytes))

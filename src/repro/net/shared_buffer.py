@@ -134,4 +134,8 @@ def attach_pool(port, pool: SharedBufferPool) -> None:
 
     port.send = pooled_send
     port._transmit_next = pooled_transmit
+    # The port caches its transmit-completion callback at construction
+    # (fast path schedules _transmit_next directly); re-point it at the
+    # wrapper so completions release pool memory too.
+    port._tx_complete = pooled_transmit
     port.evict_tail = pooled_evict

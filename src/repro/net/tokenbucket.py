@@ -75,5 +75,7 @@ def shape_port(port, fraction: float = 0.995) -> None:
         raise ValueError(f"fraction must be in (0, 1], got {fraction}")
     # Transmission time is computed from link_rate_bps at dequeue; scale
     # the rate the port *believes* it has.  Propagation is untouched.
-    port.link_rate_bps = int(port.link_rate_bps * fraction)
+    # set_link_rate also invalidates the port's memoised per-size
+    # transmission times.
+    port.set_link_rate(int(port.link_rate_bps * fraction))
     port.shaped_fraction = fraction

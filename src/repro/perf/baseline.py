@@ -1,0 +1,81 @@
+"""Benchmark baseline comparison (the regression gate).
+
+A committed baseline (``benchmarks/perf/baseline.json``) pins down two
+things per bench:
+
+* ``ops`` — the exact operation counters of the deterministic workload.
+  These must match bit-for-bit on every machine; a mismatch means the
+  simulator's semantics changed, which is a failure regardless of speed.
+* ``min_speedup`` — a conservatively floored fast-vs-reference speedup.
+  Because both runs happen in the same process on the same machine, the
+  *ratio* is meaningful across hardware even though absolute seconds are
+  not.  A new report regresses when its speedup drops below
+  ``min_speedup * (1 - budget)``; the default budget is 25%.
+
+Baselines are only recorded for benches run at the same ``quick`` factor
+— comparing a ``--quick`` report against a full-size baseline skips the
+op check (the workloads differ) and still enforces the speedup floor,
+which is scale-independent by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+DEFAULT_BUDGET = 0.25
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def make_baseline(report: Dict[str, Any], *,
+                  speedup_floor: float = 0.5) -> Dict[str, Any]:
+    """Derive a committed baseline from one bench report.
+
+    ``speedup_floor`` discounts the measured speedups (machine noise,
+    thermal variance) before pinning them: a measured 4.0x with the
+    default floor commits ``min_speedup = 2.0``.
+    """
+    benches = {}
+    for bench in report["benches"]:
+        benches[bench["name"]] = {
+            "ops": bench["fast"]["ops"],
+            "min_speedup": round(bench["speedup"] * speedup_floor, 3),
+        }
+    return {
+        "schema": "repro.bench-baseline/1",
+        "source_created": report.get("created"),
+        "quick": report.get("quick", False),
+        "scale": report.get("scale", 1.0),
+        "benches": benches,
+    }
+
+
+def compare(report: Dict[str, Any], baseline: Dict[str, Any], *,
+            budget: float = DEFAULT_BUDGET) -> List[str]:
+    """Violations of ``report`` against ``baseline`` (empty = pass)."""
+    if not 0.0 <= budget < 1.0:
+        raise ValueError(f"budget must be in [0, 1), got {budget}")
+    same_size = (report.get("quick", False) == baseline.get("quick", False)
+                 and report.get("scale", 1.0) == baseline.get("scale", 1.0))
+    violations: List[str] = []
+    by_name = {bench["name"]: bench for bench in report["benches"]}
+    for name, expected in baseline["benches"].items():
+        bench = by_name.get(name)
+        if bench is None:
+            violations.append(f"{name}: missing from report")
+            continue
+        if same_size and bench["fast"]["ops"] != expected["ops"]:
+            violations.append(
+                f"{name}: op counters changed: {bench['fast']['ops']} "
+                f"!= {expected['ops']}")
+        allowed = expected["min_speedup"] * (1.0 - budget)
+        if bench["speedup"] < allowed:
+            violations.append(
+                f"{name}: speedup {bench['speedup']:.2f}x below "
+                f"{allowed:.2f}x (baseline {expected['min_speedup']:.2f}x "
+                f"- {budget:.0%} budget)")
+    return violations

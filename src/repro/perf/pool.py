@@ -1,0 +1,116 @@
+"""Object pooling for the packet hot path.
+
+CPython allocates and garbage-collects one :class:`~repro.net.packet.Packet`
+per simulated segment and one per ACK; at the packet rates of the scaling
+benches the allocator itself becomes a first-order cost.  The pool
+recycles dead packets through a free list and re-runs ``Packet.reset``
+(== ``__init__``) on every acquire, so a recycled object is
+field-for-field indistinguishable from a fresh one — including the flags
+only faults set (``corrupted``), only switches set (``ecn_ce``), and
+only receivers read (``ts_echo``).  ``tests/test_perf_pooling.py`` locks
+that invariant in.
+
+Ownership rules (the pool has no reference counting):
+
+* release a packet only when nothing will touch it again — the bench
+  replay driver releases on delivery and on drop, where it is the only
+  owner;
+* never release a packet that a collector may still normalise later
+  (the telemetry recorder and flight recorder normalise at capture
+  time, so port publishes are safe);
+* double-release is a caller bug; the pool guards against the cheap
+  case (same object twice in a row) and the tests exercise it.
+
+Event pooling lives inside :class:`repro.sim.engine.Simulator` itself
+(the free list needs the run loop's pop sites); this module only hosts
+the packet side plus a tiny generic base for future pooled types.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, TypeVar
+
+from ..net.packet import Packet
+
+T = TypeVar("T")
+
+#: Default free-list cap — covers the in-flight packet population of the
+#: largest single-port benches while bounding retained memory.
+DEFAULT_CAP = 4096
+
+
+class ObjectPool(Generic[T]):
+    """Bounded LIFO free list with acquire/reuse/release counters."""
+
+    __slots__ = ("cap", "_free", "acquired", "reused", "released",
+                 "rejected")
+
+    def __init__(self, cap: int = DEFAULT_CAP) -> None:
+        if cap <= 0:
+            raise ValueError(f"pool cap must be positive, got {cap}")
+        self.cap = cap
+        self._free: List[T] = []
+        self.acquired = 0
+        self.reused = 0
+        self.released = 0
+        self.rejected = 0
+
+    def _take(self):
+        """Pop a recycled object, or ``None`` when the list is empty."""
+        self.acquired += 1
+        if self._free:
+            self.reused += 1
+            return self._free.pop()
+        return None
+
+    def _give(self, obj: T) -> bool:
+        """Park ``obj``; returns False when the pool is full or ``obj``
+        is already the most recently released object (cheap double-free
+        guard)."""
+        free = self._free
+        if len(free) >= self.cap or (free and free[-1] is obj):
+            self.rejected += 1
+            return False
+        free.append(obj)
+        self.released += 1
+        return True
+
+    def size(self) -> int:
+        """Objects currently parked in the free list."""
+        return len(self._free)
+
+
+class PacketPool(ObjectPool[Packet]):
+    """Free list of :class:`~repro.net.packet.Packet` objects.
+
+    ``acquire`` takes exactly the ``Packet`` constructor signature and
+    returns either a recycled object re-initialised through
+    ``Packet.reset`` or a fresh one — callers cannot tell the difference
+    and must not try.
+    """
+
+    def acquire(self, flow_id: int, src: str, dst: str, size: int, *,
+                seq: int = 0, end_seq: int = 0, service_class: int = 0,
+                ecn_capable: bool = False, is_ack: bool = False,
+                ack_seq: int = 0, created_at: int = 0) -> Packet:
+        # Spelled-out keywords (mirroring Packet.__init__ exactly) rather
+        # than **kwargs: this is called once per simulated packet, and
+        # the kwargs dict build/unpack costs as much as the reset itself.
+        self.acquired += 1
+        free = self._free
+        if free:
+            self.reused += 1
+            packet = free.pop()
+            packet.reset(flow_id, src, dst, size, seq=seq, end_seq=end_seq,
+                         service_class=service_class,
+                         ecn_capable=ecn_capable, is_ack=is_ack,
+                         ack_seq=ack_seq, created_at=created_at)
+            return packet
+        return Packet(flow_id, src, dst, size, seq=seq, end_seq=end_seq,
+                      service_class=service_class, ecn_capable=ecn_capable,
+                      is_ack=is_ack, ack_seq=ack_seq,
+                      created_at=created_at)
+
+    def release(self, packet: Packet) -> bool:
+        """Return a dead packet to the pool (see the ownership rules)."""
+        return self._give(packet)

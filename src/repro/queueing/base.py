@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import List, Optional, Protocol
 
 from ..net.packet import Packet
+from ..perf.config import active_config
 
 
 class PortView(Protocol):
@@ -43,7 +44,14 @@ class PortView(Protocol):
 
 
 class Decision:
-    """Outcome of an admission check."""
+    """Outcome of an admission check.
+
+    Decisions are immutable by convention: every consumer only reads the
+    three fields.  That is what lets the fast path
+    (:attr:`~repro.perf.config.PerfConfig.cached_decisions`) hand out
+    shared singleton instances for the recurring outcomes instead of
+    allocating two objects per packet (admit + dequeue hook).
+    """
 
     __slots__ = ("accept", "mark", "reason")
 
@@ -80,10 +88,33 @@ class BufferManager:
         self.port: Optional[PortView] = None
         self.drops = 0
         self.marks = 0
+        self._queue_occupancy = None   # direct port state, set by attach
+        self._direct_total = False
+        # Fast path: pre-built singletons for the recurring outcomes.
+        # None in reference mode, in which case every site allocates a
+        # fresh Decision exactly as the pre-optimisation code did.
+        if active_config().cached_decisions:
+            self._accept: Optional[Decision] = Decision.accepted()
+            self._drop_full: Optional[Decision] = Decision.dropped(
+                "port buffer full")
+        else:
+            self._accept = None
+            self._drop_full = None
 
     def attach(self, port: PortView) -> None:
-        """Bind the manager to its port and initialise derived state."""
+        """Bind the manager to its port and initialise derived state.
+
+        With :attr:`~repro.perf.config.PerfConfig.inline_hot_calls` on,
+        admission code reads the port's occupancy state directly
+        (``_queue_bytes`` list / ``_total_bytes`` int) instead of going
+        through the PortView methods on every packet; ports that don't
+        expose those internals (test fakes) fall back to the protocol.
+        """
         self.port = port
+        inline = active_config().inline_hot_calls
+        self._queue_occupancy = (getattr(port, "_queue_bytes", None)
+                                 if inline else None)
+        self._direct_total = inline and hasattr(port, "_total_bytes")
 
     def bind_trace(self, trace, port_name: str) -> None:
         """Offer the manager the port's trace bus (called by the port
@@ -109,7 +140,7 @@ class BufferManager:
         TCN *drop variant* discussed in the paper's §II-C).  The default
         forwards unconditionally.
         """
-        return Decision.accepted()
+        return self._accept or Decision.accepted()
 
     # -- shared helpers ---------------------------------------------------------
 
@@ -120,7 +151,10 @@ class BufferManager:
 
     def _port_tail_drop(self, packet: Packet) -> Optional[Decision]:
         """Common final check: drop when the port buffer is full."""
-        if self.port.total_bytes() + packet.size > self.port.buffer_bytes:
+        port = self.port
+        total = (port._total_bytes if self._direct_total
+                 else port.total_bytes())
+        if total + packet.size > port.buffer_bytes:
             self.drops += 1
-            return Decision.dropped("port buffer full")
+            return self._drop_full or Decision.dropped("port buffer full")
         return None

@@ -22,4 +22,4 @@ class BestEffortBuffer(BufferManager):
         drop = self._port_tail_drop(packet)
         if drop is not None:
             return drop
-        return Decision.accepted()
+        return self._accept or Decision.accepted()

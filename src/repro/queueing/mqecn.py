@@ -41,6 +41,9 @@ class MQECNBuffer(BufferManager):
         scheduler = getattr(port, "scheduler", None)
         if isinstance(scheduler, DRRScheduler):
             self._scheduler = scheduler
+            # The round-time EWMA is lazy by default (perf fast path);
+            # MQ-ECN is its consumer, so switch it on.
+            scheduler.enable_round_tracking()
         else:
             raise TypeError(
                 "MQ-ECN requires a round-based (DRR) scheduler; the round "

@@ -24,6 +24,8 @@ class PQLBuffer(BufferManager):
     def __init__(self) -> None:
         super().__init__()
         self.limits: List[int] = []
+        self._drop_limit = (Decision.dropped("per-queue limit")
+                            if self._accept is not None else None)
 
     def attach(self, port: PortView) -> None:
         super().attach(port)
@@ -34,11 +36,13 @@ class PQLBuffer(BufferManager):
         ]
 
     def admit(self, packet: Packet, queue_index: int) -> Decision:
-        if (self.port.queue_bytes(queue_index) + packet.size
-                > self.limits[queue_index]):
+        occupancy = self._queue_occupancy
+        queue_len = (occupancy[queue_index] if occupancy is not None
+                     else self.port.queue_bytes(queue_index))
+        if queue_len + packet.size > self.limits[queue_index]:
             self.drops += 1
-            return Decision.dropped("per-queue limit")
+            return self._drop_limit or Decision.dropped("per-queue limit")
         drop = self._port_tail_drop(packet)
         if drop is not None:
             return drop
-        return Decision.accepted()
+        return self._accept or Decision.accepted()

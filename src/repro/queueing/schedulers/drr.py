@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional, Sequence
 
+from ...perf.config import active_config
 from .base import QueueView, Scheduler, validate_weights
 
 # EWMA gain for the round-time estimate, as in the MQ-ECN reference
@@ -37,12 +38,38 @@ class DRRScheduler(Scheduler):
         self._round_started_at: Optional[int] = None
         self._round_head: Optional[int] = None
         self.round_time_ns: float = 0.0
+        # Fast path: only MQ-ECN reads the round-time EWMA, so tracking
+        # (a clock lambda call per rotation) stays off until a consumer
+        # calls enable_round_tracking().  Reference mode tracks always,
+        # as the pre-optimisation scheduler did.
+        self._track_rounds = not active_config().lazy_round_time
+        # Fast path: direct references to the port's queue deques (set by
+        # the port via bind_queues when inline_hot_calls is on), replacing
+        # the two QueueView method calls per select() iteration.
+        self._fast_queues = None
 
     # -- wiring ---------------------------------------------------------------
 
     def bind_clock(self, clock) -> None:
         """Give the scheduler access to simulated time (for T_round)."""
         self._clock = clock
+
+    def bind_queues(self, queues) -> None:
+        """Give the scheduler direct access to the port's queue deques.
+
+        Optional fast-path wiring: the port shares the very list of
+        deques backing its :class:`QueueView` answers, so emptiness and
+        head size checks become subscripting instead of method calls.
+        """
+        if len(queues) != self.num_queues:
+            raise ValueError(
+                f"bind_queues: expected {self.num_queues} queues, "
+                f"got {len(queues)}")
+        self._fast_queues = queues
+
+    def enable_round_tracking(self) -> None:
+        """Turn the round-time EWMA on (MQ-ECN calls this on attach)."""
+        self._track_rounds = True
 
     # -- scheduler interface ---------------------------------------------------
 
@@ -70,21 +97,36 @@ class DRRScheduler(Scheduler):
         # queue, or rotates the active list after granting a quantum; with a
         # finite head size the deficit eventually covers it, so this
         # terminates.
-        while self._active:
-            index = self._active[0]
-            if queues.queue_empty(index):
-                self._active.popleft()
+        track = self._track_rounds
+        active = self._active
+        deficits = self._deficits
+        fast = self._fast_queues
+        while active:
+            index = active[0]
+            if fast is not None:
+                queue = fast[index]
+                if queue:
+                    head = queue[0].size
+                else:
+                    head = None
+            elif queues.queue_empty(index):
+                head = None
+            else:
+                head = queues.head_size(index)
+            if head is None:
+                active.popleft()
                 self._in_active[index] = False
-                self._deficits[index] = 0.0
-                self._note_rotation()
+                deficits[index] = 0.0
+                if track:
+                    self._note_rotation()
                 continue
-            head = queues.head_size(index)
-            if self._deficits[index] >= head:
-                self._deficits[index] -= head
+            if deficits[index] >= head:
+                deficits[index] -= head
                 return index
-            self._deficits[index] += self.quanta[index]
-            self._active.rotate(-1)
-            self._note_rotation()
+            deficits[index] += self.quanta[index]
+            active.rotate(-1)
+            if track:
+                self._note_rotation()
         return None
 
     # -- round-time estimation ---------------------------------------------------

@@ -9,6 +9,31 @@ reproducible for a given seed.
 Events carry a plain callback instead of coroutine processes; for a
 packet-level simulator this is both faster and easier to reason about than a
 process-based kernel like simpy (which is not available offline anyway).
+
+Event pooling
+-------------
+
+With :attr:`repro.perf.config.PerfConfig.event_pooling` on (the default)
+the simulator recycles executed/dead events through a free list instead of
+allocating a fresh :class:`Event` per schedule — at packet rates the event
+allocator is one of the hottest sites in the whole simulator.  Recycling is
+observable to code that *retains* an event handle after it fired, so every
+event carries a **generation counter** (:attr:`Event.gen`):
+
+* the counter is bumped every time the pool re-issues the object;
+* :meth:`Simulator.cancel` on a handle whose event already executed is
+  still a no-op *until* the object is re-issued — after that the handle
+  refers to a different logical event, and a raw ``cancel`` would kill an
+  innocent bystander;
+* callers that keep handles across time therefore snapshot ``event.gen``
+  at schedule time and cancel through
+  :meth:`Simulator.cancel_versioned`, which no-ops on a stale generation
+  (see :meth:`repro.net.port.EgressPort._track_in_flight` for the
+  pattern).
+
+Handles that are cleared inside their own callback (RTO timers, delayed
+ACK timers, the watchdog) never observe a recycled object and need no
+versioning.  ``tests/test_perf_pooling.py`` locks these rules in.
 """
 
 from __future__ import annotations
@@ -17,7 +42,12 @@ import heapq
 from time import perf_counter
 from typing import Any, Callable, List, Optional
 
+from ..perf.config import active_config
 from .errors import SimulationError
+
+#: Free-list size cap: enough to absorb the steady-state event population
+#: of the largest experiments while bounding worst-case retained memory.
+EVENT_POOL_CAP = 8192
 
 
 class Event:
@@ -29,9 +59,14 @@ class Event:
     are marked ``cancelled`` too (they are dead either way), which makes
     cancelling an already-fired event a harmless no-op and keeps the
     simulator's live-event counter exact.
+
+    ``gen`` is the pooling generation counter: it changes whenever the
+    simulator re-issues this object for a new logical event, so a caller
+    holding ``(event, gen)`` can tell a recycled object from the event it
+    scheduled (see the module docstring).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "gen")
 
     def __init__(self, time: int, seq: int,
                  callback: Callable[..., None], args: tuple):
@@ -40,6 +75,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.gen = 0
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -49,7 +85,7 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.callback, "__qualname__", repr(self.callback))
         state = " dead" if self.cancelled else ""
-        return f"<Event t={self.time} #{self.seq} {name}{state}>"
+        return f"<Event t={self.time} #{self.seq} g{self.gen} {name}{state}>"
 
 
 class Simulator:
@@ -64,18 +100,32 @@ class Simulator:
     Setting :attr:`profiler` (see :class:`repro.telemetry.RunProfiler`)
     makes the loop time every callback; the attribute is ``None`` by
     default and costs one local truth test per event when unset.
+
+    ``pooling`` selects event recycling explicitly; the default follows
+    :func:`repro.perf.config.active_config` at construction time.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, pooling: Optional[bool] = None) -> None:
         self.now: int = 0
-        self._heap: List[Event] = []
+        # Heap layout follows the pooling mode, fixed at construction:
+        # pooled simulators store (time, seq, event) triples so ordering
+        # compares plain ints in C; the reference path stores bare
+        # Events ordered by Event.__lt__, as the pre-optimisation engine
+        # did.  seq uniqueness guarantees triple comparison never falls
+        # through to the Event object.
+        self._heap: List[Any] = []
         self._seq: int = 0
         self._live: int = 0
         self._running = False
         self._stopped = False
         self.events_executed: int = 0
         self.events_cancelled: int = 0
+        self.events_reused: int = 0
         self.profiler = None  # duck-typed: record(callback, elapsed_s, heap_len)
+        if pooling is None:
+            pooling = active_config().event_pooling
+        self.pooling = pooling
+        self._free: List[Event] = []
 
     # -- scheduling ----------------------------------------------------------
 
@@ -85,7 +135,30 @@ class Simulator:
         if delay < 0:
             raise SimulationError(
                 f"cannot schedule into the past (delay={delay})")
-        return self.at(self.now + delay, callback, *args)
+        if not self.pooling:
+            return self.at(self.now + delay, callback, *args)
+        # Pooled fast path, inlined: schedule() is called once or twice
+        # per packet, so the extra at() call frame is measurable.  The
+        # at() time check is redundant here (delay >= 0 implies
+        # time >= now).
+        time = self.now + delay
+        seq = self._seq
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.gen += 1
+            self.events_reused += 1
+        else:
+            event = Event(time, seq, callback, args)
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._heap, (time, seq, event))
+        return event
 
     def at(self, time: int, callback: Callable[..., None],
            *args: Any) -> Event:
@@ -93,17 +166,50 @@ class Simulator:
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time} < now={self.now}")
-        event = Event(time, self._seq, callback, args)
-        self._seq += 1
+        seq = self._seq
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.gen += 1
+            self.events_reused += 1
+        else:
+            event = Event(time, seq, callback, args)
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        if self.pooling:
+            heapq.heappush(self._heap, (time, seq, event))
+        else:
+            heapq.heappush(self._heap, event)
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel a pending event.  Cancelling ``None``, a finished event,
         or an already-cancelled event is a harmless no-op so callers can
-        cancel unconditionally."""
+        cancel unconditionally.
+
+        With event pooling on, a handle retained *after* its event fired
+        may meanwhile refer to a recycled object; such callers must use
+        :meth:`cancel_versioned` with the generation snapshotted at
+        schedule time instead.
+        """
         if event is not None and not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+            self.events_cancelled += 1
+
+    def cancel_versioned(self, event: Optional[Event], gen: int) -> None:
+        """Cancel ``event`` only if it still is generation ``gen``.
+
+        The pooling-safe cancel for retained handles: a no-op when the
+        object has been re-issued for a different logical event (its
+        ``gen`` moved on) or is already dead.
+        """
+        if event is not None and event.gen == gen and not event.cancelled:
             event.cancelled = True
             self._live -= 1
             self.events_cancelled += 1
@@ -125,9 +231,13 @@ class Simulator:
         executed = 0
         heap = self._heap
         profiler = self.profiler
+        pooling = self.pooling
         try:
+            if pooling and profiler is None and max_events is None:
+                self._run_pooled(until)
+                return
             while heap:
-                event = heap[0]
+                event = heap[0][2] if pooling else heap[0]
                 if event.cancelled:
                     self._compact_head()
                     continue
@@ -145,6 +255,8 @@ class Simulator:
                     event.callback(*event.args)
                     profiler.record(event.callback, perf_counter() - start,
                                     len(heap))
+                if pooling:
+                    self._release(event)
                 self.events_executed += 1
                 executed += 1
                 if self._stopped:
@@ -156,6 +268,58 @@ class Simulator:
                     self.now = until
         finally:
             self._running = False
+
+    def _run_pooled(self, until: Optional[int]) -> None:
+        """Tight run loop for the common pooled case (no profiler, no
+        ``max_events``).  Byte-for-byte the same semantics as the general
+        loop below — same ordering, same clock behaviour, same counters —
+        with the per-event release inlined and the optional checks hoisted
+        out of the hot loop.
+        """
+        heap = self._heap
+        free = self._free
+        pop = heapq.heappop
+        horizon = until if until is not None else float("inf")
+        executed = 0
+        try:
+            while heap:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    # Inline head compaction: dead entries are popped and
+                    # their events recycled right here.
+                    pop(heap)
+                    if len(free) < EVENT_POOL_CAP:
+                        event.callback = None
+                        event.args = ()
+                        free.append(event)
+                    continue
+                time = entry[0]
+                if time > horizon:
+                    self.now = until
+                    break
+                pop(heap)
+                event.cancelled = True  # consumed; see Event docstring
+                self.now = time
+                event.callback(*event.args)
+                if len(free) < EVENT_POOL_CAP:
+                    event.callback = None
+                    event.args = ()
+                    free.append(event)
+                executed += 1
+                if self._stopped:
+                    break
+            else:
+                if until is not None and self.now < until:
+                    self.now = until
+        finally:
+            # Executed events leave the live set in one batch.  Safe to
+            # defer: consumed events are marked cancelled before their
+            # callback runs, so a cancel() from inside a callback cannot
+            # double-count them, and pending() is exact again the moment
+            # run() returns.
+            self.events_executed += executed
+            self._live -= executed
 
     def stop(self) -> None:
         """Stop the loop after the currently executing callback returns."""
@@ -176,12 +340,51 @@ class Simulator:
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next live event, or ``None`` if idle."""
         self._compact_head()
-        return self._heap[0].time if self._heap else None
+        if not self._heap:
+            return None
+        return self._heap[0][0] if self.pooling else self._heap[0].time
+
+    def pool_size(self) -> int:
+        """Events currently parked in the free list."""
+        return len(self._free)
+
+    def pending_events_for(self, callback: Callable[..., None]) -> List[Event]:
+        """Live scheduled events whose callback is ``callback`` (by
+        identity), in execution order.
+
+        O(heap size); meant for *rare* control paths that trade away
+        per-occurrence bookkeeping — a link-down fault collecting the
+        deliveries still on the wire (see
+        :attr:`repro.perf.config.PerfConfig.heap_scan_inflight`) — never
+        for per-packet logic.
+        """
+        if self.pooling:
+            hits = [entry[2] for entry in self._heap
+                    if not entry[2].cancelled
+                    and entry[2].callback is callback]
+        else:
+            hits = [event for event in self._heap
+                    if not event.cancelled and event.callback is callback]
+        hits.sort()  # Event.__lt__: (time, seq) == schedule order here
+        return hits
 
     # -- internals -----------------------------------------------------------
 
     def _compact_head(self) -> None:
         """Pop dead (cancelled/consumed) events off the heap head."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        pooling = self.pooling
+        while heap:
+            event = heap[0][2] if pooling else heap[0]
+            if not event.cancelled:
+                break
             heapq.heappop(heap)
+            if pooling:
+                self._release(event)
+
+    def _release(self, event: Event) -> None:
+        """Park a dead event in the free list (drops payload references)."""
+        if len(self._free) < EVENT_POOL_CAP:
+            event.callback = None
+            event.args = ()
+            self._free.append(event)

@@ -19,10 +19,19 @@ PayloadFactory = Callable[[], Dict[str, Any]]
 
 
 class TraceBus:
-    """Minimal publish/subscribe bus keyed by string topics."""
+    """Minimal publish/subscribe bus keyed by string topics.
+
+    :attr:`version` increments on every (un)subscription.  Hot publish
+    sites (ports) cache per-topic "anyone listening?" flags keyed by this
+    counter, so a publish to a silent topic costs one int compare and a
+    dict lookup instead of building a payload — see
+    ``docs/performance.md``.
+    """
 
     def __init__(self) -> None:
         self._subscribers: DefaultDict[str, List[Subscriber]] = defaultdict(list)
+        self.version = 0
+        self._watchers: List[Callable[[], None]] = []
 
     def subscribe(self, topic: str, callback: Subscriber) -> None:
         """Register ``callback`` to be invoked on every ``publish(topic)``.
@@ -31,12 +40,28 @@ class TraceBus:
         one :meth:`unsubscribe` removes one registration.
         """
         self._subscribers[topic].append(callback)
+        self.version += 1
+        for watcher in self._watchers:
+            watcher()
 
     def unsubscribe(self, topic: str, callback: Subscriber) -> None:
         """Remove a previously registered callback (no-op if absent)."""
         callbacks = self._subscribers.get(topic)
         if callbacks and callback in callbacks:
             callbacks.remove(callback)
+            self.version += 1
+            for watcher in self._watchers:
+                watcher()
+
+    def add_watcher(self, callback: Callable[[], None]) -> None:
+        """Call ``callback`` after every subscription change.
+
+        Push-invalidation for hot publish sites: a port caches "is
+        anyone listening?" flags and refreshes them from its watcher, so
+        the per-publish fast path is a single attribute test with no
+        version compare at all.
+        """
+        self._watchers.append(callback)
 
     def publish(self, topic: str, *args: Any, **kwargs: Any) -> None:
         """Invoke every subscriber of ``topic`` with the given payload.

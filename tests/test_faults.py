@@ -157,7 +157,10 @@ def test_link_down_kills_packets_already_on_the_wire():
     # 1500 B at 1 Gbps is ~12 us on the wire against a 125 us hop, so a
     # few packets from the initial burst are mid-flight at t=50 us.
     net.sim.run(until=microseconds(50))
-    live = [event for event in nic._in_flight if not event.cancelled]
+    # The default fast path keeps no per-packet wire bookkeeping; the
+    # authoritative in-flight set is the scheduled delivery events (the
+    # reference-mode tracking deque mirrors exactly this).
+    live = net.sim.pending_events_for(nic._deliver)
     assert live                             # wire is busy right now
     nic.set_link_down()
     assert nic.inflight_losses == len(live)

@@ -106,7 +106,7 @@ def test_classifier_clips_to_queue_count():
 def test_custom_classifier():
     sim = Simulator()
     port, _ = make_port(sim)
-    port._classifier = lambda packet: 2
+    port.set_classifier(lambda packet: 2)
     port.send(make_packet(1500, service_class=0))
     port.send(make_packet(1500, service_class=0))
     assert port.queue_bytes(2) == 1500  # second packet buffered in q2

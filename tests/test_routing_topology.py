@@ -96,9 +96,14 @@ def test_star_rtt_matches_configuration():
     arrival = []
     packet = make_packet(40)
     packet.src, packet.dst = "h1", "h2"
-    real_receive = net.host("h2").receive
-    net.host("h2").receive = lambda p: (arrival.append(net.sim.now),
-                                        real_receive(p))
+    h2 = net.host("h2")
+    real_receive = h2.receive
+    h2.receive = lambda p: (arrival.append(net.sim.now), real_receive(p))
+    # Ports cache peer.receive at connect() time (delivery fast path), so
+    # swapping the method needs a re-connect to take effect.
+    for port in net.switch("s0").port_list():
+        if port.peer is h2:
+            port.connect(h2)
     net.host("h1").send_packet(packet)
     net.sim.run()
     # One-way: 2 links x 125 us propagation + 2 tiny transmissions.

@@ -148,6 +148,9 @@ def test_drr_round_time_measured_with_clock():
     clock_value = [0]
     scheduler = DRRScheduler([1500, 1500])
     scheduler.bind_clock(lambda: clock_value[0])
+    # Round tracking is lazy by default; its consumer (MQ-ECN) switches
+    # it on at attach time, which this test stands in for.
+    scheduler.enable_round_tracking()
     view = ListQueueView([[], []])
     fill(view, scheduler, 0, [1500] * 50)
     fill(view, scheduler, 1, [1500] * 50)

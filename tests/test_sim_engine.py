@@ -166,8 +166,10 @@ def test_events_executed_counter():
 
 def test_cancel_after_execution_keeps_pending_exact():
     # The O(1) live counter must not double-decrement when an already
-    # executed event is cancelled.
-    sim = Simulator()
+    # executed event is cancelled.  pooling=False so the executed handle
+    # is not recycled into the survivor; retained-handle cancellation
+    # under pooling goes through cancel_versioned (test_perf_pooling.py).
+    sim = Simulator(pooling=False)
     executed = sim.schedule(1, lambda: None)
     sim.run()
     survivor = sim.schedule(5, lambda: None)

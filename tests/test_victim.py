@@ -30,6 +30,25 @@ def test_linear_handles_negative_extras():
     assert linear_victim([-10, -3, -7]) == 1
 
 
+def test_linear_all_negative_with_exclusion():
+    # Regression: a best-value sentinel of 0 would return None here
+    # because no candidate beats 0; the true argmax is index 2.
+    assert linear_victim([-5, -9, -1, -4], exclude=3) == 2
+
+
+def test_linear_mixed_sign_prefers_positive():
+    assert linear_victim([-2, 0, 3, -8]) == 2
+    # And with the positive queue excluded, zero beats the negatives.
+    assert linear_victim([-2, 0, 3, -8], exclude=2) == 1
+
+
+def test_all_implementations_agree_on_all_negative():
+    extra = [-7, -1, -4, -1]
+    for exclude in [None, 0, 1, 2, 3]:
+        expected = linear_victim(extra, exclude)
+        assert tournament_victim(extra, exclude) == expected
+
+
 def test_linear_single_queue_excluded_returns_none():
     assert linear_victim([5], exclude=0) is None
 
