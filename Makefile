@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-quick perf-tier figures chaos
+.PHONY: test bench bench-quick perf-tier figures chaos sweep-smoke
 
 test:            ## tier-1 suite (must always be green)
 	$(PY) -m pytest -x -q
@@ -24,3 +24,15 @@ figures:         ## regenerate the paper-figure benchmarks
 chaos:           ## fault-injection smoke (sum(T) == B under link flaps)
 	$(PY) -m repro chaos --faults examples/linkflap.json \
 	    --scheme dynaq --wall-budget 600
+
+sweep-smoke:     ## parallel-executor determinism: serial == --jobs 2 == --resume
+	$(PY) -m repro fct --schemes dynaq,pql --loads 0.3 --flows 60 \
+	    > /tmp/repro-sweep-serial.out
+	$(PY) -m repro fct --schemes dynaq,pql --loads 0.3 --flows 60 \
+	    --jobs 2 > /tmp/repro-sweep-parallel.out
+	$(PY) -m repro fct --schemes dynaq,pql --loads 0.3 --flows 60 \
+	    --jobs 2 --resume > /tmp/repro-sweep-resumed.out
+	diff /tmp/repro-sweep-serial.out /tmp/repro-sweep-parallel.out
+	diff /tmp/repro-sweep-parallel.out /tmp/repro-sweep-resumed.out
+	rm -f repro-fct.checkpoint.jsonl
+	@echo "sweep-smoke: serial, parallel, and resumed output identical"

@@ -28,6 +28,11 @@ from typing import List, Optional, Sequence, Tuple
 from .core.hardware import cost_table
 from .experiments import report
 from .experiments.chaos import ChaosResult, run_chaos_sweep
+from .experiments.parallel import (
+    parallel_fct_sweep,
+    parallel_incast_runs,
+    parallel_static_runs,
+)
 from .experiments.simulation import SIM_10G, SIM_100G, run_static_sim
 from .experiments.testbed import (
     fct_load_sweep,
@@ -155,6 +160,33 @@ def _load_faults(args) -> Optional[FaultSchedule]:
     return FaultSchedule.from_file(path) if path else None
 
 
+# -- parallel execution plumbing ----------------------------------------------
+
+def _parallel_requested(args) -> bool:
+    """True when the run should go through the worker-pool executor.
+
+    ``--jobs 1`` without ``--resume``/``--checkpoint`` keeps the plain
+    serial code path (its output is byte-identical anyway, but the
+    serial path also supports things workers cannot, e.g. per-packet
+    tracing into ``--trace-out``).
+    """
+    return (getattr(args, "jobs", 1) != 1
+            or getattr(args, "resume", False)
+            or getattr(args, "checkpoint", None) is not None)
+
+
+def _checkpoint_path(args) -> str:
+    return (getattr(args, "checkpoint", None)
+            or f"repro-{args.command}.checkpoint.jsonl")
+
+
+def _print_failures(failures) -> bool:
+    """Report failed sweep points; True when there were any."""
+    for line in report.failure_lines(failures):
+        print(line)
+    return bool(failures)
+
+
 def _cmd_list_schemes(args) -> int:
     for name in scheme_names():
         print(name)
@@ -242,18 +274,28 @@ def _cmd_protocol_mix(args) -> int:
 
 
 def _cmd_fct(args) -> int:
-    distribution = workload(args.workload)
-    if args.truncate_mb:
-        distribution = distribution.truncated(
-            int(args.truncate_mb * 1_000_000))
     session = _telemetry_session(args)
     trace = session.trace if session.active else None
+    failures = []
     try:
         with session:
-            results = fct_load_sweep(
-                args.schemes, _split_floats(args.loads),
-                num_flows=args.flows, distribution=distribution,
-                seed=args.seed, trace=trace)
+            if _parallel_requested(args):
+                results, failures = parallel_fct_sweep(
+                    args.schemes, _split_floats(args.loads),
+                    num_flows=args.flows, workload=args.workload,
+                    truncate_mb=args.truncate_mb, seed=args.seed,
+                    jobs=args.jobs, retries=args.retries,
+                    checkpoint=_checkpoint_path(args),
+                    resume=args.resume, trace=trace)
+            else:
+                distribution = workload(args.workload)
+                if args.truncate_mb:
+                    distribution = distribution.truncated(
+                        int(args.truncate_mb * 1_000_000))
+                results = fct_load_sweep(
+                    args.schemes, _split_floats(args.loads),
+                    num_flows=args.flows, distribution=distribution,
+                    seed=args.seed, trace=trace)
     finally:
         _finish_telemetry(session, args)
     for metric, label in [("avg_overall_ms", "overall"),
@@ -270,7 +312,7 @@ def _cmd_fct(args) -> int:
                 path = f"{args.csv}.{name}.{result.load:.2f}.csv"
                 write_fct_csv(path, result.collector.records)
                 print(f"wrote {path}")
-    return 0
+    return 1 if _print_failures(failures) else 0
 
 
 def _cmd_incast(args) -> int:
@@ -278,9 +320,26 @@ def _cmd_incast(args) -> int:
     print(f"{args.workers}-worker incast into a loaded 1 GbE port")
     print("scheme".ljust(14) + "QCT(ms)".rjust(9) + "mean(ms)".rjust(10)
           + "timeouts".rjust(10))
-    results = _run_traced(args, lambda name, trace: run_incast(
-        name, num_workers=args.workers, horizon_s=args.horizon,
-        trace=trace))
+    failures = []
+    if _parallel_requested(args):
+        session = _telemetry_session(args)
+        trace = session.trace if session.active else None
+        try:
+            with session:
+                outcomes = parallel_incast_runs(
+                    args.schemes, num_workers=args.workers,
+                    horizon_s=args.horizon, jobs=args.jobs,
+                    retries=args.retries,
+                    checkpoint=_checkpoint_path(args),
+                    resume=args.resume, trace=trace)
+        finally:
+            _finish_telemetry(session, args)
+        results = [outcome.value for outcome in outcomes if outcome.ok]
+        failures = [outcome for outcome in outcomes if not outcome.ok]
+    else:
+        results = _run_traced(args, lambda name, trace: run_incast(
+            name, num_workers=args.workers, horizon_s=args.horizon,
+            trace=trace))
     for result in results:
         qct = (f"{result.query_completion_ms:.1f}"
                if result.query_completion_ms is not None else "-")
@@ -288,18 +347,38 @@ def _cmd_incast(args) -> int:
                 if result.mean_fct_ms is not None else "-")
         print(result.scheme.ljust(14) + qct.rjust(9) + mean.rjust(10)
               + str(result.timeouts).rjust(10))
-    return 0
+    return 1 if _print_failures(failures) else 0
 
 
 def _cmd_static_sim(args) -> int:
-    config = SIM_100G if args.rate == "100g" else SIM_10G
-    results = _run_traced(args, lambda name, trace: run_static_sim(
-        name, config=config, num_queues=args.queues,
-        senders_for_queue=lambda k: 2 * k,
-        first_stop_ms=args.first_stop_ms,
-        stop_step_ms=args.stop_step_ms,
-        duration_ms=args.duration_ms,
-        sample_interval_ms=args.sample_ms, trace=trace))
+    failures = []
+    if _parallel_requested(args):
+        session = _telemetry_session(args)
+        trace = session.trace if session.active else None
+        try:
+            with session:
+                outcomes = parallel_static_runs(
+                    args.schemes, rate=args.rate, num_queues=args.queues,
+                    first_stop_ms=args.first_stop_ms,
+                    stop_step_ms=args.stop_step_ms,
+                    duration_ms=args.duration_ms,
+                    sample_interval_ms=args.sample_ms, jobs=args.jobs,
+                    retries=args.retries,
+                    checkpoint=_checkpoint_path(args),
+                    resume=args.resume, trace=trace)
+        finally:
+            _finish_telemetry(session, args)
+        results = [outcome.value for outcome in outcomes if outcome.ok]
+        failures = [outcome for outcome in outcomes if not outcome.ok]
+    else:
+        config = SIM_100G if args.rate == "100g" else SIM_10G
+        results = _run_traced(args, lambda name, trace: run_static_sim(
+            name, config=config, num_queues=args.queues,
+            senders_for_queue=lambda k: 2 * k,
+            first_stop_ms=args.first_stop_ms,
+            stop_step_ms=args.stop_step_ms,
+            duration_ms=args.duration_ms,
+            sample_interval_ms=args.sample_ms, trace=trace))
     per_scheme = {result.scheme: result for result in results}
     print(report.fairness_table(
         {name: result.fairness_series()
@@ -311,13 +390,14 @@ def _cmd_static_sim(args) -> int:
         series = " ".join(f"{value / 1e9:.1f}"
                           for value in result.aggregate_series())
         print(f"{name:<14}{series}")
-    return 0
+    return 1 if _print_failures(failures) else 0
 
 
 def _cmd_chaos(args) -> int:
     schedule = FaultSchedule.from_file(args.faults)
     session = _telemetry_session(args)
     trace = session.trace if session.active else None
+    parallel = _parallel_requested(args)
     try:
         with session:
             outcomes = run_chaos_sweep(
@@ -326,7 +406,10 @@ def _cmd_chaos(args) -> int:
                 flows_per_queue=args.flows_per_queue,
                 duration_s=args.duration,
                 sample_interval_s=args.duration / 20,
-                wall_budget_s=args.wall_budget, trace=trace)
+                wall_budget_s=args.wall_budget, trace=trace,
+                jobs=args.jobs,
+                checkpoint=_checkpoint_path(args) if parallel else None,
+                resume=args.resume)
     finally:
         _finish_telemetry(session, args)
     print(f"chaos: schedule {schedule.name!r} ({len(schedule)} events) "
@@ -471,6 +554,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject faults from this JSON schedule "
                             "(see docs/robustness.md)")
 
+    def add_parallel(p, retries=None):
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run sweep points in N crash-isolated worker "
+                            "processes (output stays byte-identical to "
+                            "--jobs 1; see docs/parallel.md)")
+        p.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="checkpoint file for finished points "
+                            "(default repro-<command>.checkpoint.jsonl "
+                            "when the parallel executor is active)")
+        p.add_argument("--resume", action="store_true",
+                       help="replay finished points from the checkpoint "
+                            "file instead of re-running them")
+        if retries is not None:
+            p.add_argument("--retries", type=int, default=retries,
+                           help="re-runs with a derived seed after a "
+                                "simulation error or worker death")
+
     p = sub.add_parser("convergence", help="Fig. 3 scenario")
     add_common(p)
     add_faults(p)
@@ -522,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--wall-budget", type=float, default=120.0,
                    help="abort a scheme's run after this many real "
                         "seconds (partial metrics are kept)")
+    add_parallel(p)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("fct", help="Figs. 8-9 scenario")
@@ -533,12 +634,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--truncate-mb", type=float, default=12.0,
                    help="clip the flow-size tail (0 = no clipping)")
     p.add_argument("--seed", type=int, default=1)
+    add_parallel(p, retries=0)
     p.set_defaults(func=_cmd_fct)
 
     p = sub.add_parser("incast", help="microburst query-completion time")
     add_common(p, default_schemes="besteffort,pql,dynaq,dynaq-evict")
     p.add_argument("--workers", type=int, default=16)
     p.add_argument("--horizon", type=float, default=2.5)
+    add_parallel(p, retries=0)
     p.set_defaults(func=_cmd_incast)
 
     p = sub.add_parser("static-sim", help="Figs. 10-12 scenario")
@@ -549,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stop-step-ms", type=float, default=12.0)
     p.add_argument("--duration-ms", type=float, default=160.0)
     p.add_argument("--sample-ms", type=float, default=5.0)
+    add_parallel(p, retries=0)
     p.set_defaults(func=_cmd_static_sim)
 
     p = sub.add_parser(

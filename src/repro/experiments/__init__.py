@@ -1,10 +1,11 @@
 """Experiment harness: per-figure scenario runners and report printers."""
 
-from . import incast, report, runner, simulation, sweeps, testbed
+from . import incast, parallel, report, runner, simulation, sweeps, testbed
 from .runner import buffer_factory, scheme, scheme_names, transport_for
 
 __all__ = [
     "incast",
+    "parallel",
     "report",
     "runner",
     "simulation",

@@ -127,7 +127,9 @@ def run_chaos(scheme_name: str, schedule: FaultSchedule, *,
 
 def run_chaos_sweep(scheme_names: Sequence[str],
                     schedule: FaultSchedule, *, seed: int = 1,
-                    retries: int = 1,
+                    retries: int = 1, jobs: int = 1,
+                    checkpoint=None, resume: bool = False,
+                    trace: Optional[TraceBus] = None,
                     **kwargs) -> List[RunOutcome]:
     """:func:`run_chaos` per scheme with retry-with-reseed hardening.
 
@@ -136,8 +138,31 @@ def run_chaos_sweep(scheme_names: Sequence[str],
     every attempt died with a :class:`~repro.sim.errors.SimulationError`).
     Watchdog trips do *not* raise — they surface as partial
     ``ChaosResult``s — so retries only happen on genuine errors.
+
+    ``jobs > 1`` (or a ``checkpoint``/``resume`` request) runs each
+    scheme in a crash-isolated worker process via
+    :func:`repro.experiments.parallel.parallel_map`, with the same
+    retry-with-:func:`~repro.experiments.runner.reseed` semantics and
+    byte-identical outcomes; remaining ``kwargs`` must then be
+    JSON-serialisable, and ``trace`` carries only ``parallel.job``
+    lifecycle events (worker simulations cannot publish across the
+    process boundary).
     """
-    return run_resilient(
-        lambda name, attempt_seed: run_chaos(
-            name, schedule, seed=attempt_seed, **kwargs),
-        scheme_names, seed=seed, retries=retries)
+    if jobs == 1 and checkpoint is None and not resume:
+        return run_resilient(
+            lambda name, attempt_seed: run_chaos(
+                name, schedule, seed=attempt_seed, trace=trace, **kwargs),
+            scheme_names, seed=seed, retries=retries)
+    from .parallel import JobSpec, job_key, parallel_map
+    specs = []
+    for name in scheme_names:
+        params = {"scheme": name, "schedule": schedule.to_dict(),
+                  "seed": seed, **kwargs}
+        specs.append(JobSpec(job_key("chaos", params, label=name),
+                             "chaos", params, seed=seed))
+    outcomes = parallel_map(specs, jobs=jobs, retries=retries,
+                            checkpoint=checkpoint, resume=resume,
+                            trace=trace)
+    return [RunOutcome(name, outcome.value, outcome.error,
+                       outcome.attempts, outcome.seed)
+            for name, outcome in zip(scheme_names, outcomes)]

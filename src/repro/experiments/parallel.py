@@ -1,0 +1,760 @@
+"""Parallel experiment execution: crash-isolated worker processes.
+
+Every evaluation figure runs a grid of independent simulations
+(scheme x load x seed).  This module fans those grid points out to
+worker processes while keeping three guarantees the serial runners
+already give:
+
+**Determinism.**  Results are reassembled in grid/seed submission order,
+never completion order, and workers marshal results through the same
+JSON-shaped encoding the checkpoint file uses, so sweep records, summary
+tables, and CSV exports are byte-identical to a serial run with the same
+seeds (see ``tests/test_parallel.py`` for the differential tests).
+
+**Crash isolation.**  A job that dies with a
+:class:`~repro.sim.errors.SimulationError` — watchdog trips included —
+or whose worker process disappears entirely is retried with the
+deterministic :func:`~repro.experiments.runner.reseed` sequence, and a
+job that exhausts its retries records a per-point failure instead of
+killing the sweep.
+
+**Resumability.**  Completed points are appended to a JSONL checkpoint
+file as they finish; a sweep restarted with ``resume=True`` replays the
+finished points from the file and only runs what is missing.
+
+Workers are started with the ``spawn`` method (no inherited state, safe
+under any host application), so job parameters must be picklable and
+JSON-serialisable; jobs name their work through the :data:`JOB_KINDS`
+registry rather than by pickling callables.  See ``docs/parallel.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import deque
+from importlib import import_module
+from multiprocessing import connection, get_context
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..metrics.fct import FCTCollector, FlowRecord
+from ..metrics.throughput import ThroughputSample
+from ..sim.errors import ConfigurationError, SimulationError
+from ..sim.trace import TOPIC_PARALLEL_JOB, TraceBus
+from .runner import reseed, scheme
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Job specs and outcomes
+# ---------------------------------------------------------------------------
+
+class JobSpec(NamedTuple):
+    """One unit of work: a registry kind plus JSON-able parameters.
+
+    ``seed`` is the job's *base* seed; on retry attempt ``k`` the
+    executor rewrites the parameter at ``seed_path`` (a key path into
+    ``params``) to :func:`~repro.experiments.runner.reseed`\\ ``(seed, k)``
+    so two operators replaying a failing sweep land on the same
+    replacement seeds.  Jobs without randomness use ``seed=None``.
+    """
+
+    key: str
+    kind: str
+    params: Dict[str, Any]
+    seed: Optional[int] = None
+    seed_path: Tuple[str, ...] = ("seed",)
+
+
+class JobOutcome(NamedTuple):
+    """The terminal state of one job after all attempts."""
+
+    key: str
+    value: Any                  # decoded result, None when the job failed
+    error: Optional[str]        # last error when every attempt failed
+    attempts: int               # 1 = first try succeeded
+    seed: Optional[int]         # seed of the last attempt
+    cached: bool = False        # replayed from the checkpoint file
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def job_key(kind: str, params: Dict[str, Any], label: str = "") -> str:
+    """Stable checkpoint identity for a job: kind + parameter digest.
+
+    Two sweeps asking for the same work produce the same key, so a
+    resumed sweep recognises its finished points; any parameter change
+    produces a fresh key and the point re-runs.
+    """
+    try:
+        canonical = json.dumps({"kind": kind, "params": params},
+                               sort_keys=True)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"job parameters must be JSON-serialisable for "
+            f"checkpointing: {exc}") from exc
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:12]
+    prefix = f"{label}:" if label else ""
+    return f"{prefix}{kind}:{digest}"
+
+
+def _with_seed(params: Dict[str, Any], path: Tuple[str, ...],
+               seed: int) -> Dict[str, Any]:
+    """Copy ``params`` with the value at ``path`` replaced by ``seed``."""
+    out = dict(params)
+    node = out
+    for name in path[:-1]:
+        node[name] = dict(node[name])
+        node = node[name]
+    node[path[-1]] = seed
+    return out
+
+
+def _attempt_params(spec: JobSpec,
+                    attempt: int) -> Tuple[Dict[str, Any], Optional[int]]:
+    if spec.seed is None:
+        return spec.params, None
+    seed = reseed(spec.seed, attempt)
+    return _with_seed(spec.params, spec.seed_path, seed), seed
+
+
+# ---------------------------------------------------------------------------
+# Job-kind registry: how a worker runs a job and marshals its result
+# ---------------------------------------------------------------------------
+
+class JobKind(NamedTuple):
+    """Run one job and translate its result to/from JSON-able data.
+
+    ``encode`` runs in the worker, ``decode`` in the parent; both the
+    live result path and the checkpoint-replay path decode the same
+    encoded form, which is what makes resumed output identical to
+    uninterrupted output.
+    """
+
+    run: Callable[..., Any]
+    encode: Callable[[Any], Any]
+    decode: Callable[[Any], Any]
+
+
+def resolve_target(text: str) -> Callable[..., Any]:
+    """Import ``"module:qualname"`` back into the callable it names."""
+    module_name, sep, qualname = text.partition(":")
+    if not sep or not module_name or not qualname:
+        raise ConfigurationError(
+            f"job target must look like 'module:qualname', got {text!r}")
+    obj: Any = import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def callable_target(fn: Callable[..., Any]) -> str:
+    """The ``"module:qualname"`` a spawn-started worker can re-import.
+
+    Lambdas, closures, and ``__main__`` functions cannot be named across
+    a process boundary; they fail here, at submission time, with a clear
+    message instead of a pickle error inside a worker.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", "")
+    target = f"{module}:{qualname}"
+    if (not module or module == "__main__" or not qualname
+            or "<" in qualname):
+        raise ConfigurationError(
+            f"experiment {fn!r} is not importable as {target!r}; "
+            "parallel sweeps need a module-level function "
+            "(lambdas/closures only work with jobs=1)")
+    try:
+        resolved = resolve_target(target)
+    except (ImportError, AttributeError) as exc:
+        raise ConfigurationError(
+            f"experiment {fn!r} is not importable as {target!r}: "
+            f"{exc}") from exc
+    if resolved is not fn:
+        raise ConfigurationError(
+            f"experiment {fn!r} does not round-trip through {target!r}; "
+            "parallel sweeps need a module-level function")
+    return target
+
+
+def _jsonable(value: Any) -> Any:
+    """Normalise a result through JSON so live == checkpointed output."""
+    return json.loads(json.dumps(value))
+
+
+def _run_callable_job(*, target: str, kwargs: Dict[str, Any]) -> Any:
+    return resolve_target(target)(**kwargs)
+
+
+# -- fct ----------------------------------------------------------------------
+
+def _run_fct_job(*, scheme: str, load: float, num_flows: int,
+                 workload: str, truncate_mb: float, seed: int,
+                 **kwargs: Any):
+    from ..workloads.datasets import workload as load_workload
+    from .testbed import run_fct_experiment
+    distribution = load_workload(workload)
+    if truncate_mb:
+        distribution = distribution.truncated(int(truncate_mb * 1_000_000))
+    return run_fct_experiment(scheme, load=load, num_flows=num_flows,
+                              distribution=distribution, seed=seed,
+                              **kwargs)
+
+
+def _encode_fct(result) -> Dict[str, Any]:
+    return {
+        "scheme": result.scheme,
+        "load": result.load,
+        "completed": result.completed,
+        "outstanding": result.outstanding,
+        "records": [list(record) for record in result.collector.records],
+    }
+
+
+def _decode_fct(payload):
+    from .testbed import FCTResult
+    collector = FCTCollector()
+    for flow_id, size_bytes, fct_ns, service_class in payload["records"]:
+        collector.records.append(
+            FlowRecord(int(flow_id), int(size_bytes), int(fct_ns),
+                       int(service_class)))
+    return FCTResult(payload["scheme"], payload["load"],
+                     collector.summary(), payload["completed"],
+                     payload["outstanding"], collector)
+
+
+# -- incast -------------------------------------------------------------------
+
+def _run_incast_job(*, scheme: str, **kwargs: Any):
+    from .incast import run_incast
+    return run_incast(scheme, **kwargs)
+
+
+def _encode_incast(result) -> List[Any]:
+    return list(result)
+
+
+def _decode_incast(payload):
+    from .incast import IncastResult
+    return IncastResult(*payload)
+
+
+# -- static-sim ---------------------------------------------------------------
+
+def _encode_samples(samples: Sequence[ThroughputSample]) -> List[List[Any]]:
+    return [[sample.time_ns, list(sample.per_queue_bps),
+             sample.aggregate_bps] for sample in samples]
+
+
+def _decode_samples(payload) -> List[ThroughputSample]:
+    return [ThroughputSample(int(time_ns), tuple(per_queue), aggregate)
+            for time_ns, per_queue, aggregate in payload]
+
+
+def _run_static_job(*, scheme: str, rate: str, **kwargs: Any):
+    from .simulation import SIM_100G, SIM_10G, run_static_sim
+    config = SIM_100G if rate == "100g" else SIM_10G
+    return run_static_sim(scheme, config=config, **kwargs)
+
+
+def _encode_static(result) -> Dict[str, Any]:
+    return {
+        "scheme": result.scheme,
+        "samples": _encode_samples(result.samples),
+        "stop_times_ns": list(result.stop_times_ns),
+        "config": list(result.config),
+        "num_queues": result.num_queues,
+    }
+
+
+def _decode_static(payload):
+    from .simulation import SimConfig, StaticSimResult
+    return StaticSimResult(
+        payload["scheme"], _decode_samples(payload["samples"]),
+        list(payload["stop_times_ns"]), SimConfig(*payload["config"]),
+        payload["num_queues"])
+
+
+# -- chaos --------------------------------------------------------------------
+
+def _run_chaos_job(*, scheme: str, schedule: Dict[str, Any],
+                   **kwargs: Any):
+    from ..faults import FaultSchedule
+    from .chaos import run_chaos
+    return run_chaos(scheme, FaultSchedule.from_dict(schedule), **kwargs)
+
+
+def _encode_chaos(result) -> Dict[str, Any]:
+    inner = result.result
+    return {
+        "scheme": result.scheme,
+        "schedule": result.schedule,
+        "result": None if inner is None else {
+            "scheme": inner.scheme,
+            "samples": _encode_samples(inner.samples),
+            "config": list(inner.config),
+            "num_queues": inner.num_queues,
+        },
+        "aborted": result.aborted,
+        "injected": result.injected,
+        "recovered": result.recovered,
+        "checks": result.checks,
+        "violations": result.violations,
+        "jain_before": result.jain_before,
+        "jain_during": result.jain_during,
+        "jain_after": result.jain_after,
+    }
+
+
+def _decode_chaos(payload):
+    from .chaos import ChaosResult
+    from .testbed import TestbedConfig, ThroughputResult
+    inner = payload["result"]
+    result = None
+    if inner is not None:
+        result = ThroughputResult(
+            inner["scheme"], _decode_samples(inner["samples"]), None,
+            TestbedConfig(*inner["config"]), inner["num_queues"])
+    return ChaosResult(
+        scheme=payload["scheme"], schedule=payload["schedule"],
+        result=result, aborted=payload["aborted"],
+        injected=payload["injected"], recovered=payload["recovered"],
+        checks=payload["checks"], violations=payload["violations"],
+        jain_before=payload["jain_before"],
+        jain_during=payload["jain_during"],
+        jain_after=payload["jain_after"])
+
+
+#: Work a worker process knows how to run, by name.  Only the *name*
+#: crosses the process boundary; the spawned worker re-imports this
+#: module and looks the kind up again, so entries need not be picklable.
+JOB_KINDS: Dict[str, JobKind] = {
+    "callable": JobKind(_run_callable_job, _jsonable, lambda p: p),
+    "fct": JobKind(_run_fct_job, _encode_fct, _decode_fct),
+    "incast": JobKind(_run_incast_job, _encode_incast, _decode_incast),
+    "static-sim": JobKind(_run_static_job, _encode_static, _decode_static),
+    "chaos": JobKind(_run_chaos_job, _encode_chaos, _decode_chaos),
+}
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint file: append-only JSONL of finished points
+# ---------------------------------------------------------------------------
+
+class SweepCheckpoint:
+    """Append-only JSONL record of finished sweep points.
+
+    One line per terminal job state.  With ``resume=True`` an existing
+    file is loaded and successful entries are replayed (failed entries
+    re-run); otherwise the file starts fresh.  A torn final line — the
+    signature of a killed process — is ignored on load.
+    """
+
+    def __init__(self, path: PathLike, *, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.resume = resume
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._handle = None
+        if resume and self.path.exists():
+            for line in self.path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(entry, dict) and "key" in entry:
+                    self._entries[entry["key"]] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def completed(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored entry for ``key`` if it finished successfully."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.get("status") == "ok":
+            return entry
+        return None
+
+    def record(self, key: str, *, status: str, payload: Any = None,
+               error: Optional[str] = None, attempts: int = 1,
+               seed: Optional[int] = None) -> None:
+        entry: Dict[str, Any] = {"key": key, "status": status,
+                                 "attempts": attempts, "seed": seed}
+        if payload is not None:
+            entry["payload"] = payload
+        if error is not None:
+            entry["error"] = error
+        self._entries[key] = entry
+        if self._handle is None:
+            mode = "a" if self.resume else "w"
+            self._handle = self.path.open(mode)
+        self._handle.write(json.dumps(entry) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+class _Handle(NamedTuple):
+    """Parent-side bookkeeping for one live worker process."""
+
+    spec: JobSpec
+    attempt: int
+    seed: Optional[int]
+    process: Any
+    conn: Any
+
+
+def _worker_main(conn, kind_name: str, params: Dict[str, Any]) -> None:
+    """Worker entry point: run one job, send one message, exit."""
+    try:
+        kind = JOB_KINDS[kind_name]
+        result = kind.run(**params)
+        conn.send(("ok", kind.encode(result)))
+    except SimulationError as exc:
+        conn.send(("error", str(exc) or type(exc).__name__))
+    except BaseException as exc:
+        # A non-simulation exception is a bug, not a flaky run: report
+        # it as fatal (the parent re-raises) and let the traceback land
+        # on stderr for debugging.
+        try:
+            conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+def parallel_map(specs: Sequence[JobSpec], *, jobs: int = 1,
+                 retries: int = 0,
+                 checkpoint: Optional[PathLike] = None,
+                 resume: bool = False,
+                 trace: Optional[TraceBus] = None,
+                 on_result: Optional[Callable[[JobOutcome], None]] = None,
+                 start_method: str = "spawn") -> List[JobOutcome]:
+    """Run every job and return one outcome per spec, in spec order.
+
+    ``jobs`` worker processes run concurrently (``jobs=1`` executes
+    in-process through the identical retry/marshal/checkpoint path, so
+    serial and parallel runs produce the same bytes).  ``retries``
+    extra attempts with :func:`~repro.experiments.runner.reseed`-derived
+    seeds follow a :class:`SimulationError` or a worker death; a job
+    that exhausts them yields a failed outcome instead of raising.
+
+    ``checkpoint`` names a JSONL file that receives every terminal job
+    state as it happens; with ``resume=True`` previously successful
+    entries are replayed instead of re-run.  ``trace`` receives
+    ``parallel.job`` lifecycle events (start/retry/done/failed/cached).
+    ``on_result`` is called with each outcome as it becomes final, in
+    completion order — if it raises, in-flight workers are terminated
+    and the checkpoint keeps what already finished.
+    """
+    specs = list(specs)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    keys = [spec.key for spec in specs]
+    if len(set(keys)) != len(keys):
+        raise ConfigurationError("duplicate job keys in one sweep")
+    for spec in specs:
+        if spec.kind not in JOB_KINDS:
+            raise ConfigurationError(
+                f"unknown job kind {spec.kind!r}; "
+                f"known: {sorted(JOB_KINDS)}")
+
+    own_store = not isinstance(checkpoint, SweepCheckpoint)
+    store: Optional[SweepCheckpoint]
+    if checkpoint is None:
+        store = None
+    elif own_store:
+        store = SweepCheckpoint(checkpoint, resume=resume)
+    else:
+        store = checkpoint
+
+    started = time.monotonic()
+
+    def publish(detail: str, key: str) -> None:
+        if trace is not None:
+            trace.publish(
+                TOPIC_PARALLEL_JOB,
+                time=int((time.monotonic() - started) * 1e9),
+                detail=f"{detail} {key}")
+
+    outcomes: Dict[str, JobOutcome] = {}
+
+    def finish(outcome: JobOutcome) -> None:
+        outcomes[outcome.key] = outcome
+        publish("done" if outcome.ok else "failed", outcome.key)
+        if on_result is not None:
+            on_result(outcome)
+
+    todo: List[JobSpec] = []
+    for spec in specs:
+        entry = store.completed(spec.key) if store is not None else None
+        if entry is not None:
+            outcome = JobOutcome(
+                spec.key, JOB_KINDS[spec.kind].decode(entry["payload"]),
+                None, entry.get("attempts", 1),
+                entry.get("seed", spec.seed), True)
+            outcomes[spec.key] = outcome
+            publish("cached", spec.key)
+            if on_result is not None:
+                on_result(outcome)
+        else:
+            todo.append(spec)
+
+    try:
+        if jobs == 1:
+            _run_serial(todo, retries, store, finish, publish)
+        elif todo:
+            _run_pool(todo, jobs, retries, store, finish, publish,
+                      start_method)
+    finally:
+        if store is not None and own_store:
+            store.close()
+    return [outcomes[key] for key in keys]
+
+
+def _record_success(store: Optional[SweepCheckpoint], spec: JobSpec,
+                    payload: Any, attempt: int,
+                    seed: Optional[int]) -> JobOutcome:
+    if store is not None:
+        store.record(spec.key, status="ok", payload=payload,
+                     attempts=attempt, seed=seed)
+    return JobOutcome(spec.key, JOB_KINDS[spec.kind].decode(payload),
+                      None, attempt, seed)
+
+
+def _record_failure(store: Optional[SweepCheckpoint], spec: JobSpec,
+                    error: str, attempt: int,
+                    seed: Optional[int]) -> JobOutcome:
+    if store is not None:
+        store.record(spec.key, status="error", error=error,
+                     attempts=attempt, seed=seed)
+    return JobOutcome(spec.key, None, error, attempt, seed)
+
+
+def _run_serial(todo: Sequence[JobSpec], retries: int,
+                store: Optional[SweepCheckpoint],
+                finish: Callable[[JobOutcome], None],
+                publish: Callable[[str, str], None]) -> None:
+    """In-process execution with the same retry/marshal semantics."""
+    for spec in todo:
+        kind = JOB_KINDS[spec.kind]
+        attempt = 0
+        last_error = ""
+        while attempt <= retries:
+            attempt += 1
+            params, seed = _attempt_params(spec, attempt)
+            publish("start" if attempt == 1 else f"retry[{attempt}]",
+                    spec.key)
+            try:
+                result = kind.run(**params)
+            except SimulationError as exc:
+                last_error = str(exc) or type(exc).__name__
+                continue
+            finish(_record_success(store, spec, kind.encode(result),
+                                   attempt, seed))
+            break
+        else:
+            _, seed = _attempt_params(spec, attempt)
+            finish(_record_failure(store, spec, last_error, attempt, seed))
+
+
+def _run_pool(todo: Sequence[JobSpec], jobs: int, retries: int,
+              store: Optional[SweepCheckpoint],
+              finish: Callable[[JobOutcome], None],
+              publish: Callable[[str, str], None],
+              start_method: str) -> None:
+    """Fan jobs out to single-job worker processes.
+
+    One process per job attempt: a worker that segfaults, is OOM-killed,
+    or calls ``os._exit`` takes down nothing but its own job, which is
+    retried (with a fresh seed) or recorded as failed.  Results travel
+    over a per-worker pipe, and the parent waits on pipes *and* process
+    sentinels together so a large result being streamed and a silent
+    death are both handled without deadlock.
+    """
+    ctx = get_context(start_method)
+    pending = deque((spec, 1, "") for spec in todo)
+    running: Dict[Any, _Handle] = {}
+
+    def launch(spec: JobSpec, attempt: int) -> None:
+        params, seed = _attempt_params(spec, attempt)
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=_worker_main,
+                              args=(send_conn, spec.kind, params),
+                              daemon=True)
+        process.start()
+        send_conn.close()  # keep only the child's write end open
+        publish("start" if attempt == 1 else f"retry[{attempt}]", spec.key)
+        running[recv_conn] = _Handle(spec, attempt, seed, process,
+                                     recv_conn)
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                spec, attempt, _ = pending.popleft()
+                launch(spec, attempt)
+            waitables = (list(running.keys())
+                         + [h.process.sentinel for h in running.values()])
+            ready = set(connection.wait(waitables))
+            done = [h for h in running.values()
+                    if h.conn in ready or h.process.sentinel in ready]
+            for handle in done:
+                del running[handle.conn]
+                message = None
+                try:
+                    if handle.conn.poll(0):
+                        message = handle.conn.recv()
+                except (EOFError, OSError):
+                    message = None  # worker died mid-send
+                handle.process.join()
+                handle.conn.close()
+                spec, attempt = handle.spec, handle.attempt
+                if message is not None and message[0] == "ok":
+                    finish(_record_success(store, spec, message[1],
+                                           attempt, handle.seed))
+                    continue
+                if message is not None and message[0] == "fatal":
+                    raise RuntimeError(
+                        f"worker for job {spec.key!r} raised: "
+                        f"{message[1]}")
+                if message is None:
+                    code = handle.process.exitcode
+                    error = f"worker died (exit code {code})"
+                else:
+                    error = message[1]
+                if attempt <= retries:
+                    pending.append((spec, attempt + 1, error))
+                else:
+                    finish(_record_failure(store, spec, error, attempt,
+                                           handle.seed))
+    except BaseException:
+        # Interrupt / fatal error: reap the fleet; the checkpoint keeps
+        # everything that already finished, so the sweep can resume.
+        for handle in running.values():
+            handle.process.terminate()
+        for handle in running.values():
+            handle.process.join()
+            handle.conn.close()
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Sweep front-ends used by the CLI (and handy for library callers)
+# ---------------------------------------------------------------------------
+
+def parallel_fct_sweep(scheme_names: Sequence[str],
+                       loads: Sequence[float], *,
+                       num_flows: int, workload: str,
+                       truncate_mb: float = 0.0, seed: int = 1,
+                       jobs: int = 1, retries: int = 0,
+                       checkpoint: Optional[PathLike] = None,
+                       resume: bool = False,
+                       trace: Optional[TraceBus] = None,
+                       on_result: Optional[Callable[[JobOutcome], None]]
+                       = None,
+                       **kwargs: Any):
+    """Figs. 8-9 load sweep across worker processes.
+
+    Returns ``(results, failures)`` where ``results`` has the exact
+    shape of :func:`~repro.experiments.testbed.fct_load_sweep` —
+    ``{scheme: [FCTResult per load]}`` in declaration order — and
+    ``failures`` lists the outcomes of points that exhausted their
+    retries (their result slot holds an empty placeholder, so the
+    report tables render ``-`` cells instead of crashing).
+    """
+    specs = []
+    for name in scheme_names:
+        scheme(name)  # fail fast on unknown schemes, like the serial path
+        for load in loads:
+            params = {"scheme": name, "load": load, "num_flows": num_flows,
+                      "workload": workload, "truncate_mb": truncate_mb,
+                      "seed": seed, **kwargs}
+            specs.append(JobSpec(
+                job_key("fct", params, label=f"{name}@{load:g}"),
+                "fct", params, seed=seed))
+    outcomes = parallel_map(specs, jobs=jobs, retries=retries,
+                            checkpoint=checkpoint, resume=resume,
+                            trace=trace, on_result=on_result)
+    results: Dict[str, List[Any]] = {}
+    failures: List[JobOutcome] = []
+    cursor = iter(outcomes)
+    for name in scheme_names:
+        row = []
+        for load in loads:
+            outcome = next(cursor)
+            if outcome.ok:
+                row.append(outcome.value)
+            else:
+                failures.append(outcome)
+                row.append(_failed_fct_placeholder(name, load))
+        results[name] = row
+    return results, failures
+
+
+def _failed_fct_placeholder(name: str, load: float):
+    from .testbed import FCTResult
+    collector = FCTCollector()
+    return FCTResult(scheme(name).name, load, collector.summary(), 0, 0,
+                     collector)
+
+
+def parallel_incast_runs(scheme_names: Sequence[str], *, jobs: int = 1,
+                         retries: int = 0,
+                         checkpoint: Optional[PathLike] = None,
+                         resume: bool = False,
+                         trace: Optional[TraceBus] = None,
+                         **kwargs: Any) -> List[JobOutcome]:
+    """One incast run per scheme, fanned across workers (spec order)."""
+    specs = []
+    for name in scheme_names:
+        scheme(name)
+        params = {"scheme": name, **kwargs}
+        specs.append(JobSpec(job_key("incast", params, label=name),
+                             "incast", params))
+    return parallel_map(specs, jobs=jobs, retries=retries,
+                        checkpoint=checkpoint, resume=resume, trace=trace)
+
+
+def parallel_static_runs(scheme_names: Sequence[str], *, rate: str,
+                         jobs: int = 1, retries: int = 0,
+                         checkpoint: Optional[PathLike] = None,
+                         resume: bool = False,
+                         trace: Optional[TraceBus] = None,
+                         **kwargs: Any) -> List[JobOutcome]:
+    """One static-sim run per scheme, fanned across workers (spec order)."""
+    specs = []
+    for name in scheme_names:
+        scheme(name)
+        params = {"scheme": name, "rate": rate, **kwargs}
+        specs.append(JobSpec(job_key("static-sim", params, label=name),
+                             "static-sim", params))
+    return parallel_map(specs, jobs=jobs, retries=retries,
+                        checkpoint=checkpoint, resume=resume, trace=trace)

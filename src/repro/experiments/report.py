@@ -180,3 +180,15 @@ def fairness_table(samples_by_scheme: Dict[str, Sequence[float]], *,
         minimum = min(values) if values else 1.0
         lines.append(name.ljust(22) + _fmt(mean, 9) + _fmt(minimum, 9))
     return "\n".join(lines)
+
+
+def failure_lines(outcomes) -> List[str]:
+    """One line per failed parallel-sweep job outcome.
+
+    Successful outcomes are skipped, so the CLI can pass a whole
+    outcome list or a pre-filtered failure list — a clean sweep prints
+    nothing either way (serial and parallel stdout stay identical).
+    """
+    return [f"FAILED {outcome.key}: {outcome.error} "
+            f"(after {outcome.attempts} attempt(s))"
+            for outcome in outcomes if not outcome.ok]

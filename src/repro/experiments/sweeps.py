@@ -4,21 +4,36 @@ Glue between the per-figure runners and the stats module: declare a grid
 of parameter values, run an experiment callable at every grid point
 (optionally replicated over seeds), and get back a tidy list of records
 ready for printing or CSV export.
+
+Sweeps can fan out to worker processes (``jobs > 1``) through
+:mod:`repro.experiments.parallel`; records come back in grid/seed order
+either way, so serial and parallel runs of the same sweep are
+byte-identical.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..metrics.stats import Summary, summarize
+from ..sim.errors import SimulationError
+from ..sim.trace import TraceBus
+
+PathLike = Union[str, Path]
 
 
 def grid_points(grid: Dict[str, Sequence]) -> List[Dict]:
-    """Cartesian product of a parameter grid, as keyword dicts."""
+    """Cartesian product of a parameter grid, as keyword dicts.
+
+    Parameter order follows the caller's declaration (dict insertion
+    order), not alphabetical order, so downstream tables and CSV columns
+    read the way the sweep was written.
+    """
     if not grid:
         return [{}]
-    names = sorted(grid)
+    names = list(grid)
     points = []
     for values in itertools.product(*(grid[name] for name in names)):
         points.append(dict(zip(names, values)))
@@ -28,41 +43,116 @@ def grid_points(grid: Dict[str, Sequence]) -> List[Dict]:
 def run_sweep(experiment: Callable[..., Dict[str, Optional[float]]],
               grid: Dict[str, Sequence], *,
               seeds: Sequence[int] = (1,),
-              seed_param: str = "seed") -> List[Dict]:
+              seed_param: str = "seed",
+              jobs: int = 1,
+              retries: int = 0,
+              checkpoint: Optional[PathLike] = None,
+              resume: bool = False,
+              trace: Optional[TraceBus] = None) -> List[Dict]:
     """Run ``experiment(**point, seed=s)`` over the grid x seeds.
 
     ``experiment`` returns a flat metric dict (``None`` values allowed).
     The result is one record per grid point: the parameters plus a
     :class:`~repro.metrics.stats.Summary` per metric (metrics missing
-    from every replication are omitted).
+    from every replication are omitted) and a ``failures`` count of
+    replications that raised :class:`~repro.sim.errors.SimulationError`
+    — one failing seed no longer aborts the sweep.
+
+    ``jobs > 1`` (or a ``checkpoint``/``resume`` request) routes every
+    (point, seed) replication through
+    :func:`repro.experiments.parallel.parallel_map`: ``experiment`` must
+    then be a module-level function (workers re-import it by name), and
+    an interrupted sweep restarted with ``resume=True`` replays finished
+    replications from the checkpoint file.  Records are identical to a
+    serial run either way.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    records = []
-    for point in grid_points(grid):
-        collected: Dict[str, List[float]] = {}
-        for seed in seeds:
-            metrics = experiment(**point, **{seed_param: seed})
-            for name, value in metrics.items():
-                if value is not None:
-                    collected.setdefault(name, []).append(float(value))
-        record = dict(point)
-        record["metrics"] = {name: summarize(values)
-                             for name, values in collected.items()}
-        records.append(record)
-    return records
+    points = grid_points(grid)
+    if jobs == 1 and checkpoint is None and not resume:
+        per_point = [_run_point_serial(experiment, point, seeds, seed_param)
+                     for point in points]
+    else:
+        per_point = _run_points_parallel(
+            experiment, points, seeds, seed_param, jobs=jobs,
+            retries=retries, checkpoint=checkpoint, resume=resume,
+            trace=trace)
+    return [_assemble_record(point, metrics_per_seed)
+            for point, metrics_per_seed in zip(points, per_point)]
+
+
+def _run_point_serial(experiment, point, seeds, seed_param):
+    outcomes = []
+    for seed in seeds:
+        try:
+            outcomes.append(experiment(**point, **{seed_param: seed}))
+        except SimulationError:
+            outcomes.append(None)
+    return outcomes
+
+
+def _run_points_parallel(experiment, points, seeds, seed_param, *,
+                         jobs, retries, checkpoint, resume, trace):
+    from .parallel import JobSpec, callable_target, job_key, parallel_map
+    target = callable_target(experiment)
+    specs = []
+    for index, point in enumerate(points):
+        for replicate, seed in enumerate(seeds):
+            kwargs = dict(point)
+            kwargs[seed_param] = seed
+            params = {"target": target, "kwargs": kwargs}
+            specs.append(JobSpec(
+                job_key("callable", params,
+                        label=f"point{index}.{replicate}"),
+                "callable", params, seed=seed,
+                seed_path=("kwargs", seed_param)))
+    outcomes = parallel_map(specs, jobs=jobs, retries=retries,
+                            checkpoint=checkpoint, resume=resume,
+                            trace=trace)
+    cursor = iter(outcomes)
+    return [[next(cursor).value for _ in seeds] for _ in points]
+
+
+def _assemble_record(point: Dict, metrics_per_seed: Sequence[Optional[Dict]]
+                     ) -> Dict:
+    """Fold one grid point's replications into a sweep record."""
+    collected: Dict[str, List[float]] = {}
+    failures = 0
+    for metrics in metrics_per_seed:
+        if metrics is None:
+            failures += 1
+            continue
+        for name, value in metrics.items():
+            if value is not None:
+                collected.setdefault(name, []).append(float(value))
+    record = dict(point)
+    record["metrics"] = {name: summarize(values)
+                         for name, values in collected.items()}
+    record["failures"] = failures
+    return record
 
 
 def sweep_table(records: List[Dict], *, metric: str, title: str) -> str:
-    """Format one metric of a sweep as parameter columns + mean +/- CI."""
+    """Format one metric of a sweep as parameter columns + mean +/- CI.
+
+    Parameter columns keep declaration order and are the union across
+    all records (a record missing a parameter renders ``-``), so ragged
+    sweeps don't silently drop columns that happen to be absent from the
+    first record.
+    """
     if not records:
         return title
-    param_names = sorted(k for k in records[0] if k != "metrics")
+    param_names: List[str] = []
+    for record in records:
+        for name in record:
+            if name not in ("metrics", "failures") \
+                    and name not in param_names:
+                param_names.append(name)
     lines = [title,
              "".join(name.rjust(12) for name in param_names)
              + "mean".rjust(12) + "+/-95%".rjust(10) + "n".rjust(4)]
     for record in records:
-        row = "".join(str(record[name]).rjust(12)
+        row = "".join(str(record.get(name, "-")).rjust(12)
                       for name in param_names)
         summary: Optional[Summary] = record["metrics"].get(metric)
         if summary is None:

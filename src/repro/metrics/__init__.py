@@ -1,7 +1,13 @@
 """Measurement: throughput series, fairness indices, FCT breakdowns, traces."""
 
 from .collector import DropMarkCollector
-from .export import read_jsonl, write_fct_csv, write_jsonl, write_throughput_csv
+from .export import (
+    read_jsonl,
+    write_fct_csv,
+    write_jsonl,
+    write_sweep_csv,
+    write_throughput_csv,
+)
 from .fairness import jain_index, throughput_shares, weighted_jain_index
 from .fct import (
     FCTCollector,
@@ -13,7 +19,14 @@ from .fct import (
     percentile_fct_ms,
 )
 from .queuelen import QueueLengthSample, QueueLengthSampler
-from .stats import Summary, format_summary_table, repeat_with_seeds, summarize
+from .stats import (
+    SeedFailure,
+    SeedSummaries,
+    Summary,
+    format_summary_table,
+    repeat_with_seeds,
+    summarize,
+)
 from .throughput import PortThroughputMeter, ThroughputSample
 
 __all__ = [
@@ -21,7 +34,10 @@ __all__ = [
     "read_jsonl",
     "write_fct_csv",
     "write_jsonl",
+    "write_sweep_csv",
     "write_throughput_csv",
+    "SeedFailure",
+    "SeedSummaries",
     "Summary",
     "format_summary_table",
     "repeat_with_seeds",

@@ -53,6 +53,49 @@ def write_fct_csv(path: PathLike, records: Sequence[FlowRecord]) -> int:
     return len(records)
 
 
+def write_sweep_csv(path: PathLike, records: Sequence[dict]) -> int:
+    """Dump :func:`repro.experiments.sweeps.run_sweep` records to CSV.
+
+    Parameter columns keep the caller's declared grid order (the order
+    the keys appear in the records), followed by
+    ``<metric>_mean/_ci95/_n`` triples per metric and a ``failures``
+    column.  Returns the number of data rows written.
+    """
+    path = Path(path)
+    param_names: list = []
+    metric_names: list = []
+    for record in records:
+        for name in record:
+            if name in ("metrics", "failures"):
+                continue
+            if name not in param_names:
+                param_names.append(name)
+        for name in record.get("metrics", {}):
+            if name not in metric_names:
+                metric_names.append(name)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if not records:
+            return 0
+        header = list(param_names)
+        for metric in metric_names:
+            header += [f"{metric}_mean", f"{metric}_ci95", f"{metric}_n"]
+        header.append("failures")
+        writer.writerow(header)
+        for record in records:
+            row = [record.get(name, "") for name in param_names]
+            for metric in metric_names:
+                summary = record["metrics"].get(metric)
+                if summary is None:
+                    row += ["", "", ""]
+                else:
+                    row += [repr(summary.mean), repr(summary.ci95),
+                            summary.count]
+            row.append(record.get("failures", 0))
+            writer.writerow(row)
+    return len(records)
+
+
 def write_jsonl(path: PathLike, rows: Iterable[dict]) -> int:
     """Generic JSON-lines dump; returns the row count."""
     path = Path(path)

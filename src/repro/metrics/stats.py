@@ -11,10 +11,18 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
 
+from ..sim.errors import SimulationError
+
 # Two-sided 95 % Student-t critical values for small sample sizes
-# (df = n - 1); falls back to the normal 1.96 beyond the table.
+# (df = n - 1); falls back to the normal 1.96 beyond df = 30, where the
+# t distribution is within ~2 % of the normal.  Stopping the table at
+# df = 10 understated CI half-widths by up to ~12 % (t(11) = 2.201).
 _T_TABLE = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
-            6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+            6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+            11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+            16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+            21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+            26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042}
 
 
 class Summary(NamedTuple):
@@ -44,24 +52,64 @@ def summarize(values: Sequence[float]) -> Summary:
     return Summary(mean, std, ci95, n, min(data), max(data))
 
 
+class SeedFailure(NamedTuple):
+    """One replication that died with a :class:`SimulationError`."""
+
+    seed: int
+    error: str
+
+
+class SeedSummaries(Dict[str, Summary]):
+    """Per-metric summaries plus the replications that failed.
+
+    Behaves exactly like the plain ``Dict[str, Summary]`` that
+    :func:`repeat_with_seeds` used to return, with an extra
+    :attr:`failures` attribute listing the seeds whose run raised a
+    :class:`~repro.sim.errors.SimulationError` (those replications are
+    excluded from every summary).
+    """
+
+    def __init__(self, summaries: Dict[str, Summary],
+                 failures: Sequence[SeedFailure] = ()) -> None:
+        super().__init__(summaries)
+        self.failures: List[SeedFailure] = list(failures)
+
+
 def repeat_with_seeds(run: Callable[[int], Dict[str, Optional[float]]],
-                      seeds: Sequence[int]) -> Dict[str, Summary]:
+                      seeds: Sequence[int]) -> SeedSummaries:
     """Run ``run(seed)`` for every seed and summarize each metric.
 
     ``run`` returns a flat dict of metric name -> value; ``None`` values
     (e.g. "no large flows completed in this replication") are skipped per
     metric.  Metrics absent from every replication are omitted.
+
+    A replication that raises :class:`SimulationError` no longer aborts
+    the whole repetition: the surviving seeds are summarized and the
+    failures are reported on the returned mapping's ``failures``
+    attribute.  Only when *every* seed fails is a
+    :class:`SimulationError` raised (there is nothing to summarize).
     """
     if not seeds:
         raise ValueError("need at least one seed")
     collected: Dict[str, List[float]] = {}
+    failures: List[SeedFailure] = []
     for seed in seeds:
-        metrics = run(seed)
+        try:
+            metrics = run(seed)
+        except SimulationError as exc:
+            failures.append(
+                SeedFailure(seed, str(exc) or type(exc).__name__))
+            continue
         for name, value in metrics.items():
             if value is not None:
                 collected.setdefault(name, []).append(float(value))
-    return {name: summarize(values)
-            for name, values in collected.items()}
+    if failures and len(failures) == len(seeds):
+        detail = "; ".join(f"seed {f.seed}: {f.error}" for f in failures)
+        raise SimulationError(
+            f"all {len(seeds)} replications failed ({detail})")
+    return SeedSummaries({name: summarize(values)
+                          for name, values in collected.items()},
+                         failures)
 
 
 def format_summary_table(summaries: Dict[str, Summary],

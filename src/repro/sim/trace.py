@@ -109,6 +109,11 @@ TOPIC_VICTIM_STEAL = "dynaq.steal"
 TOPIC_DYNAQ_RECONFIGURE = "dynaq.reconfigure"
 TOPIC_FAULT_INJECT = "fault.inject"
 TOPIC_FAULT_RECOVER = "fault.recover"
+#: Parallel-sweep job lifecycle (launch/retry/done/failed/cached).  These
+#: events are published by the *parent* process of a worker pool; their
+#: ``time`` field is wall-clock nanoseconds since the sweep started, not
+#: simulated time (worker simulations each run their own clock).
+TOPIC_PARALLEL_JOB = "parallel.job"
 
 #: Every well-known topic, in a stable order.  The telemetry recorder
 #: subscribes to all of these by default, and the trace-file schema
@@ -126,4 +131,5 @@ ALL_TOPICS = (
     TOPIC_DYNAQ_RECONFIGURE,
     TOPIC_FAULT_INJECT,
     TOPIC_FAULT_RECOVER,
+    TOPIC_PARALLEL_JOB,
 )

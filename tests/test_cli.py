@@ -77,6 +77,31 @@ def test_convergence_csv_export(capsys, tmp_path):
     assert (tmp_path / "conv.dynaq.csv").exists()
 
 
+def test_fct_parallel_output_is_byte_identical(capsys, tmp_path):
+    sweep = ["fct", "--schemes", "dynaq,pql", "--loads", "0.3",
+             "--flows", "20", "--truncate-mb", "0.5"]
+    code, serial_out = run_cli(capsys, *sweep,
+                               "--csv", str(tmp_path / "s"))
+    assert code == 0
+    code, parallel_out = run_cli(
+        capsys, *sweep, "--csv", str(tmp_path / "p"), "--jobs", "2",
+        "--checkpoint", str(tmp_path / "ck.jsonl"))
+    assert code == 0
+    norm = str(tmp_path) + "/"
+    assert (serial_out.replace(norm + "s.", "X.")
+            == parallel_out.replace(norm + "p.", "X."))
+    for name in ("dynaq", "pql"):
+        assert ((tmp_path / f"s.{name}.0.30.csv").read_bytes()
+                == (tmp_path / f"p.{name}.0.30.csv").read_bytes())
+    # And a resumed run replays the checkpoint to the same bytes.
+    code, resumed_out = run_cli(
+        capsys, *sweep, "--csv", str(tmp_path / "r"), "--jobs", "2",
+        "--checkpoint", str(tmp_path / "ck.jsonl"), "--resume")
+    assert code == 0
+    assert (resumed_out.replace(norm + "r.", "X.")
+            == parallel_out.replace(norm + "p.", "X."))
+
+
 def test_parser_structure():
     parser = build_parser()
     # All documented subcommands exist.

@@ -8,15 +8,18 @@ from repro.metrics.export import (
     read_jsonl,
     write_fct_csv,
     write_jsonl,
+    write_sweep_csv,
     write_throughput_csv,
 )
 from repro.metrics.fct import FlowRecord
 from repro.metrics.stats import (
+    SeedFailure,
     format_summary_table,
     repeat_with_seeds,
     summarize,
 )
 from repro.metrics.throughput import ThroughputSample
+from repro.sim.errors import SimulationError
 
 
 # -- summarize ----------------------------------------------------------------
@@ -50,6 +53,25 @@ def test_ci_uses_t_distribution_for_small_n():
     assert wide.ci95 > narrow.ci95
 
 
+def test_ci_t_table_covers_medium_sample_sizes():
+    # Regression: the table used to stop at df=10, silently falling back
+    # to the normal 1.96 and understating the CI by up to ~12 % for the
+    # 11 <= df <= 30 range (t(11) = 2.201).
+    import math
+
+    def ci_for(n, critical):
+        values = [0.0, 1.0] * (n // 2) + ([0.5] if n % 2 else [])
+        summary = summarize(values)
+        return pytest.approx(
+            critical * summary.std / math.sqrt(summary.count))
+
+    assert summarize([0.0, 1.0] * 6).ci95 == ci_for(12, 2.201)   # df=11
+    assert summarize([0.0, 1.0] * 10).ci95 == ci_for(20, 2.093)  # df=19
+    assert summarize([0.0, 1.0] * 15 + [0.5]).ci95 \
+        == ci_for(31, 2.042)                                     # df=30
+    assert summarize([0.0, 1.0] * 16).ci95 == ci_for(32, 1.96)   # df=31
+
+
 # -- repeat_with_seeds ----------------------------------------------------------
 
 def test_repeat_with_seeds_aggregates_metrics():
@@ -72,6 +94,26 @@ def test_repeat_with_seeds_skips_none_values():
 def test_repeat_with_seeds_requires_seeds():
     with pytest.raises(ValueError):
         repeat_with_seeds(lambda seed: {}, seeds=[])
+
+
+def test_repeat_with_seeds_tolerates_failing_replications():
+    def run(seed):
+        if seed == 2:
+            raise SimulationError("watchdog tripped")
+        return {"throughput": float(seed)}
+
+    summaries = repeat_with_seeds(run, seeds=[1, 2, 3])
+    assert summaries["throughput"].count == 2
+    assert summaries["throughput"].mean == 2.0
+    assert summaries.failures == [SeedFailure(2, "watchdog tripped")]
+
+
+def test_repeat_with_seeds_raises_when_every_seed_fails():
+    def run(seed):
+        raise SimulationError(f"dead at {seed}")
+
+    with pytest.raises(SimulationError, match="all 2 replications"):
+        repeat_with_seeds(run, seeds=[1, 2])
 
 
 def test_format_summary_table():
@@ -116,3 +158,32 @@ def test_jsonl_roundtrip(tmp_path):
     path = tmp_path / "rows.jsonl"
     assert write_jsonl(path, rows) == 2
     assert read_jsonl(path) == rows
+
+
+def test_write_sweep_csv_keeps_declared_order(tmp_path):
+    records = [
+        {"load": 0.3, "queues": 4, "failures": 1,
+         "metrics": {"fct": summarize([1.0, 2.0])}},
+        {"load": 0.5, "queues": 4, "extra": "x", "failures": 0,
+         "metrics": {"fct": summarize([3.0]),
+                     "drops": summarize([7.0])}},
+    ]
+    path = tmp_path / "sweep.csv"
+    assert write_sweep_csv(path, records) == 2
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    # Declared order, union across records; metrics absent from a record
+    # render as empty cells.
+    assert rows[0] == ["load", "queues", "extra",
+                       "fct_mean", "fct_ci95", "fct_n",
+                       "drops_mean", "drops_ci95", "drops_n",
+                       "failures"]
+    assert rows[1][0] == "0.3"
+    assert rows[1][3] == "1.5"
+    assert rows[1][6:9] == ["", "", ""]
+    assert rows[1][9] == "1"
+    assert rows[2][2] == "x"
+
+
+def test_write_sweep_csv_empty(tmp_path):
+    assert write_sweep_csv(tmp_path / "empty.csv", []) == 0

@@ -137,6 +137,16 @@ def test_grid_points_cartesian():
     assert grid_points({}) == [{}]
 
 
+def test_grid_points_keep_declaration_order():
+    # Regression: parameter names used to be alphabetised, so a grid
+    # declared {"load": ..., "buffer": ...} came back buffer-first.
+    points = grid_points({"load": [0.3], "buffer": [100, 200]})
+    assert [list(point) for point in points] \
+        == [["load", "buffer"], ["load", "buffer"]]
+    assert points == [{"load": 0.3, "buffer": 100},
+                      {"load": 0.3, "buffer": 200}]
+
+
 def test_run_sweep_aggregates_over_seeds():
     def experiment(*, load, seed):
         return {"fct": load * 10 + seed, "maybe": None}
@@ -154,6 +164,20 @@ def test_run_sweep_requires_seeds():
         run_sweep(lambda **kw: {}, {}, seeds=[])
 
 
+def test_run_sweep_survives_a_failing_seed():
+    from repro.sim.errors import SimulationError
+
+    def experiment(*, load, seed):
+        if seed == 2:
+            raise SimulationError("boom")
+        return {"fct": load * 10 + seed}
+
+    records = run_sweep(experiment, {"load": [0.1]}, seeds=[1, 2, 3])
+    (record,) = records
+    assert record["failures"] == 1
+    assert record["metrics"]["fct"].count == 2
+
+
 def test_sweep_table_formats():
     records = run_sweep(lambda *, x, seed: {"m": x + seed},
                         {"x": [1]}, seeds=[1, 3])
@@ -161,3 +185,19 @@ def test_sweep_table_formats():
     assert "T" in table
     assert "3.000" in table  # mean of 2 and 4
     assert sweep_table([], metric="m", title="T") == "T"
+
+
+def test_sweep_table_columns_are_declared_order_union():
+    from repro.metrics.stats import summarize
+
+    records = [
+        {"load": 0.3, "metrics": {"m": summarize([1.0])}, "failures": 0},
+        {"load": 0.5, "buffer": 100, "metrics": {}, "failures": 1},
+    ]
+    table = sweep_table(records, metric="m", title="T")
+    header = table.splitlines()[1]
+    # "load" before "buffer" (declaration order, not alphabetical), and
+    # "buffer" present even though the first record lacks it.
+    assert header.index("load") < header.index("buffer")
+    missing_row = table.splitlines()[3]
+    assert "-" in missing_row  # absent parameter and absent metric
