@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-quick perf-tier figures chaos sweep-smoke
+.PHONY: test bench bench-quick perf-tier figures chaos sweep-smoke snapshot-smoke
 
 test:            ## tier-1 suite (must always be green)
 	$(PY) -m pytest -x -q
@@ -36,3 +36,18 @@ sweep-smoke:     ## parallel-executor determinism: serial == --jobs 2 == --resum
 	diff /tmp/repro-sweep-parallel.out /tmp/repro-sweep-resumed.out
 	rm -f repro-fct.checkpoint.jsonl
 	@echo "sweep-smoke: serial, parallel, and resumed output identical"
+
+snapshot-smoke:  ## kill a run at an autosave, restore, require identical trace bytes
+	$(PY) -m repro fair-sharing --schemes dynaq --time-unit 0.03 \
+	    --trace-out /tmp/repro-snap-full.jsonl \
+	    --snapshot-every 0.01 --snapshot-out /tmp/repro-snap-ref.snap
+	$(PY) -m repro fair-sharing --schemes dynaq --time-unit 0.03 \
+	    --trace-out /tmp/repro-snap-killed.jsonl \
+	    --snapshot-every 0.01 --snapshot-out /tmp/repro-snap.snap \
+	    --snapshot-kill-after 2; test $$? -eq 3
+	$(PY) -m repro fair-sharing --schemes dynaq --time-unit 0.03 \
+	    --restore /tmp/repro-snap.snap
+	cmp /tmp/repro-snap-full.jsonl /tmp/repro-snap-killed.jsonl
+	rm -f /tmp/repro-snap-full.jsonl /tmp/repro-snap-killed.jsonl \
+	    /tmp/repro-snap-ref.snap /tmp/repro-snap.snap
+	@echo "snapshot-smoke: killed+restored trace is byte-identical"

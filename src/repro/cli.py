@@ -18,6 +18,12 @@ Every subcommand prints the same tables the benchmark harness produces;
 ``--csv PREFIX`` additionally dumps raw series to ``PREFIX.<scheme>.csv``.
 Telemetry flags (``--trace-out``, ``--flight-dump``, ``--timeline-csv``;
 see ``docs/observability.md``) attach collectors to the run's trace bus.
+Snapshot flags (``--snapshot-every``, ``--snapshot-out``, ``--restore``;
+see ``docs/robustness.md``) autosave and resume in-flight simulations.
+
+Exit codes (see :mod:`repro.errors`): 0 success, 1 experiment-level
+failure (regression, violation, failed sweep points), 2 usage/runtime
+error or interrupt, 3 deliberate ``--snapshot-kill-after`` drill halt.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import argparse
 from typing import List, Optional, Sequence, Tuple
 
 from .core.hardware import cost_table
+from .errors import EXIT_DRILL, EXIT_ERROR, SnapshotHalt
 from .experiments import report
 from .experiments.chaos import ChaosResult, run_chaos_sweep
 from .experiments.parallel import (
@@ -38,6 +45,7 @@ from .experiments.testbed import (
     fct_load_sweep,
     run_convergence,
     run_fair_sharing,
+    run_fct_experiment,
     run_motivation,
     run_protocol_mix,
     run_weighted_sharing,
@@ -51,7 +59,9 @@ from .metrics.export import (
 from .experiments.runner import run_scenario, scenario_names, scheme_names
 from .faults import FaultSchedule
 from .sim.engine import Simulator
-from .sim.errors import ReproError, SimulationError
+from .sim.errors import ConfigurationError, ReproError, SimulationError
+from .sim.units import seconds
+from .snapshot import SnapshotPolicy
 from .telemetry import RunProfiler, TelemetrySession, validate_trace_file
 from .workloads.datasets import workload, workload_names
 
@@ -90,6 +100,11 @@ def _parse_window(text: str) -> Tuple[Optional[int], Optional[int]]:
 
 def _telemetry_session(args) -> TelemetrySession:
     """Build the run's telemetry session from CLI flags (may be inert)."""
+    if getattr(args, "restore", None):
+        # A restored world carries its own pickled recorders, already
+        # positioned to rewrite exactly the post-snapshot suffix of
+        # their files; opening fresh sinks here would truncate them.
+        return TelemetrySession()
     topics = None
     if getattr(args, "trace_topics", None):
         topics = [item.strip() for item in args.trace_topics.split(",")
@@ -134,7 +149,7 @@ def _report_partial(completed, schemes) -> None:
 
 
 def _run_traced(args, run_one):
-    """Run ``run_one(scheme, trace)`` per scheme under one session.
+    """Run ``run_one(scheme, trace, snapshot)`` per scheme in one session.
 
     An abort (simulation error, watchdog trip, Ctrl-C) reports the
     schemes that *did* finish before re-raising; the telemetry session's
@@ -146,7 +161,9 @@ def _run_traced(args, run_one):
     try:
         with session:
             for name in args.schemes:
-                completed.append(run_one(name, trace))
+                completed.append(run_one(
+                    name, trace,
+                    _snapshot_policy(args, name, len(args.schemes))))
             return completed
     except (SimulationError, KeyboardInterrupt):
         _report_partial(completed, args.schemes)
@@ -158,6 +175,63 @@ def _run_traced(args, run_one):
 def _load_faults(args) -> Optional[FaultSchedule]:
     path = getattr(args, "faults", None)
     return FaultSchedule.from_file(path) if path else None
+
+
+# -- snapshot plumbing --------------------------------------------------------
+
+def _snapshot_requested(args) -> bool:
+    return bool(getattr(args, "snapshot_every", None)
+                or getattr(args, "restore", None)
+                or getattr(args, "snapshot_kill_after", None)
+                or getattr(args, "triage_dir", None))
+
+
+def _snapshot_policy(args, label: str,
+                     total: int) -> Optional[SnapshotPolicy]:
+    """The :class:`SnapshotPolicy` for one run of a multi-run command.
+
+    ``label`` disambiguates ``--snapshot-out`` when the command drives
+    more than one simulation (one per scheme, or per scheme-load point);
+    ``--restore`` resumes exactly one simulation, so it rejects
+    invocations that would run several.
+    """
+    if not _snapshot_requested(args):
+        return None
+    out = args.snapshot_out
+    if out is not None and total > 1:
+        out = f"{out}.{label}"
+    if args.restore is not None and total > 1:
+        raise ConfigurationError(
+            f"--restore resumes exactly one run, but this invocation "
+            f"would run {total}; narrow the sweep to a single point")
+    return SnapshotPolicy(
+        every_ns=seconds(args.snapshot_every) if args.snapshot_every
+        else None,
+        out=out, restore=args.restore,
+        halt_after_saves=args.snapshot_kill_after,
+        triage_dir=args.triage_dir)
+
+
+def _parallel_autosave_ns(args) -> Optional[int]:
+    """Worker autosave cadence; rejects serial-only snapshot flags.
+
+    Parallel sweeps autosave per job into ``<checkpoint>.autosaves/``
+    and resume crashed workers automatically; explicit snapshot files,
+    kill drills, and ``--restore`` are single-serial-run tools.
+    """
+    serial_only = [flag for flag, value in [
+        ("--snapshot-out", args.snapshot_out),
+        ("--restore", args.restore),
+        ("--snapshot-kill-after", args.snapshot_kill_after),
+        ("--triage-dir", args.triage_dir)] if value is not None]
+    if serial_only:
+        raise ConfigurationError(
+            f"{', '.join(serial_only)} apply to a single serial run; "
+            "parallel sweeps autosave per job next to the checkpoint "
+            "(--snapshot-every) and resume with --resume")
+    if args.snapshot_every is None:
+        return None
+    return seconds(args.snapshot_every)
 
 
 # -- parallel execution plumbing ----------------------------------------------
@@ -215,9 +289,10 @@ def _cmd_hw_cost(args) -> int:
 
 def _cmd_convergence(args) -> int:
     faults = _load_faults(args)
-    results = _run_traced(args, lambda name, trace: run_convergence(
+    results = _run_traced(args, lambda name, trace, snap: run_convergence(
         name, duration_s=args.duration,
-        sample_interval_s=args.duration / 10, trace=trace, faults=faults))
+        sample_interval_s=args.duration / 10, trace=trace, faults=faults,
+        snapshot=snap))
     print(report.timeseries_table(
         results, title="Throughput convergence (2 vs 16 flows)",
         queues=[0, 1]))
@@ -227,9 +302,10 @@ def _cmd_convergence(args) -> int:
 
 def _cmd_motivation(args) -> int:
     faults = _load_faults(args)
-    results = _run_traced(args, lambda name, trace: run_motivation(
+    results = _run_traced(args, lambda name, trace, snap: run_motivation(
         name, duration_s=args.duration,
-        sample_interval_s=args.duration / 8, trace=trace, faults=faults))
+        sample_interval_s=args.duration / 8, trace=trace, faults=faults,
+        snapshot=snap))
     print(report.throughput_table(
         results, title="Motivation: 1-sender queue vs 3-sender queue"))
     _maybe_export(results, args.csv)
@@ -238,9 +314,10 @@ def _cmd_motivation(args) -> int:
 
 def _cmd_fair_sharing(args) -> int:
     faults = _load_faults(args)
-    results = _run_traced(args, lambda name, trace: run_fair_sharing(
+    results = _run_traced(args, lambda name, trace, snap: run_fair_sharing(
         name, time_unit_s=args.time_unit,
-        sample_interval_s=args.time_unit / 4, trace=trace, faults=faults))
+        sample_interval_s=args.time_unit / 4, trace=trace, faults=faults,
+        snapshot=snap))
     print(report.timeseries_table(
         results, title="Fair sharing with staggered queue stops",
         queues=[0, 1, 2, 3]))
@@ -251,9 +328,11 @@ def _cmd_fair_sharing(args) -> int:
 def _cmd_weighted(args) -> int:
     weights = _split_floats(args.weights)
     faults = _load_faults(args)
-    results = _run_traced(args, lambda name, trace: run_weighted_sharing(
-        name, weights=weights, duration_s=args.duration,
-        sample_interval_s=args.duration / 10, trace=trace, faults=faults))
+    results = _run_traced(
+        args, lambda name, trace, snap: run_weighted_sharing(
+            name, weights=weights, duration_s=args.duration,
+            sample_interval_s=args.duration / 10, trace=trace,
+            faults=faults, snapshot=snap))
     total = sum(weights)
     print(report.share_table(
         results, title=f"Throughput shares, weights {args.weights}",
@@ -264,9 +343,10 @@ def _cmd_weighted(args) -> int:
 
 def _cmd_protocol_mix(args) -> int:
     faults = _load_faults(args)
-    results = _run_traced(args, lambda name, trace: run_protocol_mix(
+    results = _run_traced(args, lambda name, trace, snap: run_protocol_mix(
         name, time_unit_s=args.time_unit,
-        sample_interval_s=args.time_unit / 4, trace=trace, faults=faults))
+        sample_interval_s=args.time_unit / 4, trace=trace, faults=faults,
+        snapshot=snap))
     print(report.timeseries_table(
         results, title="TCP (q1-2) vs CUBIC (q3-4)", queues=[0, 1, 2, 3]))
     _maybe_export(results, args.csv)
@@ -277,25 +357,41 @@ def _cmd_fct(args) -> int:
     session = _telemetry_session(args)
     trace = session.trace if session.active else None
     failures = []
+    loads = _split_floats(args.loads)
     try:
         with session:
             if _parallel_requested(args):
                 results, failures = parallel_fct_sweep(
-                    args.schemes, _split_floats(args.loads),
+                    args.schemes, loads,
                     num_flows=args.flows, workload=args.workload,
                     truncate_mb=args.truncate_mb, seed=args.seed,
                     jobs=args.jobs, retries=args.retries,
                     checkpoint=_checkpoint_path(args),
-                    resume=args.resume, trace=trace)
+                    resume=args.resume, trace=trace,
+                    autosave_every_ns=_parallel_autosave_ns(args))
             else:
                 distribution = workload(args.workload)
                 if args.truncate_mb:
                     distribution = distribution.truncated(
                         int(args.truncate_mb * 1_000_000))
-                results = fct_load_sweep(
-                    args.schemes, _split_floats(args.loads),
-                    num_flows=args.flows, distribution=distribution,
-                    seed=args.seed, trace=trace)
+                if _snapshot_requested(args):
+                    # Snapshots are per simulation, so drive the
+                    # (scheme, load) grid point by point.
+                    points = len(args.schemes) * len(loads)
+                    results = {
+                        name: [run_fct_experiment(
+                            name, load=load, num_flows=args.flows,
+                            distribution=distribution, seed=args.seed,
+                            trace=trace,
+                            snapshot=_snapshot_policy(
+                                args, f"{name}@{load:g}", points))
+                            for load in loads]
+                        for name in args.schemes}
+                else:
+                    results = fct_load_sweep(
+                        args.schemes, loads,
+                        num_flows=args.flows, distribution=distribution,
+                        seed=args.seed, trace=trace)
     finally:
         _finish_telemetry(session, args)
     for metric, label in [("avg_overall_ms", "overall"),
@@ -331,15 +427,16 @@ def _cmd_incast(args) -> int:
                     horizon_s=args.horizon, jobs=args.jobs,
                     retries=args.retries,
                     checkpoint=_checkpoint_path(args),
-                    resume=args.resume, trace=trace)
+                    resume=args.resume, trace=trace,
+                    autosave_every_ns=_parallel_autosave_ns(args))
         finally:
             _finish_telemetry(session, args)
         results = [outcome.value for outcome in outcomes if outcome.ok]
         failures = [outcome for outcome in outcomes if not outcome.ok]
     else:
-        results = _run_traced(args, lambda name, trace: run_incast(
+        results = _run_traced(args, lambda name, trace, snap: run_incast(
             name, num_workers=args.workers, horizon_s=args.horizon,
-            trace=trace))
+            trace=trace, snapshot=snap))
     for result in results:
         qct = (f"{result.query_completion_ms:.1f}"
                if result.query_completion_ms is not None else "-")
@@ -365,20 +462,22 @@ def _cmd_static_sim(args) -> int:
                     sample_interval_ms=args.sample_ms, jobs=args.jobs,
                     retries=args.retries,
                     checkpoint=_checkpoint_path(args),
-                    resume=args.resume, trace=trace)
+                    resume=args.resume, trace=trace,
+                    autosave_every_ns=_parallel_autosave_ns(args))
         finally:
             _finish_telemetry(session, args)
         results = [outcome.value for outcome in outcomes if outcome.ok]
         failures = [outcome for outcome in outcomes if not outcome.ok]
     else:
         config = SIM_100G if args.rate == "100g" else SIM_10G
-        results = _run_traced(args, lambda name, trace: run_static_sim(
+        results = _run_traced(args, lambda name, trace, snap: run_static_sim(
             name, config=config, num_queues=args.queues,
             senders_for_queue=lambda k: 2 * k,
             first_stop_ms=args.first_stop_ms,
             stop_step_ms=args.stop_step_ms,
             duration_ms=args.duration_ms,
-            sample_interval_ms=args.sample_ms, trace=trace))
+            sample_interval_ms=args.sample_ms, trace=trace,
+            snapshot=snap))
     per_scheme = {result.scheme: result for result in results}
     print(report.fairness_table(
         {name: result.fairness_series()
@@ -398,6 +497,15 @@ def _cmd_chaos(args) -> int:
     session = _telemetry_session(args)
     trace = session.trace if session.active else None
     parallel = _parallel_requested(args)
+    snapshot = autosave_ns = None
+    if parallel:
+        autosave_ns = _parallel_autosave_ns(args)
+    elif _snapshot_requested(args):
+        if len(args.schemes) > 1:
+            raise ConfigurationError(
+                "chaos snapshots drive one scheme at a time; narrow "
+                "--schemes to one (or use --jobs with --snapshot-every)")
+        snapshot = _snapshot_policy(args, args.schemes[0], 1)
     try:
         with session:
             outcomes = run_chaos_sweep(
@@ -409,7 +517,8 @@ def _cmd_chaos(args) -> int:
                 wall_budget_s=args.wall_budget, trace=trace,
                 jobs=args.jobs,
                 checkpoint=_checkpoint_path(args) if parallel else None,
-                resume=args.resume)
+                resume=args.resume, snapshot=snapshot,
+                autosave_every_ns=autosave_ns)
     finally:
         _finish_telemetry(session, args)
     print(f"chaos: schedule {schedule.name!r} ({len(schedule)} events) "
@@ -442,6 +551,8 @@ def _cmd_chaos(args) -> int:
               + f"{result.jain_during:.3f}".rjust(9)
               + f"{result.jain_after:.3f}".rjust(8)
               + f"  {status}")
+        if result.triage_bundle is not None:
+            print(f"{'':16}triage bundle: {result.triage_bundle}")
     _maybe_export([outcome.result.result for outcome in outcomes
                    if outcome.ok and outcome.result.result is not None],
                   args.csv)
@@ -554,6 +665,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject faults from this JSON schedule "
                             "(see docs/robustness.md)")
 
+    def add_snapshot(p):
+        p.add_argument("--snapshot-every", type=float, default=None,
+                       metavar="SECONDS",
+                       help="autosave an in-flight snapshot every so "
+                            "many simulated seconds (serial runs need "
+                            "--snapshot-out; parallel runs save per job "
+                            "next to the checkpoint file)")
+        p.add_argument("--snapshot-out", default=None, metavar="PATH",
+                       help="snapshot file; each autosave atomically "
+                            "replaces it (multi-scheme runs write "
+                            "PATH.<scheme>)")
+        p.add_argument("--restore", default=None, metavar="PATH",
+                       help="resume one run from a snapshot instead of "
+                            "starting at t=0 (the restored world keeps "
+                            "its own telemetry sinks, so --trace-out "
+                            "and friends are ignored)")
+        p.add_argument("--snapshot-kill-after", type=int, default=None,
+                       metavar="N",
+                       help="crash drill: exit 3 right after the Nth "
+                            "autosave; a restored run never re-trips "
+                            "(see docs/robustness.md)")
+        p.add_argument("--triage-dir", default=None, metavar="DIR",
+                       help="on a watchdog trip or simulation error, "
+                            "write a triage bundle (snapshot + flight "
+                            "dump + profile) into this directory")
+
     def add_parallel(p, retries=None):
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="run sweep points in N crash-isolated worker "
@@ -574,24 +711,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("convergence", help="Fig. 3 scenario")
     add_common(p)
     add_faults(p)
+    add_snapshot(p)
     p.add_argument("--duration", type=float, default=0.5)
     p.set_defaults(func=_cmd_convergence)
 
     p = sub.add_parser("motivation", help="Fig. 1 scenario")
     add_common(p, default_schemes="besteffort,dynaq")
     add_faults(p)
+    add_snapshot(p)
     p.add_argument("--duration", type=float, default=0.5)
     p.set_defaults(func=_cmd_motivation)
 
     p = sub.add_parser("fair-sharing", help="Fig. 5 scenario")
     add_common(p)
     add_faults(p)
+    add_snapshot(p)
     p.add_argument("--time-unit", type=float, default=0.12)
     p.set_defaults(func=_cmd_fair_sharing)
 
     p = sub.add_parser("weighted", help="Fig. 6 scenario")
     add_common(p)
     add_faults(p)
+    add_snapshot(p)
     p.add_argument("--weights", default="4,3,2,1")
     p.add_argument("--duration", type=float, default=0.5)
     p.set_defaults(func=_cmd_weighted)
@@ -599,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("protocol-mix", help="Fig. 7 scenario")
     add_common(p, default_schemes="dynaq")
     add_faults(p)
+    add_snapshot(p)
     p.add_argument("--time-unit", type=float, default=0.12)
     p.set_defaults(func=_cmd_protocol_mix)
 
@@ -623,6 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="abort a scheme's run after this many real "
                         "seconds (partial metrics are kept)")
     add_parallel(p)
+    add_snapshot(p)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("fct", help="Figs. 8-9 scenario")
@@ -635,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="clip the flow-size tail (0 = no clipping)")
     p.add_argument("--seed", type=int, default=1)
     add_parallel(p, retries=0)
+    add_snapshot(p)
     p.set_defaults(func=_cmd_fct)
 
     p = sub.add_parser("incast", help="microburst query-completion time")
@@ -642,6 +786,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=16)
     p.add_argument("--horizon", type=float, default=2.5)
     add_parallel(p, retries=0)
+    add_snapshot(p)
     p.set_defaults(func=_cmd_incast)
 
     p = sub.add_parser("static-sim", help="Figs. 10-12 scenario")
@@ -653,6 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration-ms", type=float, default=160.0)
     p.add_argument("--sample-ms", type=float, default=5.0)
     add_parallel(p, retries=0)
+    add_snapshot(p)
     p.set_defaults(func=_cmd_static_sim)
 
     p = sub.add_parser(
@@ -700,13 +846,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        # Handlers return EXIT_OK or EXIT_FAILURE (0/1) directly.
         return args.func(args)
     except KeyboardInterrupt:
         # The telemetry session has already dumped the flight recorder
         # and _run_traced has reported partial results on the way up.
         print("\ninterrupted")
-        return 2
+        return EXIT_ERROR
+    except SnapshotHalt as exc:
+        # The deliberate --snapshot-kill-after drill: distinct exit code
+        # so scripts can tell "crashed on cue" from a real error.
+        print(exc)
+        return EXIT_DRILL
     except ReproError as exc:
         kind = type(exc).__name__
         print(f"error ({kind}): {exc}")
-        return 2
+        return EXIT_ERROR

@@ -1,0 +1,137 @@
+"""Canonical exception hierarchy and CLI exit-code contract.
+
+A single root (:class:`ReproError`) lets callers catch everything raised
+by this library without masking unrelated bugs.  This module is the one
+authoritative home of the taxonomy; :mod:`repro.sim.errors` and
+``repro.perf.bench`` re-export the names they historically defined so
+existing imports keep working.
+
+CLI exit codes
+--------------
+``repro`` subcommands map outcomes onto process exit codes as follows:
+
+==== =====================================================================
+code meaning
+==== =====================================================================
+0    success — the run completed and every gate passed
+1    the run completed but a gate failed: chaos invariant violations or
+     watchdog aborts, sweep points that exhausted their retries, bench
+     op-counter drift or budget misses
+2    the run itself failed or was interrupted: any :class:`ReproError`
+     (bad configuration, simulation misuse, snapshot corruption) or
+     Ctrl-C; partial results may have been printed
+3    a snapshot kill-drill halted the run on purpose
+     (``--snapshot-kill-after``); the autosave on disk is ready for
+     ``--restore``
+==== =====================================================================
+
+Worker processes spawned by :mod:`repro.experiments.parallel` use
+:data:`WORKER_DRILL_EXIT` (43) when a kill-drill fires inside a worker,
+so the parent can tell an intentional drill death from a real crash in
+its logs (both are retried the same way: restore from the autosave).
+"""
+
+from __future__ import annotations
+
+#: Exit-code constants documented above.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_ERROR = 2
+EXIT_DRILL = 3
+
+#: ``os._exit`` status used by parallel workers when a snapshot
+#: kill-drill fires mid-job (see module docstring).
+WORKER_DRILL_EXIT = 43
+
+EXIT_CODES = {
+    EXIT_OK: "success, all gates passed",
+    EXIT_FAILURE: "completed with failed gates (violations, failed "
+                  "points, bench drift)",
+    EXIT_ERROR: "ReproError or interrupt; partial results at best",
+    EXIT_DRILL: "snapshot kill-drill halt; autosave ready for --restore",
+}
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The event loop was used incorrectly (e.g. scheduling in the past)."""
+
+
+class WatchdogTimeout(SimulationError):
+    """A scenario exceeded its wall-clock or simulated-time budget.
+
+    Raised by :class:`repro.faults.ScenarioWatchdog` after it has stopped
+    the event loop; catching :class:`SimulationError` therefore also
+    covers watchdog aborts (the CLI and the flight recorder rely on
+    this).
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment, device, or scheme was configured inconsistently.
+
+    Also a :class:`ValueError`: configuration mistakes are bad values, and
+    the double parentage lets old call sites that catch ``ValueError``
+    keep working while new code catches the precise type (or
+    :class:`ReproError` for anything raised by this library).
+    """
+
+
+class RoutingError(ReproError):
+    """No route exists for a packet, or a forwarding table is malformed."""
+
+
+class TransportError(ReproError):
+    """A transport connection was driven through an invalid state change."""
+
+
+class BenchError(ReproError, RuntimeError):
+    """A bench's reference and fast runs disagreed on an op counter.
+
+    Also a :class:`RuntimeError` because it predates this module and old
+    call sites catch it as one.
+    """
+
+
+class SnapshotError(ReproError):
+    """A snapshot file could not be written, read, or resumed."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A snapshot's payload hash did not match its header.
+
+    The file was truncated or corrupted after it was written; restoring
+    from it would silently diverge, so loading refuses instead.
+    """
+
+
+class SnapshotHalt(ReproError):
+    """A snapshot kill-drill stopped the run after its Nth autosave.
+
+    Control flow, not a failure: raised by ``run_world`` when
+    ``SnapshotPolicy.halt_after_saves`` is reached so drills and the
+    differential tests can interrupt a run at a deterministic point.
+    The CLI maps it to exit code :data:`EXIT_DRILL`; parallel workers
+    turn it into an ``os._exit(WORKER_DRILL_EXIT)`` hard death so the
+    executor's crash-recovery path is exercised for real.
+    """
+
+    def __init__(self, path: str, saves: int) -> None:
+        super().__init__(
+            f"snapshot drill: halted after {saves} save(s); "
+            f"restore from {path}")
+        self.path = path
+        self.saves = saves
+
+
+__all__ = [
+    "EXIT_OK", "EXIT_FAILURE", "EXIT_ERROR", "EXIT_DRILL",
+    "WORKER_DRILL_EXIT", "EXIT_CODES",
+    "ReproError", "SimulationError", "WatchdogTimeout",
+    "ConfigurationError", "RoutingError", "TransportError",
+    "BenchError", "SnapshotError", "SnapshotIntegrityError",
+    "SnapshotHalt",
+]

@@ -32,12 +32,19 @@ from ..faults import (
 from ..sim.randomness import RandomStreams
 from ..sim.trace import TraceBus
 from ..sim.units import seconds
+from ..snapshot import (
+    SimWorld,
+    SnapshotPolicy,
+    acquire_world,
+    run_world,
+    write_triage_bundle,
+)
 from .runner import RunOutcome, run_resilient
 from .testbed import (
     DEFAULT_CONFIG,
     TestbedConfig,
     ThroughputResult,
-    _bulk_throughput_run,
+    _prepare_bulk,
 )
 
 
@@ -55,6 +62,7 @@ class ChaosResult(NamedTuple):
     jain_before: float                  # fairness before the first fault
     jain_during: float                  # fairness inside the fault window
     jain_after: float                   # fairness after the last recovery
+    triage_bundle: Optional[str] = None  # bundle dir on violation/abort
 
     @property
     def ok(self) -> bool:
@@ -72,7 +80,8 @@ def run_chaos(scheme_name: str, schedule: FaultSchedule, *,
               duration_s: float = 0.5, sample_interval_s: float = 0.025,
               seed: int = 1, wall_budget_s: Optional[float] = 120.0,
               config: TestbedConfig = DEFAULT_CONFIG,
-              trace: Optional[TraceBus] = None) -> ChaosResult:
+              trace: Optional[TraceBus] = None,
+              snapshot: Optional[SnapshotPolicy] = None) -> ChaosResult:
     """Run the bulk-flow testbed scenario under ``schedule``.
 
     Every queue carries ``flows_per_queue`` TCP flows from its own sender
@@ -80,36 +89,58 @@ def run_chaos(scheme_name: str, schedule: FaultSchedule, *,
     and after the fault window.  The run is stretched automatically if
     the schedule outlasts ``duration_s`` (faults must finish inside the
     measured window, with slack to observe the recovery).
+
+    The harness (controller, invariant monitor, watchdog) lives inside
+    the experiment world's state, so autosaves capture it and a restored
+    chaos run keeps its fault schedule, violation counts, and remaining
+    watchdog budget.  When ``snapshot.triage_dir`` is set, a watchdog
+    abort or an invariant violation leaves a triage bundle whose path is
+    recorded in the result.
     """
     duration_ns = max(seconds(duration_s),
                       int(schedule.last_event_ns() * 1.25))
-    streams = RandomStreams(seed)
-    holder = {}
 
-    def attach(net):
+    def build() -> SimWorld:
+        streams = RandomStreams(seed)
+        world = _prepare_bulk(
+            scheme_name,
+            flows_per_queue=[flows_per_queue] * num_queues,
+            quanta=[config.quantum_bytes] * num_queues,
+            stop_times_ns=None, duration_ns=duration_ns,
+            sample_interval_ns=seconds(sample_interval_s), config=config,
+            trace=trace)
         controller = FaultController(
-            net, schedule, rng=streams.stream("faults"))
+            world.net, schedule, rng=streams.stream("faults"))
         controller.arm()
         monitor = ThresholdInvariantMonitor(
-            net.trace, expected=config.buffer_bytes)
-        watchdog = ScenarioWatchdog(net.sim, wall_budget_s=wall_budget_s)
+            world.net.trace, expected=config.buffer_bytes)
+        watchdog = ScenarioWatchdog(world.net.sim,
+                                    wall_budget_s=wall_budget_s)
         watchdog.start()
-        holder.update(controller=controller, monitor=monitor,
-                      watchdog=watchdog)
+        world.kind = "chaos"
+        world.watchdog = watchdog
+        world.state.update(controller=controller, monitor=monitor)
+        world.meta["schedule"] = schedule.name or "faults"
+        return world
 
-    result = _bulk_throughput_run(
-        scheme_name,
-        flows_per_queue=[flows_per_queue] * num_queues,
-        quanta=[config.quantum_bytes] * num_queues,
-        stop_times_ns=None, duration_ns=duration_ns,
-        sample_interval_ns=seconds(sample_interval_s), config=config,
-        trace=trace, on_network=attach)
+    world = acquire_world(snapshot, "chaos", build)
+    run_world(world, snapshot)
+    result = world.finish(world)
 
-    controller: FaultController = holder["controller"]
-    monitor: ThresholdInvariantMonitor = holder["monitor"]
-    watchdog: ScenarioWatchdog = holder["watchdog"]
+    controller: FaultController = world.state["controller"]
+    monitor: ThresholdInvariantMonitor = world.state["monitor"]
+    watchdog: ScenarioWatchdog = world.watchdog
     monitor.close()
     watchdog.cancel()
+
+    triage_path = world.last_triage  # set by run_world on watchdog trip
+    if (triage_path is None and monitor.violation_count
+            and snapshot is not None and snapshot.triage_dir is not None):
+        triage_path = str(write_triage_bundle(
+            snapshot.triage_dir, world=world,
+            reason="invariant-violation"))
+    if world.restored:
+        world.close_recorders()
 
     active = list(range(num_queues))
     events = schedule.events
@@ -122,7 +153,8 @@ def run_chaos(scheme_name: str, schedule: FaultSchedule, *,
         checks=monitor.checked, violations=monitor.violation_count,
         jain_before=result.jain(active, 0, window_start),
         jain_during=result.jain(active, window_start, window_end),
-        jain_after=result.jain(active, window_end, None))
+        jain_after=result.jain(active, window_end, None),
+        triage_bundle=triage_path)
 
 
 def run_chaos_sweep(scheme_names: Sequence[str],
@@ -130,6 +162,9 @@ def run_chaos_sweep(scheme_names: Sequence[str],
                     retries: int = 1, jobs: int = 1,
                     checkpoint=None, resume: bool = False,
                     trace: Optional[TraceBus] = None,
+                    snapshot: Optional[SnapshotPolicy] = None,
+                    autosave_every_ns: Optional[int] = None,
+                    autosave_dir=None,
                     **kwargs) -> List[RunOutcome]:
     """:func:`run_chaos` per scheme with retry-with-reseed hardening.
 
@@ -151,7 +186,8 @@ def run_chaos_sweep(scheme_names: Sequence[str],
     if jobs == 1 and checkpoint is None and not resume:
         return run_resilient(
             lambda name, attempt_seed: run_chaos(
-                name, schedule, seed=attempt_seed, trace=trace, **kwargs),
+                name, schedule, seed=attempt_seed, trace=trace,
+                snapshot=snapshot, **kwargs),
             scheme_names, seed=seed, retries=retries)
     from .parallel import JobSpec, job_key, parallel_map
     specs = []
@@ -162,7 +198,9 @@ def run_chaos_sweep(scheme_names: Sequence[str],
                              "chaos", params, seed=seed))
     outcomes = parallel_map(specs, jobs=jobs, retries=retries,
                             checkpoint=checkpoint, resume=resume,
-                            trace=trace)
+                            trace=trace,
+                            autosave_every_ns=autosave_every_ns,
+                            autosave_dir=autosave_dir)
     return [RunOutcome(name, outcome.value, outcome.error,
                        outcome.attempts, outcome.seed)
             for name, outcome in zip(scheme_names, outcomes)]

@@ -26,6 +26,7 @@ from ..queueing.schedulers.spq import SPQDRRScheduler
 from ..sim.engine import Simulator
 from ..sim.trace import TraceBus
 from ..sim.units import kilobytes, seconds
+from ..snapshot import SimWorld, SnapshotPolicy, acquire_world, run_world
 from ..transport.base import Flow
 from ..transport.tcp import TCPSender
 from .runner import buffer_factory, scheme, transport_for
@@ -55,13 +56,36 @@ def run_incast(scheme_name: str, *, num_workers: int = 16,
                config: TestbedConfig = DEFAULT_CONFIG,
                horizon_s: float = 5.0,
                sim: Optional[Simulator] = None,
-               trace: Optional[TraceBus] = None) -> IncastResult:
+               trace: Optional[TraceBus] = None,
+               snapshot: Optional[SnapshotPolicy] = None) -> IncastResult:
     """One synchronized fan-in burst into a loaded port.
 
     Workers' responses ride the high-priority class 0 (as PIAS would
     classify sub-100 KB responses); the background elephants occupy the
     DRR service queues.
     """
+    def build() -> SimWorld:
+        return _prepare_incast(
+            scheme_name, num_workers=num_workers,
+            response_bytes=response_bytes,
+            background_flows=background_flows,
+            num_service_queues=num_service_queues, config=config,
+            horizon_s=horizon_s, sim=sim, trace=trace)
+
+    world = acquire_world(snapshot, "incast", build)
+    run_world(world, snapshot)
+    result = world.finish(world)
+    if world.restored:
+        world.close_recorders()
+    return result
+
+
+def _prepare_incast(scheme_name: str, *, num_workers: int,
+                    response_bytes: int, background_flows: int,
+                    num_service_queues: int, config: TestbedConfig,
+                    horizon_s: float,
+                    sim: Optional[Simulator] = None,
+                    trace: Optional[TraceBus] = None) -> SimWorld:
     spec = scheme(scheme_name)
     num_hosts = 1 + num_workers + (1 if background_flows else 0)
     net = build_star(
@@ -98,17 +122,28 @@ def run_incast(scheme_name: str, *, num_workers: int = 16,
         net.sim.at(warmup, sender.start)
         workers.append(sender)
 
-    net.sim.run(until=seconds(horizon_s))
+    return SimWorld(
+        kind="incast", net=net, finish=_finish_incast,
+        horizon_ns=seconds(horizon_s),
+        state={"scheme": spec.name, "fct": fct, "workers": workers,
+               "num_workers": num_workers},
+        meta={"scheme": scheme_name, "num_workers": num_workers})
+
+
+def _finish_incast(world: SimWorld) -> IncastResult:
+    state = world.state
+    fct = state["fct"]
+    num_workers = state["num_workers"]
     fcts = [record.fct_ns for record in fct.records]
-    bottleneck = net.switch("s0").ports["s0->h0"]
+    bottleneck = world.net.switch("s0").ports["s0->h0"]
     return IncastResult(
-        scheme=spec.name,
+        scheme=state["scheme"],
         num_workers=num_workers,
         completed=len(fcts),
         query_completion_ms=max(fcts) / 1e6 if len(fcts) == num_workers
         else None,
         mean_fct_ms=sum(fcts) / len(fcts) / 1e6 if fcts else None,
-        timeouts=sum(worker.timeouts for worker in workers),
+        timeouts=sum(worker.timeouts for worker in state["workers"]),
         drops_at_bottleneck=bottleneck.dropped_packets,
     )
 

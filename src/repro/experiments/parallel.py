@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import re
 import time
 from collections import deque
 from importlib import import_module
@@ -49,6 +51,7 @@ from typing import (
     Union,
 )
 
+from ..errors import WORKER_DRILL_EXIT, SnapshotHalt
 from ..metrics.fct import FCTCollector, FlowRecord
 from ..metrics.throughput import ThroughputSample
 from ..sim.errors import ConfigurationError, SimulationError
@@ -70,6 +73,14 @@ class JobSpec(NamedTuple):
     ``params``) to :func:`~repro.experiments.runner.reseed`\\ ``(seed, k)``
     so two operators replaying a failing sweep land on the same
     replacement seeds.  Jobs without randomness use ``seed=None``.
+
+    ``snapshot`` is an optional autosave spec (keys ``every_ns``,
+    ``out``, and optionally ``halt_after_saves`` / ``triage_dir``).  It
+    is *not* part of :func:`job_key` — autosaving is an executor
+    concern, so toggling it never invalidates a checkpoint — and the
+    executor turns it into a mid-sim resume: a worker that dies with an
+    autosave on disk is retried with the *same* seed and restored from
+    the autosave instead of starting over at t=0.
     """
 
     key: str
@@ -77,6 +88,7 @@ class JobSpec(NamedTuple):
     params: Dict[str, Any]
     seed: Optional[int] = None
     seed_path: Tuple[str, ...] = ("seed",)
+    snapshot: Optional[Dict[str, Any]] = None
 
 
 class JobOutcome(NamedTuple):
@@ -144,11 +156,17 @@ class JobKind(NamedTuple):
     live result path and the checkpoint-replay path decode the same
     encoded form, which is what makes resumed output identical to
     uninterrupted output.
+
+    ``snapshot`` marks kinds whose ``run`` accepts a
+    :class:`~repro.snapshot.SnapshotPolicy` keyword; only those jobs
+    get executor-driven autosave/restore ("callable" jobs name
+    arbitrary functions, which may not take the keyword).
     """
 
     run: Callable[..., Any]
     encode: Callable[[Any], Any]
     decode: Callable[[Any], Any]
+    snapshot: bool = True
 
 
 def resolve_target(text: str) -> Callable[..., Any]:
@@ -318,6 +336,7 @@ def _encode_chaos(result) -> Dict[str, Any]:
         "jain_before": result.jain_before,
         "jain_during": result.jain_during,
         "jain_after": result.jain_after,
+        "triage_bundle": result.triage_bundle,
     }
 
 
@@ -337,19 +356,84 @@ def _decode_chaos(payload):
         checks=payload["checks"], violations=payload["violations"],
         jain_before=payload["jain_before"],
         jain_during=payload["jain_during"],
-        jain_after=payload["jain_after"])
+        jain_after=payload["jain_after"],
+        triage_bundle=payload.get("triage_bundle"))
 
 
 #: Work a worker process knows how to run, by name.  Only the *name*
 #: crosses the process boundary; the spawned worker re-imports this
 #: module and looks the kind up again, so entries need not be picklable.
 JOB_KINDS: Dict[str, JobKind] = {
-    "callable": JobKind(_run_callable_job, _jsonable, lambda p: p),
+    "callable": JobKind(_run_callable_job, _jsonable, lambda p: p,
+                        snapshot=False),
     "fct": JobKind(_run_fct_job, _encode_fct, _decode_fct),
     "incast": JobKind(_run_incast_job, _encode_incast, _decode_incast),
     "static-sim": JobKind(_run_static_job, _encode_static, _decode_static),
     "chaos": JobKind(_run_chaos_job, _encode_chaos, _decode_chaos),
 }
+
+
+# ---------------------------------------------------------------------------
+# Mid-sim resume: autosave specs and per-attempt snapshot policies
+# ---------------------------------------------------------------------------
+
+def _autosave_dir(checkpoint: Any,
+                  autosave_dir: Optional[PathLike]) -> Path:
+    if autosave_dir is not None:
+        return Path(autosave_dir)
+    base = (checkpoint.path if isinstance(checkpoint, SweepCheckpoint)
+            else Path(checkpoint))
+    return base.with_name(base.name + ".autosaves")
+
+
+def _with_autosave_specs(specs: List[JobSpec], every_ns: int,
+                         directory: Path) -> List[JobSpec]:
+    """Attach a per-job autosave spec (filename derived from the key)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    out: List[JobSpec] = []
+    for spec in specs:
+        if spec.snapshot is not None or not JOB_KINDS[spec.kind].snapshot:
+            out.append(spec)
+            continue
+        name = re.sub(r"[^\w.@=-]+", "_", spec.key) + ".snap"
+        out.append(spec._replace(snapshot={"every_ns": every_ns,
+                                           "out": str(directory / name)}))
+    return out
+
+
+def _spec_out(spec: JobSpec) -> Optional[str]:
+    return (spec.snapshot or {}).get("out")
+
+
+def _snapshot_policy(spec_dict: Dict[str, Any], restore: bool):
+    """The worker-side policy for one attempt.
+
+    ``restore_fallback`` is always on here: a corrupt or torn autosave
+    degrades to a clean t=0 run instead of failing the job (the CLI's
+    ``--restore`` path stays strict).
+    """
+    from ..snapshot import SnapshotPolicy
+    out = spec_dict.get("out")
+    restore_path = (out if restore and out and Path(out).exists()
+                    else None)
+    return SnapshotPolicy(
+        every_ns=spec_dict.get("every_ns"), out=out,
+        restore=restore_path,
+        halt_after_saves=spec_dict.get("halt_after_saves"),
+        triage_dir=spec_dict.get("triage_dir"),
+        restore_fallback=True)
+
+
+def _attempt_job(spec: JobSpec, seed_attempt: int,
+                 restore: bool) -> Tuple[Dict[str, Any], Optional[int],
+                                         Optional[Dict[str, Any]]]:
+    """(params, seed, snapshot-spec) for one attempt of one job."""
+    params, seed = _attempt_params(spec, seed_attempt)
+    snapshot_spec = None
+    if spec.snapshot and JOB_KINDS[spec.kind].snapshot:
+        snapshot_spec = dict(spec.snapshot)
+        snapshot_spec["restore"] = restore
+    return params, seed, snapshot_spec
 
 
 # ---------------------------------------------------------------------------
@@ -423,17 +507,29 @@ class _Handle(NamedTuple):
 
     spec: JobSpec
     attempt: int
+    seed_attempt: int
     seed: Optional[int]
     process: Any
     conn: Any
 
 
-def _worker_main(conn, kind_name: str, params: Dict[str, Any]) -> None:
+def _worker_main(conn, kind_name: str, params: Dict[str, Any],
+                 snapshot_spec: Optional[Dict[str, Any]] = None) -> None:
     """Worker entry point: run one job, send one message, exit."""
     try:
         kind = JOB_KINDS[kind_name]
+        if snapshot_spec:
+            params = dict(params)
+            params["snapshot"] = _snapshot_policy(
+                snapshot_spec, snapshot_spec.get("restore", False))
         result = kind.run(**params)
         conn.send(("ok", kind.encode(result)))
+    except SnapshotHalt:
+        # Kill drill: die like a crashed worker would, without a
+        # message, so the parent exercises the real died-mid-sim path
+        # (retry same seed, restore from the autosave just written).
+        conn.close()
+        os._exit(WORKER_DRILL_EXIT)
     except SimulationError as exc:
         conn.send(("error", str(exc) or type(exc).__name__))
     except BaseException as exc:
@@ -455,7 +551,10 @@ def parallel_map(specs: Sequence[JobSpec], *, jobs: int = 1,
                  resume: bool = False,
                  trace: Optional[TraceBus] = None,
                  on_result: Optional[Callable[[JobOutcome], None]] = None,
-                 start_method: str = "spawn") -> List[JobOutcome]:
+                 start_method: str = "spawn",
+                 autosave_every_ns: Optional[int] = None,
+                 autosave_dir: Optional[PathLike] = None
+                 ) -> List[JobOutcome]:
     """Run every job and return one outcome per spec, in spec order.
 
     ``jobs`` worker processes run concurrently (``jobs=1`` executes
@@ -472,6 +571,16 @@ def parallel_map(specs: Sequence[JobSpec], *, jobs: int = 1,
     ``on_result`` is called with each outcome as it becomes final, in
     completion order — if it raises, in-flight workers are terminated
     and the checkpoint keeps what already finished.
+
+    ``autosave_every_ns`` turns on mid-sim resume: snapshot-capable
+    jobs autosave every so many *simulated* nanoseconds into
+    ``autosave_dir`` (default: ``<checkpoint>.autosaves/`` next to the
+    checkpoint file), and an attempt whose worker dies restarts from
+    the job's last autosave — same seed, mid-flight — instead of t=0.
+    A :class:`SimulationError` retry still reseeds from scratch and
+    discards the stale autosave (it belongs to the failed seed).
+    Autosaves only shift internal event sequence numbers, never event
+    ordering, so resumed results remain byte-identical to serial runs.
     """
     specs = list(specs)
     if jobs < 1:
@@ -486,6 +595,14 @@ def parallel_map(specs: Sequence[JobSpec], *, jobs: int = 1,
             raise ConfigurationError(
                 f"unknown job kind {spec.kind!r}; "
                 f"known: {sorted(JOB_KINDS)}")
+    if autosave_every_ns is not None:
+        if checkpoint is None and autosave_dir is None:
+            raise ConfigurationError(
+                "autosave needs a checkpoint file (or an explicit "
+                "autosave_dir) to derive snapshot paths")
+        specs = _with_autosave_specs(
+            specs, autosave_every_ns,
+            _autosave_dir(checkpoint, autosave_dir))
 
     own_store = not isinstance(checkpoint, SweepCheckpoint)
     store: Optional[SweepCheckpoint]
@@ -528,12 +645,20 @@ def parallel_map(specs: Sequence[JobSpec], *, jobs: int = 1,
         else:
             todo.append(spec)
 
+    # A fresh sweep must not inherit autosaves from a previous one;
+    # only resume=True may restore a job mid-flight on its first try.
+    if not resume:
+        for spec in todo:
+            out = _spec_out(spec)
+            if out:
+                Path(out).unlink(missing_ok=True)
+
     try:
         if jobs == 1:
-            _run_serial(todo, retries, store, finish, publish)
+            _run_serial(todo, retries, store, finish, publish, resume)
         elif todo:
             _run_pool(todo, jobs, retries, store, finish, publish,
-                      start_method)
+                      start_method, resume)
     finally:
         if store is not None and own_store:
             store.close()
@@ -562,21 +687,34 @@ def _record_failure(store: Optional[SweepCheckpoint], spec: JobSpec,
 def _run_serial(todo: Sequence[JobSpec], retries: int,
                 store: Optional[SweepCheckpoint],
                 finish: Callable[[JobOutcome], None],
-                publish: Callable[[str, str], None]) -> None:
+                publish: Callable[[str, str], None],
+                resume: bool = False) -> None:
     """In-process execution with the same retry/marshal semantics."""
     for spec in todo:
         kind = JOB_KINDS[spec.kind]
+        out = _spec_out(spec)
         attempt = 0
+        restore = bool(resume and out and Path(out).exists())
         last_error = ""
         while attempt <= retries:
             attempt += 1
-            params, seed = _attempt_params(spec, attempt)
+            params, seed, snapshot_spec = _attempt_job(spec, attempt,
+                                                       restore)
+            if snapshot_spec:
+                params = dict(params)
+                params["snapshot"] = _snapshot_policy(snapshot_spec,
+                                                      restore)
             publish("start" if attempt == 1 else f"retry[{attempt}]",
                     spec.key)
             try:
                 result = kind.run(**params)
             except SimulationError as exc:
                 last_error = str(exc) or type(exc).__name__
+                # The next attempt reseeds, so the autosave written by
+                # this one describes a run that no longer exists.
+                if out:
+                    Path(out).unlink(missing_ok=True)
+                restore = False
                 continue
             finish(_record_success(store, spec, kind.encode(result),
                                    attempt, seed))
@@ -590,37 +728,52 @@ def _run_pool(todo: Sequence[JobSpec], jobs: int, retries: int,
               store: Optional[SweepCheckpoint],
               finish: Callable[[JobOutcome], None],
               publish: Callable[[str, str], None],
-              start_method: str) -> None:
+              start_method: str, resume: bool = False) -> None:
     """Fan jobs out to single-job worker processes.
 
     One process per job attempt: a worker that segfaults, is OOM-killed,
     or calls ``os._exit`` takes down nothing but its own job, which is
-    retried (with a fresh seed) or recorded as failed.  Results travel
-    over a per-worker pipe, and the parent waits on pipes *and* process
-    sentinels together so a large result being streamed and a silent
-    death are both handled without deadlock.
+    retried or recorded as failed.  A dead worker that left an autosave
+    behind is retried with the *same* seed and restored mid-flight; any
+    other retry reseeds from scratch.  Results travel over a per-worker
+    pipe, and the parent waits on pipes *and* process sentinels together
+    so a large result being streamed and a silent death are both handled
+    without deadlock.
     """
     ctx = get_context(start_method)
-    pending = deque((spec, 1, "") for spec in todo)
+    # Queue entries: (spec, attempt #, seed attempt #, restore?).  The
+    # seed attempt lags the attempt counter on restore retries so the
+    # resumed run keeps the seed its autosave was produced under.
+    pending = deque()
+    for spec in todo:
+        out = _spec_out(spec)
+        restore = bool(resume and out and Path(out).exists())
+        pending.append((spec, 1, 1, restore))
     running: Dict[Any, _Handle] = {}
 
-    def launch(spec: JobSpec, attempt: int) -> None:
-        params, seed = _attempt_params(spec, attempt)
+    def launch(spec: JobSpec, attempt: int, seed_attempt: int,
+               restore: bool) -> None:
+        params, seed, snapshot_spec = _attempt_job(spec, seed_attempt,
+                                                   restore)
         recv_conn, send_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(target=_worker_main,
-                              args=(send_conn, spec.kind, params),
+                              args=(send_conn, spec.kind, params,
+                                    snapshot_spec),
                               daemon=True)
         process.start()
         send_conn.close()  # keep only the child's write end open
-        publish("start" if attempt == 1 else f"retry[{attempt}]", spec.key)
-        running[recv_conn] = _Handle(spec, attempt, seed, process,
-                                     recv_conn)
+        label = ("start" if attempt == 1
+                 else f"retry[{attempt}]" + ("+restore" if restore
+                                             else ""))
+        publish(label, spec.key)
+        running[recv_conn] = _Handle(spec, attempt, seed_attempt, seed,
+                                     process, recv_conn)
 
     try:
         while pending or running:
             while pending and len(running) < jobs:
-                spec, attempt, _ = pending.popleft()
-                launch(spec, attempt)
+                spec, attempt, seed_attempt, restore = pending.popleft()
+                launch(spec, attempt, seed_attempt, restore)
             waitables = (list(running.keys())
                          + [h.process.sentinel for h in running.values()])
             ready = set(connection.wait(waitables))
@@ -645,13 +798,25 @@ def _run_pool(todo: Sequence[JobSpec], jobs: int, retries: int,
                     raise RuntimeError(
                         f"worker for job {spec.key!r} raised: "
                         f"{message[1]}")
+                out = _spec_out(spec)
                 if message is None:
                     code = handle.process.exitcode
                     error = f"worker died (exit code {code})"
+                    resumable = bool(out and Path(out).exists())
                 else:
                     error = message[1]
+                    resumable = False
                 if attempt <= retries:
-                    pending.append((spec, attempt + 1, error))
+                    if resumable:
+                        # Mid-sim resume: same seed, restore from the
+                        # job's last autosave instead of t=0.
+                        pending.append((spec, attempt + 1,
+                                        handle.seed_attempt, True))
+                    else:
+                        if out:  # stale autosave from the failed seed
+                            Path(out).unlink(missing_ok=True)
+                        pending.append((spec, attempt + 1, attempt + 1,
+                                        False))
                 else:
                     finish(_record_failure(store, spec, error, attempt,
                                            handle.seed))
@@ -680,6 +845,8 @@ def parallel_fct_sweep(scheme_names: Sequence[str],
                        trace: Optional[TraceBus] = None,
                        on_result: Optional[Callable[[JobOutcome], None]]
                        = None,
+                       autosave_every_ns: Optional[int] = None,
+                       autosave_dir: Optional[PathLike] = None,
                        **kwargs: Any):
     """Figs. 8-9 load sweep across worker processes.
 
@@ -702,7 +869,9 @@ def parallel_fct_sweep(scheme_names: Sequence[str],
                 "fct", params, seed=seed))
     outcomes = parallel_map(specs, jobs=jobs, retries=retries,
                             checkpoint=checkpoint, resume=resume,
-                            trace=trace, on_result=on_result)
+                            trace=trace, on_result=on_result,
+                            autosave_every_ns=autosave_every_ns,
+                            autosave_dir=autosave_dir)
     results: Dict[str, List[Any]] = {}
     failures: List[JobOutcome] = []
     cursor = iter(outcomes)
@@ -731,6 +900,8 @@ def parallel_incast_runs(scheme_names: Sequence[str], *, jobs: int = 1,
                          checkpoint: Optional[PathLike] = None,
                          resume: bool = False,
                          trace: Optional[TraceBus] = None,
+                         autosave_every_ns: Optional[int] = None,
+                         autosave_dir: Optional[PathLike] = None,
                          **kwargs: Any) -> List[JobOutcome]:
     """One incast run per scheme, fanned across workers (spec order)."""
     specs = []
@@ -740,7 +911,9 @@ def parallel_incast_runs(scheme_names: Sequence[str], *, jobs: int = 1,
         specs.append(JobSpec(job_key("incast", params, label=name),
                              "incast", params))
     return parallel_map(specs, jobs=jobs, retries=retries,
-                        checkpoint=checkpoint, resume=resume, trace=trace)
+                        checkpoint=checkpoint, resume=resume, trace=trace,
+                        autosave_every_ns=autosave_every_ns,
+                        autosave_dir=autosave_dir)
 
 
 def parallel_static_runs(scheme_names: Sequence[str], *, rate: str,
@@ -748,6 +921,8 @@ def parallel_static_runs(scheme_names: Sequence[str], *, rate: str,
                          checkpoint: Optional[PathLike] = None,
                          resume: bool = False,
                          trace: Optional[TraceBus] = None,
+                         autosave_every_ns: Optional[int] = None,
+                         autosave_dir: Optional[PathLike] = None,
                          **kwargs: Any) -> List[JobOutcome]:
     """One static-sim run per scheme, fanned across workers (spec order)."""
     specs = []
@@ -757,4 +932,6 @@ def parallel_static_runs(scheme_names: Sequence[str], *, rate: str,
         specs.append(JobSpec(job_key("static-sim", params, label=name),
                              "static-sim", params))
     return parallel_map(specs, jobs=jobs, retries=retries,
-                        checkpoint=checkpoint, resume=resume, trace=trace)
+                        checkpoint=checkpoint, resume=resume, trace=trace,
+                        autosave_every_ns=autosave_every_ns,
+                        autosave_dir=autosave_dir)

@@ -31,6 +31,7 @@ from ..sim.units import (
     milliseconds,
     seconds,
 )
+from ..snapshot import SimWorld, SnapshotPolicy, acquire_world, run_world
 from ..transport.pias import PIASConfig
 from ..transport.registry import sender_class
 from ..workloads.datasets import workload, workload_names
@@ -111,7 +112,9 @@ def run_static_sim(scheme_name: str, *, config: SimConfig = SIM_10G,
                    duration_ms: float = 600.0,
                    sample_interval_ms: float = 10.0,
                    sim: Optional[Simulator] = None,
-                   trace: Optional[TraceBus] = None) -> StaticSimResult:
+                   trace: Optional[TraceBus] = None,
+                   snapshot: Optional[SnapshotPolicy] = None
+                   ) -> StaticSimResult:
     """Figs. 10-12: staggered-stop bandwidth sharing on a fast rack.
 
     Queue *k* (1-based) is fed by ``senders_for_queue(k)`` single-flow
@@ -120,6 +123,29 @@ def run_static_sim(scheme_name: str, *, config: SimConfig = SIM_10G,
     order every ``stop_step_ms``.  WRR with equal weights schedules the
     bottleneck (the receiver h0's downlink).
     """
+    def build() -> SimWorld:
+        return _prepare_static_sim(
+            scheme_name, config=config, num_queues=num_queues,
+            senders_for_queue=senders_for_queue,
+            first_stop_ms=first_stop_ms, stop_step_ms=stop_step_ms,
+            duration_ms=duration_ms,
+            sample_interval_ms=sample_interval_ms, sim=sim, trace=trace)
+
+    world = acquire_world(snapshot, "static-sim", build)
+    run_world(world, snapshot)
+    result = world.finish(world)
+    if world.restored:
+        world.close_recorders()
+    return result
+
+
+def _prepare_static_sim(scheme_name: str, *, config: SimConfig,
+                        num_queues: int,
+                        senders_for_queue: Callable[[int], int],
+                        first_stop_ms: float, stop_step_ms: float,
+                        duration_ms: float, sample_interval_ms: float,
+                        sim: Optional[Simulator] = None,
+                        trace: Optional[TraceBus] = None) -> SimWorld:
     sender_counts = [senders_for_queue(k) for k in range(1, num_queues + 1)]
     net = build_star(
         num_hosts=1 + sum(sender_counts), rate_bps=config.rate_bps,
@@ -150,9 +176,20 @@ def run_static_sim(scheme_name: str, *, config: SimConfig = SIM_10G,
             if stop_times[queue_index] is not None:
                 app.stop_at(stop_times[queue_index])
             host_index += 1
-    net.sim.run(until=milliseconds(duration_ms))
-    return StaticSimResult(scheme(scheme_name).name, meter.samples,
-                           stop_times, config, num_queues)
+    return SimWorld(
+        kind="static-sim", net=net, finish=_finish_static_sim,
+        horizon_ns=milliseconds(duration_ms),
+        state={"scheme": scheme(scheme_name).name, "meter": meter,
+               "stop_times": stop_times, "config": config,
+               "num_queues": num_queues},
+        meta={"scheme": scheme_name})
+
+
+def _finish_static_sim(world: SimWorld) -> StaticSimResult:
+    state = world.state
+    return StaticSimResult(state["scheme"], state["meter"].samples,
+                           state["stop_times"], state["config"],
+                           state["num_queues"])
 
 
 def many_flows_senders(k: int) -> int:

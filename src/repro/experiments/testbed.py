@@ -39,6 +39,7 @@ from ..sim.units import (
     milliseconds,
     seconds,
 )
+from ..snapshot import SimWorld, SnapshotPolicy, acquire_world, run_world
 from ..transport.pias import PIASConfig
 from ..transport.registry import sender_class
 from ..workloads.datasets import WEB_SEARCH
@@ -111,21 +112,19 @@ def _star_with_scheme(scheme_name: str, *, num_hosts: int,
         sim=sim, trace=trace)
 
 
-def _bulk_throughput_run(scheme_name: str, *,
-                         flows_per_queue: Sequence[int],
-                         quanta: Sequence[float],
-                         stop_times_ns: Optional[Sequence[Optional[int]]],
-                         duration_ns: int, sample_interval_ns: int,
-                         config: TestbedConfig,
-                         protocols: Optional[Sequence[str]] = None,
-                         queue_samples: int = 0,
-                         senders_per_queue=1,
-                         sim: Optional[Simulator] = None,
-                         trace: Optional[TraceBus] = None,
-                         faults: Optional[FaultSchedule] = None,
-                         on_network: Optional[Callable[[Network], None]]
-                         = None) -> ThroughputResult:
-    """Shared machinery of the static-flow experiments.
+def _prepare_bulk(scheme_name: str, *,
+                  flows_per_queue: Sequence[int],
+                  quanta: Sequence[float],
+                  stop_times_ns: Optional[Sequence[Optional[int]]],
+                  duration_ns: int, sample_interval_ns: int,
+                  config: TestbedConfig,
+                  protocols: Optional[Sequence[str]] = None,
+                  queue_samples: int = 0,
+                  senders_per_queue=1,
+                  sim: Optional[Simulator] = None,
+                  trace: Optional[TraceBus] = None,
+                  faults: Optional[FaultSchedule] = None) -> SimWorld:
+    """Build (but do not run) a static-flow experiment world.
 
     Queue *k* (0-based) gets ``flows_per_queue[k]`` bulk flows, split over
     ``senders_per_queue[k]`` sender hosts (an int means the same count for
@@ -137,10 +136,10 @@ def _bulk_throughput_run(scheme_name: str, *,
     aggregate arrival rate at the bottleneck (Fig. 1's setup relies on
     exactly this).
 
-    ``faults`` arms a :class:`FaultController` for the run; ``on_network``
-    is a hook called with the built network right before the simulation
-    starts (the chaos harness attaches its controller, invariant monitor,
-    and watchdog through it).
+    ``faults`` arms a :class:`FaultController` for the run.  The returned
+    world carries everything the scenario needs to finish, so it can be
+    snapshotted mid-run and restored (the chaos harness also attaches its
+    monitor/watchdog to it before running).
     """
     num_queues = len(flows_per_queue)
     if isinstance(senders_per_queue, int):
@@ -184,13 +183,66 @@ def _bulk_throughput_run(scheme_name: str, *,
             if stop_times_ns and stop_times_ns[queue] is not None:
                 app.stop_at(stop_times_ns[queue])
             host_index += 1
+    controller = None
     if faults is not None:
-        FaultController(net, faults).arm()
-    if on_network is not None:
-        on_network(net)
-    net.sim.run(until=duration_ns)
-    return ThroughputResult(scheme(scheme_name).name, meter.samples,
-                            lengths, config, num_queues)
+        controller = FaultController(net, faults)
+        controller.arm()
+    return SimWorld(
+        kind="bulk", net=net, finish=_finish_bulk, horizon_ns=duration_ns,
+        state={"scheme": scheme(scheme_name).name, "meter": meter,
+               "lengths": lengths, "config": config,
+               "num_queues": num_queues, "controller": controller},
+        meta={"scheme": scheme_name})
+
+
+def _finish_bulk(world: SimWorld) -> ThroughputResult:
+    state = world.state
+    return ThroughputResult(state["scheme"], state["meter"].samples,
+                            state["lengths"], state["config"],
+                            state["num_queues"])
+
+
+def _bulk_throughput_run(scheme_name: str, *,
+                         flows_per_queue: Sequence[int],
+                         quanta: Sequence[float],
+                         stop_times_ns: Optional[Sequence[Optional[int]]],
+                         duration_ns: int, sample_interval_ns: int,
+                         config: TestbedConfig,
+                         protocols: Optional[Sequence[str]] = None,
+                         queue_samples: int = 0,
+                         senders_per_queue=1,
+                         sim: Optional[Simulator] = None,
+                         trace: Optional[TraceBus] = None,
+                         faults: Optional[FaultSchedule] = None,
+                         on_network: Optional[Callable[[Network], None]]
+                         = None,
+                         snapshot: Optional[SnapshotPolicy] = None
+                         ) -> ThroughputResult:
+    """Prepare, run, and finish a static-flow experiment.
+
+    ``on_network`` is a hook called with the built network right before
+    the simulation starts (skipped on ``--restore``: a restored world
+    already carries whatever the hook attached).  ``snapshot`` enables
+    autosave/restore — see :mod:`repro.snapshot`.
+    """
+    def build() -> SimWorld:
+        world = _prepare_bulk(
+            scheme_name, flows_per_queue=flows_per_queue, quanta=quanta,
+            stop_times_ns=stop_times_ns, duration_ns=duration_ns,
+            sample_interval_ns=sample_interval_ns, config=config,
+            protocols=protocols, queue_samples=queue_samples,
+            senders_per_queue=senders_per_queue, sim=sim, trace=trace,
+            faults=faults)
+        if on_network is not None:
+            on_network(world.net)
+        return world
+
+    world = acquire_world(snapshot, "bulk", build)
+    run_world(world, snapshot)
+    result = world.finish(world)
+    if world.restored:
+        world.close_recorders()
+    return result
 
 
 def _split_evenly(total: int, parts: int) -> List[int]:
@@ -210,7 +262,8 @@ def run_motivation(scheme_name: str = "besteffort", *,
                    config: TestbedConfig = DEFAULT_CONFIG,
                    sim: Optional[Simulator] = None,
                    trace: Optional[TraceBus] = None,
-                   faults: Optional[FaultSchedule] = None
+                   faults: Optional[FaultSchedule] = None,
+                   snapshot: Optional[SnapshotPolicy] = None
                    ) -> ThroughputResult:
     """Fig. 1: 4 senders, 8 flows each; 3 senders share queue 2.
 
@@ -224,7 +277,8 @@ def run_motivation(scheme_name: str = "besteffort", *,
         stop_times_ns=None, duration_ns=seconds(duration_s),
         sample_interval_ns=seconds(sample_interval_s), config=config,
         queue_samples=queue_samples,
-        senders_per_queue=[1, 3], sim=sim, trace=trace, faults=faults)
+        senders_per_queue=[1, 3], sim=sim, trace=trace, faults=faults,
+        snapshot=snapshot)
 
 
 # ---------------------------------------------------------------------------
@@ -237,7 +291,8 @@ def run_convergence(scheme_name: str, *, duration_s: float = 10.0,
                     config: TestbedConfig = DEFAULT_CONFIG,
                     sim: Optional[Simulator] = None,
                     trace: Optional[TraceBus] = None,
-                    faults: Optional[FaultSchedule] = None
+                    faults: Optional[FaultSchedule] = None,
+                    snapshot: Optional[SnapshotPolicy] = None
                     ) -> ThroughputResult:
     """Figs. 3-4: queue 1 carries 2 flows, queue 2 carries 16.
 
@@ -250,7 +305,8 @@ def run_convergence(scheme_name: str, *, duration_s: float = 10.0,
         quanta=[config.quantum_bytes] * 4, stop_times_ns=None,
         duration_ns=seconds(duration_s),
         sample_interval_ns=seconds(sample_interval_s), config=config,
-        queue_samples=queue_samples, sim=sim, trace=trace, faults=faults)
+        queue_samples=queue_samples, sim=sim, trace=trace, faults=faults,
+        snapshot=snapshot)
 
 
 # ---------------------------------------------------------------------------
@@ -268,7 +324,8 @@ def run_fair_sharing(scheme_name: str, *, time_unit_s: float = 5.0,
                      protocols: Optional[Sequence[str]] = None,
                      sim: Optional[Simulator] = None,
                      trace: Optional[TraceBus] = None,
-                     faults: Optional[FaultSchedule] = None
+                     faults: Optional[FaultSchedule] = None,
+                     snapshot: Optional[SnapshotPolicy] = None
                      ) -> ThroughputResult:
     """Fig. 5: queue k holds 2^k flows; queues stop 4, 3, 2, 1 in turn.
 
@@ -281,7 +338,8 @@ def run_fair_sharing(scheme_name: str, *, time_unit_s: float = 5.0,
         quanta=[config.quantum_bytes] * 4, stop_times_ns=stops,
         duration_ns=seconds(time_unit_s * 5.5),
         sample_interval_ns=seconds(sample_interval_s), config=config,
-        protocols=protocols, sim=sim, trace=trace, faults=faults)
+        protocols=protocols, sim=sim, trace=trace, faults=faults,
+        snapshot=snapshot)
 
 
 # ---------------------------------------------------------------------------
@@ -295,7 +353,8 @@ def run_weighted_sharing(scheme_name: str, *,
                          config: TestbedConfig = DEFAULT_CONFIG,
                          sim: Optional[Simulator] = None,
                          trace: Optional[TraceBus] = None,
-                         faults: Optional[FaultSchedule] = None
+                         faults: Optional[FaultSchedule] = None,
+                         snapshot: Optional[SnapshotPolicy] = None
                          ) -> ThroughputResult:
     """Fig. 6: DRR quanta 6/4.5/3/1.5 KB; all queues active.
 
@@ -308,7 +367,7 @@ def run_weighted_sharing(scheme_name: str, *,
         scheme_name, flows_per_queue=flows, quanta=quanta,
         stop_times_ns=None, duration_ns=seconds(duration_s),
         sample_interval_ns=seconds(sample_interval_s), config=config,
-        sim=sim, trace=trace, faults=faults)
+        sim=sim, trace=trace, faults=faults, snapshot=snapshot)
 
 
 # ---------------------------------------------------------------------------
@@ -320,7 +379,8 @@ def run_protocol_mix(scheme_name: str, *, time_unit_s: float = 5.0,
                      config: TestbedConfig = DEFAULT_CONFIG,
                      sim: Optional[Simulator] = None,
                      trace: Optional[TraceBus] = None,
-                     faults: Optional[FaultSchedule] = None
+                     faults: Optional[FaultSchedule] = None,
+                     snapshot: Optional[SnapshotPolicy] = None
                      ) -> ThroughputResult:
     """Fig. 7: queues 1-2 run TCP(Reno), queues 3-4 run CUBIC.
 
@@ -331,7 +391,7 @@ def run_protocol_mix(scheme_name: str, *, time_unit_s: float = 5.0,
         scheme_name, time_unit_s=time_unit_s,
         sample_interval_s=sample_interval_s, config=config,
         protocols=["tcp", "tcp", "cubic", "cubic"],
-        sim=sim, trace=trace, faults=faults)
+        sim=sim, trace=trace, faults=faults, snapshot=snapshot)
 
 
 # ---------------------------------------------------------------------------
@@ -359,13 +419,43 @@ def run_fct_experiment(scheme_name: str, *, load: float,
                        config: TestbedConfig = DEFAULT_CONFIG,
                        drain_timeout_s: float = 60.0,
                        sim: Optional[Simulator] = None,
-                       trace: Optional[TraceBus] = None) -> FCTResult:
+                       trace: Optional[TraceBus] = None,
+                       snapshot: Optional[SnapshotPolicy] = None
+                       ) -> FCTResult:
     """Figs. 8-9: web-search flows at the given load, PIAS + SPQ/DRR.
 
     Host h0 is the client; h1..h{num_servers} respond with flows drawn
     from ``distribution``.  Flows map to a random DRR service queue; PIAS
     sends every flow's first 100 KB through the shared SPQ queue.
+
+    Runs in drain mode (1 s chunks while flows are outstanding), so an
+    autosave can land inside a chunk without shifting later chunk
+    boundaries — see :func:`repro.snapshot.run_world`.
     """
+    def build() -> SimWorld:
+        return _prepare_fct(
+            scheme_name, load=load, num_flows=num_flows,
+            num_servers=num_servers,
+            num_service_queues=num_service_queues,
+            distribution=distribution, seed=seed,
+            pias_threshold=pias_threshold, config=config,
+            drain_timeout_s=drain_timeout_s, sim=sim, trace=trace)
+
+    world = acquire_world(snapshot, "fct", build)
+    run_world(world, snapshot)
+    result = world.finish(world)
+    if world.restored:
+        world.close_recorders()
+    return result
+
+
+def _prepare_fct(scheme_name: str, *, load: float, num_flows: int,
+                 num_servers: int, num_service_queues: int,
+                 distribution: EmpiricalCDF, seed: int,
+                 pias_threshold: int, config: TestbedConfig,
+                 drain_timeout_s: float,
+                 sim: Optional[Simulator] = None,
+                 trace: Optional[TraceBus] = None) -> SimWorld:
     spec = scheme(scheme_name)
     streams = RandomStreams(seed)
     rng = streams.stream(f"fct:{scheme_name}:{load}")
@@ -386,19 +476,18 @@ def run_fct_experiment(scheme_name: str, *, load: float,
         pias=PIASConfig(demotion_threshold=pias_threshold),
         mtu_bytes=config.mtu_bytes, min_rto_ns=config.min_rto_ns)
     horizon = specs[-1].arrival_ns + seconds(drain_timeout_s)
-    _run_until_drained(net, app, horizon)
-    return FCTResult(spec.name, load, app.fct.summary(),
-                     app.completed, app.outstanding, app.fct)
+    return SimWorld(
+        kind="fct", net=net, finish=_finish_fct, horizon_ns=horizon,
+        state={"app": app, "scheme": spec.name, "load": load},
+        drain_key="app", chunk_ns=seconds(1.0),
+        meta={"scheme": scheme_name, "load": load})
 
 
-def _run_until_drained(net: Network, app: RequestResponseApp,
-                       horizon_ns: int) -> None:
-    """Run until every flow completes or the safety horizon passes."""
-    chunk = seconds(1.0)
-    while app.outstanding and net.sim.now < horizon_ns:
-        net.sim.run(until=min(net.sim.now + chunk, horizon_ns))
-        if net.sim.peek_time() is None:
-            break
+def _finish_fct(world: SimWorld) -> FCTResult:
+    app = world.state["app"]
+    return FCTResult(world.state["scheme"], world.state["load"],
+                     app.fct.summary(), app.completed, app.outstanding,
+                     app.fct)
 
 
 def fct_load_sweep(scheme_names: Sequence[str], loads: Sequence[float],

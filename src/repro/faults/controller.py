@@ -177,10 +177,14 @@ class ThresholdInvariantMonitor:
         self._baselines: Dict[str, int] = {}
         self._handlers = []
         for topic in (TOPIC_THRESHOLD_CHANGE, TOPIC_DYNAQ_RECONFIGURE):
-            def handler(**payload):
-                self._on_event(payload)
+            # Bound method, not a per-topic closure: the monitor lives in
+            # the snapshotted graph and closures cannot be pickled.
+            handler = self._handle
             trace.subscribe(topic, handler)
             self._handlers.append((topic, handler))
+
+    def _handle(self, **payload: Any) -> None:
+        self._on_event(payload)
 
     def _on_event(self, payload: Dict[str, Any]) -> None:
         thresholds = payload.get("thresholds")

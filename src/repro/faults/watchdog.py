@@ -105,6 +105,25 @@ class ScenarioWatchdog:
         self._check_event = None
         self._budget_event = None
 
+    # -- snapshot support ------------------------------------------------------
+    #
+    # ``perf_counter()`` values are process-local, so a snapshot stores
+    # the *elapsed* wall time instead; restore re-anchors the start so the
+    # remaining wall budget carries across the save/restore boundary.
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        started = state.pop("_started_at")
+        state["_elapsed_at_save"] = (
+            perf_counter() - started if started is not None else None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        elapsed = state.pop("_elapsed_at_save", None)
+        self.__dict__.update(state)
+        self._started_at = (
+            perf_counter() - elapsed if elapsed is not None else None)
+
     def raise_if_tripped(self) -> None:
         """Re-raise a trip as :class:`WatchdogTimeout` (no-op otherwise)."""
         if self.tripped is not None:

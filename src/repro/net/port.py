@@ -145,7 +145,9 @@ class EgressPort:
 
         bind_clock = getattr(scheduler, "bind_clock", None)
         if bind_clock is not None:
-            bind_clock(lambda: self.sim.now)
+            # Bound method, not a lambda: the scheduler retains the clock
+            # for the run's lifetime and lambdas would break snapshots.
+            bind_clock(self.now)
         if trace is not None:
             buffer_manager.bind_trace(trace, name)
         buffer_manager.attach(self)

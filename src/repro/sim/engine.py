@@ -248,6 +248,12 @@ class Simulator:
                 event.cancelled = True  # consumed; see Event docstring
                 self._live -= 1
                 self.now = event.time
+                # Count the event as executed *before* running its
+                # callback: if the callback raises, the heap and the live
+                # counter must still agree so a post-mortem snapshot of
+                # the simulator is consistent (the event was consumed).
+                self.events_executed += 1
+                executed += 1
                 if profiler is None:
                     event.callback(*event.args)
                 else:
@@ -257,8 +263,6 @@ class Simulator:
                                     len(heap))
                 if pooling:
                     self._release(event)
-                self.events_executed += 1
-                executed += 1
                 if self._stopped:
                     break
                 if max_events is not None and executed >= max_events:
@@ -301,12 +305,16 @@ class Simulator:
                 pop(heap)
                 event.cancelled = True  # consumed; see Event docstring
                 self.now = time
+                # Consumed before the callback runs: a raising callback
+                # must still be accounted for in the deferred batch below,
+                # or pending() would over-count after the exception and a
+                # post-mortem snapshot would carry a corrupt live count.
+                executed += 1
                 event.callback(*event.args)
                 if len(free) < EVENT_POOL_CAP:
                     event.callback = None
                     event.args = ()
                     free.append(event)
-                executed += 1
                 if self._stopped:
                     break
             else:
@@ -367,6 +375,23 @@ class Simulator:
                     if not event.cancelled and event.callback is callback]
         hits.sort()  # Event.__lt__: (time, seq) == schedule order here
         return hits
+
+    def check_consistency(self) -> None:
+        """Verify the heap and the live counter agree.
+
+        Raises :class:`SimulationError` on a mismatch.  O(heap size), so
+        this is for rare control paths only — the snapshot layer calls it
+        before pickling a post-mortem world to guarantee the saved state
+        is resumable, even after an exception escaped a callback.
+        """
+        if self.pooling:
+            alive = sum(1 for entry in self._heap if not entry[2].cancelled)
+        else:
+            alive = sum(1 for event in self._heap if not event.cancelled)
+        if alive != self._live:
+            raise SimulationError(
+                f"heap/counter mismatch: {alive} live events in heap but "
+                f"pending() reports {self._live}")
 
     # -- internals -----------------------------------------------------------
 

@@ -1,43 +1,27 @@
-"""Exception hierarchy for the repro package.
+"""Compatibility shim: the taxonomy now lives in :mod:`repro.errors`.
 
-A single root (:class:`ReproError`) lets callers catch everything raised by
-this library without masking unrelated bugs.
+Historically this module defined the exception hierarchy; the canonical
+home is :mod:`repro.errors` (one file, one root, plus the CLI exit-code
+contract).  Everything is re-exported here so existing imports keep
+working.
 """
 
 from __future__ import annotations
 
+from ..errors import (
+    ConfigurationError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TransportError,
+    WatchdogTimeout,
+)
 
-class ReproError(Exception):
-    """Base class for all errors raised by the repro package."""
-
-
-class SimulationError(ReproError):
-    """The event loop was used incorrectly (e.g. scheduling in the past)."""
-
-
-class WatchdogTimeout(SimulationError):
-    """A scenario exceeded its wall-clock or simulated-time budget.
-
-    Raised by :class:`repro.faults.ScenarioWatchdog` after it has stopped
-    the event loop; catching :class:`SimulationError` therefore also
-    covers watchdog aborts (the CLI and the flight recorder rely on
-    this).
-    """
-
-
-class ConfigurationError(ReproError, ValueError):
-    """An experiment, device, or scheme was configured inconsistently.
-
-    Also a :class:`ValueError`: configuration mistakes are bad values, and
-    the double parentage lets old call sites that catch ``ValueError``
-    keep working while new code catches the precise type (or
-    :class:`ReproError` for anything raised by this library).
-    """
-
-
-class RoutingError(ReproError):
-    """No route exists for a packet, or a forwarding table is malformed."""
-
-
-class TransportError(ReproError):
-    """A transport connection was driven through an invalid state change."""
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "WatchdogTimeout",
+    "ConfigurationError",
+    "RoutingError",
+    "TransportError",
+]

@@ -1,0 +1,47 @@
+"""In-flight simulation snapshot/restore.
+
+``repro.snapshot`` saves a *running* experiment — the simulator heap,
+every port/queue/shared-buffer, DynaQ threshold state, transport timers,
+RNG streams, fault controllers, and attached telemetry — into a
+versioned, integrity-hashed file, and restores it such that the resumed
+run emits a byte-identical trace and identical metrics versus an
+uninterrupted run (see ``tests/test_snapshot.py``).
+
+Layers
+------
+:class:`SnapshotManager`
+    The file format: one JSON header line (magic, version, payload
+    sha256, kind, sim time) followed by a pickle of the object graph.
+:class:`SimWorld` / :func:`run_world` / :func:`restore_world`
+    The experiment-facing driver.  A world bundles a built network with
+    the scenario's collectors and a module-level ``finish`` function;
+    ``run_world`` drives it to its horizon, autosaving on a
+    :class:`SnapshotPolicy` cadence and writing triage bundles on
+    watchdog trips and simulation errors.
+:func:`write_triage_bundle`
+    Post-mortem directory: snapshot + flight-recorder dump + profiler /
+    counter summary + manifest (see docs/robustness.md).
+"""
+
+from .manager import SNAPSHOT_MAGIC, SNAPSHOT_VERSION, SnapshotManager
+from .triage import find_flight_recorder, write_triage_bundle
+from .world import (
+    SimWorld,
+    SnapshotPolicy,
+    acquire_world,
+    restore_world,
+    run_world,
+)
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "SnapshotManager",
+    "SimWorld",
+    "SnapshotPolicy",
+    "acquire_world",
+    "restore_world",
+    "run_world",
+    "find_flight_recorder",
+    "write_triage_bundle",
+]

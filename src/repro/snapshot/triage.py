@@ -1,0 +1,126 @@
+"""Triage bundles: everything needed to debug a dead run, in one place.
+
+A watchdog trip or an escaping :class:`~repro.errors.SimulationError`
+leaves three questions: *what state was the sim in*, *what happened just
+before*, and *where was the time going*.  A triage bundle answers all
+three with one directory::
+
+    <dir>/
+      snapshot.bin    post-mortem SimWorld snapshot (restorable)
+      flight.jsonl    flight-recorder dump (when a recorder is attached)
+      profile.txt     op counters + profiler summary, human-readable
+      manifest.json   reason, sim time, consistency check, file index
+
+The snapshot is valid for ``--restore`` because the engine accounts for
+an event *before* running its callback, so even an exception mid-run
+leaves the heap and counters consistent (``Simulator.check_consistency``
+is recorded in the manifest either way).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..errors import SimulationError
+from .manager import PathLike, SnapshotManager
+
+_MANAGER = SnapshotManager()
+
+
+def find_flight_recorder(trace: Any) -> Optional[Any]:
+    """The first :class:`FlightRecorder` subscribed to ``trace``, if any.
+
+    Recorders subscribe with ``partial(self._handle, topic)`` handlers,
+    so the owner is recovered from the partial's bound function.
+    """
+    from ..telemetry.flight_recorder import FlightRecorder
+
+    for callbacks in getattr(trace, "_subscribers", {}).values():
+        for handler in callbacks:
+            owner = getattr(getattr(handler, "func", None), "__self__", None)
+            if owner is None:
+                owner = getattr(handler, "__self__", None)
+            if isinstance(owner, FlightRecorder):
+                return owner
+    return None
+
+
+def _profile_text(world: Any, reason: str, consistent: bool) -> str:
+    sim = world.net.sim
+    lines = [
+        f"triage reason:     {reason}",
+        f"experiment kind:   {world.kind}",
+        f"sim time (ns):     {sim.now}",
+        f"horizon (ns):      {world.horizon_ns}",
+        f"events scheduled:  {sim.events_scheduled}",
+        f"events executed:   {sim.events_executed}",
+        f"events cancelled:  {sim.events_cancelled}",
+        f"events pending:    {sim.pending()}",
+        f"event pool size:   {sim.pool_size()}",
+        f"heap consistent:   {consistent}",
+        f"autosaves so far:  {world.saves}",
+    ]
+    if world.watchdog is not None and world.watchdog.tripped:
+        lines.append(f"watchdog tripped:  {world.watchdog.tripped}")
+    profiler = getattr(sim, "profiler", None)
+    if profiler is not None:
+        lines.append("")
+        lines.append("profiler summary:")
+        try:
+            summary = profiler.summary()
+        except Exception as exc:  # never let reporting kill the bundle
+            summary = {"error": repr(exc)}
+        lines.append(json.dumps(summary, indent=2, sort_keys=True,
+                                default=repr))
+    return "\n".join(lines) + "\n"
+
+
+def write_triage_bundle(directory: PathLike, *, world: Any, reason: str,
+                        manager: Optional[SnapshotManager] = None) -> Path:
+    """Write a post-mortem bundle for ``world`` into ``directory``."""
+    manager = manager or _MANAGER
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    sim = world.net.sim
+    world._autosave_due = False  # a resumed post-mortem starts clean
+
+    consistent = True
+    try:
+        sim.check_consistency()
+    except SimulationError:
+        consistent = False
+
+    files: Dict[str, str] = {}
+    snapshot_path = directory / "snapshot.bin"
+    manager.save(world, snapshot_path, kind=world.kind, sim_now=sim.now,
+                 meta={**world.meta, "triage_reason": reason})
+    files["snapshot"] = snapshot_path.name
+
+    recorder = find_flight_recorder(world.net.trace)
+    if recorder is not None:
+        from ..telemetry.sinks import JsonlSink
+
+        flight_path = directory / "flight.jsonl"
+        with JsonlSink(flight_path) as sink:
+            for record in recorder.dump(reason):
+                sink.write(record)
+        files["flight"] = flight_path.name
+
+    profile_path = directory / "profile.txt"
+    profile_path.write_text(_profile_text(world, reason, consistent))
+    files["profile"] = profile_path.name
+
+    manifest = {
+        "reason": reason,
+        "kind": world.kind,
+        "sim_now": sim.now,
+        "heap_consistent": consistent,
+        "watchdog_tripped": (world.watchdog.tripped
+                             if world.watchdog is not None else None),
+        "files": files,
+    }
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return directory

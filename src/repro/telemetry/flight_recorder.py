@@ -21,8 +21,9 @@ so a drop storm produces one useful file instead of thousands.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 from contextlib import contextmanager
+from functools import partial
 from pathlib import Path
 from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -81,10 +82,11 @@ class FlightRecorder:
         self.dump_path = Path(dump_path) if dump_path is not None else None
         self.check_threshold_invariant = check_threshold_invariant
 
-        self._rings: Dict[str, Deque[Dict[str, Any]]] = defaultdict(
-            lambda: deque(maxlen=capacity))
-        self._drop_times: Dict[str, Deque[int]] = defaultdict(
-            lambda: deque(maxlen=max(drop_burst_count, 1)))
+        # Plain dicts, not defaultdict(lambda): the recorder lives inside
+        # the snapshotted object graph and default factories built from
+        # lambdas cannot be pickled.
+        self._rings: Dict[str, Deque[Dict[str, Any]]] = {}
+        self._drop_times: Dict[str, Deque[int]] = {}
         self._baseline_sum: Dict[str, int] = {}
         self.anomalies: List[Anomaly] = []
         self.dumps_written: List[Path] = []
@@ -93,21 +95,29 @@ class FlightRecorder:
 
         self._handlers: List[Tuple[str, Any]] = []
         for topic in (tuple(topics) if topics is not None else ALL_TOPICS):
-            def handler(topic=topic, **payload):
-                self._on_event(topic, payload)
+            handler = partial(self._handle, topic)
             trace.subscribe(topic, handler)
             self._handlers.append((topic, handler))
 
     # -- event path -----------------------------------------------------------
 
+    def _handle(self, topic: str, **payload: Any) -> None:
+        self._on_event(topic, payload)
+
     def _on_event(self, topic: str, payload: Dict[str, Any]) -> None:
         record = normalize(topic, payload)
         port = record["port"]
         time_ns = record["time_ns"]
-        self._rings[port].append(record)
+        ring = self._rings.get(port)
+        if ring is None:
+            ring = self._rings[port] = deque(maxlen=self.capacity)
+        ring.append(record)
         self.events_seen += 1
         if topic == TOPIC_PACKET_DROP and self.drop_burst_count > 0:
-            times = self._drop_times[port]
+            times = self._drop_times.get(port)
+            if times is None:
+                times = self._drop_times[port] = deque(
+                    maxlen=max(self.drop_burst_count, 1))
             times.append(time_ns)
             if (len(times) == self.drop_burst_count
                     and time_ns - times[0] <= self.drop_burst_window_ns):

@@ -36,6 +36,36 @@ class JsonlSink:
         if not self._handle.closed:
             self._handle.close()
 
+    # -- snapshot support ------------------------------------------------------
+    #
+    # A sink inside a snapshotted object graph records its byte offset at
+    # save time; on restore it truncates the file back to that offset so
+    # the resumed run rewrites exactly the post-snapshot suffix and the
+    # finished file is byte-identical to an uninterrupted run's.
+
+    def __getstate__(self) -> Dict[str, Any]:
+        offset = None
+        if not self._handle.closed:
+            self._handle.flush()
+            offset = self._handle.tell()
+        return {"path": self.path, "records_written": self.records_written,
+                "offset": offset}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.path = state["path"]
+        self.records_written = state["records_written"]
+        offset = state["offset"]
+        if offset is not None and self.path.exists():
+            self._handle = self.path.open("r+")
+            self._handle.truncate(offset)
+            self._handle.seek(offset)
+        else:
+            # Sink was closed at save time, or the file vanished: reopen
+            # (fresh if missing) and immediately match the closed state.
+            self._handle = self.path.open("a" if offset is None else "w")
+            if offset is None:
+                self._handle.close()
+
     def __enter__(self) -> "JsonlSink":
         return self
 

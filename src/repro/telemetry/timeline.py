@@ -30,10 +30,10 @@ class ThresholdTimeline:
         self._trace = trace
         self._series: Dict[str, List[Point]] = defaultdict(list)
         self._satisfaction: Dict[str, Tuple[int, ...]] = {}
-        self._steal_bytes: Dict[str, Dict[Tuple[int, int], int]] = (
-            defaultdict(lambda: defaultdict(int)))
-        self._steal_moves: Dict[str, Dict[Tuple[int, int], int]] = (
-            defaultdict(lambda: defaultdict(int)))
+        # Plain dict-of-dicts: nested defaultdict(lambda) factories are
+        # unpicklable and the timeline rides inside simulation snapshots.
+        self._steal_bytes: Dict[str, Dict[Tuple[int, int], int]] = {}
+        self._steal_moves: Dict[str, Dict[Tuple[int, int], int]] = {}
         trace.subscribe(TOPIC_THRESHOLD_CHANGE, self._on_threshold)
         trace.subscribe(TOPIC_VICTIM_STEAL, self._on_steal)
 
@@ -48,8 +48,11 @@ class ThresholdTimeline:
 
     def _on_steal(self, *, port: str, time: int, victim: int, gainer: int,
                   size: int, **_ignored) -> None:
-        self._steal_bytes[port][(victim, gainer)] += size
-        self._steal_moves[port][(victim, gainer)] += 1
+        pair = (victim, gainer)
+        stolen = self._steal_bytes.setdefault(port, {})
+        stolen[pair] = stolen.get(pair, 0) + size
+        moves = self._steal_moves.setdefault(port, {})
+        moves[pair] = moves.get(pair, 0) + 1
 
     # -- series ---------------------------------------------------------------
 

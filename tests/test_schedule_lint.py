@@ -1,0 +1,87 @@
+"""Lint: every schedule()/at() call site must be closure-free.
+
+Snapshots pickle the live event heap, and pickle refuses lambdas and
+local closures.  Named bound methods, module-level functions, and
+``functools.partial`` over either all pickle fine — so the rule is
+simply "no lambda (or locally nested ``def``) may ever reach the
+scheduler".  This AST walk enforces it across the whole package, which
+is what entitles ``SnapshotManager`` to pickle any world mid-flight.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+SCHEDULER_METHODS = {"schedule", "at"}
+
+
+def _source_files():
+    return sorted(SRC.rglob("*.py"))
+
+
+def _is_scheduler_call(node):
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in SCHEDULER_METHODS)
+
+
+def _local_function_names(tree):
+    """Names of functions defined inside another function's body."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(node):
+                if child is node:
+                    continue
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    names.add(child.name)
+    return names
+
+
+def _violations(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    local_defs = _local_function_names(tree)
+    found = []
+    for node in ast.walk(tree):
+        if not _is_scheduler_call(node):
+            continue
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Lambda):
+                    found.append((node.lineno, "lambda"))
+                elif (isinstance(sub, ast.Name)
+                      and sub.id in local_defs):
+                    found.append((node.lineno,
+                                  f"nested function {sub.id!r}"))
+    return found
+
+
+def test_source_tree_is_nonempty():
+    assert len(_source_files()) > 10  # the glob is looking at real code
+
+
+@pytest.mark.parametrize("path", _source_files(),
+                         ids=lambda p: str(p.relative_to(SRC)))
+def test_no_closures_reach_the_scheduler(path):
+    bad = _violations(path)
+    assert not bad, (
+        f"{path}: unpicklable callback(s) passed to the scheduler "
+        f"(line, kind): {bad} — use a named bound method, a "
+        f"module-level function, or functools.partial over one, so "
+        f"snapshots can pickle the event heap")
+
+
+def test_lint_actually_catches_lambdas(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def arm(sim):\n"
+        "    def fire():\n"
+        "        pass\n"
+        "    sim.schedule(5, lambda: None)\n"
+        "    sim.at(9, fire)\n")
+    kinds = [kind for _, kind in _violations(bad)]
+    assert kinds == ["lambda", "nested function 'fire'"]

@@ -1,0 +1,93 @@
+"""Mid-sim resume in the parallel executor.
+
+The kill drill stands in for a real worker crash: ``SnapshotHalt``
+inside a worker becomes ``os._exit(43)`` with no result message, so the
+parent exercises its genuine died-mid-job path.  The drill is also
+self-proving — the save counter rides inside the snapshot, so a retry
+that truly restored runs past the drill point, while a retry that
+silently restarted from t=0 would trip the same drill again and exhaust
+its retry budget.  A passing test therefore *is* the mid-flight-resume
+proof.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import JobSpec, job_key, parallel_map
+from repro.sim.units import milliseconds
+from repro.snapshot import SnapshotManager
+
+STATIC_PARAMS = {
+    "scheme": "dynaq", "rate": "10g", "num_queues": 4,
+    "first_stop_ms": 20.0, "stop_step_ms": 10.0, "duration_ms": 60.0,
+    "sample_interval_ms": 5.0,
+}
+
+
+def _static_spec(snapshot=None):
+    return JobSpec(job_key("static-sim", STATIC_PARAMS, label="dynaq"),
+                   "static-sim", STATIC_PARAMS, snapshot=snapshot)
+
+
+def test_drilled_worker_resumes_from_autosave_not_t0(tmp_path):
+    (clean,) = parallel_map([_static_spec()], jobs=2)
+
+    snap = tmp_path / "job.snap"
+    spec = _static_spec(snapshot={"every_ns": milliseconds(10),
+                                  "out": str(snap),
+                                  "halt_after_saves": 3})
+    (drilled,) = parallel_map([spec], jobs=2, retries=1)
+
+    # Attempt 1 died at the 3rd autosave (t=30ms of 60ms); attempt 2
+    # restored and finished.  One retry is only enough because the
+    # restored world's save counter is already past the drill — a t=0
+    # restart would have died at save 3 again and failed the job.
+    assert drilled.ok
+    assert drilled.attempts == 2
+    assert drilled.value == clean.value
+
+    header = SnapshotManager().peek(snap)
+    assert header["kind"] == "static-sim"
+    assert header["meta"]["saves"] > 3  # the resumed run kept autosaving
+
+
+def test_autosave_cadence_requires_somewhere_to_save():
+    with pytest.raises(ConfigurationError, match="checkpoint"):
+        parallel_map([_static_spec()], jobs=1,
+                     autosave_every_ns=milliseconds(10))
+
+
+def test_autosave_paths_derive_from_checkpoint(tmp_path):
+    checkpoint = tmp_path / "sweep.jsonl"
+    (plain,) = parallel_map([_static_spec()], jobs=1)
+    (saved,) = parallel_map([_static_spec()], jobs=1,
+                            checkpoint=checkpoint,
+                            autosave_every_ns=milliseconds(10))
+    # Autosaves shift sequence numbers uniformly, never results.
+    assert saved.value == plain.value
+    autosaves = list((tmp_path / "sweep.jsonl.autosaves").glob("*.snap"))
+    assert len(autosaves) == 1
+    assert SnapshotManager().peek(autosaves[0])["kind"] == "static-sim"
+
+
+def test_corrupt_autosave_falls_back_to_fresh_run(tmp_path):
+    snap = tmp_path / "job.snap"
+    snap.write_bytes(b"this is not a snapshot")
+    spec = _static_spec(snapshot={"every_ns": milliseconds(10),
+                                  "out": str(snap)})
+    (clean,) = parallel_map([_static_spec()], jobs=1)
+    (resumed,) = parallel_map([spec], jobs=1,
+                              checkpoint=tmp_path / "ck.jsonl",
+                              resume=True)
+    # Worker policies degrade a torn autosave to a clean t=0 run.
+    assert resumed.ok and resumed.attempts == 1
+    assert resumed.value == clean.value
+
+
+def test_fresh_sweep_discards_stale_autosaves(tmp_path):
+    snap = tmp_path / "job.snap"
+    snap.write_bytes(b"stale autosave from an older sweep")
+    spec = _static_spec(snapshot={"out": str(snap)})  # no cadence
+    (outcome,) = parallel_map([spec], jobs=1)
+    assert outcome.ok
+    assert not snap.exists()  # unlinked before dispatch, never rewritten
