@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-quick perf-tier figures chaos sweep-smoke snapshot-smoke
+.PHONY: test bench bench-quick perf-tier figures chaos sweep-smoke snapshot-smoke diagnose-smoke
 
 test:            ## tier-1 suite (must always be green)
 	$(PY) -m pytest -x -q
@@ -51,3 +51,14 @@ snapshot-smoke:  ## kill a run at an autosave, restore, require identical trace 
 	rm -f /tmp/repro-snap-full.jsonl /tmp/repro-snap-killed.jsonl \
 	    /tmp/repro-snap-ref.snap /tmp/repro-snap.snap
 	@echo "snapshot-smoke: killed+restored trace is byte-identical"
+
+diagnose-smoke:  ## capture queue-diagnosis sketches, query them, gate the overhead
+	$(PY) -m repro fair-sharing --schemes dynaq --time-unit 0.03 \
+	    --diagnose-out /tmp/repro-diag.json
+	$(PY) -m repro diagnose /tmp/repro-diag.json
+	$(PY) -m repro diagnose /tmp/repro-diag.json \
+	    --port 's0->h0' --window 0:10000000
+	rm -f /tmp/repro-diag.json
+	$(PY) -m repro bench --quick \
+	    --baseline benchmarks/perf/baseline.json --budget 0.25
+	@echo "diagnose-smoke: sketch capture, query, and overhead gate all green"

@@ -29,6 +29,7 @@ error or interrupt, 3 deliberate ``--snapshot-kill-after`` drill halt.
 from __future__ import annotations
 
 import argparse
+from contextlib import contextmanager
 from typing import List, Optional, Sequence, Tuple
 
 from .core.hardware import cost_table
@@ -58,6 +59,7 @@ from .metrics.export import (
 )
 from .experiments.runner import run_scenario, scenario_names, scheme_names
 from .faults import FaultSchedule
+from .perf.config import active_config, set_config
 from .sim.engine import Simulator
 from .sim.errors import ConfigurationError, ReproError, SimulationError
 from .sim.units import seconds
@@ -155,26 +157,81 @@ def _run_traced(args, run_one):
     schemes that *did* finish before re-raising; the telemetry session's
     exit hook has already dumped the flight recorder at that point.
     """
-    session = _telemetry_session(args)
-    trace = session.trace if session.active else None
-    completed = []
-    try:
-        with session:
-            for name in args.schemes:
-                completed.append(run_one(
-                    name, trace,
-                    _snapshot_policy(args, name, len(args.schemes))))
-            return completed
-    except (SimulationError, KeyboardInterrupt):
-        _report_partial(completed, args.schemes)
-        raise
-    finally:
-        _finish_telemetry(session, args)
+    with _diagnosis_session(args):
+        session = _telemetry_session(args)
+        trace = session.trace if session.active else None
+        completed = []
+        try:
+            with session:
+                for name in args.schemes:
+                    completed.append(run_one(
+                        name, trace,
+                        _snapshot_policy(args, name, len(args.schemes))))
+                return completed
+        except (SimulationError, KeyboardInterrupt):
+            _report_partial(completed, args.schemes)
+            raise
+        finally:
+            _finish_telemetry(session, args)
 
 
 def _load_faults(args) -> Optional[FaultSchedule]:
     path = getattr(args, "faults", None)
     return FaultSchedule.from_file(path) if path else None
+
+
+# -- queue-diagnosis plumbing -------------------------------------------------
+
+@contextmanager
+def _diagnosis_session(args):
+    """Arm per-packet queue diagnosis for a serial run (may be inert).
+
+    Flips the ``queue_diagnosis`` perf switch on for components built
+    inside the block, installs a capture that the end-of-run hook in
+    :func:`repro.snapshot.world.run_world` feeds, and writes the dump on
+    the way out — including after a partial run (kill drill, simulation
+    error), so a crashed experiment still leaves evidence for ``repro
+    diagnose``.
+    """
+    out = getattr(args, "diagnose_out", None)
+    if not out:
+        yield None
+        return
+    if _parallel_requested(args):
+        raise ConfigurationError(
+            "--diagnose-out captures sketches in-process, so it needs a "
+            "serial run; drop --jobs/--resume/--checkpoint, or dispatch "
+            "repro.diagnosis.jobs targets through the executor instead "
+            "(see docs/observability.md)")
+    from .diagnosis import (
+        SketchSettings,
+        capture_diagnosis,
+        write_diagnosis,
+    )
+    window_s = getattr(args, "diagnose_window", None)
+    settings = (SketchSettings(window_ns=seconds(window_s))
+                if window_s else None)
+    previous = set_config(active_config().clone(queue_diagnosis=True))
+    try:
+        with capture_diagnosis(settings) as capture:
+            try:
+                yield capture
+            finally:
+                document = write_diagnosis(out, capture)
+                print(f"wrote {out} ({len(document['ports'])} port(s), "
+                      f"{capture.worlds_collected} run(s))")
+    finally:
+        set_config(previous)
+
+
+def _reject_parallel_diagnosis(args) -> None:
+    """Worker-pool branches cannot capture in-process sketches."""
+    if getattr(args, "diagnose_out", None):
+        raise ConfigurationError(
+            "--diagnose-out needs a serial run (worker processes cannot "
+            "feed the in-process capture); drop --jobs/--resume/"
+            "--checkpoint, or dispatch repro.diagnosis.jobs targets "
+            "through the executor (see docs/observability.md)")
 
 
 # -- snapshot plumbing --------------------------------------------------------
@@ -354,46 +411,47 @@ def _cmd_protocol_mix(args) -> int:
 
 
 def _cmd_fct(args) -> int:
-    session = _telemetry_session(args)
-    trace = session.trace if session.active else None
     failures = []
     loads = _split_floats(args.loads)
-    try:
-        with session:
-            if _parallel_requested(args):
-                results, failures = parallel_fct_sweep(
-                    args.schemes, loads,
-                    num_flows=args.flows, workload=args.workload,
-                    truncate_mb=args.truncate_mb, seed=args.seed,
-                    jobs=args.jobs, retries=args.retries,
-                    checkpoint=_checkpoint_path(args),
-                    resume=args.resume, trace=trace,
-                    autosave_every_ns=_parallel_autosave_ns(args))
-            else:
-                distribution = workload(args.workload)
-                if args.truncate_mb:
-                    distribution = distribution.truncated(
-                        int(args.truncate_mb * 1_000_000))
-                if _snapshot_requested(args):
-                    # Snapshots are per simulation, so drive the
-                    # (scheme, load) grid point by point.
-                    points = len(args.schemes) * len(loads)
-                    results = {
-                        name: [run_fct_experiment(
-                            name, load=load, num_flows=args.flows,
-                            distribution=distribution, seed=args.seed,
-                            trace=trace,
-                            snapshot=_snapshot_policy(
-                                args, f"{name}@{load:g}", points))
-                            for load in loads]
-                        for name in args.schemes}
-                else:
-                    results = fct_load_sweep(
+    with _diagnosis_session(args):
+        session = _telemetry_session(args)
+        trace = session.trace if session.active else None
+        try:
+            with session:
+                if _parallel_requested(args):
+                    results, failures = parallel_fct_sweep(
                         args.schemes, loads,
-                        num_flows=args.flows, distribution=distribution,
-                        seed=args.seed, trace=trace)
-    finally:
-        _finish_telemetry(session, args)
+                        num_flows=args.flows, workload=args.workload,
+                        truncate_mb=args.truncate_mb, seed=args.seed,
+                        jobs=args.jobs, retries=args.retries,
+                        checkpoint=_checkpoint_path(args),
+                        resume=args.resume, trace=trace,
+                        autosave_every_ns=_parallel_autosave_ns(args))
+                else:
+                    distribution = workload(args.workload)
+                    if args.truncate_mb:
+                        distribution = distribution.truncated(
+                            int(args.truncate_mb * 1_000_000))
+                    if _snapshot_requested(args):
+                        # Snapshots are per simulation, so drive the
+                        # (scheme, load) grid point by point.
+                        points = len(args.schemes) * len(loads)
+                        results = {
+                            name: [run_fct_experiment(
+                                name, load=load, num_flows=args.flows,
+                                distribution=distribution, seed=args.seed,
+                                trace=trace,
+                                snapshot=_snapshot_policy(
+                                    args, f"{name}@{load:g}", points))
+                                for load in loads]
+                            for name in args.schemes}
+                    else:
+                        results = fct_load_sweep(
+                            args.schemes, loads,
+                            num_flows=args.flows, distribution=distribution,
+                            seed=args.seed, trace=trace)
+        finally:
+            _finish_telemetry(session, args)
     for metric, label in [("avg_overall_ms", "overall"),
                           ("avg_small_ms", "small"),
                           ("p99_small_ms", "p99 small")]:
@@ -418,6 +476,7 @@ def _cmd_incast(args) -> int:
           + "timeouts".rjust(10))
     failures = []
     if _parallel_requested(args):
+        _reject_parallel_diagnosis(args)
         session = _telemetry_session(args)
         trace = session.trace if session.active else None
         try:
@@ -450,6 +509,7 @@ def _cmd_incast(args) -> int:
 def _cmd_static_sim(args) -> int:
     failures = []
     if _parallel_requested(args):
+        _reject_parallel_diagnosis(args)
         session = _telemetry_session(args)
         trace = session.trace if session.active else None
         try:
@@ -492,72 +552,113 @@ def _cmd_static_sim(args) -> int:
     return 1 if _print_failures(failures) else 0
 
 
+def _chaos_culprit_lines(capture, top: int = 3) -> List[str]:
+    """Per-victim culprit table for the chaos report.
+
+    For every diagnosed port: the worst-queueing-delay flow and the
+    flows that filled its queue during its worst interval.
+    """
+    from .diagnosis.query import DiagnosisQuery
+
+    query = DiagnosisQuery(capture.as_dict())
+    lines: List[str] = []
+    for label in query.labels():
+        victims = query.victims(selector=label, top=1)
+        if not victims:
+            continue
+        victim = victims[0]
+        culprit_report = query.culprits(victim["flow"], selector=label,
+                                        top=top)
+        total = culprit_report["total_bytes"]
+        bits = []
+        for flow, size in culprit_report["rows"]:
+            share = f"{100 * size / total:.0f}%" if total else "-"
+            marker = "*" if flow == victim["flow"] else ""
+            bits.append(f"flow {flow}{marker} {share}")
+        delay_ms = victim["max_delay_ns"] / 1e6
+        lines.append(
+            f"  {label}: victim flow {victim['flow']} "
+            f"(queue {culprit_report['queue']}, "
+            f"max delay {delay_ms:.3f} ms) <- "
+            + (", ".join(bits) if bits else "no enqueues in window"))
+    if lines:
+        lines = ["queue diagnosis (victim -> culprit fill, "
+                 "* marks self-inflicted):"] + lines
+    return lines
+
+
 def _cmd_chaos(args) -> int:
     schedule = FaultSchedule.from_file(args.faults)
-    session = _telemetry_session(args)
-    trace = session.trace if session.active else None
-    parallel = _parallel_requested(args)
-    snapshot = autosave_ns = None
-    if parallel:
-        autosave_ns = _parallel_autosave_ns(args)
-    elif _snapshot_requested(args):
-        if len(args.schemes) > 1:
-            raise ConfigurationError(
-                "chaos snapshots drive one scheme at a time; narrow "
-                "--schemes to one (or use --jobs with --snapshot-every)")
-        snapshot = _snapshot_policy(args, args.schemes[0], 1)
-    try:
-        with session:
-            outcomes = run_chaos_sweep(
-                args.schemes, schedule, seed=args.seed,
-                retries=args.retries, num_queues=args.queues,
-                flows_per_queue=args.flows_per_queue,
-                duration_s=args.duration,
-                sample_interval_s=args.duration / 20,
-                wall_budget_s=args.wall_budget, trace=trace,
-                jobs=args.jobs,
-                checkpoint=_checkpoint_path(args) if parallel else None,
-                resume=args.resume, snapshot=snapshot,
-                autosave_every_ns=autosave_ns)
-    finally:
-        _finish_telemetry(session, args)
-    print(f"chaos: schedule {schedule.name!r} ({len(schedule)} events) "
-          f"across {len(args.schemes)} scheme(s)")
-    print("scheme".ljust(16) + "inj".rjust(4) + "rec".rjust(4)
-          + "viol".rjust(6) + "J(pre)".rjust(8) + "J(fault)".rjust(9)
-          + "J(post)".rjust(8) + "  status")
-    failed = False
-    for outcome in outcomes:
-        if not outcome.ok:
-            failed = True
-            print(outcome.scheme.ljust(16)
-                  + f"failed after {outcome.attempts} attempt(s): "
-                  + str(outcome.error))
-            continue
-        result: ChaosResult = outcome.result
-        status = ("ok" if outcome.attempts == 1
-                  else f"ok (attempt {outcome.attempts})")
-        if result.aborted is not None:
-            failed = True
-            status = f"aborted: {result.aborted}"
-        if result.violations:
-            failed = True
-            status = "INVARIANT VIOLATED"
-        print(result.scheme.ljust(16)
-              + str(result.injected).rjust(4)
-              + str(result.recovered).rjust(4)
-              + str(result.violations).rjust(6)
-              + f"{result.jain_before:.3f}".rjust(8)
-              + f"{result.jain_during:.3f}".rjust(9)
-              + f"{result.jain_after:.3f}".rjust(8)
-              + f"  {status}")
-        if result.triage_bundle is not None:
-            print(f"{'':16}triage bundle: {result.triage_bundle}")
-    _maybe_export([outcome.result.result for outcome in outcomes
-                   if outcome.ok and outcome.result.result is not None],
-                  args.csv)
-    # Non-zero on any violation or abort: CI gates on this exit code.
-    return 1 if failed else 0
+    with _diagnosis_session(args) as capture:
+        session = _telemetry_session(args)
+        trace = session.trace if session.active else None
+        parallel = _parallel_requested(args)
+        snapshot = autosave_ns = None
+        if parallel:
+            autosave_ns = _parallel_autosave_ns(args)
+        elif _snapshot_requested(args):
+            if len(args.schemes) > 1:
+                raise ConfigurationError(
+                    "chaos snapshots drive one scheme at a time; narrow "
+                    "--schemes to one (or use --jobs with "
+                    "--snapshot-every)")
+            snapshot = _snapshot_policy(args, args.schemes[0], 1)
+        try:
+            with session:
+                outcomes = run_chaos_sweep(
+                    args.schemes, schedule, seed=args.seed,
+                    retries=args.retries, num_queues=args.queues,
+                    flows_per_queue=args.flows_per_queue,
+                    duration_s=args.duration,
+                    sample_interval_s=args.duration / 20,
+                    wall_budget_s=args.wall_budget, trace=trace,
+                    jobs=args.jobs,
+                    checkpoint=_checkpoint_path(args) if parallel
+                    else None,
+                    resume=args.resume, snapshot=snapshot,
+                    autosave_every_ns=autosave_ns)
+        finally:
+            _finish_telemetry(session, args)
+        print(f"chaos: schedule {schedule.name!r} ({len(schedule)} "
+              f"events) across {len(args.schemes)} scheme(s)")
+        print("scheme".ljust(16) + "inj".rjust(4) + "rec".rjust(4)
+              + "viol".rjust(6) + "J(pre)".rjust(8) + "J(fault)".rjust(9)
+              + "J(post)".rjust(8) + "  status")
+        failed = False
+        for outcome in outcomes:
+            if not outcome.ok:
+                failed = True
+                print(outcome.scheme.ljust(16)
+                      + f"failed after {outcome.attempts} attempt(s): "
+                      + str(outcome.error))
+                continue
+            result: ChaosResult = outcome.result
+            status = ("ok" if outcome.attempts == 1
+                      else f"ok (attempt {outcome.attempts})")
+            if result.aborted is not None:
+                failed = True
+                status = f"aborted: {result.aborted}"
+            if result.violations:
+                failed = True
+                status = "INVARIANT VIOLATED"
+            print(result.scheme.ljust(16)
+                  + str(result.injected).rjust(4)
+                  + str(result.recovered).rjust(4)
+                  + str(result.violations).rjust(6)
+                  + f"{result.jain_before:.3f}".rjust(8)
+                  + f"{result.jain_during:.3f}".rjust(9)
+                  + f"{result.jain_after:.3f}".rjust(8)
+                  + f"  {status}")
+            if result.triage_bundle is not None:
+                print(f"{'':16}triage bundle: {result.triage_bundle}")
+        if capture is not None and capture.ports:
+            for line in _chaos_culprit_lines(capture):
+                print(line)
+        _maybe_export([outcome.result.result for outcome in outcomes
+                       if outcome.ok and outcome.result.result is not None],
+                      args.csv)
+        # Non-zero on any violation or abort: CI gates on this exit code.
+        return 1 if failed else 0
 
 
 def _cmd_profile(args) -> int:
@@ -613,6 +714,79 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _parse_ns_window(text: str) -> Tuple[Optional[int], Optional[int]]:
+    start_text, sep, end_text = text.partition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            "--window expects START:END nanoseconds (either side may be "
+            "empty)")
+    start = int(start_text) if start_text else None
+    end = int(end_text) if end_text else None
+    return start, end
+
+
+def _cmd_diagnose(args) -> int:
+    from .diagnosis import load_diagnosis
+    from .diagnosis import query as diag_query
+
+    query = diag_query.DiagnosisQuery(load_diagnosis(args.dump))
+    drop_counts = (diag_query.trace_drop_counts(args.join_trace)
+                   if args.join_trace else None)
+    fct_rows = (diag_query.load_fct_csv(args.join_fct)
+                if args.join_fct else None)
+    victim = args.victim_flow
+    fct_ms = None
+    if args.victim_percentile is not None:
+        if fct_rows is None:
+            raise ConfigurationError(
+                "--victim-percentile selects the victim from an FCT "
+                "export; add --join-fct CSV (written by `repro fct "
+                "--csv PREFIX`)")
+        victim, fct_ms = diag_query.percentile_victim(
+            fct_rows, args.victim_percentile)
+    elif victim is not None and fct_rows is not None:
+        fct_ms = next((fct for flow, fct, _size in fct_rows
+                       if flow == victim), None)
+    start_ns, end_ns = args.window if args.window else (None, None)
+    lines: List[str] = []
+    if victim is not None:
+        culprit_report = query.culprits(victim, selector=args.port,
+                                        top=args.top)
+        lines.extend(diag_query.render_culprits(
+            query, culprit_report, drop_counts=drop_counts,
+            fct_ms=fct_ms))
+        timeline_port = culprit_report["label"].split("/", 1)[-1]
+        timeline_span = (culprit_report["start_ns"],
+                         culprit_report["end_ns"])
+    elif (args.window is not None or args.queue is not None
+            or args.port is not None):
+        label = query.single_port(args.port)
+        lines.extend(diag_query.render_fill(
+            query, label, queue=args.queue, start_ns=start_ns,
+            end_ns=end_ns, top=args.top, drop_counts=drop_counts))
+        timeline_port = label.split("/", 1)[-1]
+        timeline_span = (start_ns, end_ns)
+    else:
+        lines.extend(diag_query.render_summary(query, top=args.top))
+        timeline_port = None
+        timeline_span = (None, None)
+    if args.join_timeline:
+        if timeline_port is None:
+            timeline_port = query.single_port(args.port).split("/", 1)[-1]
+        rows = diag_query.timeline_rows(
+            args.join_timeline, timeline_port,
+            start_ns=timeline_span[0], end_ns=timeline_span[1])
+        lines.append(f"threshold timeline ({args.join_timeline}."
+                     f"{timeline_port}.thresholds.csv):")
+        if rows:
+            lines.extend(f"  {row}" for row in rows)
+        else:
+            lines.append("  (no rows in the window; was the run driven "
+                         "with --timeline-csv?)")
+    print("\n".join(lines))
+    return 0
+
+
 def _cmd_trace_validate(args) -> int:
     try:
         count, errors = validate_trace_file(args.path,
@@ -659,6 +833,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--timeline-csv", default=None, metavar="PREFIX",
                        help="export per-port threshold/steal series to "
                             "PREFIX.<port>.*.csv")
+        p.add_argument("--diagnose-out", default=None, metavar="PATH",
+                       help="maintain per-packet queue-diagnosis "
+                            "sketches and write the dump here (serial "
+                            "runs only; query with `repro diagnose`)")
+        p.add_argument("--diagnose-window", type=float, default=None,
+                       metavar="SECONDS",
+                       help="diagnosis sketch window width "
+                            "(default 0.001 s)")
 
     def add_faults(p):
         p.add_argument("--faults", default=None, metavar="PATH",
@@ -832,6 +1014,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write a floored baseline derived from "
                         "this run")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "diagnose", help="query a --diagnose-out dump: victim flows, "
+                         "culprit attribution, queue fill reports")
+    p.add_argument("dump", help="diagnosis JSON written by --diagnose-out")
+    victim = p.add_mutually_exclusive_group()
+    victim.add_argument("--victim-flow", type=int, default=None,
+                        metavar="FLOW",
+                        help="attribute this flow's worst queueing delay "
+                             "to the flows that filled its queue")
+    victim.add_argument("--victim-percentile", type=float, default=None,
+                        metavar="P",
+                        help="pick the victim at this FCT percentile "
+                             "(needs --join-fct)")
+    p.add_argument("--port", default=None, metavar="LABEL",
+                   help="restrict to one diagnosed port (exact label, "
+                        "bare port name, or substring)")
+    p.add_argument("--queue", type=int, default=None,
+                   help="fill report: restrict to this service queue")
+    p.add_argument("--window", type=_parse_ns_window, default=None,
+                   metavar="T0:T1",
+                   help="fill report: simulated-time window in ns "
+                        "(either side may be empty)")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows per table (default 10)")
+    p.add_argument("--join-fct", default=None, metavar="CSV",
+                   help="join flow FCTs from a `repro fct --csv` export")
+    p.add_argument("--join-trace", default=None, metavar="JSONL",
+                   help="join per-flow drop counts from a --trace-out "
+                        "file")
+    p.add_argument("--join-timeline", default=None, metavar="PREFIX",
+                   help="append threshold rows from a --timeline-csv "
+                        "export covering the reported window")
+    p.set_defaults(func=_cmd_diagnose)
 
     p = sub.add_parser(
         "trace-validate", help="schema-check a JSONL trace file")

@@ -1,0 +1,42 @@
+"""Per-packet queue diagnosis: culprit-flow attribution (PrintQueue-style).
+
+Aggregate metrics say *that* isolation degraded; this package answers
+the operator's causal question — *which flows built the queue my victim
+packet sat behind?* — with three cooperating layers:
+
+* :mod:`~repro.diagnosis.sketch` — the data-plane side: a per-port
+  :class:`~repro.diagnosis.sketch.PortDiagnosisSketch` maintained on the
+  enqueue/dequeue hot path (time-windowed flow-composition ring,
+  packet→queueing-delay attribution, threshold-crossing snapshots).
+  Strictly opt-in behind the ``queue_diagnosis``
+  :class:`~repro.perf.config.PerfConfig` switch: with the switch off,
+  ports carry ``_sketch = None`` and the datapath is unchanged.
+* :mod:`~repro.diagnosis.capture` — the collection side: an active
+  :class:`~repro.diagnosis.capture.DiagnosisCapture` harvests sketches
+  from finished :class:`~repro.snapshot.world.SimWorld` runs, and
+  :mod:`~repro.diagnosis.dump` writes/loads the JSON artifact.
+* :mod:`~repro.diagnosis.query` — the offline side: the
+  ``repro diagnose`` CLI's query engine (victim ranking, windowed fill
+  reports, culprit attribution, joins against FCT CSVs, trace files and
+  threshold timelines).
+
+See ``docs/observability.md`` for the dump format and a query cookbook.
+"""
+
+from .capture import DiagnosisCapture, active_capture, capture_diagnosis
+from .dump import DIAGNOSIS_SCHEMA, load_diagnosis, write_diagnosis
+from .query import DiagnosisQuery
+from .sketch import DEFAULT_SETTINGS, PortDiagnosisSketch, SketchSettings
+
+__all__ = [
+    "DEFAULT_SETTINGS",
+    "DIAGNOSIS_SCHEMA",
+    "DiagnosisCapture",
+    "DiagnosisQuery",
+    "PortDiagnosisSketch",
+    "SketchSettings",
+    "active_capture",
+    "capture_diagnosis",
+    "load_diagnosis",
+    "write_diagnosis",
+]

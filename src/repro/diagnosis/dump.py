@@ -1,0 +1,53 @@
+"""Reading and writing the diagnosis artifact (``*.diag.json``).
+
+One JSON document per ``--diagnose-out`` invocation: schema tag, the
+window width, and one sketch dump per contributing port.  The file is
+written with sorted keys and no incidental whitespace variation, so two
+runs that produced the same sketches produce byte-identical files —
+the determinism tests compare these bytes directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+DIAGNOSIS_SCHEMA = "repro.diagnosis/1"
+
+
+def write_diagnosis(path: PathLike, capture,
+                    meta: Dict[str, Any] = None) -> Dict[str, Any]:
+    """Write ``capture`` (a DiagnosisCapture or a prepared dict) to
+    ``path``; returns the document written."""
+    document = capture if isinstance(capture, dict) else capture.as_dict()
+    if meta:
+        document = dict(document)
+        document["meta"] = meta
+    with Path(path).open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True,
+                  separators=(",", ":"))
+        handle.write("\n")
+    return document
+
+
+def load_diagnosis(path: PathLike) -> Dict[str, Any]:
+    """Load and sanity-check one diagnosis document."""
+    try:
+        with Path(path).open(encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path}: not valid JSON ({exc})")
+    if (not isinstance(document, dict)
+            or document.get("schema") != DIAGNOSIS_SCHEMA):
+        raise ConfigurationError(
+            f"{path}: not a diagnosis dump (expected schema "
+            f"{DIAGNOSIS_SCHEMA!r}, got "
+            f"{document.get('schema') if isinstance(document, dict) else type(document).__name__!r})")
+    if not isinstance(document.get("ports"), dict):
+        raise ConfigurationError(f"{path}: malformed dump: no ports table")
+    return document

@@ -1,0 +1,56 @@
+"""Module-level diagnosis jobs for the parallel executor.
+
+The CLI's ``--diagnose-out`` is a single-serial-run tool (one process,
+one capture), but diagnosis itself parallelises cleanly: each sweep
+point runs with the switch on inside its own capture and returns the
+JSON-able capture dict.  These targets are module-level functions so the
+``"callable"`` job kind can name them (``repro.diagnosis.jobs:...``) and
+workers re-import them — see ``docs/parallel.md``.  The determinism
+tests drive them through :func:`~repro.experiments.parallel.parallel_map`
+with ``--jobs N`` and assert the returned dumps are byte-identical to a
+serial run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..perf.config import active_config, use_config
+from .capture import capture_diagnosis
+from .sketch import SketchSettings
+
+
+def _settings(window_ns: Optional[int]) -> Optional[SketchSettings]:
+    return (SketchSettings(window_ns=window_ns)
+            if window_ns is not None else None)
+
+
+def fair_sharing_diagnosis_job(*, scheme: str, time_unit_s: float = 0.02,
+                               window_ns: Optional[int] = None
+                               ) -> Dict[str, Any]:
+    """Run a (scaled) fig. 5 fair-sharing point and return its dump."""
+    from ..experiments.testbed import run_fair_sharing
+
+    with use_config(active_config().clone(queue_diagnosis=True)):
+        with capture_diagnosis(_settings(window_ns)) as capture:
+            run_fair_sharing(scheme, time_unit_s=time_unit_s,
+                             sample_interval_s=time_unit_s / 4)
+    return capture.as_dict()
+
+
+def fct_diagnosis_job(*, scheme: str, load: float, num_flows: int = 60,
+                      workload: str = "web_search",
+                      truncate_mb: float = 1.0, seed: int = 1,
+                      window_ns: Optional[int] = None) -> Dict[str, Any]:
+    """Run one (scheme, load) FCT point and return its diagnosis dump."""
+    from ..experiments.testbed import run_fct_experiment
+    from ..workloads.datasets import workload as load_workload
+
+    distribution = load_workload(workload)
+    if truncate_mb:
+        distribution = distribution.truncated(int(truncate_mb * 1_000_000))
+    with use_config(active_config().clone(queue_diagnosis=True)):
+        with capture_diagnosis(_settings(window_ns)) as capture:
+            run_fct_experiment(scheme, load=load, num_flows=num_flows,
+                               distribution=distribution, seed=seed)
+    return capture.as_dict()

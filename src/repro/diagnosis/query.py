@@ -1,0 +1,353 @@
+"""Offline queries over diagnosis dumps (the ``repro diagnose`` engine).
+
+The two questions from the paper's operator point of view:
+
+* *what filled port P's queue in window [t0, t1]?* — :meth:`fill`
+  aggregates the per-window composition registers over the requested
+  interval;
+* *who are the culprits for this victim flow?* — :meth:`culprits` looks
+  up the victim's worst queueing interval from the delay table (the
+  enqueue/dequeue instants of its maximum-delay packet) and attributes
+  the bytes enqueued into that queue during the covering windows, which
+  is exactly PrintQueue's time-window approximation of "the packets in
+  front of me".
+
+Victim selection can come from the dump itself (:meth:`victims`, worst
+max-delay flows) or be joined against an FCT CSV
+(:func:`percentile_victim` — e.g. the p99-FCT flow of a workload).
+Further joins: per-flow drop counts from a JSONL trace file and
+threshold rows from ``--timeline-csv`` exports.  All rendering is a
+pure function of the dump bytes, so two identical dumps produce
+byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..sim.trace import TOPIC_PACKET_DROP
+
+PathLike = Union[str, Path]
+
+
+def _ms(value_ns: int) -> str:
+    return f"{value_ns / 1e6:.3f}"
+
+
+class DiagnosisQuery:
+    """Query engine over one loaded diagnosis document."""
+
+    def __init__(self, document: Dict[str, Any]) -> None:
+        self.document = document
+        self.window_ns = int(document.get("window_ns", 1_000_000))
+        self.ports: Dict[str, Dict[str, Any]] = document["ports"]
+
+    # -- port selection --------------------------------------------------------
+
+    def labels(self) -> List[str]:
+        return sorted(self.ports)
+
+    def resolve_port(self, selector: Optional[str]) -> List[str]:
+        """Labels matching ``selector`` (exact label, bare port name, or
+        substring); ``None`` selects every port."""
+        labels = self.labels()
+        if selector is None:
+            return labels
+        if selector in self.ports:
+            return [selector]
+        exact = [label for label in labels
+                 if label.split("/", 1)[-1] == selector]
+        if exact:
+            return exact
+        loose = [label for label in labels if selector in label]
+        if not loose:
+            raise ConfigurationError(
+                f"no diagnosed port matches {selector!r}; "
+                f"known: {labels}")
+        return loose
+
+    def single_port(self, selector: Optional[str]) -> str:
+        matches = self.resolve_port(selector)
+        if len(matches) > 1:
+            raise ConfigurationError(
+                f"--port {selector or '(all)'} is ambiguous: {matches}; "
+                "name one label exactly")
+        return matches[0]
+
+    # -- core queries ----------------------------------------------------------
+
+    def _windows_overlapping(self, port_dump: Dict[str, Any],
+                             start_ns: Optional[int],
+                             end_ns: Optional[int]) -> List[int]:
+        window_ns = int(port_dump.get("window_ns", self.window_ns))
+        selected = []
+        for key in port_dump["windows"]:
+            window_id = int(key)
+            window_start = window_id * window_ns
+            window_end = window_start + window_ns
+            if start_ns is not None and window_end <= start_ns:
+                continue
+            if end_ns is not None and window_start > end_ns:
+                continue
+            selected.append(window_id)
+        return sorted(selected)
+
+    def fill(self, label: str, *, queue: Optional[int] = None,
+             start_ns: Optional[int] = None,
+             end_ns: Optional[int] = None
+             ) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """Bytes each flow enqueued into ``label``'s queue(s) over the
+        windows overlapping [start_ns, end_ns].
+
+        Returns ``(window_ids, rows)`` with rows ``(flow, bytes)``
+        sorted by descending bytes then flow id.
+        """
+        port_dump = self.ports[label]
+        window_ids = self._windows_overlapping(port_dump, start_ns, end_ns)
+        totals: Dict[int, int] = {}
+        for window_id in window_ids:
+            per_queue = port_dump["windows"][str(window_id)]
+            for queue_key, flows in per_queue.items():
+                if queue is not None and int(queue_key) != queue:
+                    continue
+                for flow_key, size in flows.items():
+                    flow = int(flow_key)
+                    totals[flow] = totals.get(flow, 0) + size
+        rows = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+        return window_ids, rows
+
+    def victims(self, *, selector: Optional[str] = None,
+                top: int = 5) -> List[Dict[str, Any]]:
+        """Flows ranked by worst per-packet queueing delay."""
+        rows: List[Dict[str, Any]] = []
+        for label in self.resolve_port(selector):
+            for flow_key, stats in self.ports[label]["flows"].items():
+                packets = stats["packets"]
+                if packets <= 0 or stats["max_delay_ns"] < 0:
+                    continue
+                rows.append({
+                    "flow": int(flow_key),
+                    "label": label,
+                    "queue": stats["max_queue"],
+                    "packets": packets,
+                    "max_delay_ns": stats["max_delay_ns"],
+                    "mean_delay_ns": stats["total_delay_ns"] // packets,
+                    "max_enqueued_ns": stats["max_enqueued_ns"],
+                    "max_dequeued_ns": stats["max_dequeued_ns"],
+                })
+        rows.sort(key=lambda row: (-row["max_delay_ns"], row["flow"],
+                                   row["label"]))
+        return rows[:top]
+
+    def culprits(self, flow: int, *, selector: Optional[str] = None,
+                 top: int = 10) -> Dict[str, Any]:
+        """Culprit attribution for ``flow``'s worst-delay packet."""
+        candidates = []
+        for label in self.resolve_port(selector):
+            stats = self.ports[label]["flows"].get(str(flow))
+            if stats is not None and stats["packets"] > 0:
+                candidates.append((stats["max_delay_ns"], label, stats))
+        if not candidates:
+            raise ConfigurationError(
+                f"flow {flow} was never dequeued on a diagnosed port"
+                + (f" matching {selector!r}" if selector else ""))
+        candidates.sort(key=lambda item: (-item[0], item[1]))
+        _, label, stats = candidates[0]
+        start_ns = stats["max_enqueued_ns"]
+        end_ns = stats["max_dequeued_ns"]
+        queue = stats["max_queue"]
+        window_ids, rows = self.fill(label, queue=queue,
+                                     start_ns=start_ns, end_ns=end_ns)
+        total = sum(size for _, size in rows)
+        return {
+            "flow": flow,
+            "label": label,
+            "queue": queue,
+            "max_delay_ns": stats["max_delay_ns"],
+            "start_ns": start_ns,
+            "end_ns": end_ns,
+            "windows": window_ids,
+            "total_bytes": total,
+            "rows": rows[:top],
+        }
+
+    def drop_table(self, *, selector: Optional[str] = None
+                   ) -> List[Dict[str, Any]]:
+        rows = []
+        for label in self.resolve_port(selector):
+            for entry in self.ports[label]["drops"]:
+                rows.append(dict(entry, label=label))
+        rows.sort(key=lambda row: (-row["count"], row["label"],
+                                   row["flow"], row["reason"]))
+        return rows
+
+
+# -- joins --------------------------------------------------------------------
+
+
+def load_fct_csv(path: PathLike) -> List[Tuple[int, float, int]]:
+    """Rows of an ``fct`` CSV export: ``(flow_id, fct_ms, size_bytes)``."""
+    rows: List[Tuple[int, float, int]] = []
+    with Path(path).open(newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            try:
+                rows.append((int(row["flow_id"]), float(row["fct_ms"]),
+                             int(row["size_bytes"])))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"{path}: not an fct CSV export "
+                    f"(flow_id,size_bytes,fct_ms,...): {exc}")
+    if not rows:
+        raise ConfigurationError(f"{path}: no completed flows")
+    return rows
+
+
+def percentile_victim(rows: List[Tuple[int, float, int]],
+                      percentile: float) -> Tuple[int, float]:
+    """The flow sitting at ``percentile`` of the FCT distribution
+    (nearest-rank, ties broken by flow id — deterministic)."""
+    if not 0 < percentile <= 100:
+        raise ConfigurationError(
+            f"--victim-percentile must be in (0, 100], got {percentile}")
+    ordered = sorted(rows, key=lambda row: (row[1], row[0]))
+    rank = min(len(ordered) - 1,
+               max(0, math.ceil(percentile / 100 * len(ordered)) - 1))
+    flow, fct_ms, _size = ordered[rank]
+    return flow, fct_ms
+
+
+def trace_drop_counts(path: PathLike) -> Dict[int, int]:
+    """Per-flow ``packet.drop`` counts from a JSONL trace file."""
+    counts: Dict[int, int] = {}
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (isinstance(record, dict)
+                    and record.get("topic") == TOPIC_PACKET_DROP
+                    and record.get("flow") is not None):
+                flow = record["flow"]
+                counts[flow] = counts.get(flow, 0) + 1
+    return counts
+
+
+def timeline_rows(prefix: str, port: str, *,
+                  start_ns: Optional[int] = None,
+                  end_ns: Optional[int] = None) -> List[str]:
+    """Threshold-series rows for ``port`` inside the window, from a
+    ``--timeline-csv PREFIX`` export (missing file -> empty list)."""
+    path = Path(f"{prefix}.{port}.thresholds.csv")
+    if not path.exists():
+        return []
+    lines: List[str] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return []
+        lines.append(",".join(header))
+        for row in reader:
+            if not row:
+                continue
+            time_ns = int(float(row[0]) * 1e9)
+            if start_ns is not None and time_ns < start_ns:
+                continue
+            if end_ns is not None and time_ns > end_ns:
+                continue
+            lines.append(",".join(row))
+    return lines
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def render_summary(query: DiagnosisQuery, *, top: int = 5) -> List[str]:
+    document = query.document
+    lines = [f"diagnosis: {len(query.ports)} port(s), "
+             f"window {_ms(query.window_ns)} ms, "
+             f"{document.get('worlds', 0)} world(s)"]
+    for label in query.labels():
+        port_dump = query.ports[label]
+        drops = sum(entry["count"] for entry in port_dump["drops"])
+        lines.append(
+            f"  {label}: {port_dump['updates']} updates, "
+            f"{len(port_dump['windows'])} windows, "
+            f"{port_dump['snapshots_taken']} snapshots, {drops} drops")
+    victims = query.victims(top=top)
+    if victims:
+        lines.append(f"top {len(victims)} victims by max queueing delay:")
+        lines.append("  flow     port                         queue"
+                     "  max(ms)  mean(ms)  packets")
+        for row in victims:
+            lines.append(
+                f"  {row['flow']:<8} {row['label']:<28} {row['queue']:>5}"
+                f"  {_ms(row['max_delay_ns']):>7}"
+                f"  {_ms(row['mean_delay_ns']):>8}"
+                f"  {row['packets']:>7}")
+    return lines
+
+
+def render_fill(query: DiagnosisQuery, label: str, *,
+                queue: Optional[int], start_ns: Optional[int],
+                end_ns: Optional[int], top: int,
+                drop_counts: Optional[Dict[int, int]] = None) -> List[str]:
+    window_ids, rows = query.fill(label, queue=queue, start_ns=start_ns,
+                                  end_ns=end_ns)
+    total = sum(size for _, size in rows)
+    where = f"queue {queue}" if queue is not None else "all queues"
+    span = (f"[{_ms(start_ns or 0)}, "
+            f"{'end' if end_ns is None else _ms(end_ns)}] ms")
+    lines = [f"fill report: {label}, {where}, {span} "
+             f"({len(window_ids)} windows, {len(rows)} flows, "
+             f"{total} bytes)"]
+    lines.extend(_composition_rows(rows[:top], total, drop_counts))
+    return lines
+
+
+def render_culprits(query: DiagnosisQuery, report: Dict[str, Any], *,
+                    drop_counts: Optional[Dict[int, int]] = None,
+                    fct_ms: Optional[float] = None) -> List[str]:
+    victim = report["flow"]
+    suffix = f", fct {fct_ms:.3f} ms" if fct_ms is not None else ""
+    lines = [
+        f"victim flow {victim} ({report['label']}, "
+        f"queue {report['queue']}{suffix}): "
+        f"max queueing delay {_ms(report['max_delay_ns'])} ms over "
+        f"[{_ms(report['start_ns'])}, {_ms(report['end_ns'])}] ms",
+        f"culprits (bytes enqueued into queue {report['queue']} across "
+        f"{len(report['windows'])} covering windows, "
+        f"{report['total_bytes']} bytes total):",
+    ]
+    rows = [(flow, size) for flow, size in report["rows"]]
+    lines.extend(_composition_rows(rows, report["total_bytes"],
+                                   drop_counts, victim=victim))
+    return lines
+
+
+def _composition_rows(rows: List[Tuple[int, int]], total: int,
+                      drop_counts: Optional[Dict[int, int]],
+                      victim: Optional[int] = None) -> List[str]:
+    header = "  flow         bytes   share"
+    if drop_counts is not None:
+        header += "  drops"
+    lines = [header]
+    for flow, size in rows:
+        share = f"{100 * size / total:.1f}%" if total else "-"
+        line = f"  {flow:<8} {size:>10}  {share:>6}"
+        if drop_counts is not None:
+            line += f"  {drop_counts.get(flow, 0):>5}"
+        if victim is not None and flow == victim:
+            line += "  <- victim"
+        lines.append(line)
+    if not rows:
+        lines.append("  (no enqueues recorded in the window)")
+    return lines

@@ -29,6 +29,7 @@ from ..sim.trace import (
     TOPIC_PACKET_DROP,
     TOPIC_PACKET_ENQUEUE,
     TOPIC_PACKET_MARK,
+    TOPIC_QUEUE_SNAPSHOT,
     TraceBus,
 )
 from ..sim.units import transmission_time
@@ -136,6 +137,15 @@ class EgressPort:
         # Per-packet in-flight tracking vs heap scan on (rare) link-down:
         # see set_link_down.
         self._scan_inflight = active_config().heap_scan_inflight
+        # Opt-in queue diagnosis (PrintQueue-style sketches, see
+        # repro.diagnosis): constructed only under the queue_diagnosis
+        # switch, so the default datapath pays one `is not None` test
+        # per hook site and nothing else.  The import stays lazy to keep
+        # the diagnosis package out of the core import graph.
+        self._sketch = None
+        if active_config().queue_diagnosis:
+            from ..diagnosis.sketch import PortDiagnosisSketch
+            self._sketch = PortDiagnosisSketch(name)
         self._deliver = None  # cached peer.receive, set by connect()
         # Transmit-completion callback, bound once: the fast path skips
         # the _on_transmit_complete indirection (one Python call per
@@ -212,8 +222,11 @@ class EgressPort:
         else:
             queue_index = self._classifier(packet)
         quiet = self._quiet
+        sketch = self._sketch
         if not self.link_up:
             self.dropped_packets += 1
+            if sketch is not None:
+                self._sketch_drop(packet, queue_index, "link down")
             if not quiet:
                 self._publish(TOPIC_PACKET_DROP, packet, queue_index,
                               "link down")
@@ -221,6 +234,8 @@ class EgressPort:
         decision = self.buffer_manager.admit(packet, queue_index)
         if not decision.accept:
             self.dropped_packets += 1
+            if sketch is not None:
+                self._sketch_drop(packet, queue_index, decision.reason)
             if not quiet:
                 self._publish(TOPIC_PACKET_DROP, packet, queue_index,
                               decision.reason)
@@ -239,6 +254,8 @@ class EgressPort:
         on_enqueued = self._on_enqueued
         if on_enqueued is not None:
             on_enqueued(packet, queue_index)
+        if sketch is not None:
+            self._sketch_enqueue(packet, queue_index)
         if not quiet:
             self._publish(TOPIC_PACKET_ENQUEUE, packet, queue_index, "")
         if not self._busy:
@@ -274,6 +291,7 @@ class EgressPort:
             tx_ns = transmission_time(size, self.link_rate_bps)
         self._busy = True
         quiet = self._quiet
+        sketch = self._sketch
         if decision is not None:
             if not decision.accept:
                 # Dequeue-time drop (TCN drop variant): the scheduling
@@ -281,6 +299,11 @@ class EgressPort:
                 # packet's transmission time — the very pathology §II-C
                 # describes.
                 self.dropped_packets += 1
+                if sketch is not None:
+                    # The packet *did* queue (delay attribution stands)
+                    # and then dropped at the head.
+                    self._sketch_dequeue(packet, queue_index)
+                    self._sketch_drop(packet, queue_index, decision.reason)
                 if not quiet:
                     self._publish(TOPIC_PACKET_DROP, packet, queue_index,
                                   decision.reason)
@@ -291,6 +314,8 @@ class EgressPort:
                 if not quiet:
                     self._publish(TOPIC_PACKET_MARK, packet, queue_index,
                                   "dequeue")
+        if sketch is not None:
+            self._sketch_dequeue(packet, queue_index)
         if not quiet:
             self._publish(TOPIC_PACKET_DEQUEUE, packet, queue_index, "")
         self.transmitted_packets += 1
@@ -325,6 +350,13 @@ class EgressPort:
         self._queue_bytes[queue_index] -= packet.size
         self._total_bytes -= packet.size
         self.dropped_packets += 1
+        if self._sketch is not None:
+            snapshot = self._sketch.record_evict(
+                self.sim.now, queue_index, packet.flow_id, packet.size,
+                self._queue_bytes[queue_index],
+                self._sketch_limit(queue_index))
+            if snapshot is not None:
+                self._sketch_publish(snapshot)
         self._publish(TOPIC_PACKET_DROP, packet, queue_index, "evicted")
         return packet
 
@@ -478,6 +510,56 @@ class EgressPort:
             else:
                 break
         in_flight.append((delivery, delivery.gen))
+
+    # -- queue diagnosis (opt-in, self._sketch is None by default) ---------------
+
+    def _sketch_limit(self, queue_index: int) -> Optional[int]:
+        """The queue's current dropping threshold, for managers that
+        have one (DynaQ's ``T_i``); ``None`` disables crossing
+        detection for threshold-less schemes."""
+        thresholds = getattr(self.buffer_manager, "thresholds", None)
+        if thresholds is None:
+            return None
+        return thresholds[queue_index]
+
+    def _sketch_enqueue(self, packet: Packet, queue_index: int) -> None:
+        snapshot = self._sketch.record_enqueue(
+            self.sim.now, queue_index, packet.flow_id, packet.size,
+            self._queue_bytes[queue_index], self._sketch_limit(queue_index))
+        if snapshot is not None:
+            self._sketch_publish(snapshot)
+
+    def _sketch_dequeue(self, packet: Packet, queue_index: int) -> None:
+        now = self.sim.now
+        self._sketch.record_dequeue(
+            now, queue_index, packet.flow_id, packet.size,
+            now - packet.enqueued_at, self._queue_bytes[queue_index],
+            self._sketch_limit(queue_index))
+
+    def _sketch_drop(self, packet: Packet, queue_index: int,
+                     reason: str) -> None:
+        snapshot = self._sketch.record_drop(
+            self.sim.now, queue_index, packet.flow_id, packet.size,
+            reason, self._queue_bytes[queue_index],
+            self._sketch_limit(queue_index))
+        if snapshot is not None:
+            self._sketch_publish(snapshot)
+
+    def _sketch_publish(self, snapshot: dict) -> None:
+        """Mirror a threshold-cross/drop snapshot onto the trace bus.
+
+        Uses the lazy ``emit`` path in both perf modes — the topic is
+        silent in almost every run, and identical gating on both sides
+        keeps FAST and REFERENCE traces byte-identical with the
+        diagnosis switch on.
+        """
+        trace = self.trace
+        if trace is not None:
+            trace.emit(TOPIC_QUEUE_SNAPSHOT, lambda: dict(
+                port=self.name, time=snapshot["time_ns"],
+                queue=snapshot["queue"], detail=snapshot["detail"],
+                occupancy=snapshot["occupancy"], limit=snapshot["limit"],
+                composition=dict(snapshot["composition"])))
 
     # -- tracing -----------------------------------------------------------------
 

@@ -39,6 +39,11 @@ Benches
 ``fig05_untraced``
     The same workload with no trace bus and no meter: the floor the
     tracing layer is measured against.
+``fig05_diagnosed``
+    ``fig05_traced`` with the ``queue_diagnosis`` perf switch on (on
+    *both* sides): the sketch maintenance cost the ``--diagnose-out``
+    flag buys, gated like every other bench.  The sketch's update and
+    snapshot counters join the op-equality check.
 """
 
 from __future__ import annotations
@@ -192,6 +197,12 @@ def _port_ops(port: EgressPort, sink: _Sink,
     if moves is not None:
         ops["steals"] = moves
         ops["protected_drops"] = port.buffer_manager.protected_drops
+    sketch = getattr(port, "_sketch", None)
+    if sketch is not None:
+        # Diagnosis benches: both sides must have seen the identical
+        # packet stream through the sketch too.
+        ops["sketch_updates"] = sketch.updates
+        ops["sketch_snapshots"] = sketch.snapshots_taken
     return ops
 
 
@@ -295,6 +306,16 @@ def _fig05_pattern(total: int) -> Callable[[int], Optional[int]]:
     return pattern
 
 
+def _with_diagnosis(thunk: Callable[[], Dict[str, Any]]
+                    ) -> Callable[[], Dict[str, Any]]:
+    """Run ``thunk`` with ``queue_diagnosis`` flipped on over whichever
+    side (REFERENCE or FAST) the harness installed."""
+    def run() -> Dict[str, Any]:
+        with use_config(active_config().clone(queue_diagnosis=True)):
+            return thunk()
+    return run
+
+
 # -- the suite ----------------------------------------------------------------
 
 
@@ -349,6 +370,11 @@ def _suite(scale: float) -> List[Dict[str, Any]]:
          "run": lambda: _replay("dynaq", _fig05_pattern(fig05_total),
                                 fig05_total, use_pool=False,
                                 prebuilt=True)},
+        {"name": "fig05_diagnosed",
+         "run": _with_diagnosis(
+             lambda: _replay("dynaq", _fig05_pattern(fig05_total),
+                             fig05_total, traced=True, metered=True,
+                             use_pool=False, prebuilt=True))},
     ]
 
 

@@ -84,12 +84,21 @@ class PerfConfig:
         deque; a (rare) ``set_link_down`` finds in-flight packets by
         scanning the simulator heap for this port's delivery callback
         instead.  Moves O(1)-per-packet bookkeeping onto the fault path.
+    queue_diagnosis:
+        Opt-in observability, not an optimisation: ports maintain a
+        :class:`~repro.diagnosis.sketch.PortDiagnosisSketch` (per-window
+        flow composition, queueing-delay attribution, threshold-crossing
+        snapshots) on the enqueue/dequeue path.  Off by default in
+        *both* FAST and REFERENCE so the differential harness keeps
+        comparing the unchanged datapaths; when enabled it must be
+        enabled on both sides (see the ``fig05_diagnosed`` bench).
     """
 
     __slots__ = ("event_pooling", "packet_pooling", "lazy_trace",
                  "incremental_victim", "batched_stats",
                  "cached_decisions", "tx_time_cache", "lazy_round_time",
-                 "inline_hot_calls", "heap_scan_inflight")
+                 "inline_hot_calls", "heap_scan_inflight",
+                 "queue_diagnosis")
 
     def __init__(self, *, event_pooling: bool = True,
                  packet_pooling: bool = True,
@@ -100,7 +109,8 @@ class PerfConfig:
                  tx_time_cache: bool = True,
                  lazy_round_time: bool = True,
                  inline_hot_calls: bool = True,
-                 heap_scan_inflight: bool = True) -> None:
+                 heap_scan_inflight: bool = True,
+                 queue_diagnosis: bool = False) -> None:
         self.event_pooling = event_pooling
         self.packet_pooling = packet_pooling
         self.lazy_trace = lazy_trace
@@ -111,6 +121,7 @@ class PerfConfig:
         self.lazy_round_time = lazy_round_time
         self.inline_hot_calls = inline_hot_calls
         self.heap_scan_inflight = heap_scan_inflight
+        self.queue_diagnosis = queue_diagnosis
 
     def clone(self, **overrides: bool) -> "PerfConfig":
         """Copy with some switches flipped."""
@@ -136,7 +147,8 @@ REFERENCE = PerfConfig(event_pooling=False, packet_pooling=False,
                        lazy_trace=False, incremental_victim=False,
                        batched_stats=False, cached_decisions=False,
                        tx_time_cache=False, lazy_round_time=False,
-                       inline_hot_calls=False, heap_scan_inflight=False)
+                       inline_hot_calls=False, heap_scan_inflight=False,
+                       queue_diagnosis=False)
 
 _active: PerfConfig = FAST
 

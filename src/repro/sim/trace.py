@@ -114,6 +114,18 @@ TOPIC_FAULT_RECOVER = "fault.recover"
 #: ``time`` field is wall-clock nanoseconds since the sweep started, not
 #: simulated time (worker simulations each run their own clock).
 TOPIC_PARALLEL_JOB = "parallel.job"
+#: Queue-diagnosis snapshots: the flow composition of a service queue at
+#: the instant it crossed its DynaQ threshold or took a drop.  Published
+#: by ports only when the ``queue_diagnosis`` perf switch is on (see
+#: repro.diagnosis), so the default datapath never emits these.
+TOPIC_QUEUE_SNAPSHOT = "diagnosis.snapshot"
+#: Snapshot lifecycle (autosave written / world restored).  Note: the
+#: telemetry recorder does *not* subscribe to this topic by default —
+#: save events carry the snapshot path and a restored invocation saves
+#: on a different file, so recording them would break the byte-identity
+#: of killed+restored traces vs uninterrupted runs.  Opt in explicitly
+#: with ``--trace-topics snapshot.lifecycle``.
+TOPIC_SNAPSHOT_LIFECYCLE = "snapshot.lifecycle"
 
 #: Every well-known topic, in a stable order.  The telemetry recorder
 #: subscribes to all of these by default, and the trace-file schema
@@ -132,4 +144,6 @@ ALL_TOPICS = (
     TOPIC_FAULT_INJECT,
     TOPIC_FAULT_RECOVER,
     TOPIC_PARALLEL_JOB,
+    TOPIC_QUEUE_SNAPSHOT,
+    TOPIC_SNAPSHOT_LIFECYCLE,
 )

@@ -37,6 +37,7 @@ from ..errors import (
     SnapshotError,
     SnapshotHalt,
 )
+from ..sim.trace import TOPIC_SNAPSHOT_LIFECYCLE
 from .manager import PathLike, SnapshotManager
 
 _MANAGER = SnapshotManager()
@@ -292,7 +293,38 @@ def run_world(world: SimWorld,
     except SimulationError:
         world.last_triage = _maybe_triage(world, policy, "simulation-error")
         raise
+    capture = _active_diagnosis_capture()
+    if capture is not None:
+        capture.collect(world)
     return world
+
+
+def _active_diagnosis_capture():
+    """The session's diagnosis capture, if one is installed.
+
+    Imported lazily so the snapshot driver stays importable without the
+    diagnosis package in the graph (and costs one cached module lookup
+    per finished world, never per event).
+    """
+    from ..diagnosis.capture import active_capture
+
+    return active_capture()
+
+
+def _publish_lifecycle(world: SimWorld, detail: str, path: PathLike) -> None:
+    """Emit one ``snapshot.lifecycle`` event on the world's bus.
+
+    Lazy ``emit``: with no subscriber the event costs a dict lookup.
+    The default trace recorder deliberately does not subscribe to this
+    topic (save paths differ between a reference run and a restored
+    one), so recording lifecycle events is an explicit opt-in — see
+    :data:`repro.sim.trace.TOPIC_SNAPSHOT_LIFECYCLE`.
+    """
+    trace = getattr(world.net, "trace", None)
+    if trace is not None:
+        trace.emit(TOPIC_SNAPSHOT_LIFECYCLE, lambda: dict(
+            time=world.net.sim.now, detail=detail, path=str(path),
+            saves=world.saves))
 
 
 def _autosave(world: SimWorld, policy: SnapshotPolicy) -> None:
@@ -301,6 +333,7 @@ def _autosave(world: SimWorld, policy: SnapshotPolicy) -> None:
     _MANAGER.save(world, policy.out, kind=world.kind,
                   sim_now=world.net.sim.now,
                   meta={**world.meta, "saves": world.saves})
+    _publish_lifecycle(world, "save", policy.out)
     # Exact equality: the snapshot just written carries saves == N, so
     # after a restore the counter moves to N+1 and the drill never
     # re-fires — each drill crashes the run exactly once.
@@ -334,6 +367,9 @@ def restore_world(path: PathLike, *,
     sim._running = False
     sim._stopped = False
     world.resync()
+    # Subscribers that rode inside the pickle (an explicitly opted-in
+    # recorder, a flight recorder) see the resume point on the bus.
+    _publish_lifecycle(world, "restore", path)
     return world
 
 

@@ -11,11 +11,12 @@ from .flight_recorder import (
     FlightRecorder,
 )
 from .profiler import CallbackStats, RunProfiler
-from .recorder import TraceRecorder
+from .recorder import DEFAULT_TOPICS, TraceRecorder
 from .records import (
     META_TOPIC_DUMP,
     OPTIONAL_FIELDS,
     RECORD_FIELDS,
+    REQUIRED_TOPIC_FIELDS,
     normalize,
     validate_record,
     validate_trace_file,
@@ -29,12 +30,14 @@ __all__ = [
     "ANOMALY_SIMULATION_ERROR",
     "ANOMALY_THRESHOLD_INVARIANT",
     "CallbackStats",
+    "DEFAULT_TOPICS",
     "FlightRecorder",
     "JsonlSink",
     "META_TOPIC_DUMP",
     "MemorySink",
     "OPTIONAL_FIELDS",
     "RECORD_FIELDS",
+    "REQUIRED_TOPIC_FIELDS",
     "RunProfiler",
     "TelemetrySession",
     "ThresholdTimeline",

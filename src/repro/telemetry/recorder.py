@@ -22,8 +22,17 @@ from __future__ import annotations
 from functools import partial
 from typing import Any, Iterable, List, Optional, Tuple
 
-from ..sim.trace import ALL_TOPICS, TraceBus
+from ..sim.trace import ALL_TOPICS, TOPIC_SNAPSHOT_LIFECYCLE, TraceBus
 from .records import normalize
+
+#: What a recorder subscribes to when no topics are named.  Everything
+#: except ``snapshot.lifecycle``: save events carry the snapshot path
+#: and a restored invocation performs no saves of its own, so recording
+#: them by default would break the byte-identity of killed+restored
+#: traces against uninterrupted runs (the snapshot-smoke guarantee).
+#: Name the topic in ``--trace-topics`` to opt in.
+DEFAULT_TOPICS = tuple(topic for topic in ALL_TOPICS
+                       if topic != TOPIC_SNAPSHOT_LIFECYCLE)
 
 
 class TraceRecorder:
@@ -32,8 +41,9 @@ class TraceRecorder:
     Parameters
     ----------
     topics:
-        Topics to record; defaults to every well-known topic.  Unknown
-        names raise ``ValueError`` so a typo'd ``--trace-topics`` fails
+        Topics to record; defaults to :data:`DEFAULT_TOPICS` (every
+        well-known topic except ``snapshot.lifecycle``).  Unknown names
+        raise ``ValueError`` so a typo'd ``--trace-topics`` fails
         loudly instead of silently recording nothing.
     start_ns / end_ns:
         Optional inclusive simulated-time window; events outside it are
@@ -44,7 +54,7 @@ class TraceRecorder:
                  topics: Optional[Iterable[str]] = None,
                  start_ns: Optional[int] = None,
                  end_ns: Optional[int] = None) -> None:
-        selected = tuple(topics) if topics is not None else ALL_TOPICS
+        selected = tuple(topics) if topics is not None else DEFAULT_TOPICS
         unknown = [name for name in selected if name not in ALL_TOPICS]
         if unknown:
             raise ValueError(

@@ -19,9 +19,14 @@ threshold  list[int] or null       DynaQ ``T_i`` after the event
 
 DynaQ events additionally carry ``victim`` / ``gainer`` / ``size``
 (``victim == gainer == -1`` marks the (re)initialisation baseline, which
-also carries ``satisfaction``).  :func:`validate_record` checks one
-record against this schema; :func:`validate_trace_file` schema-checks a
-whole JSONL file (the ``repro trace-validate`` subcommand).
+also carries ``satisfaction``).  ``snapshot.lifecycle`` events carry
+``path`` / ``saves``; ``diagnosis.snapshot`` events carry ``occupancy``
+/ ``limit`` / ``composition`` (flow-id -> buffered bytes, string keys
+because the record is JSON).  :func:`validate_record` checks one record
+against this schema — including the per-topic required fields of
+:data:`REQUIRED_TOPIC_FIELDS` — and :func:`validate_trace_file`
+schema-checks a whole JSONL file (the ``repro trace-validate``
+subcommand).
 """
 
 from __future__ import annotations
@@ -33,6 +38,9 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..sim.trace import (
     ALL_TOPICS,
     TOPIC_DYNAQ_RECONFIGURE,
+    TOPIC_PARALLEL_JOB,
+    TOPIC_QUEUE_SNAPSHOT,
+    TOPIC_SNAPSHOT_LIFECYCLE,
     TOPIC_THRESHOLD_CHANGE,
     TOPIC_VICTIM_STEAL,
 )
@@ -50,8 +58,21 @@ KNOWN_TOPICS = frozenset(ALL_TOPICS) | {META_TOPIC_DUMP}
 RECORD_FIELDS = ("time_ns", "topic", "port", "queue", "flow", "detail",
                  "queue_bytes", "threshold")
 
-#: Extra columns only DynaQ events carry.
-OPTIONAL_FIELDS = ("victim", "gainer", "size", "satisfaction")
+#: Extra columns only some topics carry (DynaQ moves, snapshot
+#: lifecycle, diagnosis snapshots).
+OPTIONAL_FIELDS = ("victim", "gainer", "size", "satisfaction",
+                   "path", "saves", "occupancy", "limit", "composition")
+
+#: Per-topic payload contract: these fields must be present and
+#: non-empty for the record to validate.  Generic fields alone used to
+#: let malformed ``parallel.job`` / ``dynaq.reconfigure`` payloads slip
+#: through ``repro trace-validate``.
+REQUIRED_TOPIC_FIELDS = {
+    TOPIC_DYNAQ_RECONFIGURE: ("threshold", "satisfaction"),
+    TOPIC_PARALLEL_JOB: ("detail",),
+    TOPIC_SNAPSHOT_LIFECYCLE: ("detail", "path"),
+    TOPIC_QUEUE_SNAPSHOT: ("queue", "detail", "composition"),
+}
 
 
 def normalize(topic: str, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -103,6 +124,18 @@ def normalize(topic: str, payload: Dict[str, Any]) -> Dict[str, Any]:
                 record["detail"] = "init"
             else:
                 record["detail"] = f"q{gainer} took {size}B from q{victim}"
+    elif topic == TOPIC_SNAPSHOT_LIFECYCLE:
+        record["path"] = str(payload.get("path", ""))
+        record["saves"] = int(payload.get("saves", 0))
+    elif topic == TOPIC_QUEUE_SNAPSHOT:
+        if payload.get("occupancy") is not None:
+            record["occupancy"] = int(payload["occupancy"])
+        if payload.get("limit") is not None:
+            record["limit"] = int(payload["limit"])
+        if payload.get("composition") is not None:
+            record["composition"] = {
+                str(flow): size
+                for flow, size in payload["composition"].items()}
     elif "flow" in payload:
         record["flow"] = payload["flow"]
     return record
@@ -118,6 +151,12 @@ def _is_int_list(value: Any) -> bool:
 
 def _is_int(value: Any) -> bool:
     return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_composition(value: Any) -> bool:
+    return (isinstance(value, dict)
+            and all(isinstance(flow, str) and _is_int(size)
+                    for flow, size in value.items()))
 
 
 def validate_record(record: Any) -> List[str]:
@@ -157,6 +196,19 @@ def validate_record(record: Any) -> List[str]:
     if "satisfaction" in record and not _is_int_list(record["satisfaction"]):
         errors.append(f"satisfaction must be a list of ints, "
                       f"got {record['satisfaction']!r}")
+    if "path" in record and not isinstance(record["path"], str):
+        errors.append(f"path must be a string, got {record['path']!r}")
+    for field in ("saves", "occupancy", "limit"):
+        if field in record and not _is_int(record[field]):
+            errors.append(f"{field} must be an int, got {record[field]!r}")
+    if "composition" in record and not _is_composition(record["composition"]):
+        errors.append(f"composition must map flow-id strings to int "
+                      f"bytes, got {record['composition']!r}")
+    for field in REQUIRED_TOPIC_FIELDS.get(record["topic"], ()):
+        value = record.get(field)
+        if value is None or value == "":
+            errors.append(f"{record['topic']} record must carry a "
+                          f"non-empty {field!r}")
     return errors
 
 
@@ -166,7 +218,10 @@ def validate_trace_file(path: PathLike,
 
     Returns ``(record_count, errors)``; an empty error list means the
     file is schema-valid.  Reporting stops after ``max_errors`` problems
-    so a corrupt multi-gigabyte trace fails fast.
+    so a corrupt multi-gigabyte trace fails fast.  The cap is exact: a
+    single record with many problems stops contributing mid-record, so
+    the list never exceeds ``max_errors`` lines plus the truncation
+    marker.
     """
     errors: List[str] = []
     count = 0
@@ -181,6 +236,8 @@ def validate_trace_file(path: PathLike,
                 errors.append(f"line {line_number}: invalid JSON ({exc})")
             else:
                 for problem in validate_record(record):
+                    if len(errors) >= max_errors:
+                        break
                     errors.append(f"line {line_number}: {problem}")
             if len(errors) >= max_errors:
                 errors.append("... (stopping after "

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (fast subcommands + plumbing)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -207,7 +209,7 @@ def test_bench_smoke_writes_report(capsys, tmp_path):
     import json
     report = json.loads(out_path.read_text())
     assert report["schema"] == "repro.bench/1"
-    assert len(report["benches"]) == 8
+    assert len(report["benches"]) == 9
     for bench in report["benches"]:
         assert bench["ops_equal"]
 
@@ -226,3 +228,35 @@ def test_bench_emit_baseline_and_compare(capsys, tmp_path):
                         "--baseline", str(baseline_path),
                         "--budget", "0.9")
     assert code == 0
+
+
+def test_trace_topics_opt_in_captures_snapshot_lifecycle(capsys, tmp_path):
+    trace = tmp_path / "lifecycle.jsonl"
+    code, _ = run_cli(capsys, "fair-sharing", "--schemes", "dynaq",
+                      "--time-unit", "0.02",
+                      "--snapshot-every", "0.03",
+                      "--snapshot-out", str(tmp_path / "x.snap"),
+                      "--trace-out", str(trace),
+                      "--trace-topics", "snapshot.lifecycle")
+    assert code == 0
+    records = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert records
+    assert all(r["topic"] == "snapshot.lifecycle" for r in records)
+    assert [r["saves"] for r in records] == list(range(1, len(records) + 1))
+    assert all(r["detail"] == "save" for r in records)
+    from repro.telemetry import validate_trace_file
+    count, errors = validate_trace_file(trace)
+    assert count == len(records)
+    assert errors == []
+
+    # Without the explicit opt-in the default recorder drops the topic.
+    quiet = tmp_path / "default.jsonl"
+    code, _ = run_cli(capsys, "fair-sharing", "--schemes", "dynaq",
+                      "--time-unit", "0.02",
+                      "--snapshot-every", "0.03",
+                      "--snapshot-out", str(tmp_path / "y.snap"),
+                      "--trace-out", str(quiet))
+    assert code == 0
+    topics = {json.loads(line)["topic"]
+              for line in quiet.read_text().splitlines()}
+    assert "snapshot.lifecycle" not in topics

@@ -1,0 +1,328 @@
+"""Per-packet queue diagnosis: sketches, capture, dumps, queries, CLI.
+
+The determinism tests are the contract: the diagnosis dump must be
+byte-identical between the FAST and REFERENCE perf configs, between a
+serial run and ``parallel_map`` fan-out of the same jobs, and between an
+uninterrupted run and one killed at an autosave and restored.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.diagnosis import (
+    DiagnosisQuery,
+    SketchSettings,
+    load_diagnosis,
+    write_diagnosis,
+)
+from repro.diagnosis.dump import DIAGNOSIS_SCHEMA
+from repro.diagnosis.jobs import fair_sharing_diagnosis_job
+from repro.diagnosis.query import percentile_victim, render_summary
+from repro.diagnosis.sketch import PortDiagnosisSketch
+from repro.errors import ConfigurationError, SnapshotHalt
+from repro.experiments.parallel import (
+    JobSpec,
+    callable_target,
+    job_key,
+    parallel_map,
+)
+from repro.net.port import EgressPort
+from repro.perf.config import (
+    active_config,
+    fast_mode,
+    reference_mode,
+    use_config,
+)
+from repro.queueing.besteffort import BestEffortBuffer
+from repro.queueing.schedulers.drr import DRRScheduler
+from repro.sim.engine import Simulator
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+# -- sketch unit tests --------------------------------------------------------
+
+def test_sketch_accounts_windows_and_delays():
+    sketch = PortDiagnosisSketch("p", SketchSettings(window_ns=100))
+    sketch.record_enqueue(10, 0, 1, 500, 500, None)
+    sketch.record_enqueue(150, 0, 2, 300, 800, None)
+    sketch.record_dequeue(180, 0, 1, 500, 170, 300, None)
+    dump = sketch.to_dict()
+    assert dump["windows"]["0"]["0"]["1"] == 500
+    assert dump["windows"]["1"]["0"]["2"] == 300
+    stats = dump["flows"]["1"]
+    assert stats["packets"] == 1
+    assert stats["max_delay_ns"] == 170
+    assert stats["max_enqueued_ns"] == 10
+    assert stats["max_dequeued_ns"] == 180
+    assert stats["max_queue"] == 0
+    assert dump["updates"] == 3
+
+
+def test_threshold_snapshot_rising_edge_only():
+    sketch = PortDiagnosisSketch("p", SketchSettings(window_ns=100))
+    assert sketch.record_enqueue(0, 0, 1, 100, 50, 200) is None
+    snap = sketch.record_enqueue(1, 0, 1, 100, 250, 200)
+    assert snap is not None
+    assert snap["detail"] == "threshold-cross"
+    assert snap["composition"] == {1: 200}
+    # Still over: no second snapshot until the queue dips back under.
+    assert sketch.record_enqueue(2, 0, 1, 100, 300, 200) is None
+    sketch.record_dequeue(3, 0, 1, 300, 3, 100, 200)
+    assert sketch.record_enqueue(4, 0, 1, 100, 250, 200) is not None
+
+
+def test_drop_snapshot_once_per_window():
+    sketch = PortDiagnosisSketch("p", SketchSettings(window_ns=100))
+    first = sketch.record_drop(5, 0, 7, 100, "queue full", 400, 300)
+    assert first is not None
+    assert first["detail"] == "drop:queue full"
+    assert sketch.record_drop(6, 0, 7, 100, "queue full", 400, 300) is None
+    assert (sketch.record_drop(105, 0, 7, 100, "queue full", 400, 300)
+            is not None)
+    # Queue-less drops (downed link) aggregate but never snapshot.
+    assert sketch.record_drop(7, None, 7, 100, "link down", 0, None) is None
+    dump = sketch.to_dict()
+    assert dump["drops"] == [
+        {"queue": None, "flow": 7, "reason": "link down",
+         "count": 1, "bytes": 100},
+        {"queue": 0, "flow": 7, "reason": "queue full",
+         "count": 3, "bytes": 300},
+    ]
+
+
+def test_ring_spills_to_archive():
+    sketch = PortDiagnosisSketch(
+        "p", SketchSettings(window_ns=10, ring_slots=2))
+    for window in range(5):
+        sketch.record_enqueue(window * 10, 0, window, 100, 100, None)
+    dump = sketch.to_dict()
+    assert sorted(dump["windows"], key=int) == ["0", "1", "2", "3", "4"]
+
+
+def test_evict_counts_drop_and_decrements_live():
+    sketch = PortDiagnosisSketch("p", SketchSettings(window_ns=100))
+    sketch.record_enqueue(0, 1, 3, 400, 400, None)
+    snap = sketch.record_evict(1, 1, 3, 400, 0, None)
+    assert snap is not None
+    assert snap["detail"] == "drop:evicted"
+    assert snap["composition"] == {}
+    assert sketch.to_dict()["drops"] == [
+        {"queue": 1, "flow": 3, "reason": "evicted",
+         "count": 1, "bytes": 400}]
+
+
+def test_settings_validate():
+    with pytest.raises(ValueError):
+        SketchSettings(window_ns=0)
+    with pytest.raises(ValueError):
+        SketchSettings(ring_slots=0)
+    with pytest.raises(ValueError):
+        SketchSettings(max_snapshots=-1)
+
+
+# -- the perf switch ----------------------------------------------------------
+
+def _port(sim):
+    return EgressPort(
+        sim, "p", rate_bps=10 ** 9, prop_delay_ns=0, buffer_bytes=10_000,
+        scheduler=DRRScheduler([1500] * 4),
+        buffer_manager=BestEffortBuffer())
+
+
+def test_switch_off_means_no_sketch():
+    assert not active_config().queue_diagnosis
+    assert _port(Simulator())._sketch is None
+    with use_config(active_config().clone(queue_diagnosis=True)):
+        assert _port(Simulator())._sketch is not None
+
+
+# -- determinism: FAST vs REFERENCE -------------------------------------------
+
+def _canon(document):
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def test_fast_and_reference_dumps_byte_identical():
+    with fast_mode():
+        fast = fair_sharing_diagnosis_job(scheme="dynaq", time_unit_s=0.02)
+    with reference_mode():
+        reference = fair_sharing_diagnosis_job(scheme="dynaq",
+                                               time_unit_s=0.02)
+    assert fast["ports"]
+    assert _canon(fast) == _canon(reference)
+    assert (render_summary(DiagnosisQuery(fast))
+            == render_summary(DiagnosisQuery(reference)))
+
+
+# -- determinism: parallel fan-out --------------------------------------------
+
+def _fair_sharing_spec(scheme):
+    params = {"target": callable_target(fair_sharing_diagnosis_job),
+              "kwargs": {"scheme": scheme, "time_unit_s": 0.02}}
+    return JobSpec(job_key("callable", params, label=scheme),
+                   "callable", params)
+
+
+def test_parallel_diagnosis_jobs_match_serial():
+    specs = [_fair_sharing_spec("dynaq"), _fair_sharing_spec("besteffort")]
+    fanned = parallel_map(specs, jobs=2)
+    assert all(outcome.ok for outcome in fanned)
+    serial = parallel_map(specs, jobs=1)
+    assert ([_canon(outcome.value) for outcome in fanned]
+            == [_canon(outcome.value) for outcome in serial])
+    # The worker round-trip is faithful to an in-process run.
+    direct = fair_sharing_diagnosis_job(scheme="dynaq", time_unit_s=0.02)
+    assert _canon(fanned[0].value) == _canon(direct)
+
+
+# -- determinism: kill + restore ----------------------------------------------
+
+def test_killed_and_restored_dump_matches_uninterrupted(tmp_path, capsys):
+    # 0.0157 s cadence: the kill lands mid-window (windows are 1 ms).
+    base_args = ["fair-sharing", "--schemes", "dynaq",
+                 "--time-unit", "0.02", "--snapshot-every", "0.0157"]
+    baseline = tmp_path / "base.diag.json"
+    code, _ = run_cli(capsys, *base_args,
+                      "--snapshot-out", str(tmp_path / "a.snap"),
+                      "--diagnose-out", str(baseline))
+    assert code == 0
+
+    snap = tmp_path / "b.snap"
+    partial = tmp_path / "partial.diag.json"
+    code, _ = run_cli(capsys, *base_args, "--snapshot-out", str(snap),
+                      "--snapshot-kill-after", "1",
+                      "--diagnose-out", str(partial))
+    assert code == 3
+    # The partial dump exists but collected nothing (the run died).
+    assert load_diagnosis(partial)["worlds"] == 0
+
+    restored = tmp_path / "restored.diag.json"
+    code, _ = run_cli(capsys, "fair-sharing", "--schemes", "dynaq",
+                      "--time-unit", "0.02", "--restore", str(snap),
+                      "--diagnose-out", str(restored))
+    assert code == 0
+    assert restored.read_bytes() == baseline.read_bytes()
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def test_cli_diagnose_roundtrip(tmp_path, capsys):
+    dump_path = tmp_path / "fs.diag.json"
+    code, out = run_cli(capsys, "fair-sharing", "--schemes", "dynaq",
+                        "--time-unit", "0.02",
+                        "--diagnose-out", str(dump_path))
+    assert code == 0
+    assert f"wrote {dump_path}" in out
+
+    document = load_diagnosis(dump_path)
+    assert document["schema"] == DIAGNOSIS_SCHEMA
+    assert document["ports"]
+
+    code, out = run_cli(capsys, "diagnose", str(dump_path))
+    assert code == 0
+    assert "diagnosis:" in out
+    assert "victims by max queueing delay" in out
+
+    query = DiagnosisQuery(document)
+    victim = query.victims(top=1)[0]["flow"]
+    code, out = run_cli(capsys, "diagnose", str(dump_path),
+                        "--victim-flow", str(victim))
+    assert code == 0
+    assert f"victim flow {victim}" in out
+    assert "culprits" in out
+
+    label = query.labels()[0]
+    code, out = run_cli(capsys, "diagnose", str(dump_path),
+                        "--port", label, "--window", "0:5000000")
+    assert code == 0
+    assert "fill report" in out
+
+
+def test_cli_diagnose_window_width_flag(tmp_path, capsys):
+    dump_path = tmp_path / "w.diag.json"
+    code, _ = run_cli(capsys, "fair-sharing", "--schemes", "dynaq",
+                      "--time-unit", "0.02",
+                      "--diagnose-out", str(dump_path),
+                      "--diagnose-window", "0.002")
+    assert code == 0
+    assert load_diagnosis(dump_path)["window_ns"] == 2_000_000
+
+
+def test_cli_rejects_parallel_diagnosis(tmp_path, capsys):
+    code, out = run_cli(capsys, "fct", "--schemes", "dynaq",
+                        "--loads", "0.5", "--flows", "10", "--jobs", "2",
+                        "--diagnose-out", str(tmp_path / "x.json"))
+    assert code == 2
+    assert "serial run" in out
+    code, out = run_cli(capsys, "incast", "--schemes", "dynaq",
+                        "--jobs", "2",
+                        "--diagnose-out", str(tmp_path / "y.json"))
+    assert code == 2
+    assert "serial run" in out
+
+
+def test_cli_percentile_needs_fct_join(tmp_path, capsys):
+    path = tmp_path / "empty.diag.json"
+    write_diagnosis(path, {"schema": DIAGNOSIS_SCHEMA,
+                           "window_ns": 1_000_000, "worlds": 0,
+                           "ports": {}})
+    code, out = run_cli(capsys, "diagnose", str(path),
+                        "--victim-percentile", "99")
+    assert code == 2
+    assert "--join-fct" in out
+
+
+def test_load_diagnosis_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ConfigurationError):
+        load_diagnosis(path)
+    path.write_text(json.dumps({"schema": "other/1"}))
+    with pytest.raises(ConfigurationError):
+        load_diagnosis(path)
+    path.write_text(json.dumps({"schema": DIAGNOSIS_SCHEMA}))
+    with pytest.raises(ConfigurationError):
+        load_diagnosis(path)
+
+
+# -- query layer --------------------------------------------------------------
+
+def test_percentile_victim_nearest_rank():
+    rows = [(1, 1.0, 10), (2, 2.0, 10), (3, 3.0, 10), (4, 4.0, 10)]
+    assert percentile_victim(rows, 50) == (2, 2.0)
+    assert percentile_victim(rows, 100) == (4, 4.0)
+    assert percentile_victim(rows, 99) == (4, 4.0)
+    with pytest.raises(ConfigurationError):
+        percentile_victim(rows, 0)
+
+
+def test_query_resolve_port_and_culprits():
+    document = {
+        "schema": DIAGNOSIS_SCHEMA, "window_ns": 100, "worlds": 1,
+        "ports": {
+            "dynaq/p0": {
+                "port": "p0", "window_ns": 100, "updates": 3,
+                "snapshots_taken": 0,
+                "windows": {"0": {"1": {"5": 300, "6": 700}}},
+                "flows": {"5": {"packets": 1, "total_delay_ns": 80,
+                                "max_delay_ns": 80, "max_enqueued_ns": 10,
+                                "max_dequeued_ns": 90, "max_queue": 1}},
+                "drops": [], "snapshots": [],
+            },
+        },
+    }
+    query = DiagnosisQuery(document)
+    assert query.resolve_port("p0") == ["dynaq/p0"]
+    with pytest.raises(ConfigurationError):
+        query.resolve_port("nope")
+    report = query.culprits(5)
+    assert report["queue"] == 1
+    assert report["rows"] == [(6, 700), (5, 300)]
+    with pytest.raises(ConfigurationError):
+        query.culprits(99)

@@ -164,7 +164,7 @@ def test_bench_suite_op_counters_agree_across_modes():
     """A tiny full-suite run: ``run_suite`` itself asserts ref == fast
     per bench (raising BenchError on drift), so completing is the test."""
     report = run_suite(quick=True, scale=0.1, repeats=1)
-    assert len(report["benches"]) == 8
+    assert len(report["benches"]) == 9
     for bench in report["benches"]:
         assert bench["ops_equal"]
         assert bench["reference"]["ops"] == bench["fast"]["ops"]

@@ -24,6 +24,7 @@ from repro.errors import (
 from repro.experiments.testbed import DEFAULT_CONFIG, _prepare_bulk
 from repro.perf.config import fast_mode, reference_mode
 from repro.sim.engine import Simulator
+from repro.sim.trace import TOPIC_SNAPSHOT_LIFECYCLE, TraceBus
 from repro.sim.units import milliseconds
 from repro.snapshot import (
     SimWorld,
@@ -401,3 +402,53 @@ def test_world_state_survives_a_plain_pickle_cycle():
     sim.check_consistency()
     for port in world.iter_ports():
         assert port.sim is sim  # no duplicated simulator after restore
+
+
+# -- snapshot.lifecycle events ------------------------------------------------
+
+class _LifecycleLog:
+    """Picklable subscriber so a copy can ride inside the snapshot."""
+
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, **payload):
+        self.events.append((payload["detail"], payload["saves"]))
+
+
+def test_autosave_and_restore_publish_lifecycle_events(tmp_path):
+    trace = TraceBus()
+    log = _LifecycleLog()
+    trace.subscribe(TOPIC_SNAPSHOT_LIFECYCLE, log)
+    snap = tmp_path / "x.snap"
+    policy = SnapshotPolicy(every_ns=milliseconds(7), out=snap,
+                            halt_after_saves=1)
+
+    world = _build_bulk(trace)
+    with pytest.raises(SnapshotHalt):
+        run_world(world, policy)
+    assert log.events == [("save", 1)]
+
+    # The world is pickled *before* the save event is published, so the
+    # subscriber copy inside the snapshot has not seen its own save; the
+    # first thing it observes is the restore.
+    restored = restore_world(snap, expect_kind="bulk")
+    subscribers = restored.net.trace._subscribers[TOPIC_SNAPSHOT_LIFECYCLE]
+    copies = [s for s in subscribers if isinstance(s, _LifecycleLog)]
+    assert len(copies) == 1
+    assert copies[0].events == [("restore", 1)]
+
+    # Finishing the run keeps autosaving and publishing on the new bus.
+    run_world(restored, SnapshotPolicy(every_ns=milliseconds(7), out=snap))
+    assert copies[0].events[0] == ("restore", 1)
+    assert [d for d, _ in copies[0].events[1:]] == ["save"] * (
+        len(copies[0].events) - 1)
+    assert copies[0].events[-1][1] == restored.saves
+
+
+def test_lifecycle_events_without_bus_are_free(tmp_path):
+    # No trace bus attached: autosave must not trip over the missing bus.
+    world = _build_bulk(trace=None)
+    run_world(world, SnapshotPolicy(every_ns=milliseconds(7),
+                                    out=tmp_path / "x.snap"))
+    assert world.saves > 0

@@ -16,8 +16,12 @@ from repro.sim.engine import Simulator
 from repro.sim.errors import SimulationError
 from repro.sim.trace import (
     ALL_TOPICS,
+    TOPIC_DYNAQ_RECONFIGURE,
     TOPIC_PACKET_DROP,
     TOPIC_PACKET_ENQUEUE,
+    TOPIC_PARALLEL_JOB,
+    TOPIC_QUEUE_SNAPSHOT,
+    TOPIC_SNAPSHOT_LIFECYCLE,
     TOPIC_THRESHOLD_CHANGE,
     TOPIC_VICTIM_STEAL,
     TraceBus,
@@ -26,10 +30,12 @@ from repro.telemetry import (
     ANOMALY_DROP_BURST,
     ANOMALY_SIMULATION_ERROR,
     ANOMALY_THRESHOLD_INVARIANT,
+    DEFAULT_TOPICS,
     FlightRecorder,
     JsonlSink,
     MemorySink,
     META_TOPIC_DUMP,
+    REQUIRED_TOPIC_FIELDS,
     RunProfiler,
     TelemetrySession,
     ThresholdTimeline,
@@ -420,6 +426,69 @@ def test_validate_trace_file_flags_problems(tmp_path):
     assert len(errors) == 2
     assert "invalid JSON" in errors[0]
     assert "unknown topic" in errors[1]
+
+
+def test_validate_trace_file_error_cap_is_exact(tmp_path):
+    # One empty record yields many "missing field" problems at once; the
+    # cap must stop mid-record, never overshoot.
+    path = tmp_path / "very_bad.jsonl"
+    path.write_text("{}\n" * 5)
+    count, errors = validate_trace_file(path, max_errors=3)
+    assert count == 1  # stops at the line that hit the cap
+    assert len(errors) == 4  # exactly max_errors + the truncation marker
+    assert all("missing field" in e for e in errors[:3])
+    assert errors[3] == "... (stopping after 3 problems)"
+
+
+def test_required_topic_fields_enforced():
+    job = normalize(TOPIC_PARALLEL_JOB, dict(
+        port="executor", time=1, detail="done fct[dynaq@0.5]"))
+    assert validate_record(job) == []
+    blank = dict(job, detail="")
+    assert any("non-empty 'detail'" in e for e in validate_record(blank))
+
+    reconf = normalize(TOPIC_DYNAQ_RECONFIGURE, dict(
+        port="p0", time=2, thresholds=(10, 10), satisfaction=(4, 4)))
+    assert validate_record(reconf) == []
+    for missing in ("threshold", "satisfaction"):
+        broken = dict(reconf, **{missing: None})
+        assert any(f"non-empty {missing!r}" in e
+                   for e in validate_record(broken))
+
+
+def test_normalize_snapshot_lifecycle_record():
+    record = normalize(TOPIC_SNAPSHOT_LIFECYCLE, dict(
+        port="world", time=9, detail="save", path="/tmp/x.snap", saves=2))
+    assert record["path"] == "/tmp/x.snap"
+    assert record["saves"] == 2
+    assert validate_record(record) == []
+    pathless = dict(record, path="")
+    assert any("non-empty 'path'" in e for e in validate_record(pathless))
+
+
+def test_normalize_queue_snapshot_record():
+    record = normalize(TOPIC_QUEUE_SNAPSHOT, dict(
+        port="p0", time=5, queue=1, detail="threshold-cross",
+        occupancy=900, limit=800, composition={3: 600, 4: 300}))
+    # Flow-id keys are stringified so the record JSON-roundtrips exactly.
+    assert record["composition"] == {"3": 600, "4": 300}
+    assert record["occupancy"] == 900
+    assert record["limit"] == 800
+    assert validate_record(record) == []
+    bad = dict(record, composition={3: 600})
+    assert any("composition" in e for e in validate_record(bad))
+    missing = dict(record, queue=None)
+    assert any("non-empty 'queue'" in e for e in validate_record(missing))
+
+
+def test_default_topics_exclude_snapshot_lifecycle():
+    # Lifecycle events depend on snapshot paths/cadence, which differ
+    # between a kill/restore pair and an uninterrupted run, so the
+    # recorder only captures them on explicit opt-in.
+    assert TOPIC_SNAPSHOT_LIFECYCLE in ALL_TOPICS
+    assert TOPIC_SNAPSHOT_LIFECYCLE not in DEFAULT_TOPICS
+    assert set(DEFAULT_TOPICS) == set(ALL_TOPICS) - {TOPIC_SNAPSHOT_LIFECYCLE}
+    assert set(REQUIRED_TOPIC_FIELDS) <= set(ALL_TOPICS)
 
 
 # -- TelemetrySession --------------------------------------------------------
