@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-quick perf-tier figures chaos sweep-smoke snapshot-smoke diagnose-smoke
+.PHONY: test bench bench-quick perf-tier figures chaos sweep-smoke snapshot-smoke diagnose-smoke serve-smoke
 
 test:            ## tier-1 suite (must always be green)
 	$(PY) -m pytest -x -q
@@ -51,6 +51,10 @@ snapshot-smoke:  ## kill a run at an autosave, restore, require identical trace 
 	rm -f /tmp/repro-snap-full.jsonl /tmp/repro-snap-killed.jsonl \
 	    /tmp/repro-snap-ref.snap /tmp/repro-snap.snap
 	@echo "snapshot-smoke: killed+restored trace is byte-identical"
+
+serve-smoke:     ## daemon under drill kills: jobs finish, SIGTERM drains clean
+	$(PY) tools/serve_smoke.py --workdir serve-smoke-artifacts
+	rm -rf serve-smoke-artifacts
 
 diagnose-smoke:  ## capture queue-diagnosis sketches, query them, gate the overhead
 	$(PY) -m repro fair-sharing --schemes dynaq --time-unit 0.03 \

@@ -13,6 +13,9 @@ Examples::
     python -m repro hw-cost
     python -m repro workloads
     python -m repro bench --quick --baseline benchmarks/perf/baseline.json
+    python -m repro serve --socket /tmp/repro.sock --snapshot-every 0.01
+    python -m repro submit --socket /tmp/repro.sock --kind fct \\
+        --params '{"scheme": "dynaq", "load": 0.3, ...}' --wait
 
 Every subcommand prints the same tables the benchmark harness produces;
 ``--csv PREFIX`` additionally dumps raw series to ``PREFIX.<scheme>.csv``.
@@ -29,14 +32,20 @@ error or interrupt, 3 deliberate ``--snapshot-kill-after`` drill halt.
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import signal
+import sys
+import threading
 from contextlib import contextmanager
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .core.hardware import cost_table
-from .errors import EXIT_DRILL, EXIT_ERROR, SnapshotHalt
+from .errors import EXIT_DRILL, EXIT_ERROR, EXIT_FAILURE, EXIT_OK, SnapshotHalt
 from .experiments import report
 from .experiments.chaos import ChaosResult, run_chaos_sweep
 from .experiments.parallel import (
+    JOB_KINDS,
     parallel_fct_sweep,
     parallel_incast_runs,
     parallel_static_runs,
@@ -787,6 +796,110 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+# -- serving ------------------------------------------------------------------
+
+def _cmd_serve(args) -> int:
+    """Run the job-queue daemon until a SIGTERM drain completes."""
+    import asyncio
+
+    from .serve import ServeConfig, ServeDaemon
+    from .sim.trace import TOPIC_SERVE_JOB, TraceBus
+
+    trace = TraceBus()
+    if not args.quiet:
+        trace.subscribe(TOPIC_SERVE_JOB,
+                        lambda **payload: print(
+                            f"serve: {payload.get('detail', '')}",
+                            flush=True))
+    recorder = None
+    if args.trace_out:
+        from .telemetry.recorder import TraceRecorder
+        from .telemetry.sinks import JsonlSink
+        recorder = TraceRecorder(trace, JsonlSink(args.trace_out),
+                                 topics=(TOPIC_SERVE_JOB,))
+    config = ServeConfig(
+        socket_path=args.socket, wal=args.wal, jobs=args.jobs,
+        retries=args.retries, max_queue=args.max_queue,
+        max_per_client=args.max_per_client,
+        heartbeat_every_s=args.heartbeat,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        job_deadline_s=args.job_deadline, backoff_s=args.backoff,
+        drain_timeout_s=args.drain_timeout,
+        autosave_every_ns=(seconds(args.snapshot_every)
+                           if args.snapshot_every else None),
+        drill=args.drill, drill_interval_s=args.drill_interval,
+        drill_seed=args.drill_seed)
+    daemon = ServeDaemon(config, trace=trace)
+    try:
+        return asyncio.run(daemon.run())
+    finally:
+        if recorder is not None:
+            recorder.close()
+            print(f"wrote {args.trace_out} "
+                  f"({recorder.records_written} records)")
+
+
+def _load_job_params(text: str) -> Dict[str, Any]:
+    """``--params``: inline JSON object, ``@file``, or ``-`` for stdin."""
+    if text == "-":
+        raw = sys.stdin.read()
+    elif text.startswith("@"):
+        with open(text[1:]) as handle:
+            raw = handle.read()
+    else:
+        raw = text
+    try:
+        params = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"--params is not valid JSON: {exc}")
+    if not isinstance(params, dict):
+        raise ConfigurationError("--params must be a JSON object")
+    return params
+
+
+def _print_response(response: Dict[str, Any]) -> None:
+    print(json.dumps(response, sort_keys=True))
+
+
+def _cmd_submit(args) -> int:
+    from .serve import STATUS_ACCEPTED, STATUS_OK, ServeClient
+
+    client = ServeClient(args.socket, timeout=args.timeout)
+    response = client.submit(args.kind, _load_job_params(args.params),
+                             seed=args.seed, client=args.client,
+                             wait=args.wait)
+    _print_response(response)
+    ok = response.get("status") in (STATUS_ACCEPTED, STATUS_OK)
+    return EXIT_OK if ok else EXIT_FAILURE
+
+
+def _cmd_jobs(args) -> int:
+    from .serve import ServeClient
+
+    response = ServeClient(args.socket, timeout=args.timeout).jobs()
+    jobs = response.get("jobs", [])
+    if not jobs:
+        print("no jobs")
+        return EXIT_OK
+    print("key".ljust(34) + "state".ljust(9) + "att".rjust(4)
+          + "  client")
+    for job in jobs:
+        print(str(job.get("key", "")).ljust(34)
+              + str(job.get("state", "")).ljust(9)
+              + str(job.get("attempts", 0)).rjust(4)
+              + f"  {job.get('client', '')}")
+    return EXIT_OK
+
+
+def _cmd_result(args) -> int:
+    from .serve import STATUS_OK, ServeClient
+
+    client = ServeClient(args.socket, timeout=args.timeout)
+    response = client.result(args.key, wait=args.wait)
+    _print_response(response)
+    return EXIT_OK if response.get("status") == STATUS_OK else EXIT_FAILURE
+
+
 def _cmd_trace_validate(args) -> int:
     try:
         count, errors = validate_trace_file(args.path,
@@ -1055,12 +1168,112 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-errors", type=int, default=20)
     p.set_defaults(func=_cmd_trace_validate)
 
+    def add_socket(p, *, timeout=True):
+        p.add_argument("--socket", required=True, metavar="PATH",
+                       help="unix socket the daemon listens on")
+        if timeout:
+            p.add_argument("--timeout", type=float, default=30.0,
+                           help="transport timeout for non-waiting "
+                                "requests (seconds)")
+
+    p = sub.add_parser(
+        "serve", help="run the simulation job-queue daemon "
+                      "(see docs/serving.md)")
+    add_socket(p, timeout=False)
+    p.add_argument("--wal", default="repro-serve.wal.jsonl",
+                   metavar="PATH",
+                   help="write-ahead job log; replayed on restart so "
+                        "accepted jobs survive a daemon crash")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="crash-isolated worker slots")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts per job (reseeded, or restored "
+                        "from the job's autosave after a worker death)")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="queued-job bound before LQD shedding kicks in")
+    p.add_argument("--max-per-client", type=int, default=16,
+                   help="live jobs one client may hold (fair share)")
+    p.add_argument("--heartbeat", type=float, default=0.5,
+                   metavar="SECONDS", help="worker heartbeat cadence")
+    p.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="silence before a worker is declared hung and "
+                        "SIGKILLed (0 = off)")
+    p.add_argument("--job-deadline", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="wall-clock cap per job attempt (0 = off)")
+    p.add_argument("--backoff", type=float, default=0.25,
+                   metavar="SECONDS",
+                   help="retry backoff base; doubles per attempt with "
+                        "deterministic jitter (0 = off)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="grace period after SIGTERM before running "
+                        "jobs are cut (their autosaves survive)")
+    p.add_argument("--snapshot-every", type=float, default=None,
+                   metavar="SECONDS",
+                   help="autosave every job's simulation on this "
+                        "simulated-seconds cadence so dead workers "
+                        "migrate mid-flight instead of restarting")
+    p.add_argument("--drill", action="store_true",
+                   help="chaos drill: SIGKILL a random live worker on "
+                        "a cadence to exercise migration continuously")
+    p.add_argument("--drill-interval", type=float, default=1.0,
+                   metavar="SECONDS")
+    p.add_argument("--drill-seed", type=int, default=1)
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="record serve.job lifecycle events as JSONL")
+    p.add_argument("--quiet", action="store_true",
+                   help="do not echo lifecycle events to stdout")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one job to a running daemon")
+    add_socket(p)
+    p.add_argument("--kind", required=True, choices=sorted(JOB_KINDS))
+    p.add_argument("--params", required=True, metavar="JSON",
+                   help="job parameters: inline JSON object, @file, or "
+                        "- for stdin")
+    p.add_argument("--seed", type=int, default=None,
+                   help="base seed (retries derive replacements)")
+    p.add_argument("--client", default="",
+                   help="client name for fair-share accounting")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job reaches a terminal state")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("jobs", help="list a running daemon's jobs")
+    add_socket(p)
+    p.set_defaults(func=_cmd_jobs)
+
+    p = sub.add_parser(
+        "result", help="fetch one job's outcome from a daemon")
+    p.add_argument("key", help="job key returned by submit")
+    add_socket(p)
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job reaches a terminal state")
+    p.set_defaults(func=_cmd_result)
+
     return parser
+
+
+def _sigterm_to_interrupt(signum, frame) -> None:
+    """Route SIGTERM through the KeyboardInterrupt cleanup path.
+
+    A supervisor's TERM then gets the same treatment as an operator's
+    Ctrl-C: partial results are reported, the flight recorder dumps,
+    checkpoints stay resumable, and the process exits 2.  The serve
+    daemon overrides this with its own drain handler on the event loop.
+    """
+    raise KeyboardInterrupt
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    previous = None
+    if threading.current_thread() is threading.main_thread():
+        previous = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
     try:
         # Handlers return EXIT_OK or EXIT_FAILURE (0/1) directly.
         return args.func(args)
@@ -1078,3 +1291,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         kind = type(exc).__name__
         print(f"error ({kind}): {exc}")
         return EXIT_ERROR
+    except BrokenPipeError:
+        # Output piped into a closed reader (`repro result ... | head`):
+        # die the way a SIGPIPEd unix tool would, without a traceback.
+        # stdout is swapped for devnull so the interpreter's final
+        # implicit flush cannot raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + signal.SIGPIPE
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)

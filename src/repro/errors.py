@@ -29,6 +29,14 @@ Worker processes spawned by :mod:`repro.experiments.parallel` use
 :data:`WORKER_DRILL_EXIT` (43) when a kill-drill fires inside a worker,
 so the parent can tell an intentional drill death from a real crash in
 its logs (both are retried the same way: restore from the autosave).
+
+The service tier maps onto the same contract: ``repro serve`` exits 0
+on a clean drain (SIGTERM) and 2 on a :class:`ServeError` or any other
+:class:`ReproError`; ``repro submit`` exits 0 when the job was accepted
+(or already finished), 1 when the daemon refused it (overloaded /
+draining) or the job itself failed, and 2 on connection or protocol
+errors.  SIGTERM anywhere in the CLI takes the same clean
+partial-result path as Ctrl-C (exit 2).  See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -108,6 +116,18 @@ class SnapshotIntegrityError(SnapshotError):
     """
 
 
+class ServeError(ReproError):
+    """The serving tier failed: bad socket, dead daemon, protocol skew.
+
+    Raised by the ``repro serve`` daemon and its clients for transport
+    and protocol problems (a socket nobody listens on, a malformed
+    frame, a connection that died mid-request).  *Service* refusals —
+    overloaded, draining, unknown job — are not errors: they are
+    explicit protocol responses, because shedding load is the daemon
+    working as designed.
+    """
+
+
 class SnapshotHalt(ReproError):
     """A snapshot kill-drill stopped the run after its Nth autosave.
 
@@ -132,6 +152,6 @@ __all__ = [
     "WORKER_DRILL_EXIT", "EXIT_CODES",
     "ReproError", "SimulationError", "WatchdogTimeout",
     "ConfigurationError", "RoutingError", "TransportError",
-    "BenchError", "SnapshotError", "SnapshotIntegrityError",
-    "SnapshotHalt",
+    "BenchError", "ServeError", "SnapshotError",
+    "SnapshotIntegrityError", "SnapshotHalt",
 ]

@@ -32,12 +32,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import re
 import time
 from collections import deque
 from importlib import import_module
-from multiprocessing import connection, get_context
 from pathlib import Path
 from typing import (
     Any,
@@ -51,11 +49,17 @@ from typing import (
     Union,
 )
 
-from ..errors import WORKER_DRILL_EXIT, SnapshotHalt
 from ..metrics.fct import FCTCollector, FlowRecord
 from ..metrics.throughput import ThroughputSample
 from ..sim.errors import ConfigurationError, SimulationError
 from ..sim.trace import TOPIC_PARALLEL_JOB, TraceBus
+from .fleet import (
+    EVENT_DIED,
+    EVENT_ERROR,
+    EVENT_FATAL,
+    EVENT_OK,
+    WorkerFleet,
+)
 from .runner import reseed, scheme
 
 PathLike = Union[str, Path]
@@ -476,15 +480,27 @@ class SweepCheckpoint:
             return entry
         return None
 
+    def entries(self) -> Dict[str, Dict[str, Any]]:
+        """Latest entry per key, whatever its status.
+
+        The serving tier's write-ahead job log reuses this file format
+        and needs to see non-terminal (``accepted``) entries too;
+        :meth:`completed` keeps its strict successful-only contract for
+        sweep resume.
+        """
+        return dict(self._entries)
+
     def record(self, key: str, *, status: str, payload: Any = None,
                error: Optional[str] = None, attempts: int = 1,
-               seed: Optional[int] = None) -> None:
+               seed: Optional[int] = None, **extra: Any) -> None:
         entry: Dict[str, Any] = {"key": key, "status": status,
                                  "attempts": attempts, "seed": seed}
         if payload is not None:
             entry["payload"] = payload
         if error is not None:
             entry["error"] = error
+        if extra:
+            entry.update(extra)
         self._entries[key] = entry
         if self._handle is None:
             mode = "a" if self.resume else "w"
@@ -502,47 +518,13 @@ class SweepCheckpoint:
 # The executor
 # ---------------------------------------------------------------------------
 
-class _Handle(NamedTuple):
-    """Parent-side bookkeeping for one live worker process."""
+class _Token(NamedTuple):
+    """Per-attempt context the executor rides on a fleet handle."""
 
     spec: JobSpec
     attempt: int
     seed_attempt: int
     seed: Optional[int]
-    process: Any
-    conn: Any
-
-
-def _worker_main(conn, kind_name: str, params: Dict[str, Any],
-                 snapshot_spec: Optional[Dict[str, Any]] = None) -> None:
-    """Worker entry point: run one job, send one message, exit."""
-    try:
-        kind = JOB_KINDS[kind_name]
-        if snapshot_spec:
-            params = dict(params)
-            params["snapshot"] = _snapshot_policy(
-                snapshot_spec, snapshot_spec.get("restore", False))
-        result = kind.run(**params)
-        conn.send(("ok", kind.encode(result)))
-    except SnapshotHalt:
-        # Kill drill: die like a crashed worker would, without a
-        # message, so the parent exercises the real died-mid-sim path
-        # (retry same seed, restore from the autosave just written).
-        conn.close()
-        os._exit(WORKER_DRILL_EXIT)
-    except SimulationError as exc:
-        conn.send(("error", str(exc) or type(exc).__name__))
-    except BaseException as exc:
-        # A non-simulation exception is a bug, not a flaky run: report
-        # it as fatal (the parent re-raises) and let the traceback land
-        # on stderr for debugging.
-        try:
-            conn.send(("fatal", f"{type(exc).__name__}: {exc}"))
-        except OSError:
-            pass
-        raise
-    finally:
-        conn.close()
 
 
 def parallel_map(specs: Sequence[JobSpec], *, jobs: int = 1,
@@ -595,14 +577,25 @@ def parallel_map(specs: Sequence[JobSpec], *, jobs: int = 1,
             raise ConfigurationError(
                 f"unknown job kind {spec.kind!r}; "
                 f"known: {sorted(JOB_KINDS)}")
+    gc_keys: set = set()
     if autosave_every_ns is not None:
         if checkpoint is None and autosave_dir is None:
             raise ConfigurationError(
                 "autosave needs a checkpoint file (or an explicit "
                 "autosave_dir) to derive snapshot paths")
+        explicit = {spec.key for spec in specs
+                    if spec.snapshot is not None}
         specs = _with_autosave_specs(
             specs, autosave_every_ns,
             _autosave_dir(checkpoint, autosave_dir))
+        # Executor-attached autosaves are an implementation detail of
+        # mid-sim resume; once their job has finished successfully they
+        # are garbage (and a later --resume against the finished
+        # checkpoint must not pick them up).  Caller-provided snapshot
+        # specs are the caller's files and stay.
+        gc_keys = {spec.key for spec in specs
+                   if spec.snapshot is not None
+                   and spec.key not in explicit}
 
     own_store = not isinstance(checkpoint, SweepCheckpoint)
     store: Optional[SweepCheckpoint]
@@ -626,7 +619,10 @@ def parallel_map(specs: Sequence[JobSpec], *, jobs: int = 1,
 
     def finish(outcome: JobOutcome) -> None:
         outcomes[outcome.key] = outcome
-        publish("done" if outcome.ok else "failed", outcome.key)
+        # Terminal events surface the attempt count: "done[1]" is a
+        # first-try success, "failed[3]" exhausted two retries.
+        verdict = "done" if outcome.ok else "failed"
+        publish(f"{verdict}[{outcome.attempts}]", outcome.key)
         if on_result is not None:
             on_result(outcome)
 
@@ -662,7 +658,34 @@ def parallel_map(specs: Sequence[JobSpec], *, jobs: int = 1,
     finally:
         if store is not None and own_store:
             store.close()
+    _gc_autosaves(specs, outcomes, gc_keys)
     return [outcomes[key] for key in keys]
+
+
+def _gc_autosaves(specs: Sequence[JobSpec],
+                  outcomes: Dict[str, JobOutcome],
+                  gc_keys: set) -> None:
+    """Drop executor-attached autosaves of successfully finished jobs.
+
+    Runs after the sweep: every ok (or cached) job's ``.snap`` is
+    unlinked and the ``<checkpoint>.autosaves/`` directory is removed
+    once empty.  Failed jobs keep their autosave — it is the resume
+    point for the next ``--resume`` and the evidence for triage.
+    """
+    directories = set()
+    for spec in specs:
+        if spec.key not in gc_keys:
+            continue
+        out = _spec_out(spec)
+        outcome = outcomes.get(spec.key)
+        if out and outcome is not None and outcome.ok:
+            Path(out).unlink(missing_ok=True)
+            directories.add(Path(out).parent)
+    for directory in directories:
+        try:
+            directory.rmdir()
+        except OSError:
+            pass  # non-empty (failed jobs) or already gone
 
 
 def _record_success(store: Optional[SweepCheckpoint], spec: JobSpec,
@@ -729,18 +752,17 @@ def _run_pool(todo: Sequence[JobSpec], jobs: int, retries: int,
               finish: Callable[[JobOutcome], None],
               publish: Callable[[str, str], None],
               start_method: str, resume: bool = False) -> None:
-    """Fan jobs out to single-job worker processes.
+    """Fan jobs out to a :class:`~repro.experiments.fleet.WorkerFleet`.
 
     One process per job attempt: a worker that segfaults, is OOM-killed,
     or calls ``os._exit`` takes down nothing but its own job, which is
     retried or recorded as failed.  A dead worker that left an autosave
     behind is retried with the *same* seed and restored mid-flight; any
-    other retry reseeds from scratch.  Results travel over a per-worker
-    pipe, and the parent waits on pipes *and* process sentinels together
-    so a large result being streamed and a silent death are both handled
-    without deadlock.
+    other retry reseeds from scratch.  The fleet waits on pipes *and*
+    process sentinels together so a large result being streamed and a
+    silent death are both handled without deadlock.
     """
-    ctx = get_context(start_method)
+    fleet = WorkerFleet(start_method=start_method)
     # Queue entries: (spec, attempt #, seed attempt #, restore?).  The
     # seed attempt lags the attempt counter on restore retries so the
     # resumed run keeps the seed its autosave was produced under.
@@ -749,69 +771,49 @@ def _run_pool(todo: Sequence[JobSpec], jobs: int, retries: int,
         out = _spec_out(spec)
         restore = bool(resume and out and Path(out).exists())
         pending.append((spec, 1, 1, restore))
-    running: Dict[Any, _Handle] = {}
 
     def launch(spec: JobSpec, attempt: int, seed_attempt: int,
                restore: bool) -> None:
         params, seed, snapshot_spec = _attempt_job(spec, seed_attempt,
                                                    restore)
-        recv_conn, send_conn = ctx.Pipe(duplex=False)
-        process = ctx.Process(target=_worker_main,
-                              args=(send_conn, spec.kind, params,
-                                    snapshot_spec),
-                              daemon=True)
-        process.start()
-        send_conn.close()  # keep only the child's write end open
+        fleet.launch(spec.kind, params, snapshot_spec,
+                     token=_Token(spec, attempt, seed_attempt, seed))
         label = ("start" if attempt == 1
                  else f"retry[{attempt}]" + ("+restore" if restore
                                              else ""))
         publish(label, spec.key)
-        running[recv_conn] = _Handle(spec, attempt, seed_attempt, seed,
-                                     process, recv_conn)
 
     try:
-        while pending or running:
-            while pending and len(running) < jobs:
+        while pending or len(fleet):
+            while pending and len(fleet) < jobs:
                 spec, attempt, seed_attempt, restore = pending.popleft()
                 launch(spec, attempt, seed_attempt, restore)
-            waitables = (list(running.keys())
-                         + [h.process.sentinel for h in running.values()])
-            ready = set(connection.wait(waitables))
-            done = [h for h in running.values()
-                    if h.conn in ready or h.process.sentinel in ready]
-            for handle in done:
-                del running[handle.conn]
-                message = None
-                try:
-                    if handle.conn.poll(0):
-                        message = handle.conn.recv()
-                except (EOFError, OSError):
-                    message = None  # worker died mid-send
-                handle.process.join()
-                handle.conn.close()
-                spec, attempt = handle.spec, handle.attempt
-                if message is not None and message[0] == "ok":
-                    finish(_record_success(store, spec, message[1],
-                                           attempt, handle.seed))
+            for event in fleet.poll():
+                token: _Token = event.handle.token
+                spec, attempt = token.spec, token.attempt
+                if event.kind == EVENT_OK:
+                    finish(_record_success(store, spec, event.payload,
+                                           attempt, token.seed))
                     continue
-                if message is not None and message[0] == "fatal":
+                if event.kind == EVENT_FATAL:
                     raise RuntimeError(
                         f"worker for job {spec.key!r} raised: "
-                        f"{message[1]}")
+                        f"{event.payload}")
+                if event.kind not in (EVENT_ERROR, EVENT_DIED):
+                    continue  # heartbeats are a daemon concern
                 out = _spec_out(spec)
-                if message is None:
-                    code = handle.process.exitcode
-                    error = f"worker died (exit code {code})"
+                if event.kind == EVENT_DIED:
+                    error = f"worker died (exit code {event.payload})"
                     resumable = bool(out and Path(out).exists())
                 else:
-                    error = message[1]
+                    error = event.payload
                     resumable = False
                 if attempt <= retries:
                     if resumable:
                         # Mid-sim resume: same seed, restore from the
                         # job's last autosave instead of t=0.
                         pending.append((spec, attempt + 1,
-                                        handle.seed_attempt, True))
+                                        token.seed_attempt, True))
                     else:
                         if out:  # stale autosave from the failed seed
                             Path(out).unlink(missing_ok=True)
@@ -819,15 +821,11 @@ def _run_pool(todo: Sequence[JobSpec], jobs: int, retries: int,
                                         False))
                 else:
                     finish(_record_failure(store, spec, error, attempt,
-                                           handle.seed))
+                                           token.seed))
     except BaseException:
         # Interrupt / fatal error: reap the fleet; the checkpoint keeps
         # everything that already finished, so the sweep can resume.
-        for handle in running.values():
-            handle.process.terminate()
-        for handle in running.values():
-            handle.process.join()
-            handle.conn.close()
+        fleet.terminate_all()
         raise
 
 

@@ -8,6 +8,8 @@ schemes, DCTCP for ECN-based ones).
 
 from __future__ import annotations
 
+import hashlib
+import time
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Sequence
 
 from ..core.dynaq import DynaQBuffer
@@ -193,11 +195,33 @@ def reseed(seed: int, attempt: int) -> int:
     return seed + 7919 * (attempt - 1)
 
 
+def retry_backoff(key: str, attempt: int, *, base_s: float,
+                  cap_s: float = 30.0) -> float:
+    """Deterministic exponential backoff with per-key jitter, in seconds.
+
+    Attempt 1 (the first try) never waits.  Attempt ``k >= 2`` waits
+    ``base_s * 2**(k-2)``, scaled by a jitter factor in ``[0.5, 1.5)``
+    derived by hashing ``key`` and ``attempt`` — so a thundering herd of
+    retrying jobs spreads out, yet two operators replaying the same
+    failing run observe the same delays (the same property
+    :func:`reseed` gives replacement seeds).  Capped at ``cap_s``;
+    ``base_s <= 0`` disables backoff entirely.
+    """
+    if base_s <= 0 or attempt <= 1:
+        return 0.0
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2 ** 64
+    return min(cap_s, base_s * 2 ** (attempt - 2) * jitter)
+
+
 def run_resilient(run_one: Callable[[str, int], Any],
                   names: Sequence[str], *, seed: int = 1,
                   retries: int = 1,
                   on_attempt: Optional[Callable[[str, int, int], None]]
-                  = None) -> List[RunOutcome]:
+                  = None,
+                  backoff_s: float = 0.05,
+                  sleep: Callable[[float], None] = time.sleep
+                  ) -> List[RunOutcome]:
     """Run ``run_one(scheme, seed)`` per scheme, retrying on failure.
 
     A :class:`SimulationError` (watchdog trips included) triggers up to
@@ -205,7 +229,9 @@ def run_resilient(run_one: Callable[[str, int], Any],
     fail, the sweep *records* the failure and moves on to the next scheme
     instead of raising, so callers always get one outcome per name.
     ``on_attempt(scheme, attempt, seed)`` is called before each try
-    (progress reporting).
+    (progress reporting).  Each retry first waits out the deterministic
+    :func:`retry_backoff` delay seeded from the scheme name
+    (``backoff_s=0`` disables; ``sleep`` is injectable for tests).
     """
     outcomes: List[RunOutcome] = []
     for name in names:
@@ -213,6 +239,9 @@ def run_resilient(run_one: Callable[[str, int], Any],
         last_error = ""
         while attempt <= retries:
             attempt += 1
+            delay = retry_backoff(name, attempt, base_s=backoff_s)
+            if delay:
+                sleep(delay)
             attempt_seed = reseed(seed, attempt)
             if on_attempt is not None:
                 on_attempt(name, attempt, attempt_seed)

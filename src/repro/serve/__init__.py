@@ -1,0 +1,34 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon and its client.
+
+A long-lived asyncio daemon accepts JSON job submissions over a unix
+socket, fans them out to the same crash-isolated
+:class:`~repro.experiments.fleet.WorkerFleet` the sweep executor uses,
+and survives everything the executor survives — worker crashes, its own
+SIGKILL — via a write-ahead job log in the
+:class:`~repro.experiments.parallel.SweepCheckpoint` file format.  See
+``docs/serving.md`` for the architecture and the exactly-once contract.
+"""
+
+from .client import ServeClient
+from .daemon import ServeConfig, ServeDaemon
+from .protocol import (
+    REFUSAL_STATUSES,
+    STATUS_ACCEPTED,
+    STATUS_DRAINING,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_PENDING,
+    STATUS_SHED,
+    STATUS_UNKNOWN,
+    TERMINAL_STATUSES,
+)
+from .wal import JobLog
+
+__all__ = [
+    "JobLog", "ServeClient", "ServeConfig", "ServeDaemon",
+    "REFUSAL_STATUSES", "TERMINAL_STATUSES",
+    "STATUS_ACCEPTED", "STATUS_DRAINING", "STATUS_ERROR", "STATUS_OK",
+    "STATUS_OVERLOADED", "STATUS_PENDING", "STATUS_SHED",
+    "STATUS_UNKNOWN",
+]

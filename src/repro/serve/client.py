@@ -1,0 +1,98 @@
+"""Synchronous client for the ``repro serve`` unix socket.
+
+One connection per request keeps the client stateless and immune to a
+daemon restart between calls — the WAL makes the *daemon* remember, so
+the client never has to.  Transport problems (no daemon, refused
+connection, torn reply) raise :class:`~repro.errors.ServeError`;
+protocol-level refusals (``overloaded``, ``draining``) come back as
+ordinary response dicts because they are answers, not failures.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from ..errors import ServeError
+from .protocol import (
+    MAX_FRAME_BYTES,
+    OP_JOBS,
+    OP_RESULT,
+    OP_STATUS,
+    OP_SUBMIT,
+    decode_frame,
+    encode_frame,
+)
+
+
+class ServeClient:
+    """Talk to a daemon at ``socket_path``.
+
+    ``timeout`` bounds non-waiting requests; ``wait=True`` calls use no
+    timeout (a simulation takes as long as it takes — bound it with the
+    daemon's ``--job-deadline`` instead).
+    """
+
+    def __init__(self, socket_path: str, *,
+                 timeout: Optional[float] = 30.0) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    def request(self, message: Dict[str, Any], *,
+                wait: bool = False) -> Dict[str, Any]:
+        """One request/response round trip on a fresh connection."""
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(None if wait else self.timeout)
+                sock.connect(self.socket_path)
+                sock.sendall(encode_frame(message))
+                line = self._read_line(sock)
+        except ServeError:
+            raise
+        except (OSError, socket.timeout) as exc:
+            raise ServeError(
+                f"cannot reach daemon at {self.socket_path}: "
+                f"{exc}") from exc
+        return decode_frame(line)
+
+    @staticmethod
+    def _read_line(sock: socket.socket) -> bytes:
+        chunks = []
+        total = 0
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                if chunks:
+                    break  # daemon closed after writing: torn or final
+                raise ServeError("daemon closed the connection without "
+                                 "a response")
+            chunks.append(chunk)
+            total += len(chunk)
+            if total > MAX_FRAME_BYTES:
+                raise ServeError("daemon response exceeds the frame limit")
+            if chunk.endswith(b"\n"):
+                break
+        return b"".join(chunks)
+
+    # -- ops ------------------------------------------------------------------
+
+    def submit(self, kind: str, params: Dict[str, Any], *,
+               seed: Optional[int] = None, client: str = "",
+               wait: bool = False) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": OP_SUBMIT, "kind": kind,
+                                   "params": params, "wait": wait}
+        if seed is not None:
+            message["seed"] = seed
+        if client:
+            message["client"] = client
+        return self.request(message, wait=wait)
+
+    def result(self, key: str, *, wait: bool = False) -> Dict[str, Any]:
+        return self.request({"op": OP_RESULT, "key": key, "wait": wait},
+                            wait=wait)
+
+    def jobs(self) -> Dict[str, Any]:
+        return self.request({"op": OP_JOBS})
+
+    def status(self) -> Dict[str, Any]:
+        return self.request({"op": OP_STATUS})

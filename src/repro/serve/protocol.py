@@ -1,0 +1,72 @@
+"""Wire protocol of the ``repro serve`` unix socket.
+
+Newline-delimited JSON: every request and every response is one JSON
+object on one line.  Requests carry an ``op`` (:data:`OPS`); responses
+always carry a ``status``.  The status vocabulary is deliberately small
+and explicit because refusals are part of the contract, not errors: a
+daemon that answers ``overloaded`` or ``draining`` is shedding load by
+design (the LQD admission policy of ``docs/serving.md``), and clients
+must be able to tell that apart from a transport failure, which raises
+:class:`~repro.errors.ServeError` instead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..errors import ServeError
+
+#: Request operations.
+OP_SUBMIT = "submit"    # enqueue a job (optionally wait for its result)
+OP_JOBS = "jobs"        # list every job the daemon knows about
+OP_RESULT = "result"    # fetch (optionally wait for) one job's outcome
+OP_STATUS = "status"    # daemon health: queue depths, drain state
+
+OPS = (OP_SUBMIT, OP_JOBS, OP_RESULT, OP_STATUS)
+
+#: Response statuses.  ``accepted`` acknowledges a submit; ``ok`` /
+#: ``error`` / ``shed`` are terminal job outcomes (and the generic
+#: success for ``jobs`` / ``status``); ``pending`` answers ``result``
+#: for a job still in flight; ``overloaded`` / ``draining`` are
+#: admission refusals; ``unknown`` is a ``result`` for a key the daemon
+#: has never seen.
+STATUS_ACCEPTED = "accepted"
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_SHED = "shed"
+STATUS_PENDING = "pending"
+STATUS_OVERLOADED = "overloaded"
+STATUS_DRAINING = "draining"
+STATUS_UNKNOWN = "unknown"
+
+#: Statuses that end a job's life; a WAL entry with one of these never
+#: changes again and is served from cache on resubmission.
+TERMINAL_STATUSES = (STATUS_OK, STATUS_ERROR, STATUS_SHED)
+
+#: Refusals a client maps to exit code 1 (the daemon said no).
+REFUSAL_STATUSES = (STATUS_OVERLOADED, STATUS_DRAINING)
+
+#: One-line frames keep the reader trivial, but an unbounded line is a
+#: memory DoS from a confused client; simulation results stay far below
+#: this.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One protocol message as bytes, newline included."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode()
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line; raises :class:`ServeError` on garbage."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ServeError(f"protocol frame exceeds {MAX_FRAME_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServeError(f"malformed protocol frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServeError(
+            f"protocol frame must be a JSON object, got {type(message).__name__}")
+    return message

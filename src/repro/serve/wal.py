@@ -1,0 +1,76 @@
+"""Write-ahead job log: the daemon's durable memory.
+
+One JSONL file in the exact :class:`~repro.experiments.parallel.\
+SweepCheckpoint` format — the daemon appends an ``accepted`` entry
+*before* acknowledging a submission and a terminal entry (``ok`` /
+``error`` / ``shed``) when the job ends, so a SIGKILL between the two
+leaves an accepted-but-unfinished record that a restart re-queues.
+Last entry per key wins, torn final lines are ignored, and because the
+format is shared, ``repro sweep --resume``-style tooling can read a
+serve WAL directly.
+
+This is what makes the daemon exactly-once: a job is *accepted* at most
+once (the parameter digest dedups resubmissions) and *finished* at most
+once (a terminal entry is served from cache forever after).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..experiments.parallel import SweepCheckpoint
+from .protocol import STATUS_ACCEPTED, STATUS_SHED, TERMINAL_STATUSES
+
+PathLike = Union[str, Path]
+
+
+class JobLog:
+    """Append-only, replayable record of every job the daemon accepted."""
+
+    def __init__(self, path: PathLike) -> None:
+        # Always resume: the WAL's whole point is surviving restarts.
+        self._store = SweepCheckpoint(path, resume=True)
+        self.path = self._store.path
+
+    def replay(self) -> Tuple[Dict[str, Dict[str, Any]],
+                              Dict[str, Dict[str, Any]]]:
+        """Split the log into ``(unfinished, terminal)`` entries by key.
+
+        ``unfinished`` holds accepted-but-never-finished jobs — the
+        crash-recovery work list; ``terminal`` holds finished outcomes
+        the daemon serves from cache.
+        """
+        unfinished: Dict[str, Dict[str, Any]] = {}
+        terminal: Dict[str, Dict[str, Any]] = {}
+        for key, entry in self._store.entries().items():
+            status = entry.get("status")
+            if status == STATUS_ACCEPTED:
+                unfinished[key] = entry
+            elif status in TERMINAL_STATUSES:
+                terminal[key] = entry
+        return unfinished, terminal
+
+    def accepted(self, key: str, *, kind: str, params: Dict[str, Any],
+                 seed: Optional[int], client: str) -> None:
+        """Log an admission; must hit disk before the client hears yes."""
+        self._store.record(key, status=STATUS_ACCEPTED, kind=kind,
+                           params=params, seed=seed, client=client)
+
+    def finished(self, key: str, *, payload: Any, attempts: int,
+                 seed: Optional[int], client: str) -> None:
+        self._store.record(key, status="ok", payload=payload,
+                           attempts=attempts, seed=seed, client=client)
+
+    def failed(self, key: str, *, error: str, attempts: int,
+               seed: Optional[int], client: str) -> None:
+        self._store.record(key, status="error", error=error,
+                           attempts=attempts, seed=seed, client=client)
+
+    def shed(self, key: str, *, client: str) -> None:
+        """The LQD policy dropped this queued job to admit another."""
+        self._store.record(key, status=STATUS_SHED, client=client,
+                           error="shed by admission control")
+
+    def close(self) -> None:
+        self._store.close()

@@ -114,6 +114,12 @@ TOPIC_FAULT_RECOVER = "fault.recover"
 #: ``time`` field is wall-clock nanoseconds since the sweep started, not
 #: simulated time (worker simulations each run their own clock).
 TOPIC_PARALLEL_JOB = "parallel.job"
+#: Service-tier job lifecycle published by the ``repro serve`` daemon
+#: (accepted/started/heartbeat-missed/migrated/retried/done/failed/
+#: shed/drain).  Like ``parallel.job``, ``time`` is wall-clock
+#: nanoseconds — here since the daemon started — because the daemon
+#: outlives any single simulation clock.
+TOPIC_SERVE_JOB = "serve.job"
 #: Queue-diagnosis snapshots: the flow composition of a service queue at
 #: the instant it crossed its DynaQ threshold or took a drop.  Published
 #: by ports only when the ``queue_diagnosis`` perf switch is on (see
@@ -144,6 +150,7 @@ ALL_TOPICS = (
     TOPIC_FAULT_INJECT,
     TOPIC_FAULT_RECOVER,
     TOPIC_PARALLEL_JOB,
+    TOPIC_SERVE_JOB,
     TOPIC_QUEUE_SNAPSHOT,
     TOPIC_SNAPSHOT_LIFECYCLE,
 )

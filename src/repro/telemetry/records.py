@@ -40,6 +40,7 @@ from ..sim.trace import (
     TOPIC_DYNAQ_RECONFIGURE,
     TOPIC_PARALLEL_JOB,
     TOPIC_QUEUE_SNAPSHOT,
+    TOPIC_SERVE_JOB,
     TOPIC_SNAPSHOT_LIFECYCLE,
     TOPIC_THRESHOLD_CHANGE,
     TOPIC_VICTIM_STEAL,
@@ -70,6 +71,7 @@ OPTIONAL_FIELDS = ("victim", "gainer", "size", "satisfaction",
 REQUIRED_TOPIC_FIELDS = {
     TOPIC_DYNAQ_RECONFIGURE: ("threshold", "satisfaction"),
     TOPIC_PARALLEL_JOB: ("detail",),
+    TOPIC_SERVE_JOB: ("detail",),
     TOPIC_SNAPSHOT_LIFECYCLE: ("detail", "path"),
     TOPIC_QUEUE_SNAPSHOT: ("queue", "detail", "composition"),
 }

@@ -248,7 +248,8 @@ def test_trace_reports_job_lifecycle(tmp_path):
                     lambda **payload: events.append(payload))
     specs = [_spec(quadratic, label="p1", x=1)]
     parallel_map(specs, jobs=1, checkpoint=path, trace=trace)
-    assert [e["detail"].split()[0] for e in events] == ["start", "done"]
+    # Terminal events carry the attempt count ("done[1]" = first try).
+    assert [e["detail"].split()[0] for e in events] == ["start", "done[1]"]
     assert all(isinstance(e["time"], int) for e in events)
 
     events.clear()

@@ -59,15 +59,52 @@ def test_autosave_cadence_requires_somewhere_to_save():
 
 def test_autosave_paths_derive_from_checkpoint(tmp_path):
     checkpoint = tmp_path / "sweep.jsonl"
+    directory = tmp_path / "sweep.jsonl.autosaves"
     (plain,) = parallel_map([_static_spec()], jobs=1)
+    kinds = []
+
+    def peek(outcome):
+        # The job just finished; GC has not run yet, so its autosave is
+        # still on disk next to the checkpoint.
+        kinds.extend(SnapshotManager().peek(path)["kind"]
+                     for path in directory.glob("*.snap"))
+
     (saved,) = parallel_map([_static_spec()], jobs=1,
                             checkpoint=checkpoint,
-                            autosave_every_ns=milliseconds(10))
+                            autosave_every_ns=milliseconds(10),
+                            on_result=peek)
     # Autosaves shift sequence numbers uniformly, never results.
     assert saved.value == plain.value
-    autosaves = list((tmp_path / "sweep.jsonl.autosaves").glob("*.snap"))
-    assert len(autosaves) == 1
-    assert SnapshotManager().peek(autosaves[0])["kind"] == "static-sim"
+    assert kinds == ["static-sim"]
+    # After a fully successful sweep the directory is garbage-collected,
+    # so a --resume against the finished checkpoint cannot pick up
+    # obsolete autosaves.
+    assert not directory.exists()
+
+
+def test_failed_jobs_keep_their_autosave_for_triage(tmp_path):
+    checkpoint = tmp_path / "sweep.jsonl"
+    directory = tmp_path / "sweep.jsonl.autosaves"
+    directory.mkdir()
+    drill = directory / "drill.snap"
+    # One job whose caller-provided drill snapshot re-fires on every
+    # restored attempt (save counter rides in the snapshot, so each
+    # retry is already past the halt threshold) and exhausts its retry
+    # budget; one ordinary job whose autosave the executor attaches.
+    doomed = _static_spec(snapshot={"every_ns": milliseconds(10),
+                                    "out": str(drill),
+                                    "halt_after_saves": 1})
+    healthy = JobSpec(job_key("static-sim", STATIC_PARAMS, label="again"),
+                      "static-sim", STATIC_PARAMS)
+    failed, ok = parallel_map([doomed, healthy], jobs=2,
+                              checkpoint=checkpoint,
+                              autosave_every_ns=milliseconds(10))
+    assert not failed.ok and ok.ok
+    # GC removed the successful job's attached autosave but left the
+    # failed job's snapshot (its resume point / triage evidence), so the
+    # directory itself must survive too.
+    assert drill.exists()
+    assert list(directory.glob("*.snap")) == [drill]
 
 
 def test_corrupt_autosave_falls_back_to_fresh_run(tmp_path):
