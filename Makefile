@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-quick perf-tier figures chaos sweep-smoke snapshot-smoke diagnose-smoke serve-smoke
+.PHONY: test bench bench-quick perf-tier figures chaos sweep-smoke snapshot-smoke diagnose-smoke serve-smoke competitive-smoke
 
 test:            ## tier-1 suite (must always be green)
 	$(PY) -m pytest -x -q
@@ -51,6 +51,16 @@ snapshot-smoke:  ## kill a run at an autosave, restore, require identical trace 
 	rm -f /tmp/repro-snap-full.jsonl /tmp/repro-snap-killed.jsonl \
 	    /tmp/repro-snap-ref.snap /tmp/repro-snap.snap
 	@echo "snapshot-smoke: killed+restored trace is byte-identical"
+
+competitive-smoke: ## adversarial ratio grid; fails if LQD exceeds 1.5
+	$(PY) -m repro competitive --buffer-sizes 16,32 --rounds 2 \
+	    --out /tmp/repro-competitive.json
+	$(PY) -m repro competitive --buffer-sizes 16,32 --rounds 2 \
+	    --out /tmp/repro-competitive-par.json --jobs 2
+	cmp /tmp/repro-competitive.json /tmp/repro-competitive-par.json
+	rm -f /tmp/repro-competitive.json /tmp/repro-competitive-par.json \
+	    repro-competitive.checkpoint.jsonl
+	@echo "competitive-smoke: LQD within 1.5, serial == --jobs 2"
 
 serve-smoke:     ## daemon under drill kills: jobs finish, SIGTERM drains clean
 	$(PY) tools/serve_smoke.py --workdir serve-smoke-artifacts

@@ -44,6 +44,12 @@ from .core.hardware import cost_table
 from .errors import EXIT_DRILL, EXIT_ERROR, EXIT_FAILURE, EXIT_OK, SnapshotHalt
 from .experiments import report
 from .experiments.chaos import ChaosResult, run_chaos_sweep
+from .experiments.competitive import (
+    DEFAULT_POLICIES,
+    adversary_names,
+    report_lines,
+    run_competitive,
+)
 from .experiments.parallel import (
     JOB_KINDS,
     parallel_fct_sweep,
@@ -83,6 +89,10 @@ def _split_schemes(text: str) -> List[str]:
 
 def _split_floats(text: str) -> List[float]:
     return [float(item) for item in text.split(",") if item.strip()]
+
+
+def _split_ints(text: str) -> List[int]:
+    return [int(item) for item in text.split(",") if item.strip()]
 
 
 def _maybe_export(results, prefix: Optional[str]) -> None:
@@ -670,6 +680,42 @@ def _cmd_chaos(args) -> int:
         return 1 if failed else 0
 
 
+def _cmd_competitive(args) -> int:
+    session = _telemetry_session(args)
+    trace = session.trace if session.active else None
+    parallel = _parallel_requested(args)
+    try:
+        with session:
+            grid = run_competitive(
+                args.policies, args.adversaries, args.buffer_sizes,
+                num_queues=args.queues, horizon=args.horizon,
+                rounds=args.rounds, seed=args.seed, jobs=args.jobs,
+                retries=args.retries,
+                checkpoint=_checkpoint_path(args) if parallel else None,
+                resume=args.resume, trace=trace)
+    finally:
+        _finish_telemetry(session, args)
+    for line in report_lines(grid, lqd_limit=args.lqd_limit):
+        print(line)
+    if args.out:
+        payload = {
+            "policies": grid.policies,
+            "adversaries": grid.adversaries,
+            "buffer_sizes": grid.buffer_sizes,
+            "lqd_limit": args.lqd_limit,
+            "cells": grid.cells,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out} ({len(grid.cells)} cells)")
+    # CI gates on this exit code: LQD above its proven guarantee means
+    # the arena or the bound regressed, not that LQD got worse.
+    if "lqd" in grid.policies and grid.violations("lqd", args.lqd_limit):
+        return 1
+    return 0
+
+
 def _cmd_profile(args) -> int:
     sim = Simulator()
     profiler = RunProfiler()
@@ -1095,6 +1141,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel(p, retries=0)
     add_snapshot(p)
     p.set_defaults(func=_cmd_static_sim)
+
+    p = sub.add_parser(
+        "competitive",
+        help="empirical competitive ratios: every policy against "
+             "adversarial arrival patterns vs a clairvoyant bound "
+             "(see docs/competitive.md)")
+    p.add_argument("--policies", type=_split_schemes,
+                   default=list(DEFAULT_POLICIES))
+    p.add_argument("--adversaries", type=_split_schemes,
+                   default=adversary_names())
+    p.add_argument("--buffer-sizes", type=_split_ints, default=[16, 32, 64],
+                   metavar="B1,B2", help="shared buffer sizes in cells")
+    p.add_argument("--queues", type=int, default=4,
+                   help="output ports sharing the buffer")
+    p.add_argument("--rounds", type=int, default=3,
+                   help="arena runs per grid cell (the random adversary "
+                        "re-seeds each round)")
+    p.add_argument("--horizon", type=int, default=0,
+                   help="arrival slots per round (0 = each adversary's "
+                        "own default)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--lqd-limit", type=float, default=1.5,
+                   help="fail (exit 1) if LQD's measured ratio exceeds "
+                        "this; 1.5 is its proven guarantee")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the full report grid as JSON")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="record competitive.round events as JSONL")
+    p.add_argument("--trace-topics", default=None, metavar="T1,T2",
+                   help="restrict the trace to these topics")
+    p.add_argument("--trace-window", type=_parse_window, default=None,
+                   metavar="START:END",
+                   help="only record events inside [START, END] ns")
+    add_parallel(p, retries=0)
+    p.set_defaults(func=_cmd_competitive)
 
     p = sub.add_parser(
         "profile", help="run one scenario under the event-loop profiler")

@@ -39,7 +39,7 @@ from ..snapshot import (
     run_world,
     write_triage_bundle,
 )
-from .runner import RunOutcome, run_resilient
+from .runner import RunOutcome, run_resilient, scheme
 from .testbed import (
     DEFAULT_CONFIG,
     TestbedConfig,
@@ -183,6 +183,8 @@ def run_chaos_sweep(scheme_names: Sequence[str],
     lifecycle events (worker simulations cannot publish across the
     process boundary).
     """
+    for name in scheme_names:
+        scheme(name)  # fail fast with the valid-policy list
     if jobs == 1 and checkpoint is None and not resume:
         return run_resilient(
             lambda name, attempt_seed: run_chaos(

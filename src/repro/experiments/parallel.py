@@ -312,6 +312,14 @@ def _decode_static(payload):
         payload["num_queues"])
 
 
+# -- competitive --------------------------------------------------------------
+
+def _run_competitive_job(*, policy: str, adversary: str,
+                         buffer_cells: int, **kwargs: Any):
+    from .competitive import run_cell
+    return run_cell(policy, adversary, buffer_cells, **kwargs)
+
+
 # -- chaos --------------------------------------------------------------------
 
 def _run_chaos_job(*, scheme: str, schedule: Dict[str, Any],
@@ -374,6 +382,10 @@ JOB_KINDS: Dict[str, JobKind] = {
     "incast": JobKind(_run_incast_job, _encode_incast, _decode_incast),
     "static-sim": JobKind(_run_static_job, _encode_static, _decode_static),
     "chaos": JobKind(_run_chaos_job, _encode_chaos, _decode_chaos),
+    # run_cell already returns a plain JSON dict, so encode just
+    # normalises it (live == checkpointed) and decode is the identity.
+    "competitive": JobKind(_run_competitive_job, _jsonable, lambda p: p,
+                           snapshot=False),
 }
 
 

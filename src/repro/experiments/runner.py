@@ -19,13 +19,16 @@ from ..queueing.base import BufferManager
 from ..queueing.besteffort import BestEffortBuffer
 from ..queueing.codel import CoDelBuffer
 from ..queueing.dynamic_threshold import DynamicThresholdBuffer
+from ..queueing.fb import FBBuffer
+from ..queueing.lqd import LQDBuffer
 from ..queueing.mqecn import MQECNBuffer
 from ..queueing.perqueue_ecn import PerQueueECNBuffer
 from ..queueing.pmsb import PMSBBuffer
 from ..queueing.pql import PQLBuffer
 from ..queueing.red import REDBuffer
+from ..queueing.segregation import SegregatedBuffer
 from ..queueing.tcn import TCNBuffer
-from ..sim.errors import SimulationError
+from ..sim.errors import ConfigurationError, SimulationError
 from ..transport.registry import sender_class
 
 
@@ -51,6 +54,12 @@ _SCHEMES: Dict[str, SchemeSpec] = {
         "BestEffort", lambda *, rtt_ns: BestEffortBuffer(), "tcp", False),
     "pql": SchemeSpec(
         "PQL", lambda *, rtt_ns: PQLBuffer(), "tcp", False),
+    "fb": SchemeSpec(
+        "FB", lambda *, rtt_ns: FBBuffer(), "tcp", False),
+    "lqd": SchemeSpec(
+        "LQD", lambda *, rtt_ns: LQDBuffer(), "tcp", False),
+    "seg": SchemeSpec(
+        "SEG", lambda *, rtt_ns: SegregatedBuffer(), "tcp", False),
     "red": SchemeSpec(
         "RED", lambda *, rtt_ns: REDBuffer(), "dctcp", True),
     "red-drop": SchemeSpec(
@@ -80,10 +89,16 @@ _SCHEMES: Dict[str, SchemeSpec] = {
 
 
 def scheme(name: str) -> SchemeSpec:
-    """Look up a scheme spec by its registry key (case-insensitive)."""
+    """Look up a scheme spec by its registry key (case-insensitive).
+
+    Raises :class:`~repro.errors.ConfigurationError` (not a bare
+    ``KeyError``) for unknown names, so CLI paths — ``repro chaos``,
+    sweep tables — render the valid-policy list instead of a traceback.
+    """
     key = name.lower()
     if key not in _SCHEMES:
-        raise KeyError(f"unknown scheme {name!r}; known: {sorted(_SCHEMES)}")
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; known: {sorted(_SCHEMES)}")
     return _SCHEMES[key]
 
 

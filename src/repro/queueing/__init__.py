@@ -4,11 +4,14 @@ from .base import BufferManager, Decision, PortView
 from .besteffort import BestEffortBuffer
 from .codel import CoDelBuffer
 from .dynamic_threshold import DynamicThresholdBuffer
+from .fb import FBBuffer
+from .lqd import LQDBuffer
 from .mqecn import MQECNBuffer
 from .perqueue_ecn import DEFAULT_LAMBDA, PerQueueECNBuffer, ecn_threshold_bytes
 from .pmsb import PMSBBuffer
 from .pql import PQLBuffer
 from .red import REDBuffer
+from .segregation import SegregatedBuffer
 from .tcn import TCNBuffer
 
 __all__ = [
@@ -18,6 +21,9 @@ __all__ = [
     "BestEffortBuffer",
     "CoDelBuffer",
     "DynamicThresholdBuffer",
+    "FBBuffer",
+    "LQDBuffer",
+    "SegregatedBuffer",
     "MQECNBuffer",
     "DEFAULT_LAMBDA",
     "PerQueueECNBuffer",

@@ -125,6 +125,12 @@ TOPIC_SERVE_JOB = "serve.job"
 #: by ports only when the ``queue_diagnosis`` perf switch is on (see
 #: repro.diagnosis), so the default datapath never emits these.
 TOPIC_QUEUE_SNAPSHOT = "diagnosis.snapshot"
+#: Competitive-ratio harness rounds: one event per finished
+#: policy x adversary x buffer-size round with the measured ratio in
+#: ``detail`` (see repro.experiments.competitive).  ``time`` is a
+#: deterministic sequence number, not wall clock, so competitive traces
+#: stay byte-identical between serial and ``--jobs N`` runs.
+TOPIC_COMPETITIVE_ROUND = "competitive.round"
 #: Snapshot lifecycle (autosave written / world restored).  Note: the
 #: telemetry recorder does *not* subscribe to this topic by default —
 #: save events carry the snapshot path and a restored invocation saves
@@ -151,6 +157,7 @@ ALL_TOPICS = (
     TOPIC_FAULT_RECOVER,
     TOPIC_PARALLEL_JOB,
     TOPIC_SERVE_JOB,
+    TOPIC_COMPETITIVE_ROUND,
     TOPIC_QUEUE_SNAPSHOT,
     TOPIC_SNAPSHOT_LIFECYCLE,
 )

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..sim.trace import (
     ALL_TOPICS,
+    TOPIC_COMPETITIVE_ROUND,
     TOPIC_DYNAQ_RECONFIGURE,
     TOPIC_PARALLEL_JOB,
     TOPIC_QUEUE_SNAPSHOT,
@@ -72,6 +73,7 @@ REQUIRED_TOPIC_FIELDS = {
     TOPIC_DYNAQ_RECONFIGURE: ("threshold", "satisfaction"),
     TOPIC_PARALLEL_JOB: ("detail",),
     TOPIC_SERVE_JOB: ("detail",),
+    TOPIC_COMPETITIVE_ROUND: ("detail",),
     TOPIC_SNAPSHOT_LIFECYCLE: ("detail", "path"),
     TOPIC_QUEUE_SNAPSHOT: ("queue", "detail", "composition"),
 }

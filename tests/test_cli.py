@@ -40,9 +40,16 @@ def test_missing_command_errors():
         main([])
 
 
-def test_unknown_scheme_raises():
-    with pytest.raises(KeyError):
-        main(["convergence", "--schemes", "bogus", "--duration", "0.01"])
+def test_unknown_scheme_reports_valid_policies(capsys):
+    # A typo'd scheme name is a usage error (exit 2) carrying the list
+    # of valid policies, not a bare KeyError traceback.
+    code = main(["convergence", "--schemes", "bogus",
+                 "--duration", "0.01"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "ConfigurationError" in captured.out
+    assert "unknown scheme 'bogus'" in captured.out
+    assert "'dynaq'" in captured.out and "'lqd'" in captured.out
 
 
 def test_convergence_runs_tiny(capsys):

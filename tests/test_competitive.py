@@ -1,0 +1,306 @@
+"""Competitive-comparator suite: policies, adversaries, ratio harness.
+
+Four layers:
+
+1. hypothesis property tests — every drop-based policy, driven through
+   the shared-buffer arena on random arrival schedules, never exceeds
+   the buffer, never drops an admissible packet while space exists
+   (greedy-admission policies), and conserves packets (arrivals ==
+   delivered + dropped once the buffer drains);
+2. the offline clairvoyant bound really is an upper bound (ratio >= 1
+   on every policy x schedule hypothesis invents);
+3. pinned regressions — the ``lqd-lower-bound`` adversary keeps LQD's
+   measured ratio inside (1.2, 1.5], and LQD never exceeds its proven
+   1.5 guarantee anywhere on the default grid;
+4. differential tests — FAST and REFERENCE perf configs produce
+   sha256-identical traces for each new policy, and ``repro
+   competitive`` emits byte-identical reports serially and with
+   ``--jobs 2``.
+"""
+
+import hashlib
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.competitive import (
+    ADVERSARIES,
+    CELL_BYTES,
+    ArenaPort,
+    adversary,
+    adversary_names,
+    clairvoyant_bound,
+    generate_arrivals,
+    run_arena,
+    run_cell,
+    run_competitive,
+)
+from repro.experiments.runner import scheme
+from repro.experiments.testbed import run_fair_sharing
+from repro.net.packet import Packet
+from repro.perf.config import fast_mode, reference_mode
+from repro.sim.errors import ConfigurationError
+from repro.sim.trace import TOPIC_COMPETITIVE_ROUND, TraceBus
+from repro.telemetry import JsonlSink, TraceRecorder
+
+# Drop-based policies that can run in the arena (no ECN feedback loop).
+ARENA_POLICIES = ("besteffort", "dt", "fb", "lqd", "seg",
+                  "dynaq", "dynaq-evict", "pql")
+
+# Policies whose admission is greedy in the shared buffer: they must
+# never reject while free space exists (threshold policies like FB/DT
+# reject below the buffer limit by design, so they are excluded).
+GREEDY_POLICIES = ("besteffort", "lqd", "seg")
+
+
+# -- 1. policy invariants on random schedules ---------------------------------
+
+schedule_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=6),
+             min_size=3, max_size=3),
+    min_size=1, max_size=30)
+
+
+def _drive(policy, arrivals, buffer_cells):
+    """Arena slot loop with per-step invariant checks.
+
+    Mirrors :func:`run_arena` but asserts after every admit that the
+    occupancy never exceeds the shared buffer, and (for greedy
+    policies) that no packet was rejected while it still fit.
+    """
+    num_queues = len(arrivals[0])
+    manager = scheme(policy).make(rtt_ns=40_000)
+    port = ArenaPort(num_queues, buffer_cells)
+    manager.attach(port)
+    greedy = policy in GREEDY_POLICIES
+    offered = accepted = dropped = 0
+    flow = 0
+    for slot, row in enumerate(arrivals):
+        port._now_ns = slot * 1_000
+        for queue_index, count in enumerate(row):
+            for _ in range(count):
+                offered += 1
+                flow += 1
+                packet = Packet(flow, "adv", "sink", CELL_BYTES,
+                                service_class=queue_index)
+                had_room = (port.total_bytes() + packet.size
+                            <= port.buffer_bytes)
+                decision = manager.admit(packet, queue_index)
+                if decision.accept:
+                    accepted += 1
+                    port.enqueue(packet, queue_index)
+                    manager.on_enqueued(packet, queue_index)
+                else:
+                    dropped += 1
+                assert port.total_bytes() <= port.buffer_bytes, (
+                    f"{policy} overflowed the shared buffer")
+                if greedy and had_room:
+                    assert decision.accept, (
+                        f"{policy} dropped with free space")
+        for queue_index in range(num_queues):
+            port.transmit(queue_index)
+    # Every offered packet was either accepted or rejected; push-outs
+    # then remove accepted packets again (checked via backlog): what is
+    # still buffered is what was accepted minus pushed-out minus sent.
+    assert accepted + dropped == offered
+    assert port.total_bytes() % CELL_BYTES == 0
+    return offered
+
+
+@pytest.mark.parametrize("policy", ARENA_POLICIES)
+@settings(max_examples=25, deadline=None)
+@given(arrivals=schedule_strategy,
+       buffer_cells=st.integers(min_value=4, max_value=24))
+def test_policy_invariants_under_random_schedules(policy, arrivals,
+                                                  buffer_cells):
+    _drive(policy, arrivals, buffer_cells)
+
+
+@pytest.mark.parametrize("policy", ARENA_POLICIES)
+@settings(max_examples=15, deadline=None)
+@given(arrivals=schedule_strategy,
+       buffer_cells=st.integers(min_value=4, max_value=24))
+def test_policy_conserves_packets(policy, arrivals, buffer_cells):
+    """After the final drain: delivered + dropped == arrivals."""
+    result = run_arena(policy, arrivals, buffer_cells=buffer_cells)
+    assert result.arrivals == sum(sum(row) for row in arrivals)
+    assert result.delivered + result.dropped == result.arrivals
+    assert result.delivered >= 0 and result.dropped >= 0
+
+
+# -- 2. the clairvoyant bound upper-bounds every online policy ----------------
+
+@settings(max_examples=25, deadline=None)
+@given(arrivals=schedule_strategy,
+       buffer_cells=st.integers(min_value=4, max_value=24),
+       policy=st.sampled_from(ARENA_POLICIES))
+def test_bound_dominates_online_policies(arrivals, buffer_cells, policy):
+    result = run_arena(policy, arrivals, buffer_cells=buffer_cells)
+    bound = clairvoyant_bound(arrivals, buffer_cells)
+    assert bound >= result.delivered, (
+        f"{policy} beat the offline bound: {result.delivered} > {bound}")
+    assert bound <= sum(sum(row) for row in arrivals)
+
+
+def test_bound_is_tight_when_nothing_drops():
+    # One cell per port per slot: everything is delivered, bound == it.
+    arrivals = [[1, 1] for _ in range(10)]
+    assert clairvoyant_bound(arrivals, 8) == 20
+    result = run_arena("besteffort", arrivals, buffer_cells=8)
+    assert result.delivered == 20 and result.dropped == 0
+
+
+# -- 3. pinned competitive ratios ---------------------------------------------
+
+def test_lqd_lower_bound_adversary_stays_pinned():
+    """The canary: LQD x lqd-lower-bound lands in (1.2, 1.5].
+
+    A softened bound, a rearranged arena, or a changed adversary would
+    push the ratio toward 1.0 (harness lost its teeth) or above 1.5
+    (LQD's proven guarantee 'broken', i.e. the harness is measuring
+    something else).  Either direction must fail loudly.
+    """
+    cell = run_cell("lqd", "lqd-lower-bound", 32, num_queues=4,
+                    rounds=1, seed=1)
+    ratio = cell["ratios"][0]
+    assert 1.0 <= ratio <= 1.5
+    assert ratio > 1.2
+
+
+def test_lqd_never_exceeds_its_guarantee_on_default_grid():
+    for adversary_name in adversary_names():
+        for buffer_cells in (16, 32):
+            cell = run_cell("lqd", adversary_name, buffer_cells,
+                            num_queues=4, rounds=2, seed=1)
+            assert max(cell["ratios"]) <= 1.5, (
+                f"lqd x {adversary_name} @ {buffer_cells}: "
+                f"{cell['ratios']}")
+
+
+def test_ratios_are_at_least_one_and_deterministic():
+    for policy in ("dynaq", "fb", "besteffort"):
+        first = run_cell(policy, "burst-flood", 16, rounds=2, seed=3)
+        again = run_cell(policy, "burst-flood", 16, rounds=2, seed=3)
+        assert first == again
+        assert all(ratio >= 1.0 for ratio in first["ratios"])
+
+
+def test_isolation_gap_shows_on_fill_drain():
+    # The headline comparison: complete sharing (besteffort) collapses
+    # on fill-drain while DynaQ and LQD stay near the offline bound —
+    # the paper's isolation argument in competitive-ratio form.
+    shared = run_cell("besteffort", "fill-drain", 32, rounds=1)
+    dynaq = run_cell("dynaq", "fill-drain", 32, rounds=1)
+    lqd = run_cell("lqd", "fill-drain", 32, rounds=1)
+    assert shared["ratios"][0] > 1.5
+    assert dynaq["ratios"][0] < 1.2
+    assert lqd["ratios"][0] < 1.2
+
+
+def test_unknown_adversary_raises_configuration_error():
+    with pytest.raises(ConfigurationError, match="unknown adversary"):
+        adversary("nope")
+    with pytest.raises(ConfigurationError, match="unknown scheme"):
+        run_cell("nope", "random", 16)
+
+
+def test_adversary_generators_are_deterministic():
+    for name, spec in ADVERSARIES.items():
+        first = generate_arrivals(name, num_queues=4, buffer_cells=16,
+                                  seed=7)
+        again = generate_arrivals(name, num_queues=4, buffer_cells=16,
+                                  seed=7)
+        assert first == again
+        if spec.seeded:
+            other = generate_arrivals(name, num_queues=4,
+                                      buffer_cells=16, seed=8)
+            assert first != other
+
+
+def test_run_competitive_publishes_round_events():
+    trace = TraceBus()
+    seen = []
+    trace.subscribe(TOPIC_COMPETITIVE_ROUND,
+                    lambda **kw: seen.append(kw))
+    report = run_competitive(["lqd"], ["burst-flood"], [16],
+                             rounds=2, trace=trace)
+    assert len(report.cells) == 1
+    assert len(seen) == 2
+    assert [event["time"] for event in seen] == [1, 2]
+    assert all("ratio=" in event["detail"] for event in seen)
+
+
+# -- 4. differential: FAST == REFERENCE, serial == parallel -------------------
+
+def _traced_run(policy, tmp_path: Path, label: str) -> str:
+    out = tmp_path / f"{label}.jsonl"
+    trace = TraceBus()
+    with TraceRecorder(trace, JsonlSink(out)):
+        run_fair_sharing(policy, time_unit_s=0.02,
+                         sample_interval_s=0.01, trace=trace)
+    return hashlib.sha256(out.read_bytes()).hexdigest()
+
+
+@pytest.mark.parametrize("policy", ["fb", "lqd", "seg"])
+def test_golden_trace_reference_equals_fast(policy, tmp_path):
+    """The new policies leave no perf-config fingerprint in the trace."""
+    with reference_mode():
+        reference_hash = _traced_run(policy, tmp_path, "reference")
+    with fast_mode():
+        fast_hash = _traced_run(policy, tmp_path, "fast")
+    assert reference_hash == fast_hash
+
+
+def test_competitive_report_serial_equals_parallel(capsys, tmp_path):
+    from repro.cli import main
+
+    grid = ["competitive", "--policies", "lqd,dt",
+            "--adversaries", "lqd-lower-bound,burst-flood",
+            "--buffer-sizes", "16", "--rounds", "2"]
+    serial_json = tmp_path / "serial.json"
+    code = main(grid + ["--out", str(serial_json)])
+    serial_out = capsys.readouterr().out
+    assert code == 0
+    parallel_json = tmp_path / "parallel.json"
+    code = main(grid + ["--out", str(parallel_json), "--jobs", "2",
+                        "--checkpoint", str(tmp_path / "ck.jsonl")])
+    parallel_out = capsys.readouterr().out
+    assert code == 0
+    assert (serial_out.replace(str(serial_json), "X")
+            == parallel_out.replace(str(parallel_json), "X"))
+    assert serial_json.read_bytes() == parallel_json.read_bytes()
+    # A resumed run replays the checkpoint to the same bytes.
+    resumed_json = tmp_path / "resumed.json"
+    code = main(grid + ["--out", str(resumed_json), "--jobs", "2",
+                        "--checkpoint", str(tmp_path / "ck.jsonl"),
+                        "--resume"])
+    capsys.readouterr()
+    assert code == 0
+    assert resumed_json.read_bytes() == serial_json.read_bytes()
+
+
+def test_cli_gates_on_lqd_limit(capsys):
+    from repro.cli import main
+
+    code = main(["competitive", "--policies", "lqd",
+                 "--adversaries", "lqd-lower-bound",
+                 "--buffer-sizes", "32", "--rounds", "1",
+                 "--lqd-limit", "1.01"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "exceeded" in out
+
+
+def test_cli_flags_dynaq_worst_adversary(capsys):
+    from repro.cli import main
+
+    code = main(["competitive", "--policies", "dynaq,lqd,fb",
+                 "--adversaries",
+                 "burst-flood,fill-drain,lqd-lower-bound",
+                 "--buffer-sizes", "16", "--rounds", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "<- worst adversary" in out
+    assert "lqd: all ratios <= 1.5" in out

@@ -28,6 +28,7 @@ from repro.experiments.testbed import (
     run_protocol_mix,
     run_weighted_sharing,
 )
+from repro.sim.errors import ConfigurationError
 from repro.sim.units import seconds
 from repro.transport.dctcp import DCTCPSender
 from repro.transport.tcp import TCPSender
@@ -48,7 +49,7 @@ def test_scheme_registry_complete():
 
 def test_scheme_lookup_case_insensitive():
     assert scheme("DynaQ").name == "DynaQ"
-    with pytest.raises(KeyError):
+    with pytest.raises(ConfigurationError, match="unknown scheme"):
         scheme("nonsense")
 
 
