@@ -46,6 +46,7 @@ from .experiments import report
 from .experiments.chaos import ChaosResult, run_chaos_sweep
 from .experiments.competitive import (
     DEFAULT_POLICIES,
+    adversary,
     adversary_names,
     report_lines,
     run_competitive,
@@ -681,6 +682,13 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_competitive(args) -> int:
+    # Fail fast on typo'd adversary names — before the telemetry session
+    # opens and before run_competitive fans out any workers — so the
+    # user sees the sorted valid-adversary list, mirroring the scheme
+    # check.  run_competitive re-validates, but only after the session
+    # (and its trace file) would already exist.
+    for name in args.adversaries:
+        adversary(name)
     session = _telemetry_session(args)
     trace = session.trace if session.active else None
     parallel = _parallel_requested(args)

@@ -99,6 +99,14 @@ class DynaQBuffer(BufferManager):
             self._drop_no_victim = Decision.dropped(
                 "threshold exceeded, no victim")
             self._drop_unsatisfied = Decision.dropped("victim unsatisfied")
+            # Repeat-pure drops (see the base class): both outcomes
+            # return before any threshold steal, so re-admitting the
+            # same (queue, size) with no intervening accept reproduces
+            # them exactly.  "port buffer full" is deliberately absent —
+            # that path can follow a steal (and, in the evicting
+            # subclass, trigger evictions).
+            self.pure_drop_decisions = (self._drop_unsatisfied,
+                                        self._drop_no_victim)
         else:
             self._drop_no_victim = None
             self._drop_unsatisfied = None
@@ -119,6 +127,11 @@ class DynaQBuffer(BufferManager):
     @thresholds.setter
     def thresholds(self, values) -> None:
         self._thresholds = list(values)
+        # DynaQ's accept path is exactly the inline-admission contract
+        # (under-threshold + buffer room -> unmarked accept, no side
+        # effects), so the port may bypass admit() for those packets.
+        # Re-pointed here because assignment replaces the list identity.
+        self.inline_admit_thresholds = self._thresholds
         self._sync_tracker()
 
     @property
@@ -222,14 +235,22 @@ class DynaQBuffer(BufferManager):
     def admit(self, packet: Packet, queue_index: int) -> Decision:
         size = packet.size
         occupancy = self._queue_occupancy
+        thresholds = self._thresholds
         queue_len = (occupancy[queue_index] if occupancy is not None
                      else self.port.queue_bytes(queue_index))
-        if queue_len + size > self._thresholds[queue_index]:
+        if queue_len + size > thresholds[queue_index]:
             tracker = self._tracker
             if tracker is not None:
-                victim = tracker.query(queue_index)
+                # Inline replica of IncrementalVictim.query: skip the
+                # arriving queue.  With inline_hot_calls on, every
+                # over-threshold arrival lands here, so the method call
+                # and the _victim_is_protected helper below are
+                # flattened into straight-line code.
+                victim = tracker._best
+                if victim == queue_index:
+                    victim = tracker._second
             else:
-                extra = [t - s for t, s in zip(self._thresholds,
+                extra = [t - s for t, s in zip(thresholds,
                                                self._satisfaction)]
                 victim = self._search(extra, queue_index)
             if victim is None:
@@ -237,16 +258,33 @@ class DynaQBuffer(BufferManager):
                 self.drops += 1
                 return (self._drop_no_victim
                         or Decision.dropped("threshold exceeded, no victim"))
-            if self._victim_is_protected(victim, size):
+            # _victim_is_protected, inlined (Algorithm 1, line 3): drop
+            # when the victim cannot give up ``size`` bytes or is an
+            # unsatisfied active queue.
+            victim_threshold = thresholds[victim]
+            if victim_threshold < size or (
+                    (occupancy[victim] if occupancy is not None
+                     else self.port.queue_bytes(victim)) > 0
+                    and victim_threshold - size < self._satisfaction[victim]):
                 self.drops += 1
                 self.protected_drops += 1
                 return (self._drop_unsatisfied
                         or Decision.dropped("victim unsatisfied"))
             self._move_threshold(victim, queue_index, size)
-        drop = self._port_tail_drop(packet)
-        if drop is not None:
-            return drop
+        # _port_tail_drop, inlined: this is the per-packet hot exit and
+        # the helper call was the last per-admit Python call left.
+        port = self.port
+        total = (port._total_bytes if self._direct_total
+                 else port.total_bytes())
+        if total + size > port.buffer_bytes:
+            self.drops += 1
+            return self._drop_full or Decision.dropped("port buffer full")
         return self._accept or Decision.accepted()
+
+    def repeat_drop(self, decision: Decision) -> None:
+        self.drops += 1
+        if decision is self._drop_unsatisfied:
+            self.protected_drops += 1
 
     def _victim_is_protected(self, victim: int, size: int) -> bool:
         """Line 3 of Algorithm 1: drop instead of stealing when either

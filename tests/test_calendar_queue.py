@@ -1,0 +1,229 @@
+"""Differential tests: calendar-queue scheduler vs the binary heap.
+
+The calendar queue (``PerfConfig.calendar_queue``) is a pure
+scheduling-layer substitution: any interleaving of ``schedule`` /
+``at`` / ``cancel`` / ``cancel_versioned`` / ``run`` must execute the
+same callbacks in the same order with the same counters, ``pending()``,
+``peek_time()``, and ``pending_events_for()`` results as the heap —
+including across a pickle snapshot/restore of the mid-run simulator.
+The hypothesis suite drives both engines in lockstep through random
+interleavings; the deterministic tests pin the two engine-loop bugfixes
+(integer horizon past 2**53 ns, pool release on a raising callback).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class Recorder:
+    """Picklable callback target: logs ``(tag, now)`` on each firing.
+
+    Tags that are non-negative multiples of five chain a follow-up
+    event, so run loops are exercised with mid-run insertions (the case
+    that migrates calendar buckets).  Chained tags are negative and
+    never chain again.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.log = []
+
+    def fire(self, tag):
+        self.log.append((tag, self.sim.now))
+        if tag >= 0 and tag % 5 == 0:
+            self.sim.schedule(7, self.fire, -tag - 1)
+
+
+class World:
+    """One simulator plus its recorder and retained event handles.
+
+    Pickled as a single root so handle aliasing survives the snapshot
+    exactly the way ``repro.snapshot`` pickles a live world.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.rec = Recorder(sim)
+        self.handles = []   # [(event, gen-at-schedule-time), ...]
+
+    def apply(self, op, arg):
+        sim = self.sim
+        if op == "schedule":
+            event = sim.schedule(arg, self.rec.fire, len(self.handles))
+            self.handles.append((event, event.gen))
+        elif op == "at":
+            event = sim.at(sim.now + arg, self.rec.fire,
+                           len(self.handles))
+            self.handles.append((event, event.gen))
+        elif op == "cancel":
+            if self.handles:
+                event, gen = self.handles[arg % len(self.handles)]
+                # Plain cancel is only pool-safe while the handle is
+                # still current; both worlds make the same recycling
+                # decisions, so this guard matches on both or neither.
+                if event.gen == gen:
+                    sim.cancel(event)
+        elif op == "cancel_versioned":
+            if self.handles:
+                event, gen = self.handles[arg % len(self.handles)]
+                sim.cancel_versioned(event, gen)
+        elif op == "cancel_stale":
+            if self.handles:
+                event, gen = self.handles[arg % len(self.handles)]
+                sim.cancel_versioned(event, gen - 1)   # never current
+        elif op == "run":
+            sim.run(until=sim.now + arg)
+        elif op == "snapshot":
+            return pickle.loads(pickle.dumps(self))
+        return self
+
+    def pending_times_for_recorder(self):
+        return [(event.time, event.args)
+                for event in self.sim.pending_events_for(self.rec.fire)]
+
+
+def _check_lockstep(a, b):
+    assert a.sim.now == b.sim.now
+    assert a.sim.pending() == b.sim.pending()
+    assert a.sim.peek_time() == b.sim.peek_time()
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.integers(0, 40)),
+        st.tuples(st.just("at"), st.integers(0, 40)),
+        st.tuples(st.just("cancel"), st.integers(0, 999)),
+        st.tuples(st.just("cancel_versioned"), st.integers(0, 999)),
+        st.tuples(st.just("cancel_stale"), st.integers(0, 999)),
+        st.tuples(st.just("run"), st.integers(0, 25)),
+        st.tuples(st.just("snapshot"), st.just(0)),
+    ),
+    min_size=1, max_size=60)
+
+
+@pytest.mark.parametrize("warmup", [0, 6])
+@settings(max_examples=40, deadline=None)
+@given(ops=OPS)
+def test_calendar_matches_heap_on_random_interleavings(warmup, ops):
+    """Lockstep differential: same ops → same observable behaviour.
+
+    ``warmup=0`` runs the whole sequence on an engaged calendar;
+    ``warmup=6`` starts on the heap and lets the calendar engage
+    mid-sequence once enough events accumulate (the production path,
+    normally reached via the ``REPRO_CALENDAR_WARMUP`` threshold).
+    """
+    heap_world = World(Simulator(pooling=True, calendar=False))
+    cal_world = World(Simulator(pooling=True, calendar=True,
+                                calendar_warmup=warmup))
+    for op, arg in ops:
+        heap_world = heap_world.apply(op, arg)
+        cal_world = cal_world.apply(op, arg)
+        _check_lockstep(heap_world, cal_world)
+        assert (heap_world.pending_times_for_recorder()
+                == cal_world.pending_times_for_recorder())
+    # Drain both and compare the full execution record.
+    heap_world.sim.run()
+    cal_world.sim.run()
+    assert heap_world.rec.log == cal_world.rec.log
+    for attr in ("now", "events_executed", "events_cancelled"):
+        assert (getattr(heap_world.sim, attr)
+                == getattr(cal_world.sim, attr)), attr
+    assert (heap_world.sim.events_scheduled
+            == cal_world.sim.events_scheduled)
+    assert heap_world.sim.pending() == cal_world.sim.pending() == 0
+    heap_world.sim.check_consistency()
+    cal_world.sim.check_consistency()
+
+
+def test_snapshot_restore_preserves_stale_handle_semantics():
+    """A pickled-and-restored calendar honours versioned cancels taken
+    before the snapshot, exactly like the heap does."""
+    for calendar in (False, True):
+        world = World(Simulator(pooling=True, calendar=calendar,
+                                calendar_warmup=0))
+        world.apply("schedule", 10)
+        world.apply("schedule", 20)
+        world.apply("run", 15)            # first fires, handle recycled
+        restored = world.apply("snapshot", 0)
+        event, gen = restored.handles[0]
+        restored.sim.cancel_versioned(event, gen)   # stale: must no-op
+        restored.sim.run()
+        assert [tag for tag, _ in restored.rec.log] == [0, -1, 1]
+        restored.sim.check_consistency()
+
+
+# -- bugfix 1: integer horizon past 2**53 ns ----------------------------------
+
+
+@pytest.mark.parametrize("calendar", [False, True])
+def test_extreme_horizon_is_exact(calendar):
+    """``run(until=...)`` past 2**53 ns must not round the horizon.
+
+    2**53 + 1 is the first integer a double cannot represent; a float
+    horizon sentinel would land the clock on 2**53 instead and run (or
+    skip) events scheduled exactly at the boundary.  Covers the pooled
+    loop, the general loop (forced via ``max_events``), and both heap
+    and calendar layouts.
+    """
+    boundary = 2 ** 53 + 1
+    fired = []
+
+    sim = Simulator(pooling=True, calendar=calendar, calendar_warmup=0)
+    sim.run(until=boundary)
+    assert sim.now == boundary and isinstance(sim.now, int)
+    sim.at(boundary + 1, fired.append, "pooled")
+    sim.run(until=boundary)              # inclusive horizon: not yet
+    assert fired == []
+    sim.run(until=boundary + 1)
+    assert fired == ["pooled"] and sim.now == boundary + 1
+
+    general = Simulator(pooling=True, calendar=calendar,
+                        calendar_warmup=0)
+    general.at(boundary + 1, fired.append, "general")
+    general.run(until=boundary + 1, max_events=10)
+    assert fired == ["pooled", "general"]
+    assert general.now == boundary + 1 and isinstance(general.now, int)
+
+
+# -- bugfix 2: pool release when a callback raises ----------------------------
+
+
+def _raising_scenario(sim):
+    done = []
+
+    def boom():
+        raise RuntimeError("boom")
+
+    for i in range(4):
+        sim.schedule(10 + i, done.append, i)
+    sim.schedule(20, boom)
+    sim.schedule(30, done.append, 99)
+    return done
+
+
+@pytest.mark.parametrize("calendar", [False, True])
+def test_raising_callback_keeps_pool_stats_identical(calendar):
+    """A raising callback must leave identical pool/counter state in the
+    pooled fast loop and the general loop (the general loop used to leak
+    the consumed event instead of recycling it)."""
+    stats = []
+    for force_general in (False, True):
+        sim = Simulator(pooling=True, calendar=calendar,
+                        calendar_warmup=0)
+        done = _raising_scenario(sim)
+        kwargs = {"max_events": 100} if force_general else {}
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run(until=1_000, **kwargs)
+        sim.check_consistency()          # resumable post-mortem state
+        stats.append((sim.now, sim.pool_size(), sim.pending(),
+                      sim.events_executed, sim.events_reused,
+                      tuple(done)))
+        # The run is resumable: the remaining event still fires.
+        sim.run()
+        assert done[-1] == 99
+    assert stats[0] == stats[1]

@@ -52,6 +52,22 @@ def test_unknown_scheme_reports_valid_policies(capsys):
     assert "'dynaq'" in captured.out and "'lqd'" in captured.out
 
 
+def test_unknown_adversary_fails_before_telemetry(capsys, tmp_path):
+    # Same contract for `repro competitive`: a typo'd adversary is a
+    # usage error carrying the sorted valid-adversary list, raised
+    # before the telemetry session opens (no trace file left behind)
+    # and before any worker fan-out.
+    trace = tmp_path / "never.jsonl"
+    code = main(["competitive", "--adversaries", "bogus-flood",
+                 "--rounds", "1", "--trace-out", str(trace)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "ConfigurationError" in captured.out
+    assert "unknown adversary 'bogus-flood'" in captured.out
+    assert "'burst-flood'" in captured.out and "'random'" in captured.out
+    assert not trace.exists()
+
+
 def test_convergence_runs_tiny(capsys):
     code, out = run_cli(capsys, "convergence", "--schemes", "dynaq",
                         "--duration", "0.05")

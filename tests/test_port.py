@@ -219,3 +219,26 @@ def test_packet_enqueued_at_stamped():
     sim.schedule(7_000, port.send, packet)
     sim.run()
     assert packet.enqueued_at == 7_000
+
+
+def test_tx_cache_stays_bounded_under_size_sweep():
+    """A sweep over many distinct packet sizes must not grow the
+    transmission-time memo without bound (it is cleared at the cap, not
+    evicted, since real traffic uses a handful of sizes)."""
+    from repro.net.port import _TX_CACHE_CAP
+
+    sim = Simulator()
+    port, sink = make_port(sim, buffer_bytes=10 ** 9)
+    if port._tx_cache is None:
+        pytest.skip("tx_time_cache disabled in active config")
+    clock = 0
+    for size in range(64, 64 + 4 * _TX_CACHE_CAP):
+        clock += 100_000
+        sim.at(clock, port.send, make_packet(size))
+    sim.run()
+    assert len(sink.packets) == 4 * _TX_CACHE_CAP
+    assert len(port._tx_cache) <= _TX_CACHE_CAP
+    # The cache still answers correctly after the clears.
+    from repro.sim.units import transmission_time
+    for size, tx_ns in port._tx_cache.items():
+        assert tx_ns == transmission_time(size, port.link_rate_bps)

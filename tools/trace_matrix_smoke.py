@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Trace-identity gate for the engine-level perf switches.
+
+Runs the fig. 5 fair-sharing workload with a full JSONL trace under all
+four (event scheduler x link advance) combinations —
+(heap, calendar) x (per-packet, batched) — and requires one sha256
+across the lot.  The calendar warmup is forced low so the calendar
+actually engages on this small run (it normally waits for event
+density); see docs/performance.md.
+
+Exit code: 0 when all four hashes match, 1 on any divergence.  Used by
+the ``bench-smoke`` CI job.
+"""
+
+import argparse
+import hashlib
+import itertools
+import os
+import sys
+from pathlib import Path
+
+# Engage the calendar early on the smoke-sized run; must be set before
+# repro.sim.engine is imported (the default is read at import time).
+os.environ.setdefault("REPRO_CALENDAR_WARMUP", "64")
+
+from repro.experiments.testbed import run_fair_sharing  # noqa: E402
+from repro.perf.config import PerfConfig, use_config    # noqa: E402
+from repro.sim.trace import TraceBus                    # noqa: E402
+from repro.telemetry import JsonlSink, TraceRecorder    # noqa: E402
+
+
+def traced_run(out: Path, *, calendar: bool, batched: bool,
+               time_unit_s: float) -> str:
+    config = PerfConfig(calendar_queue=calendar,
+                        batched_link_advance=batched)
+    with use_config(config):
+        trace = TraceBus()
+        with TraceRecorder(trace, JsonlSink(out)):
+            run_fair_sharing("dynaq", time_unit_s=time_unit_s,
+                             sample_interval_s=0.01, trace=trace)
+    return hashlib.sha256(out.read_bytes()).hexdigest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default="trace-matrix",
+                        help="directory for the four trace files")
+    parser.add_argument("--time-unit", type=float, default=0.05,
+                        help="fig. 5 time unit in seconds")
+    args = parser.parse_args(argv)
+
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    hashes = {}
+    for calendar, batched in itertools.product((False, True), repeat=2):
+        label = (f"{'calendar' if calendar else 'heap'}-"
+                 f"{'batched' if batched else 'perpacket'}")
+        out = workdir / f"fig05-{label}.jsonl"
+        digest = traced_run(out, calendar=calendar, batched=batched,
+                            time_unit_s=args.time_unit)
+        hashes[label] = digest
+        print(f"{label:24s} {digest}")
+    if len(set(hashes.values())) != 1:
+        print("FAIL: trace hash divergence across engine switches")
+        return 1
+    print("all four combinations sha256-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
