@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-quick perf-tier figures chaos sweep-smoke snapshot-smoke diagnose-smoke serve-smoke competitive-smoke
+.PHONY: test bench bench-quick perf-tier figures chaos sweep-smoke snapshot-smoke diagnose-smoke serve-smoke competitive-smoke soak-smoke
 
 test:            ## tier-1 suite (must always be green)
 	$(PY) -m pytest -x -q
@@ -61,6 +61,19 @@ competitive-smoke: ## adversarial ratio grid; fails if LQD exceeds 1.5
 	rm -f /tmp/repro-competitive.json /tmp/repro-competitive-par.json \
 	    repro-competitive.checkpoint.jsonl
 	@echo "competitive-smoke: LQD within 1.5, serial == --jobs 2"
+
+soak-smoke:      ## chaos soak: clean run exits 0; --drill must minimize to a bundle
+	$(PY) -m repro soak --seed 1 --iterations 6 --jobs 2 \
+	    --out /tmp/repro-soak-verdicts.jsonl
+	$(PY) -m repro soak --seed 1 --iterations 2 --drill \
+	    --triage-dir /tmp/repro-soak-triage; test $$? -eq 1
+	test -n "$$(ls -d /tmp/repro-soak-triage/bundle-*/)"
+	$(PY) -m repro soak \
+	    --replay /tmp/repro-soak-triage/bundle-*/minimal.json; \
+	    test $$? -eq 1
+	rm -rf /tmp/repro-soak-triage /tmp/repro-soak-verdicts.jsonl \
+	    repro-soak.checkpoint.jsonl
+	@echo "soak-smoke: clean soak green, drill minimized and replayed"
 
 serve-smoke:     ## daemon under drill kills: jobs finish, SIGTERM drains clean
 	$(PY) tools/serve_smoke.py --workdir serve-smoke-artifacts

@@ -13,6 +13,8 @@ Examples::
     python -m repro hw-cost
     python -m repro workloads
     python -m repro bench --quick --baseline benchmarks/perf/baseline.json
+    python -m repro soak --seed 1 --iterations 20 --jobs 4 --triage-dir triage
+    python -m repro soak --replay scenarios/kill-restore-dynaq.json
     python -m repro serve --socket /tmp/repro.sock --snapshot-every 0.01
     python -m repro submit --socket /tmp/repro.sock --kind fct \\
         --params '{"scheme": "dynaq", "load": 0.3, ...}' --wait
@@ -724,6 +726,57 @@ def _cmd_competitive(args) -> int:
     return 0
 
 
+def _cmd_soak(args) -> int:
+    from .soak import SoakScenario, run_case, run_soak, write_verdicts
+
+    if args.replay:
+        # Replay one scenario file (typically a triage bundle's
+        # minimal.json) and print its verdict — the one-command
+        # reproduction line every bundle's REPLAY.txt names.
+        scenario = SoakScenario.from_file(args.replay)
+        verdict = run_case(scenario)
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+        return EXIT_OK if verdict["status"] == "ok" else EXIT_FAILURE
+
+    session = _telemetry_session(args)
+    trace = session.trace if session.active else None
+    parallel = _parallel_requested(args)
+    try:
+        with session:
+            soak = run_soak(
+                args.seed, args.iterations, jobs=args.jobs,
+                retries=args.retries,
+                checkpoint=_checkpoint_path(args) if parallel else None,
+                resume=args.resume, trace=trace,
+                triage_dir=args.triage_dir, drill=args.drill)
+    finally:
+        _finish_telemetry(session, args)
+
+    print("case".ljust(14) + "scheme".ljust(13) + "torture".ljust(18)
+          + "checks".rjust(7) + "  status")
+    for verdict in soak.verdicts:
+        line = (verdict["digest"].ljust(14) + verdict["scheme"].ljust(13)
+                + verdict["torture"].ljust(18)
+                + str(verdict["checks"]).rjust(7)
+                + f"  {verdict['status']}")
+        if verdict["detail"]:
+            line += f"  ({verdict['detail'][:60]})"
+        print(line)
+    if args.out:
+        write_verdicts(args.out, soak.verdicts)
+        print(f"wrote {args.out} ({len(soak.verdicts)} verdicts)")
+    for bundle in soak.bundles:
+        print(f"triage bundle: {bundle}")
+    failures = soak.failures
+    if failures:
+        print(f"\nSOAK FAILURES: {len(failures)}/{len(soak.verdicts)} "
+              "cases failed")
+        return EXIT_FAILURE
+    print(f"\nsoak clean: {len(soak.verdicts)} cases, "
+          f"{sum(v['checks'] for v in soak.verdicts)} invariant sweeps")
+    return EXIT_OK
+
+
 def _cmd_profile(args) -> int:
     sim = Simulator()
     profiler = RunProfiler()
@@ -1184,6 +1237,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only record events inside [START, END] ns")
     add_parallel(p, retries=0)
     p.set_defaults(func=_cmd_competitive)
+
+    p = sub.add_parser(
+        "soak",
+        help="randomized chaos soak: generated fault/perf/torture "
+             "scenarios under a central invariant engine, failures "
+             "minimized to replayable bundles (see docs/robustness.md)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="master seed; the case list is a pure function "
+                        "of (seed, iterations)")
+    p.add_argument("--iterations", type=int, default=10,
+                   help="scenarios to generate and run")
+    p.add_argument("--triage-dir", default=None, metavar="DIR",
+                   help="minimize each failing case and write its "
+                        "bundle-<digest>/ triage bundle (original + "
+                        "minimal scenario, verdict, replay command) "
+                        "into this directory")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write one verdict per case as JSONL")
+    p.add_argument("--drill", action="store_true",
+                   help="known-bad run: inject an always-failing "
+                        "invariant into the first case, proving the "
+                        "violation -> shrink -> bundle pipeline works "
+                        "(exits 1 by design)")
+    p.add_argument("--replay", default=None, metavar="PATH",
+                   help="run one scenario JSON (e.g. a bundle's "
+                        "minimal.json or a scenarios/ catalog entry) "
+                        "instead of generating cases; prints its "
+                        "verdict")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="record soak.case events as JSONL")
+    p.add_argument("--trace-topics", default=None, metavar="T1,T2",
+                   help="restrict the trace to these topics")
+    p.add_argument("--trace-window", type=_parse_window, default=None,
+                   metavar="START:END",
+                   help="only record events inside [START, END] ns")
+    add_parallel(p, retries=0)
+    p.set_defaults(func=_cmd_soak)
 
     p = sub.add_parser(
         "profile", help="run one scenario under the event-loop profiler")

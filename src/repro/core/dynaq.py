@@ -329,6 +329,22 @@ class DynaQBuffer(BufferManager):
         """``sum(T_i)`` — must equal the port buffer size (invariant)."""
         return sum(self.thresholds)
 
+    def audit_thresholds(self) -> Optional[str]:
+        """Cold-path ``sum(T_i) == B`` check (soak invariant engine).
+
+        Returns a problem description, or ``None`` while the paper's
+        §III-B equality holds.  Unlike the trace-driven
+        :class:`~repro.faults.ThresholdInvariantMonitor` this reads the
+        live vector directly, so it also catches a corrupted state that
+        never publishes another threshold event.
+        """
+        total = self.threshold_sum()
+        expected = self.port.buffer_bytes
+        if total != expected:
+            return (f"sum(T_i) == {total} != buffer {expected} "
+                    f"(thresholds {list(self.thresholds)})")
+        return None
+
     def extra_buffer(self, index: int) -> int:
         """Eq. 2 for one queue."""
         return self.thresholds[index] - self.satisfaction[index]

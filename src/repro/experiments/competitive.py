@@ -55,7 +55,8 @@ SLOT_NS = 1_000
 
 #: Default policies of the report grid: the paper's scheme next to the
 #: three competitive comparators and the plain tail-drop floor.
-DEFAULT_POLICIES = ("dynaq", "lqd", "fb", "seg", "dt", "besteffort")
+DEFAULT_POLICIES = ("dynaq", "lqd", "fb", "bshare", "seg", "dt",
+                    "besteffort")
 
 
 class ArenaPort(object):

@@ -320,6 +320,14 @@ def _run_competitive_job(*, policy: str, adversary: str,
     return run_cell(policy, adversary, buffer_cells, **kwargs)
 
 
+# -- soak ---------------------------------------------------------------------
+
+def _run_soak_job(*, scenario: Dict[str, Any], **kwargs: Any):
+    from ..soak.runner import run_case
+    from ..soak.scenario import SoakScenario
+    return run_case(SoakScenario.from_dict(scenario), **kwargs)
+
+
 # -- chaos --------------------------------------------------------------------
 
 def _run_chaos_job(*, scheme: str, schedule: Dict[str, Any],
@@ -386,6 +394,10 @@ JOB_KINDS: Dict[str, JobKind] = {
     # normalises it (live == checkpointed) and decode is the identity.
     "competitive": JobKind(_run_competitive_job, _jsonable, lambda p: p,
                            snapshot=False),
+    # run_case returns a plain JSON verdict and manages its own
+    # snapshot torture internally, so executor autosave stays off.
+    "soak": JobKind(_run_soak_job, _jsonable, lambda p: p,
+                    snapshot=False),
 }
 
 

@@ -17,6 +17,7 @@ from ..core.ecn_mode import DynaQECNBuffer
 from ..core.eviction import DynaQEvictBuffer
 from ..queueing.base import BufferManager
 from ..queueing.besteffort import BestEffortBuffer
+from ..queueing.bshare import BShareBuffer
 from ..queueing.codel import CoDelBuffer
 from ..queueing.dynamic_threshold import DynamicThresholdBuffer
 from ..queueing.fb import FBBuffer
@@ -56,6 +57,8 @@ _SCHEMES: Dict[str, SchemeSpec] = {
         "PQL", lambda *, rtt_ns: PQLBuffer(), "tcp", False),
     "fb": SchemeSpec(
         "FB", lambda *, rtt_ns: FBBuffer(), "tcp", False),
+    "bshare": SchemeSpec(
+        "BShare", lambda *, rtt_ns: BShareBuffer(), "tcp", False),
     "lqd": SchemeSpec(
         "LQD", lambda *, rtt_ns: LQDBuffer(), "tcp", False),
     "seg": SchemeSpec(

@@ -191,6 +191,38 @@ class FaultEvent:
                 f"{self.target}{extra}>")
 
 
+#: Down-type kinds whose timed intervals share one piece of target
+#: state: two overlapping intervals of the same family on the same
+#: target would race their recoveries (the first ``link_up`` re-raises
+#: a link the second flap still holds down), so schedules containing
+#: them are rejected at load time instead of replaying silently.
+_INTERVAL_FAMILIES = (
+    frozenset({"link_down", "link_flap"}),
+    frozenset({"stall"}),
+    frozenset({"corrupt"}),
+    frozenset({"host_crash"}),
+)
+
+
+def _check_overlaps(events: Sequence[FaultEvent]) -> None:
+    """Reject overlapping timed down-intervals on the same target."""
+    for family in _INTERVAL_FAMILIES:
+        spans: Dict[str, FaultEvent] = {}
+        timed = sorted((event for event in events
+                        if event.kind in family
+                        and event.duration_ns is not None),
+                       key=lambda event: (event.time_ns, event.end_ns))
+        for event in timed:
+            previous = spans.get(event.target)
+            if previous is not None and event.time_ns < previous.end_ns:
+                raise ConfigurationError(
+                    f"fault schedule: {event.kind!r} at t={event.time_ns} "
+                    f"on {event.target!r} overlaps the {previous.kind!r} "
+                    f"interval [{previous.time_ns}, {previous.end_ns}) "
+                    "on the same target; stagger the intervals")
+            spans[event.target] = event
+
+
 class FaultSchedule:
     """An ordered collection of :class:`FaultEvent` entries."""
 
@@ -199,6 +231,7 @@ class FaultSchedule:
         self.name = name
         self.events: List[FaultEvent] = sorted(
             events, key=lambda event: event.time_ns)
+        _check_overlaps(self.events)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -213,6 +246,28 @@ class FaultSchedule:
         whole schedule including recoveries.
         """
         return max((event.end_ns for event in self.events), default=0)
+
+    def validate_horizon(self, horizon_ns: int,
+                         context: str = "scenario") -> None:
+        """Reject events that inject (or recover) past ``horizon_ns``.
+
+        A fault scheduled past the run's end silently no-ops — the
+        schedule *looks* exercised but nothing ever fired.  Loaders that
+        know their horizon (soak scenarios, fixed-duration runs) call
+        this to fail loudly at load time instead.
+        """
+        for event in self.events:
+            if event.time_ns > horizon_ns:
+                raise ConfigurationError(
+                    f"fault {event.kind!r} at t={event.time_ns} is "
+                    f"past the {context} horizon ({horizon_ns} ns); "
+                    "it would never fire")
+            if event.end_ns > horizon_ns:
+                raise ConfigurationError(
+                    f"fault {event.kind!r} at t={event.time_ns} "
+                    f"recovers at t={event.end_ns}, past the {context} "
+                    f"horizon ({horizon_ns} ns); the recovery would "
+                    "never fire")
 
     def to_dict(self) -> Dict[str, Any]:
         spec: Dict[str, Any] = {

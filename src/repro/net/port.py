@@ -121,6 +121,13 @@ class EgressPort:
         self.transmitted_bytes = 0
         self.inflight_losses = 0
         self.corrupted_packets = 0
+        # Conservation breakdown: packets that left a queue *without*
+        # being transmitted.  Together with the buffered packets these
+        # close the port-local conservation equation audited by the
+        # soak invariant engine (see audit_conservation):
+        #   enqueued == transmitted + buffered + evicted + dequeue_drops
+        self.evicted_packets = 0
+        self.dequeue_drops = 0
         # Batched per-queue transmit counters: stat collectors read these
         # on sample boundaries instead of subscribing to every
         # packet.dequeue event (see PortThroughputMeter).
@@ -583,6 +590,7 @@ class EgressPort:
                 # packet's transmission time — the very pathology §II-C
                 # describes.
                 self.dropped_packets += 1
+                self.dequeue_drops += 1
                 if sketch is not None:
                     # The packet *did* queue (delay attribution stands)
                     # and then dropped at the head.
@@ -1201,6 +1209,7 @@ class EgressPort:
         self._queue_bytes[queue_index] -= packet.size
         self._total_bytes -= packet.size
         self.dropped_packets += 1
+        self.evicted_packets += 1
         if self._sketch is not None:
             snapshot = self._sketch.record_evict(
                 self.sim.now, queue_index, packet.flow_id, packet.size,
@@ -1210,6 +1219,63 @@ class EgressPort:
                 self._sketch_publish(snapshot)
         self._publish(TOPIC_PACKET_DROP, packet, queue_index, "evicted")
         return packet
+
+    # -- cold-path auditing --------------------------------------------------------
+
+    def audit_conservation(self) -> List[str]:
+        """Cross-check occupancy and conservation counters (cold path).
+
+        Returns a list of human-readable problems, empty when the port
+        is consistent.  Checks, in order: per-queue byte accounting,
+        total-occupancy accounting, the ``total <= B`` bound, per-queue
+        FIFO order (packets leave in arrival order, so ``enqueued_at``
+        must be non-decreasing front to back), and the packet
+        conservation equation
+        ``enqueued == transmitted + buffered + evicted + dequeue_drops``.
+
+        Only the soak invariant engine calls this, on its own cadence —
+        never the datapath — so it may force an in-flight transmit batch
+        back to the per-packet boundary to make the counters exact.
+        """
+        if self._batch is not None:
+            self._unwind_batch()
+        problems: List[str] = []
+        buffered = 0
+        for index, queue in enumerate(self._queues):
+            actual = sum(packet.size for packet in queue)
+            buffered += len(queue)
+            if actual != self._queue_bytes[index]:
+                problems.append(
+                    f"queue {index}: occupancy counter says "
+                    f"{self._queue_bytes[index]}B but the deque holds "
+                    f"{actual}B")
+            last_arrival = None
+            for packet in queue:
+                if (last_arrival is not None
+                        and packet.enqueued_at < last_arrival):
+                    problems.append(
+                        f"queue {index}: FIFO order violated "
+                        f"(enqueued_at {packet.enqueued_at} behind "
+                        f"{last_arrival})")
+                    break
+                last_arrival = packet.enqueued_at
+        if sum(self._queue_bytes) != self._total_bytes:
+            problems.append(
+                f"total occupancy counter {self._total_bytes}B != "
+                f"sum of queue counters {sum(self._queue_bytes)}B")
+        if self._total_bytes > self.buffer_bytes:
+            problems.append(
+                f"occupancy {self._total_bytes}B exceeds the buffer "
+                f"({self.buffer_bytes}B)")
+        accounted = (self.transmitted_packets + buffered
+                     + self.evicted_packets + self.dequeue_drops)
+        if self.enqueued_packets != accounted:
+            problems.append(
+                f"conservation: enqueued {self.enqueued_packets} != "
+                f"transmitted {self.transmitted_packets} + buffered "
+                f"{buffered} + evicted {self.evicted_packets} + "
+                f"dequeue drops {self.dequeue_drops}")
+        return problems
 
     # -- operator actions ----------------------------------------------------------
 

@@ -2,6 +2,7 @@
 
 from .base import BufferManager, Decision, PortView
 from .besteffort import BestEffortBuffer
+from .bshare import BShareBuffer
 from .codel import CoDelBuffer
 from .dynamic_threshold import DynamicThresholdBuffer
 from .fb import FBBuffer
@@ -19,6 +20,7 @@ __all__ = [
     "Decision",
     "PortView",
     "BestEffortBuffer",
+    "BShareBuffer",
     "CoDelBuffer",
     "DynamicThresholdBuffer",
     "FBBuffer",

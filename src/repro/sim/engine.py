@@ -748,6 +748,36 @@ class Simulator:
         """Events currently parked in the free list."""
         return len(self._free)
 
+    def audit_counters(self) -> List[str]:
+        """Cold-path sanity audit of the operation counters.
+
+        Returns problem descriptions (empty = sane): the live-event
+        count stays non-negative, the free list is bounded by
+        ``EVENT_POOL_CAP``, and the heap never holds *more* live events
+        than :meth:`pending` reports.  Unlike :meth:`check_consistency`
+        this audit is safe to run from inside an event callback: the
+        pooled drain loops batch their ``_live`` decrement until
+        :meth:`run` returns, so mid-run the counter may exceed the heap
+        count (never the reverse).  ``events_executed`` may likewise
+        exceed ``events_scheduled`` — batching fast paths credit
+        suppressed events without consuming sequence numbers — so the
+        counters are not compared against each other.  Used by the soak
+        invariant engine on its check cadence, never by the datapath.
+        """
+        problems: List[str] = []
+        if self.pending() < 0:
+            problems.append(f"negative live-event count {self.pending()}")
+        if self.pool_size() > EVENT_POOL_CAP:
+            problems.append(
+                f"free list holds {self.pool_size()} events, cap is "
+                f"{EVENT_POOL_CAP}")
+        alive = self._alive_count()
+        if alive > self._live:
+            problems.append(
+                f"heap/counter mismatch: {alive} live events in heap "
+                f"but pending() reports {self._live}")
+        return problems
+
     def pending_events_for(self, callback: Callable[..., None]) -> List[Event]:
         """Live scheduled events whose callback is ``callback`` (by
         identity), in execution order.
@@ -773,14 +803,9 @@ class Simulator:
         hits.sort()  # Event.__lt__: (time, seq) == schedule order here
         return hits
 
-    def check_consistency(self) -> None:
-        """Verify the heap and the live counter agree.
-
-        Raises :class:`SimulationError` on a mismatch.  O(heap size), so
-        this is for rare control paths only — the snapshot layer calls it
-        before pickling a post-mortem world to guarantee the saved state
-        is resumable, even after an exception escaped a callback.
-        """
+    def _alive_count(self) -> int:
+        """Count live (non-cancelled) events actually present in the
+        heap / calendar.  O(heap size) — cold paths only."""
         cal = self._cal
         if cal is not None:
             alive = sum(1 for entry in cal.entries()
@@ -791,6 +816,19 @@ class Simulator:
             alive = sum(1 for entry in self._heap if not entry[2].cancelled)
         else:
             alive = sum(1 for event in self._heap if not event.cancelled)
+        return alive
+
+    def check_consistency(self) -> None:
+        """Verify the heap and the live counter agree.
+
+        Raises :class:`SimulationError` on a mismatch.  O(heap size), so
+        this is for rare control paths only — the snapshot layer calls it
+        before pickling a post-mortem world to guarantee the saved state
+        is resumable, even after an exception escaped a callback.  Only
+        exact *between* :meth:`run` calls: the pooled drains defer their
+        live-counter decrement, so mid-run use :meth:`audit_counters`.
+        """
+        alive = self._alive_count()
         if alive != self._live:
             raise SimulationError(
                 f"heap/counter mismatch: {alive} live events in heap but "

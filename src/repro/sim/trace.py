@@ -131,6 +131,12 @@ TOPIC_QUEUE_SNAPSHOT = "diagnosis.snapshot"
 #: deterministic sequence number, not wall clock, so competitive traces
 #: stay byte-identical between serial and ``--jobs N`` runs.
 TOPIC_COMPETITIVE_ROUND = "competitive.round"
+#: Soak-harness case verdicts: one event per finished randomized case
+#: with the scenario digest and verdict in ``detail`` (see repro.soak).
+#: Like ``competitive.round``, ``time`` is a deterministic sequence
+#: number so soak traces stay byte-identical between serial and
+#: ``--jobs N`` runs.
+TOPIC_SOAK_CASE = "soak.case"
 #: Snapshot lifecycle (autosave written / world restored).  Note: the
 #: telemetry recorder does *not* subscribe to this topic by default —
 #: save events carry the snapshot path and a restored invocation saves
@@ -158,6 +164,7 @@ ALL_TOPICS = (
     TOPIC_PARALLEL_JOB,
     TOPIC_SERVE_JOB,
     TOPIC_COMPETITIVE_ROUND,
+    TOPIC_SOAK_CASE,
     TOPIC_QUEUE_SNAPSHOT,
     TOPIC_SNAPSHOT_LIFECYCLE,
 )

@@ -1,0 +1,173 @@
+"""Randomized chaos-soak harness (``repro soak``).
+
+The soak harness closes the robustness loop the targeted suites leave
+open: instead of replaying one hand-written schedule
+(:mod:`repro.experiments.chaos`) or one kill drill
+(:mod:`repro.snapshot`), it *generates* bounded random combinations of
+scheme x topology x perf switches x fault schedule x snapshot torture
+(:mod:`repro.soak.scenario`), checks a central registry of always-true
+world invariants while each one runs (:mod:`repro.soak.invariants`),
+and — when a case fails — minimizes it to the smallest scenario that
+still fails and writes a one-command replay bundle
+(:mod:`repro.soak.shrink`).
+
+:func:`run_soak` is the orchestrator: it materializes the case list up
+front from the master seed (so the list is a pure function of
+``(seed, iterations)``), fans the cases through
+:func:`repro.experiments.parallel.parallel_map` (``jobs=1`` and
+``--jobs N`` produce identical verdicts, in case order), publishes one
+``soak.case`` trace event per verdict, and shrinks any failures
+serially in the parent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, NamedTuple, Optional, Union
+
+from ..errors import ConfigurationError
+from ..sim.trace import TOPIC_SOAK_CASE, TraceBus
+from .invariants import DRILL_PROBLEM, InvariantEngine, InvariantViolation
+from .runner import run_case
+from .scenario import ScenarioGenerator, SoakScenario
+from .shrink import ShrinkResult, replay_command, shrink, write_soak_bundle
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "DRILL_PROBLEM",
+    "InvariantEngine",
+    "InvariantViolation",
+    "ScenarioGenerator",
+    "ShrinkResult",
+    "SoakReport",
+    "SoakScenario",
+    "replay_command",
+    "run_case",
+    "run_soak",
+    "shrink",
+    "write_soak_bundle",
+]
+
+#: Verdict statuses that count as failures (everything but "ok").
+FAILURE_STATUSES = ("violation", "divergence", "corruption-accepted",
+                    "error")
+
+
+class SoakReport(NamedTuple):
+    """Everything one soak run produced."""
+
+    seed: int
+    scenarios: List[SoakScenario]     # the generated case list, in order
+    verdicts: List[Dict[str, Any]]    # one verdict per case, same order
+    bundles: List[str]                # triage bundle dirs (failures only)
+
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        return [v for v in self.verdicts if v["status"] != "ok"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_soak(seed: int = 1, iterations: int = 10, *, jobs: int = 1,
+             retries: int = 0, checkpoint: Optional[PathLike] = None,
+             resume: bool = False, trace: Optional[TraceBus] = None,
+             triage_dir: Optional[PathLike] = None,
+             shrink_failures: bool = True,
+             drill: bool = False) -> SoakReport:
+    """Generate and run ``iterations`` soak cases from ``seed``.
+
+    ``jobs > 1`` fans cases out to crash-isolated workers with the same
+    verdict list as a serial run (case order, not completion order).
+    ``drill`` flips the first case's always-fail invariant on — the CI
+    known-bad run proving the failure pipeline works.  Failures are
+    minimized (serially, in the parent) and written as triage bundles
+    under ``triage_dir`` when it is set.
+    """
+    if iterations < 1:
+        raise ConfigurationError(
+            f"soak iterations must be >= 1, got {iterations}")
+    generator = ScenarioGenerator(seed)
+    scenarios = generator.generate(iterations)
+    if drill:
+        scenarios[0] = scenarios[0].replace(drill=True)
+
+    verdicts = _run_cases(scenarios, jobs=jobs, retries=retries,
+                          checkpoint=checkpoint, resume=resume,
+                          trace=trace)
+
+    # One deterministic trace event per case: like competitive.round,
+    # ``time`` is a sequence number so serial and --jobs N soak traces
+    # hash identically.
+    if trace is not None:
+        for sequence, verdict in enumerate(verdicts, start=1):
+            trace.publish(
+                TOPIC_SOAK_CASE, time=sequence,
+                detail=(f"case={verdict['digest']} "
+                        f"scheme={verdict['scheme']} "
+                        f"torture={verdict['torture']} "
+                        f"status={verdict['status']}"))
+
+    bundles: List[str] = []
+    if shrink_failures and triage_dir is not None:
+        for scenario, verdict in zip(scenarios, verdicts):
+            if verdict["status"] == "ok":
+                continue
+            try:
+                result = shrink(scenario, status=verdict["status"])
+            except ConfigurationError:
+                # A worker-death "error" that does not reproduce in the
+                # parent has nothing deterministic to minimize; the
+                # verdict itself is the whole story.
+                continue
+            bundles.append(str(write_soak_bundle(
+                triage_dir, scenario=scenario, result=result)))
+    return SoakReport(seed, scenarios, verdicts, bundles)
+
+
+def _run_cases(scenarios: List[SoakScenario], *, jobs: int,
+               retries: int, checkpoint: Optional[PathLike],
+               resume: bool,
+               trace: Optional[TraceBus]) -> List[Dict[str, Any]]:
+    """Fan the cases through the parallel executor, verdicts in order."""
+    from ..experiments.parallel import JobSpec, job_key, parallel_map
+
+    specs = []
+    for scenario in scenarios:
+        params = {"scenario": scenario.to_dict()}
+        specs.append(JobSpec(
+            job_key("soak", params, label=scenario.digest),
+            "soak", params, seed=None))
+    outcomes = parallel_map(specs, jobs=jobs, retries=retries,
+                            checkpoint=checkpoint, resume=resume,
+                            trace=trace)
+    verdicts = []
+    for scenario, outcome in zip(scenarios, outcomes):
+        if outcome.ok:
+            verdicts.append(outcome.value)
+        else:
+            # run_case itself never raises for case failures; reaching
+            # here means the worker died (OOM, segfault) — surface it
+            # as an "error" verdict so the soak still covers the case.
+            verdicts.append({
+                "digest": scenario.digest, "name": scenario.name,
+                "scheme": scenario.scheme, "torture": scenario.torture,
+                "status": "error",
+                "detail": f"worker failed: {outcome.error}",
+                "checks": 0, "violations": [],
+            })
+    return verdicts
+
+
+def write_verdicts(path: PathLike,
+                   verdicts: List[Dict[str, Any]]) -> Path:
+    """Write one verdict per line (JSONL), for CI artifacts."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for verdict in verdicts:
+            handle.write(json.dumps(verdict, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,173 @@
+"""The soak harness's central invariant engine.
+
+:class:`InvariantEngine` attaches to a built
+:class:`~repro.snapshot.SimWorld` and checks a registry of cheap,
+always-true world invariants:
+
+* **packet conservation** — per port,
+  ``enqueued == transmitted + buffered + evicted + dequeue_drops``
+  (:meth:`repro.net.port.EgressPort.audit_conservation`), together with
+  the per-queue byte accounting and the shared-buffer bound
+  ``total <= B``;
+* **per-queue FIFO order** — buffered packets' enqueue stamps are
+  non-decreasing front to back (same audit);
+* **threshold closure** — ``sum(T_i) == B`` for every DynaQ-family
+  manager (:meth:`repro.core.dynaq.DynaQBuffer.audit_thresholds`), the
+  paper's §III-B equality, re-checked here at every fault boundary on
+  top of the event-driven
+  :class:`~repro.faults.ThresholdInvariantMonitor`;
+* **clock monotonicity and counter sanity** — the simulated clock never
+  moves backwards between checks, the live-event count stays
+  non-negative, and the event free-list stays bounded
+  (:meth:`repro.sim.engine.Simulator.audit_counters`).
+
+Checks run on a fixed simulated-time cadence (an ordinary scheduled
+event — a named bound method, so snapshots of a soak world pickle
+cleanly) and additionally at every fault boundary, where the most state
+transitions at once.  The engine is *entirely external* to the
+datapath: nothing in ports, DynaQ, or the engine consults it, so a run
+without an engine attached is byte-identical to one before this module
+existed — the golden-trace hashes in ``tests/test_perf_equivalence.py``
+are the proof.
+
+A failed check raises :class:`InvariantViolation` (a
+:class:`~repro.errors.SimulationError`, so watchdog/triage plumbing
+treats it like any other fatal run error) out of the event loop; the
+soak runner catches it and turns it into a case verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import SimulationError
+from ..sim.trace import TOPIC_FAULT_INJECT, TOPIC_FAULT_RECOVER
+
+#: Problem string injected by drill mode (CI's known-bad case).
+DRILL_PROBLEM = "drill: deliberately injected invariant failure"
+
+
+class InvariantViolation(SimulationError):
+    """An always-true world invariant did not hold.
+
+    Carries the structured problem list so triage bundles and shrink
+    verdicts can report *which* invariant tripped, not just that one
+    did.
+    """
+
+    def __init__(self, time_ns: int, problems: List[str]) -> None:
+        self.time_ns = time_ns
+        self.problems = list(problems)
+        preview = "; ".join(self.problems[:3])
+        more = len(self.problems) - 3
+        if more > 0:
+            preview += f" (+{more} more)"
+        super().__init__(f"invariant violation at t={time_ns}: {preview}")
+
+
+class InvariantEngine:
+    """Cadence- and fault-boundary-driven world invariant checker.
+
+    Parameters
+    ----------
+    world:
+        The built (not yet run) :class:`~repro.snapshot.SimWorld`.
+    check_every_ns:
+        Simulated-time cadence between full sweeps.
+    drill:
+        Inject :data:`DRILL_PROBLEM` into every sweep — the known-bad
+        scenario CI uses to prove the violation → shrink → bundle
+        pipeline end to end.
+    raise_on_violation:
+        When False the engine only records violations (the replay path
+        uses this to finish a failing run and report everything found).
+    """
+
+    def __init__(self, world: Any, *, check_every_ns: int,
+                 drill: bool = False,
+                 raise_on_violation: bool = True) -> None:
+        if check_every_ns <= 0:
+            raise ValueError(
+                f"check cadence must be positive, got {check_every_ns}")
+        self.world = world
+        self.check_every_ns = check_every_ns
+        self.drill = drill
+        self.raise_on_violation = raise_on_violation
+        self.checks = 0
+        self.violations: List[Dict[str, Any]] = []
+        self._last_now: Optional[int] = None
+        self._armed = False
+        self._subscriptions = []
+
+    # -- wiring ----------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule the first sweep and hook the fault boundaries."""
+        if self._armed:
+            return
+        self._armed = True
+        sim = self.world.net.sim
+        sim.schedule(self.check_every_ns, self._on_check)
+        trace = self.world.net.trace
+        for topic in (TOPIC_FAULT_INJECT, TOPIC_FAULT_RECOVER):
+            handler = self._on_fault
+            trace.subscribe(topic, handler)
+            self._subscriptions.append((topic, handler))
+
+    def close(self) -> None:
+        """Detach the fault-boundary hooks (the cadence event expires)."""
+        trace = self.world.net.trace
+        for topic, handler in self._subscriptions:
+            trace.unsubscribe(topic, handler)
+        self._subscriptions = []
+
+    # -- event callbacks (named bound methods: snapshot-safe) ------------------
+
+    def _on_check(self) -> None:
+        sim = self.world.net.sim
+        if sim.now < self.world.horizon_ns:
+            sim.schedule(self.check_every_ns, self._on_check)
+        self.run_checks(boundary="cadence")
+
+    def _on_fault(self, **payload: Any) -> None:
+        self.run_checks(
+            boundary=f"fault:{payload.get('detail', '?')}")
+
+    # -- the registry ----------------------------------------------------------
+
+    def run_checks(self, boundary: str = "manual") -> List[str]:
+        """One full sweep; returns (and records) the problems found."""
+        self.checks += 1
+        sim = self.world.net.sim
+        problems: List[str] = []
+        if self._last_now is not None and sim.now < self._last_now:
+            problems.append(
+                f"clock moved backwards: {self._last_now} -> {sim.now}")
+        self._last_now = sim.now
+        problems.extend(sim.audit_counters())
+        for port in self.world.iter_ports():
+            audit = getattr(port, "audit_conservation", None)
+            if audit is None:
+                continue
+            for problem in audit():
+                problems.append(f"port {port.name}: {problem}")
+            manager = getattr(port, "buffer_manager", None)
+            check = getattr(manager, "audit_thresholds", None)
+            if callable(check):
+                failure = check()
+                if failure is not None:
+                    problems.append(f"port {port.name}: {failure}")
+        if self.drill:
+            problems.append(DRILL_PROBLEM)
+        if problems:
+            self.violations.append({
+                "time_ns": sim.now, "boundary": boundary,
+                "problems": list(problems),
+            })
+            if self.raise_on_violation:
+                raise InvariantViolation(sim.now, problems)
+        return problems
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)

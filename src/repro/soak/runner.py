@@ -1,0 +1,313 @@
+"""Run one soak case and produce a JSON verdict.
+
+:func:`run_case` is the worker-side unit of the soak harness: build the
+scenario's world under its perf config, attach the
+:class:`~repro.soak.invariants.InvariantEngine`, drive the run, apply
+the scenario's torture mode, and reduce everything to a plain JSON
+verdict dict — no live objects, no filesystem paths, no wall-clock
+values — so serial and ``--jobs N`` soaks produce byte-identical case
+lists and the parallel executor can checkpoint verdicts verbatim.
+
+Verdict ``status`` values:
+
+========================  ====================================================
+status                    meaning
+========================  ====================================================
+``ok``                    run completed, every invariant sweep clean
+``violation``             the invariant engine tripped (see ``violations``)
+``divergence``            kill/restore torture: the restored run's trace or
+                          op counters differ from the uninterrupted arm
+``corruption-accepted``   a deliberately corrupted snapshot restored without
+                          raising — silent acceptance, the worst failure
+``error``                 an unhandled :class:`~repro.errors.SimulationError`
+                          or watchdog abort ended the run
+========================  ====================================================
+
+Any non-``ok`` verdict is a failure the soak orchestrator hands to the
+shrinker (:mod:`repro.soak.shrink`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import (
+    SimulationError,
+    SnapshotError,
+    SnapshotHalt,
+)
+from ..experiments.testbed import DEFAULT_CONFIG, _prepare_bulk
+from ..faults import ScenarioWatchdog
+from ..perf.config import use_config
+from ..sim.trace import TraceBus
+from ..snapshot import (
+    SimWorld,
+    SnapshotPolicy,
+    restore_world,
+    run_world,
+)
+from ..telemetry import TelemetrySession
+from .invariants import InvariantEngine, InvariantViolation
+from .scenario import SoakScenario
+
+#: Verdicts keep at most this many violation records (a broken
+#: invariant usually trips on every sweep; the first few say it all).
+MAX_VIOLATIONS = 5
+
+#: Wall-clock ceiling per arm — a soak case is tiny, so a minute means
+#: a wedged run, not a slow one.
+WALL_BUDGET_S = 60.0
+
+
+class _CaseAbort(Exception):
+    """Internal: stop the case with a known status (never escapes)."""
+
+    def __init__(self, status: str, detail: str) -> None:
+        self.status = status
+        self.detail = detail
+        super().__init__(detail)
+
+
+def _build_world(scenario: SoakScenario,
+                 trace: Optional[TraceBus]
+                 ) -> Tuple[SimWorld, InvariantEngine]:
+    """Build (not run) the scenario's world with the engine armed."""
+    world = _prepare_bulk(
+        scenario.scheme,
+        flows_per_queue=[scenario.flows_per_queue] * scenario.num_queues,
+        quanta=[DEFAULT_CONFIG.quantum_bytes] * scenario.num_queues,
+        stop_times_ns=None, duration_ns=scenario.duration_ns,
+        sample_interval_ns=scenario.sample_interval_ns,
+        config=DEFAULT_CONFIG, trace=trace,
+        faults=scenario.fault_schedule())
+    engine = InvariantEngine(world,
+                             check_every_ns=scenario.check_every_ns,
+                             drill=scenario.drill)
+    engine.arm()
+    # The engine rides in world.state so snapshots carry it: a restored
+    # torture run keeps checking the same invariants mid-flight.
+    world.state["invariants"] = engine
+    watchdog = ScenarioWatchdog(world.net.sim, wall_budget_s=WALL_BUDGET_S)
+    watchdog.start()
+    world.watchdog = watchdog
+    return world, engine
+
+
+def _finish_arm(world: SimWorld) -> Tuple[int, int, int, int]:
+    """Close out one completed arm; returns its op-counter fingerprint."""
+    sim = world.net.sim
+    if world.watchdog is not None:
+        if world.watchdog.tripped:
+            raise _CaseAbort("error",
+                             f"watchdog: {world.watchdog.tripped}")
+        world.watchdog.cancel()
+    world.finish(world)
+    return (sim.now, sim.events_scheduled, sim.events_executed,
+            sim.events_cancelled)
+
+
+def _sha256(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+# -- the three torture modes --------------------------------------------------
+
+
+def _run_plain(scenario: SoakScenario, tmp: Path,
+               engines: List[InvariantEngine]) -> None:
+    """torture "none": one traced run under the invariant engine."""
+    policy = None
+    if scenario.snapshot_every_ns is not None:
+        policy = SnapshotPolicy(every_ns=scenario.snapshot_every_ns,
+                                out=tmp / "plain.snap")
+    session = TelemetrySession(trace_out=tmp / "plain.jsonl")
+    with session:
+        world, engine = _build_world(scenario, session.trace)
+        engines.append(engine)
+        run_world(world, policy)
+        _finish_arm(world)
+
+
+def _run_kill_restore(scenario: SoakScenario, tmp: Path,
+                      engines: List[InvariantEngine]) -> None:
+    """Crash-consistency torture: kill at an autosave, restore, diff.
+
+    Arm A runs uninterrupted; arm B is killed by the drill right after
+    its first autosave and restored from it.  Both arms use the same
+    autosave cadence (each tick consumes one event sequence number), so
+    the stitched arm-B trace and op counters must be *byte-identical*
+    to arm A's — any difference is restore divergence.
+    """
+    every_ns = scenario.snapshot_every_ns
+    trace_a = tmp / "a.jsonl"
+    session = TelemetrySession(trace_out=trace_a)
+    with session:
+        world_a, engine_a = _build_world(scenario, session.trace)
+        engines.append(engine_a)
+        run_world(world_a, SnapshotPolicy(every_ns=every_ns,
+                                          out=tmp / "a.snap"))
+        counters_a = _finish_arm(world_a)
+
+    trace_b = tmp / "b.jsonl"
+    snap_b = tmp / "b.snap"
+    policy_b = SnapshotPolicy(every_ns=every_ns, out=snap_b,
+                              halt_after_saves=1)
+    halted = False
+    session = TelemetrySession(trace_out=trace_b)
+    with session:
+        world_b, engine_b = _build_world(scenario, session.trace)
+        engines.append(engine_b)
+        try:
+            run_world(world_b, policy_b)
+        except SnapshotHalt:
+            halted = True
+    if not halted:
+        raise _CaseAbort(
+            "error", "kill drill never fired (autosave cadence past "
+            "the horizon?)")
+
+    world_r = restore_world(snap_b, expect_kind="bulk")
+    engines.append(world_r.state["invariants"])
+    # Same policy: the drill counter rode inside the snapshot, so the
+    # restored run keeps autosaving but never re-trips the halt.
+    run_world(world_r, policy_b)
+    counters_r = _finish_arm(world_r)
+    world_r.close_recorders()
+
+    if counters_r != counters_a:
+        raise _CaseAbort(
+            "divergence",
+            f"op counters diverge after restore: "
+            f"uninterrupted={counters_a} restored={counters_r}")
+    hash_a, hash_b = _sha256(trace_a), _sha256(trace_b)
+    if hash_a != hash_b:
+        raise _CaseAbort(
+            "divergence",
+            f"trace diverges after restore: uninterrupted "
+            f"sha256={hash_a[:16]} restored sha256={hash_b[:16]}")
+
+
+#: Corruption styles applied to a snapshot file by the torture mode.
+#: Each takes the original bytes and the payload start offset.
+def _truncate(blob: bytes, payload_at: int) -> bytes:
+    return blob[:payload_at + max(1, (len(blob) - payload_at) // 2)]
+
+
+def _bitflip(blob: bytes, payload_at: int) -> bytes:
+    out = bytearray(blob)
+    out[payload_at + (len(blob) - payload_at) // 2] ^= 0x40
+    return bytes(out)
+
+
+def _torn_tail(blob: bytes, payload_at: int) -> bytes:
+    return blob[:-7] + b"\x00" * 7
+
+
+def _garbage_header(blob: bytes, payload_at: int) -> bytes:
+    return b"not a snapshot header\n" + blob[payload_at:]
+
+
+CORRUPTIONS = (("truncated", _truncate), ("bitflip", _bitflip),
+               ("torn-tail", _torn_tail),
+               ("garbage-header", _garbage_header))
+
+
+def _run_corrupt_snapshot(scenario: SoakScenario, tmp: Path,
+                          engines: List[InvariantEngine]) -> None:
+    """Snapshot-corruption torture: damaged files must be *detected*.
+
+    Runs to the first autosave, halts, then corrupts copies of the
+    snapshot four different ways; every corrupted copy must be refused
+    with a :class:`~repro.errors.SnapshotError` — a copy that restores
+    silently is the failure this mode exists to catch.  The pristine
+    snapshot is then restored and driven to the horizon under the
+    invariant engine, proving the good file still works.
+    """
+    snap = tmp / "torture.snap"
+    policy = SnapshotPolicy(every_ns=scenario.snapshot_every_ns,
+                            out=snap, halt_after_saves=1)
+    world, engine = _build_world(scenario, None)
+    engines.append(engine)
+    try:
+        run_world(world, policy)
+    except SnapshotHalt:
+        pass
+    else:
+        raise _CaseAbort(
+            "error", "kill drill never fired (autosave cadence past "
+            "the horizon?)")
+
+    blob = snap.read_bytes()
+    payload_at = blob.index(b"\n") + 1
+    accepted = []
+    for label, corrupt in CORRUPTIONS:
+        variant = tmp / f"corrupt-{label}.snap"
+        variant.write_bytes(corrupt(blob, payload_at))
+        try:
+            restore_world(variant, expect_kind="bulk")
+        except SnapshotError:
+            continue  # detected, as required
+        accepted.append(label)
+    if accepted:
+        raise _CaseAbort(
+            "corruption-accepted",
+            f"corrupted snapshot(s) restored without error: {accepted}")
+
+    world_r = restore_world(snap, expect_kind="bulk")
+    engines.append(world_r.state["invariants"])
+    run_world(world_r, policy)
+    _finish_arm(world_r)
+    world_r.close_recorders()
+
+
+# -- the entry point ----------------------------------------------------------
+
+
+def run_case(scenario: SoakScenario) -> Dict[str, Any]:
+    """Run one scenario end to end; always returns a verdict dict."""
+    engines: List[InvariantEngine] = []
+    status, detail = "ok", ""
+    try:
+        with use_config(scenario.perf_config()):
+            with tempfile.TemporaryDirectory(prefix="repro-soak-") as raw:
+                tmp = Path(raw)
+                if scenario.torture == "kill-restore":
+                    _run_kill_restore(scenario, tmp, engines)
+                elif scenario.torture == "corrupt-snapshot":
+                    _run_corrupt_snapshot(scenario, tmp, engines)
+                else:
+                    _run_plain(scenario, tmp, engines)
+    except InvariantViolation as exc:
+        status, detail = "violation", str(exc)
+    except _CaseAbort as exc:
+        status, detail = exc.status, exc.detail
+    except SnapshotError as exc:
+        status, detail = "error", f"{type(exc).__name__}: {exc}"
+    except SimulationError as exc:
+        status, detail = "error", f"{type(exc).__name__}: {exc}"
+    finally:
+        for engine in engines:
+            engine.close()
+
+    checks = sum(engine.checks for engine in engines)
+    violations: List[Dict[str, Any]] = []
+    for engine in engines:
+        violations.extend(engine.violations)
+    if violations and status == "ok":
+        # Belt and braces: a non-raising engine (replay mode) records
+        # violations without aborting the run.
+        status = "violation"
+        detail = detail or str(violations[0]["problems"][0])
+    return {
+        "digest": scenario.digest,
+        "name": scenario.name,
+        "scheme": scenario.scheme,
+        "torture": scenario.torture,
+        "status": status,
+        "detail": detail,
+        "checks": checks,
+        "violations": violations[:MAX_VIOLATIONS],
+    }

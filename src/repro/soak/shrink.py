@@ -1,0 +1,217 @@
+"""Scenario minimization: greedy delta-debugging over the soak grammar.
+
+When a soak case fails (invariant trip, restore divergence, silently
+accepted corruption, unhandled simulation error), the raw scenario is
+rarely the smallest one that fails — it carries faults, flows, queues,
+perf switches, and torture plumbing that have nothing to do with the
+bug.  :func:`shrink` walks a fixed list of reduction passes (drop
+faults, fewer flows, fewer queues, shorter horizon, strip perf
+overrides, drop the torture mode) and keeps each reduction only if the
+*same class* of failure still reproduces, looping to a fixed point.
+
+The result is written as a **triage bundle** by
+:func:`write_soak_bundle`::
+
+    bundle-<digest>/
+      scenario.json   the original failing scenario
+      minimal.json    the shrunken scenario (still failing)
+      verdict.json    the minimal scenario's verdict
+      REPLAY.txt      the one-command replay line
+
+Reproduction is judged by verdict ``status`` equality — a scenario that
+started failing with ``divergence`` must keep failing with
+``divergence``, not mutate into some other failure halfway through the
+shrink (which would minimize a different bug).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Union
+
+from ..errors import ConfigurationError
+from .runner import run_case
+from .scenario import SoakScenario
+
+PathLike = Union[str, Path]
+
+#: Hard ceiling on candidate evaluations per shrink, so a flaky
+#: reproducer cannot spin the minimizer forever.
+MAX_ATTEMPTS = 48
+
+
+class ShrinkResult(NamedTuple):
+    """The outcome of one minimization."""
+
+    minimal: SoakScenario        # smallest still-failing scenario
+    verdict: Dict[str, Any]      # the minimal scenario's verdict
+    attempts: int                # candidate evaluations spent
+    removed: List[str]           # human-readable reduction log
+
+
+def _try_replace(scenario: SoakScenario,
+                 **overrides: Any) -> Optional[SoakScenario]:
+    """``scenario.replace`` that skips invalid candidates.
+
+    A reduction can break a scenario's internal consistency (halving
+    the horizon past a fault's recovery time, say); such candidates are
+    simply not proposed rather than aborting the whole shrink.
+    """
+    try:
+        return scenario.replace(**overrides)
+    except ConfigurationError:
+        return None
+
+
+def _drop_each_fault(scenario: SoakScenario) -> List[SoakScenario]:
+    """Candidates with the whole schedule, then single events, removed."""
+    if scenario.faults is None:
+        return []
+    events = scenario.faults.get("events", [])
+    candidates = [_try_replace(scenario, faults=None)]
+    for index in range(len(events)):
+        remaining = events[:index] + events[index + 1:]
+        if remaining:
+            candidates.append(_try_replace(
+                scenario, faults={**scenario.faults, "events": remaining}))
+    return [c for c in candidates if c is not None]
+
+
+def _fewer_flows(scenario: SoakScenario) -> List[SoakScenario]:
+    if scenario.flows_per_queue <= 1:
+        return []
+    candidates = [
+        _try_replace(scenario, flows_per_queue=1),
+        _try_replace(scenario,
+                     flows_per_queue=max(1, scenario.flows_per_queue // 2)),
+    ]
+    return [c for c in candidates if c is not None]
+
+
+def _fewer_queues(scenario: SoakScenario) -> List[SoakScenario]:
+    candidates = []
+    for queues in (1, scenario.num_queues // 2):
+        if 1 <= queues < scenario.num_queues:
+            candidates.append(_try_replace(scenario, num_queues=queues))
+    return [c for c in candidates if c is not None]
+
+
+def _shorter(scenario: SoakScenario) -> List[SoakScenario]:
+    """Halve the horizon, rescaling the cadences that must fit inside."""
+    duration = scenario.duration_ms / 2
+    if duration < 4.0:
+        return []
+    overrides: Dict[str, Any] = {
+        "duration_ms": duration,
+        "sample_interval_ms": min(scenario.sample_interval_ms,
+                                  duration / 4),
+        "check_every_ms": min(scenario.check_every_ms, duration / 4),
+    }
+    if scenario.snapshot_every_ms is not None:
+        overrides["snapshot_every_ms"] = min(scenario.snapshot_every_ms,
+                                             duration / 3)
+    candidate = _try_replace(scenario, **overrides)
+    return [candidate] if candidate is not None else []
+
+
+def _strip_perf(scenario: SoakScenario) -> List[SoakScenario]:
+    """Drop all overrides, then each one individually."""
+    if not scenario.perf:
+        return []
+    candidates = [_try_replace(scenario, perf={})]
+    for key in scenario.perf:
+        remaining = {k: v for k, v in scenario.perf.items() if k != key}
+        candidates.append(_try_replace(scenario, perf=remaining))
+    return [c for c in candidates if c is not None]
+
+
+def _drop_torture(scenario: SoakScenario) -> List[SoakScenario]:
+    if scenario.torture == "none":
+        return []
+    candidate = _try_replace(scenario, torture="none",
+                             snapshot_every_ms=None)
+    return [candidate] if candidate is not None else []
+
+
+#: The reduction passes, biggest hammer first.  Each returns candidate
+#: scenarios strictly "smaller" than its input, so the greedy loop
+#: terminates: every accepted candidate shrinks a bounded quantity.
+PASSES: List[Callable[[SoakScenario], List[SoakScenario]]] = [
+    _drop_each_fault,
+    _drop_torture,
+    _fewer_flows,
+    _fewer_queues,
+    _shorter,
+    _strip_perf,
+]
+
+
+def shrink(scenario: SoakScenario, *,
+           status: Optional[str] = None,
+           max_attempts: int = MAX_ATTEMPTS) -> ShrinkResult:
+    """Minimize ``scenario`` while its failure keeps reproducing.
+
+    ``status`` is the failure class to preserve; by default the
+    scenario is run once first to observe it.  Raises
+    :class:`~repro.errors.ConfigurationError` if the scenario does not
+    fail at all (nothing to minimize).
+    """
+    attempts = 0
+    verdict = run_case(scenario)
+    attempts += 1
+    if status is None:
+        status = verdict["status"]
+    if status == "ok":
+        raise ConfigurationError(
+            f"soak shrink: scenario {scenario.digest} does not fail "
+            "(status 'ok'); nothing to minimize")
+    if verdict["status"] != status:
+        raise ConfigurationError(
+            f"soak shrink: scenario {scenario.digest} fails with "
+            f"{verdict['status']!r}, not the requested {status!r}")
+
+    current, current_verdict = scenario, verdict
+    removed: List[str] = []
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for reduction in PASSES:
+            for candidate in reduction(current):
+                if attempts >= max_attempts:
+                    break
+                attempts += 1
+                candidate_verdict = run_case(candidate)
+                if candidate_verdict["status"] == status:
+                    removed.append(
+                        f"{reduction.__name__.lstrip('_')}: "
+                        f"{current.digest} -> {candidate.digest}")
+                    current, current_verdict = candidate, candidate_verdict
+                    progress = True
+                    break  # restart this pass from the smaller scenario
+    return ShrinkResult(current, current_verdict, attempts, removed)
+
+
+# -- bundles ------------------------------------------------------------------
+
+
+def replay_command(path: PathLike) -> str:
+    """The one-command reproduction line for a scenario file."""
+    return f"python -m repro soak --replay {path}"
+
+
+def write_soak_bundle(directory: PathLike, *, scenario: SoakScenario,
+                      result: ShrinkResult) -> Path:
+    """Write the triage bundle for one minimized failure; returns its dir."""
+    base = Path(directory) / f"bundle-{scenario.digest}"
+    base.mkdir(parents=True, exist_ok=True)
+    scenario.write(base / "scenario.json")
+    minimal_path = result.minimal.write(base / "minimal.json")
+    verdict = dict(result.verdict)
+    verdict["shrink_attempts"] = result.attempts
+    verdict["shrink_log"] = result.removed
+    (base / "verdict.json").write_text(
+        json.dumps(verdict, indent=2, sort_keys=True) + "\n")
+    (base / "REPLAY.txt").write_text(
+        replay_command(minimal_path) + "\n")
+    return base

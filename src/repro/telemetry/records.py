@@ -43,6 +43,7 @@ from ..sim.trace import (
     TOPIC_QUEUE_SNAPSHOT,
     TOPIC_SERVE_JOB,
     TOPIC_SNAPSHOT_LIFECYCLE,
+    TOPIC_SOAK_CASE,
     TOPIC_THRESHOLD_CHANGE,
     TOPIC_VICTIM_STEAL,
 )
@@ -74,6 +75,7 @@ REQUIRED_TOPIC_FIELDS = {
     TOPIC_PARALLEL_JOB: ("detail",),
     TOPIC_SERVE_JOB: ("detail",),
     TOPIC_COMPETITIVE_ROUND: ("detail",),
+    TOPIC_SOAK_CASE: ("detail",),
     TOPIC_SNAPSHOT_LIFECYCLE: ("detail", "path"),
     TOPIC_QUEUE_SNAPSHOT: ("queue", "detail", "composition"),
 }

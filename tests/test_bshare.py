@@ -1,0 +1,116 @@
+"""Unit and property tests for the BShare comparator.
+
+BShare splits the buffer into per-queue reservations (weight-shared
+``reserve_fraction * B``) and a DT-governed shared pool over the rest;
+see :mod:`repro.queueing.bshare`.  The differential FAST==REFERENCE
+trace test lives with the other comparators in ``test_competitive.py``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.competitive import run_arena
+from repro.experiments.runner import scheme
+from repro.queueing.bshare import BShareBuffer
+
+from conftest import FakePort, make_packet
+
+
+# -- parameter validation -----------------------------------------------------
+
+def test_rejects_bad_alpha():
+    with pytest.raises(ValueError, match="alpha"):
+        BShareBuffer(alpha=0)
+    with pytest.raises(ValueError, match="alpha"):
+        BShareBuffer(alpha=-1.0)
+
+
+def test_rejects_bad_reserve_fraction():
+    with pytest.raises(ValueError, match="reserve_fraction"):
+        BShareBuffer(reserve_fraction=1.0)
+    with pytest.raises(ValueError, match="reserve_fraction"):
+        BShareBuffer(reserve_fraction=-0.1)
+
+
+def test_registered_as_scheme():
+    manager = scheme("bshare").make(rtt_ns=500_000)
+    assert isinstance(manager, BShareBuffer)
+
+
+# -- reservation split --------------------------------------------------------
+
+def test_reservations_follow_weights():
+    port = FakePort(buffer_bytes=100_000, num_queues=4,
+                    weights=[4.0, 3.0, 2.0, 1.0])
+    manager = BShareBuffer(reserve_fraction=0.4)
+    manager.attach(port)
+    assert manager.reserved_bytes == [16_000, 12_000, 8_000, 4_000]
+    assert manager.shared_bytes == 100_000 - 40_000
+
+
+def test_reservation_is_a_hard_floor():
+    """Below its reservation a queue admits regardless of the others."""
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = BShareBuffer(reserve_fraction=0.4)  # 10 KB per queue
+    manager.attach(port)
+    port.fill(0, 89_000)  # queue 0 hogs nearly everything
+    assert manager.admit(make_packet(1000), 1).accept
+
+
+def test_port_full_still_drops_under_reservation():
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = BShareBuffer(reserve_fraction=0.4)
+    manager.attach(port)
+    port.fill(0, 100_000)
+    decision = manager.admit(make_packet(100), 1)
+    assert not decision.accept
+    assert decision.reason == "port buffer full"
+    assert manager.drops == 1
+
+
+# -- shared-pool threshold ----------------------------------------------------
+
+def test_threshold_formula_over_shared_free_space():
+    """T_i = r_i + alpha * shared_free, with shared_q = max(q - r, 0)."""
+    port = FakePort(buffer_bytes=100_000, num_queues=4)
+    manager = BShareBuffer(alpha=0.5, reserve_fraction=0.2)  # r_i = 5 KB
+    manager.attach(port)
+    assert manager.shared_bytes == 80_000
+    port.fill(0, 25_000)   # 20 KB above its reservation
+    port.fill(1, 3_000)    # under its reservation: no shared use
+    shared_free = 80_000 - 20_000
+    assert manager.current_threshold(2) == pytest.approx(
+        5_000 + 0.5 * shared_free)
+    # Queue 0 is way above its own threshold: the next packet drops.
+    decision = manager.admit(make_packet(20_000), 0)
+    assert not decision.accept
+    assert decision.reason == "bshare threshold"
+
+
+def test_shared_pool_tightens_as_it_fills():
+    port = FakePort(buffer_bytes=100_000, num_queues=2)
+    manager = BShareBuffer(alpha=1.0, reserve_fraction=0.2)
+    manager.attach(port)
+    empty = manager.current_threshold(0)
+    port.fill(1, 50_000)  # 40 KB of shared use
+    assert manager.current_threshold(0) < empty
+
+
+# -- arena property test ------------------------------------------------------
+
+schedule_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=6),
+             min_size=3, max_size=3),
+    min_size=1, max_size=25)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrivals=schedule_strategy,
+       buffer_cells=st.integers(min_value=4, max_value=24))
+def test_bshare_arena_conserves_and_bounds(arrivals, buffer_cells):
+    """Arena runs never overflow the buffer and conserve packets."""
+    result = run_arena("bshare", arrivals, buffer_cells=buffer_cells)
+    assert result.arrivals == sum(sum(row) for row in arrivals)
+    assert result.delivered + result.dropped == result.arrivals
+    assert result.delivered >= 0 and result.dropped >= 0

@@ -46,7 +46,7 @@ from repro.sim.trace import TOPIC_COMPETITIVE_ROUND, TraceBus
 from repro.telemetry import JsonlSink, TraceRecorder
 
 # Drop-based policies that can run in the arena (no ECN feedback loop).
-ARENA_POLICIES = ("besteffort", "dt", "fb", "lqd", "seg",
+ARENA_POLICIES = ("besteffort", "bshare", "dt", "fb", "lqd", "seg",
                   "dynaq", "dynaq-evict", "pql")
 
 # Policies whose admission is greedy in the shared buffer: they must
@@ -243,7 +243,7 @@ def _traced_run(policy, tmp_path: Path, label: str) -> str:
     return hashlib.sha256(out.read_bytes()).hexdigest()
 
 
-@pytest.mark.parametrize("policy", ["fb", "lqd", "seg"])
+@pytest.mark.parametrize("policy", ["fb", "lqd", "seg", "bshare"])
 def test_golden_trace_reference_equals_fast(policy, tmp_path):
     """The new policies leave no perf-config fingerprint in the trace."""
     with reference_mode():

@@ -110,6 +110,44 @@ def test_schedule_rejects_bad_events(spec):
         FaultSchedule.from_dict([spec])
 
 
+def test_schedule_rejects_overlapping_intervals_same_target():
+    """Two flaps racing their recoveries on one link must not load."""
+    with pytest.raises(ConfigurationError, match="overlaps"):
+        FaultSchedule.from_dict([
+            {"time_ns": 100, "kind": "link_flap", "target": "p",
+             "duration_ns": 50},
+            {"time_ns": 120, "kind": "link_down", "target": "p",
+             "duration_ns": 50},
+        ])
+
+
+def test_schedule_allows_staggered_and_cross_target_intervals():
+    # Back-to-back on one target (end == next start) and simultaneous
+    # intervals on different targets or of different families are fine.
+    schedule = FaultSchedule.from_dict([
+        {"time_ns": 100, "kind": "link_flap", "target": "p",
+         "duration_ns": 50},
+        {"time_ns": 150, "kind": "link_flap", "target": "p",
+         "duration_ns": 50},
+        {"time_ns": 120, "kind": "link_flap", "target": "q",
+         "duration_ns": 50},
+        {"time_ns": 120, "kind": "stall", "target": "p",
+         "duration_ns": 50},
+    ])
+    assert len(schedule) == 4
+
+
+def test_schedule_validate_horizon_rejects_late_inject_and_recover():
+    schedule = FaultSchedule.from_dict([
+        {"time_ns": 900, "kind": "stall", "target": "p",
+         "duration_ns": 300}])
+    with pytest.raises(ConfigurationError, match="past the test horizon"):
+        schedule.validate_horizon(800, context="test")
+    with pytest.raises(ConfigurationError, match="recovers"):
+        schedule.validate_horizon(1000, context="test")
+    schedule.validate_horizon(1200, context="test")  # fits: no raise
+
+
 def test_schedule_file_errors(tmp_path):
     with pytest.raises(ConfigurationError):
         FaultSchedule.from_file(tmp_path / "missing.json")
